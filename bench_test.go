@@ -1,0 +1,375 @@
+// Package repro's root benchmarks regenerate, at reduced scale, the
+// measurement behind every table and figure of the paper (run cmd/bench
+// for the full-scale report) and the ablations called out in DESIGN.md.
+// Accuracy-style results are attached as custom benchmark metrics
+// (pass@1, pass@5, coverage) so `go test -bench` output carries the same
+// series the paper plots.
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/augment"
+	"repro/internal/bugs"
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/formal"
+	"repro/internal/llm"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/sva"
+)
+
+// fixture builds the shared reduced-scale experiment once: datasets from a
+// capped pipeline run, the three trained model stages, and the human cases.
+type fixture struct {
+	out    *augment.Output
+	human  []dataset.SVASample
+	base   *model.Model
+	sft    *model.Model
+	solver *model.Model
+	judge  *eval.Judge
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+func getFixture(b testing.TB) *fixture {
+	b.Helper()
+	fixOnce.Do(func() {
+		out, err := augment.Run(augment.Config{Seed: 1, MutationsPerDesign: 8, RandomRuns: 8})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		human, err := augment.BuildHumanEval(augment.Config{Seed: 5, RandomRuns: 16})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		f := &fixture{out: out, human: human, judge: eval.NewJudge(8)}
+		f.base = model.New()
+		f.sft = model.New()
+		f.sft.Pretrain(out.VerilogPT)
+		f.sft.SFT(out.SVABug, out.VerilogBug)
+		f.solver = model.New()
+		f.solver.Pretrain(out.VerilogPT)
+		f.solver.SFT(out.SVABug, out.VerilogBug)
+		f.solver.DPO(out.SVABug, 8, 0.2, 0.1, 77)
+		fix = f
+	})
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+	return fix
+}
+
+// evalSlice returns a bounded slice of the machine benchmark.
+func (f *fixture) evalSlice(n int) []dataset.SVASample {
+	if n > len(f.out.SVAEvalMachine) {
+		n = len(f.out.SVAEvalMachine)
+	}
+	return f.out.SVAEvalMachine[:n]
+}
+
+func reportPass(b *testing.B, results []eval.CaseResult) {
+	b.ReportMetric(100*eval.MeanPassAtK(results, 1), "pass@1_%")
+	b.ReportMetric(100*eval.MeanPassAtK(results, 5), "pass@5_%")
+}
+
+// BenchmarkTable1BugTaxonomy measures the typed mutation enumeration that
+// defines the Table I taxonomy.
+func BenchmarkTable1BugTaxonomy(b *testing.B) {
+	golden := corpus.Accu(8, 2).Module
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += len(bugs.Enumerate(golden, 0))
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "mutations")
+}
+
+// BenchmarkTable2Distribution measures the Table II aggregation over the
+// generated datasets.
+func BenchmarkTable2Distribution(b *testing.B) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := dataset.Distribute(f.out.SVABug)
+		if d.Total == 0 {
+			b.Fatal("empty distribution")
+		}
+	}
+	d := dataset.Distribute(f.out.SVABug)
+	b.ReportMetric(float64(d.Total), "samples")
+	b.ReportMetric(float64(d.ByType["Direct"]), "direct")
+}
+
+// BenchmarkTable3PassAtK regenerates the Table III measurement (base vs
+// SFT vs AssertSolver) on an evaluation slice.
+func BenchmarkTable3PassAtK(b *testing.B) {
+	f := getFixture(b)
+	bench := f.evalSlice(12)
+	for _, tc := range []struct {
+		name string
+		m    *model.Model
+	}{
+		{"Base", f.base}, {"SFT", f.sft}, {"AssertSolver", f.solver},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var last []eval.CaseResult
+			for i := 0; i < b.N; i++ {
+				last = eval.Evaluate(tc.m, bench, f.judge, 10, 0.2, 99)
+			}
+			reportPass(b, last)
+		})
+	}
+}
+
+// BenchmarkTable4ModelComparison regenerates the Table IV comparison
+// against the counterpart solvers.
+func BenchmarkTable4ModelComparison(b *testing.B) {
+	f := getFixture(b)
+	bench := f.evalSlice(10)
+	solvers := []eval.Solver{f.solver}
+	for _, c := range llm.Counterparts() {
+		solvers = append(solvers, c)
+	}
+	for _, s := range solvers {
+		b.Run(s.Name(), func(b *testing.B) {
+			var last []eval.CaseResult
+			for i := 0; i < b.N; i++ {
+				last = eval.Evaluate(s, bench, f.judge, 10, 0.2, 99)
+			}
+			reportPass(b, last)
+		})
+	}
+}
+
+// BenchmarkFig3Histogram regenerates the correct-answer histogram.
+func BenchmarkFig3Histogram(b *testing.B) {
+	f := getFixture(b)
+	bench := f.evalSlice(12)
+	res := eval.Evaluate(f.solver, bench, f.judge, 10, 0.2, 99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := eval.Histogram(res, 10)
+		if len(h) != 11 {
+			b.Fatal("bad histogram")
+		}
+	}
+	h := eval.Histogram(res, 10)
+	b.ReportMetric(float64(h[0]), "c0_cases")
+	b.ReportMetric(float64(h[10]), "cmax_cases")
+}
+
+// BenchmarkFig4BugTypes regenerates the per-bug-type breakdown.
+func BenchmarkFig4BugTypes(b *testing.B) {
+	f := getFixture(b)
+	res := eval.Evaluate(f.solver, f.evalSlice(14), f.judge, 10, 0.2, 99)
+	b.ResetTimer()
+	var bd eval.Breakdown
+	for i := 0; i < b.N; i++ {
+		bd = eval.BreakdownOf(res)
+	}
+	b.ReportMetric(100*bd.ByType["Direct"][0], "direct_pass@1_%")
+	b.ReportMetric(100*bd.ByType["Indirect"][0], "indirect_pass@1_%")
+}
+
+// BenchmarkFig4CodeLength regenerates the per-length breakdown.
+func BenchmarkFig4CodeLength(b *testing.B) {
+	f := getFixture(b)
+	res := eval.Evaluate(f.solver, f.evalSlice(14), f.judge, 10, 0.2, 99)
+	b.ResetTimer()
+	var bd eval.Breakdown
+	for i := 0; i < b.N; i++ {
+		bd = eval.BreakdownOf(res)
+	}
+	b.ReportMetric(100*bd.ByBin[0][0], "bin0_pass@1_%")
+}
+
+// BenchmarkFig5Ablation contrasts SFT and AssertSolver (the DPO ablation)
+// on the same slice, the Fig. 5 measurement.
+func BenchmarkFig5Ablation(b *testing.B) {
+	f := getFixture(b)
+	bench := f.evalSlice(12)
+	for _, tc := range []struct {
+		name string
+		m    *model.Model
+	}{
+		{"SFT", f.sft}, {"DPO", f.solver},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var last []eval.CaseResult
+			for i := 0; i < b.N; i++ {
+				last = eval.Evaluate(tc.m, bench, f.judge, 10, 0.2, 99)
+			}
+			reportPass(b, last)
+		})
+	}
+}
+
+// BenchmarkAblationLocalization drops one localiser feature family at a
+// time (DESIGN.md ablation) and reports golden-hit accuracy.
+func BenchmarkAblationLocalization(b *testing.B) {
+	f := getFixture(b)
+	bench := f.evalSlice(14)
+	for _, drop := range []string{"", "mentions", "cone", "lm"} {
+		name := drop
+		if name == "" {
+			name = "full"
+		}
+		b.Run(name, func(b *testing.B) {
+			f.sft.Loc.DropFeature = drop
+			defer func() { f.sft.Loc.DropFeature = "" }()
+			hits := 0
+			total := 0
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(5))
+				for j := range bench {
+					s := &bench[j]
+					for _, r := range f.sft.Solve(model.ProblemOf(s), 3, 0.2, rng) {
+						total++
+						if model.Correct(r, s) {
+							hits++
+						}
+					}
+				}
+			}
+			if total > 0 {
+				b.ReportMetric(100*float64(hits)/float64(total), "golden_hit_%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCoT contrasts SFT trained on all samples versus only
+// CoT-validated samples (DESIGN.md ablation).
+func BenchmarkAblationCoT(b *testing.B) {
+	f := getFixture(b)
+	var cotOnly []dataset.SVASample
+	for _, s := range f.out.SVABug {
+		if s.CoTValid {
+			cotOnly = append(cotOnly, s)
+		}
+	}
+	bench := f.evalSlice(12)
+	for _, tc := range []struct {
+		name  string
+		train []dataset.SVASample
+	}{
+		{"all_samples", f.out.SVABug}, {"cot_valid_only", cotOnly},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := model.New()
+			m.SFT(tc.train, f.out.VerilogBug)
+			var last []eval.CaseResult
+			for i := 0; i < b.N; i++ {
+				last = eval.Evaluate(m, bench, f.judge, 10, 0.2, 99)
+			}
+			reportPass(b, last)
+		})
+	}
+}
+
+// BenchmarkFormalStrategies contrasts the verifier's exploration
+// strategies (DESIGN.md ablation): sequence-exhaustive designs versus
+// directed+random fallback.
+func BenchmarkFormalStrategies(b *testing.B) {
+	tiny := corpus.EdgeDetect()  // 1-bit input: exhaustive sequences
+	big := corpus.Counter(8, 23) // wide input space: directed+random
+	for _, tc := range []struct {
+		name string
+		bp   *corpus.Blueprint
+	}{
+		{"exhaustive", tiny}, {"directed_random", big},
+	} {
+		d, diags, err := compile.Compile(tc.bp.Source())
+		if err != nil || compile.HasErrors(diags) {
+			b.Fatal("fixture broken")
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			var res *formal.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = formal.Check(d, formal.Options{Seed: 1, Depth: tc.bp.CheckDepth(12), RandomRuns: 12})
+				if err != nil || !res.Pass {
+					b.Fatal("golden failed")
+				}
+			}
+			b.ReportMetric(float64(res.Runs), "runs")
+		})
+	}
+}
+
+// BenchmarkSimulator measures raw cycle throughput of the simulator.
+func BenchmarkSimulator(b *testing.B) {
+	d, diags, err := compile.Compile(corpus.Pipeline(10, 8).Source())
+	if err != nil || compile.HasErrors(diags) {
+		b.Fatal("fixture broken")
+	}
+	stim := make(sim.Stimulus, 64)
+	for i := range stim {
+		stim[i] = map[string]uint64{"valid_in": uint64(i & 1), "data_in": uint64(i * 37)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := sim.Run(d, stim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sva.Check(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(64), "cycles/op")
+}
+
+// BenchmarkCompile measures front-end throughput on the largest design.
+func BenchmarkCompile(b *testing.B) {
+	src := corpus.Mux(32, 2).Source()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, diags, err := compile.Compile(src)
+		if err != nil || compile.HasErrors(diags) || d == nil {
+			b.Fatal("compile failed")
+		}
+	}
+	b.SetBytes(int64(len(src)))
+}
+
+// BenchmarkSolveLatency measures single-problem inference latency of the
+// trained solver, the interactive-use figure of merit.
+func BenchmarkSolveLatency(b *testing.B) {
+	f := getFixture(b)
+	s := &f.out.SVAEvalMachine[0]
+	p := model.ProblemOf(s)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := f.solver.Solve(p, 20, 0.2, rng); len(got) != 20 {
+			b.Fatal("bad response count")
+		}
+	}
+}
+
+// BenchmarkJudge measures the external verification cost per response.
+func BenchmarkJudge(b *testing.B) {
+	f := getFixture(b)
+	s := &f.out.SVAEvalMachine[0]
+	r := model.Response{BugLine: s.LineNo, BugLineText: s.BuggyLine, Fix: s.FixedLine, FormatOK: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		judge := eval.NewJudge(8) // fresh judge: no memoisation
+		if !judge.Solves(s, r) {
+			b.Fatal("golden fix rejected")
+		}
+	}
+}

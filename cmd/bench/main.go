@@ -1,0 +1,336 @@
+// Command bench regenerates every table and figure of the paper's
+// evaluation section from the reproduction pipeline:
+//
+//	Table I   - bug-type taxonomy with concrete examples
+//	Table II  - SVA-Bug / SVA-Eval distribution over length bins and types
+//	Table III - pass@k of Base vs SFT vs AssertSolver (RQ1)
+//	Table IV  - comparison against the six counterpart solvers (RQ2, RQ3)
+//	Fig. 3    - histogram of correct answers across 20 responses (RQ1)
+//	Fig. 4    - per-bug-type and per-length comparison vs closed-source (RQ4)
+//	Fig. 5    - SFT vs AssertSolver across scenarios (RQ1/RQ4 ablation)
+//
+// The full run regenerates datasets, trains the three model stages,
+// evaluates nine solvers under the formal judge and prints the report
+// (also written to -out). Use -quick for a reduced-scale smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/augment"
+	"repro/internal/bugs"
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/model"
+)
+
+type section struct {
+	name string
+	run  func(*benchState, io.Writer)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	var (
+		outPath   = flag.String("out", "bench_report.txt", "report file (empty = stdout only)")
+		quick     = flag.Bool("quick", false, "reduced-scale run (fewer mutations, fewer samples)")
+		n         = flag.Int("n", 20, "responses per case")
+		judgeRuns = flag.Int("judge-runs", 10, "verification effort of the judge")
+		seed      = flag.Int64("seed", 1, "global seed")
+		only      = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig3,fig4,fig5,rq3")
+	)
+	flag.Parse()
+
+	st := &benchState{n: *n, seed: *seed, judge: eval.NewJudge(*judgeRuns)}
+	st.build(*quick)
+
+	sections := []section{
+		{"table1", (*benchState).table1},
+		{"table2", (*benchState).table2},
+		{"table3", (*benchState).table3},
+		{"table4", (*benchState).table4},
+		{"fig3", (*benchState).fig3},
+		{"fig4", (*benchState).fig4},
+		{"fig5", (*benchState).fig5},
+		{"rq3", (*benchState).rq3},
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+
+	var sinks []io.Writer = []io.Writer{os.Stdout}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		sinks = append(sinks, f)
+	}
+	w := io.MultiWriter(sinks...)
+
+	for _, sec := range sections {
+		if len(want) > 0 && !want[sec.name] {
+			continue
+		}
+		sec.run(st, w)
+		fmt.Fprintln(w)
+	}
+}
+
+// benchState holds everything the sections share.
+type benchState struct {
+	n     int
+	seed  int64
+	judge *eval.Judge
+
+	out   *augment.Output
+	human []dataset.SVASample
+
+	base, sft, solver *model.Model
+
+	// results[solverName] -> (machine, human) case results
+	machineRes map[string][]eval.CaseResult
+	humanRes   map[string][]eval.CaseResult
+	order      []string
+}
+
+func (st *benchState) build(quick bool) {
+	t0 := time.Now()
+	cfg := augment.Config{Seed: st.seed, RandomRuns: 16}
+	if quick {
+		cfg.MutationsPerDesign = 12
+		cfg.RandomRuns = 8
+	}
+	out, err := augment.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st.out = out
+	human, err := augment.BuildHumanEval(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st.human = human
+	log.Printf("pipeline: %v (train=%d evalM=%d human=%d)",
+		time.Since(t0).Round(time.Second), len(out.SVABug), len(out.SVAEvalMachine), len(human))
+
+	t0 = time.Now()
+	st.base = model.New()
+	st.sft = model.New()
+	st.sft.Pretrain(out.VerilogPT)
+	st.sft.SFT(out.SVABug, out.VerilogBug)
+	st.solver = model.New()
+	st.solver.Pretrain(out.VerilogPT)
+	st.solver.SFT(out.SVABug, out.VerilogBug)
+	dpoTrain := out.SVABug
+	if quick && len(dpoTrain) > 300 {
+		dpoTrain = dpoTrain[:300]
+	}
+	st.solver.DPO(dpoTrain, st.n, 0.2, 0.1, st.seed*7+3)
+	log.Printf("training: %v", time.Since(t0).Round(time.Second))
+
+	st.machineRes = map[string][]eval.CaseResult{}
+	st.humanRes = map[string][]eval.CaseResult{}
+	solvers := []eval.Solver{st.base, st.sft, st.solver}
+	for _, c := range llm.Counterparts() {
+		solvers = append(solvers, c)
+	}
+	for _, s := range solvers {
+		t1 := time.Now()
+		st.machineRes[s.Name()] = eval.Evaluate(s, out.SVAEvalMachine, st.judge, st.n, 0.2, st.seed+99)
+		st.humanRes[s.Name()] = eval.Evaluate(s, human, st.judge, st.n, 0.2, st.seed+99)
+		st.order = append(st.order, s.Name())
+		log.Printf("evaluated %-20s %v", s.Name(), time.Since(t1).Round(time.Millisecond))
+	}
+}
+
+func (st *benchState) all(name string) []eval.CaseResult {
+	return append(append([]eval.CaseResult(nil), st.machineRes[name]...), st.humanRes[name]...)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintln(w, strings.Repeat("=", 78))
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("=", 78))
+}
+
+// table1 prints the bug taxonomy with examples mined from the mutation
+// engine on the Fig. 1 accumulator.
+func (st *benchState) table1(w io.Writer) {
+	header(w, "Table I: bug types leading to assertion failures (examples from the engine)")
+	b := corpus.Accu(8, 2)
+	muts := bugs.Enumerate(b.Module, 0)
+	seen := map[string]bool{}
+	fmt.Fprintf(w, "%-10s %-45s %s\n", "Type", "Expected form", "Unexpected form")
+	for _, mu := range muts {
+		for _, label := range []string{mu.Syn.String(), condLabel(mu.IsCond)} {
+			if seen[label] {
+				continue
+			}
+			seen[label] = true
+			fmt.Fprintf(w, "%-10s %-45s %s\n", label, mu.GoldenLine, mu.BuggyLine)
+		}
+	}
+	// Direct/Indirect need a failing assertion; illustrate from samples.
+	for i := range st.out.SVAEvalMachine {
+		s := &st.out.SVAEvalMachine[i]
+		label := "Indirect"
+		if s.IsDirect {
+			label = "Direct"
+		}
+		if seen[label] {
+			continue
+		}
+		seen[label] = true
+		fmt.Fprintf(w, "%-10s %-45s %s\n", label, s.FixedLine, s.BuggyLine)
+	}
+}
+
+func condLabel(c bool) string {
+	if c {
+		return "Cond"
+	}
+	return "Non_cond"
+}
+
+func (st *benchState) table2(w io.Writer) {
+	header(w, "Table II: distribution of SVA-Bug and SVA-Eval across length bins and types")
+	evalAll := append(append([]dataset.SVASample(nil), st.out.SVAEvalMachine...), st.human...)
+	fmt.Fprint(w, dataset.FormatTableII(st.out.SVABug, evalAll))
+	fmt.Fprintf(w, "\nDataset sizes: Verilog-PT=%d Verilog-Bug=%d SVA-Bug=%d SVA-Eval-Machine=%d SVA-Eval-Human=%d\n",
+		len(st.out.VerilogPT), len(st.out.VerilogBug), len(st.out.SVABug), len(st.out.SVAEvalMachine), len(st.human))
+	fmt.Fprintf(w, "CoT validity: %.2f%% (paper: 74.55%%)\n", 100*st.out.Stats.CoTValidity())
+}
+
+func (st *benchState) table3(w io.Writer) {
+	header(w, "Table III: model performance as pass@k (RQ1)")
+	fmt.Fprintf(w, "%-14s %10s %10s\n", "Metric", "pass@1", "pass@5")
+	for _, name := range []string{"Base Model", "SFT Model", "AssertSolver"} {
+		res := st.all(name)
+		fmt.Fprintf(w, "%-14s %9.2f%% %9.2f%%\n", name,
+			100*eval.MeanPassAtK(res, 1), 100*eval.MeanPassAtK(res, 5))
+	}
+	fmt.Fprintln(w, "(paper: base 4.35/15.62, SFT 84.66/91.64, AssertSolver 88.54/90.00)")
+}
+
+func (st *benchState) table4(w io.Writer) {
+	header(w, "Table IV: comparison with counterpart solvers (RQ2/RQ3)")
+	fmt.Fprintf(w, "%-22s %21s %21s %21s\n", "", "SVA-Eval-Machine", "SVA-Eval-Human", "SVA-Eval")
+	fmt.Fprintf(w, "%-22s %10s %10s %10s %10s %10s %10s\n", "Model",
+		"pass@1", "pass@5", "pass@1", "pass@5", "pass@1", "pass@5")
+	names := []string{"Claude-3.5", "GPT-4", "o1-preview", "Deepseek-coder-6.7b", "CodeLlama-7b", "Llama-3.1-8b", "AssertSolver"}
+	for _, name := range names {
+		m, h, a := st.machineRes[name], st.humanRes[name], st.all(name)
+		fmt.Fprintf(w, "%-22s %9.2f%% %9.2f%% %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n", name,
+			100*eval.MeanPassAtK(m, 1), 100*eval.MeanPassAtK(m, 5),
+			100*eval.MeanPassAtK(h, 1), 100*eval.MeanPassAtK(h, 5),
+			100*eval.MeanPassAtK(a, 1), 100*eval.MeanPassAtK(a, 5))
+	}
+	diff := 100 * (eval.MeanPassAtK(st.all("AssertSolver"), 1) - eval.MeanPassAtK(st.all("o1-preview"), 1))
+	fmt.Fprintf(w, "\nAssertSolver vs o1-preview on SVA-Eval pass@1: %+.2f points (paper: +11.97)\n", diff)
+}
+
+func (st *benchState) fig3(w io.Writer) {
+	header(w, "Fig. 3: histogram of correct answers across 20 responses")
+	hSFT := eval.Histogram(st.all("SFT Model"), st.n)
+	hAS := eval.Histogram(st.all("AssertSolver"), st.n)
+	fmt.Fprintf(w, "%4s %12s %12s\n", "c", "SFT Model", "AssertSolver")
+	for c := 0; c <= st.n; c++ {
+		fmt.Fprintf(w, "%4d %12d %12d\n", c, hSFT[c], hAS[c])
+	}
+	fmt.Fprintln(w, "(the paper reports AssertSolver ahead at the deterministic ends c=0 and c=20)")
+}
+
+func (st *benchState) fig4(w io.Writer) {
+	header(w, "Fig. 4: comparison with closed-source solvers by bug type and code length (RQ4)")
+	names := []string{"AssertSolver", "o1-preview", "Claude-3.5", "GPT-4"}
+	for _, k := range []int{1, 5} {
+		fmt.Fprintf(w, "\n(a) pass@%d by bug type:\n%-14s", k, "")
+		for _, l := range dataset.AllTypeLabels() {
+			fmt.Fprintf(w, "%10s", l)
+		}
+		fmt.Fprintln(w)
+		for _, name := range names {
+			bd := eval.BreakdownOf(st.all(name))
+			fmt.Fprintf(w, "%-14s", name)
+			for _, l := range dataset.AllTypeLabels() {
+				fmt.Fprintf(w, "%9.1f%%", 100*bd.ByType[l][k/5])
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "\n(b) pass@%d by code length:\n%-14s", k, "")
+		for _, l := range corpus.BinLabels() {
+			fmt.Fprintf(w, "%12s", l)
+		}
+		fmt.Fprintln(w)
+		for _, name := range names {
+			bd := eval.BreakdownOf(st.all(name))
+			fmt.Fprintf(w, "%-14s", name)
+			for i := range bd.ByBin {
+				fmt.Fprintf(w, "%11.1f%%", 100*bd.ByBin[i][k/5])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func (st *benchState) fig5(w io.Writer) {
+	header(w, "Fig. 5: SFT Model vs AssertSolver across scenarios (DPO ablation)")
+	for _, k := range []int{1, 5} {
+		fmt.Fprintf(w, "\npass@%d by bug type:\n%-14s", k, "")
+		for _, l := range dataset.AllTypeLabels() {
+			fmt.Fprintf(w, "%10s", l)
+		}
+		fmt.Fprintln(w)
+		for _, name := range []string{"SFT Model", "AssertSolver"} {
+			bd := eval.BreakdownOf(st.all(name))
+			fmt.Fprintf(w, "%-14s", name)
+			for _, l := range dataset.AllTypeLabels() {
+				fmt.Fprintf(w, "%9.1f%%", 100*bd.ByType[l][k/5])
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "\npass@%d by code length:\n%-14s", k, "")
+		for _, l := range corpus.BinLabels() {
+			fmt.Fprintf(w, "%12s", l)
+		}
+		fmt.Fprintln(w)
+		for _, name := range []string{"SFT Model", "AssertSolver"} {
+			bd := eval.BreakdownOf(st.all(name))
+			fmt.Fprintf(w, "%-14s", name)
+			for i := range bd.ByBin {
+				fmt.Fprintf(w, "%11.1f%%", 100*bd.ByBin[i][k/5])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func (st *benchState) rq3(w io.Writer) {
+	header(w, "RQ3: machine-generated vs human-crafted relative decline")
+	fmt.Fprintf(w, "%-22s %14s %14s\n", "Model", "decline p@1", "decline p@5")
+	sum1, sum5, cnt := 0.0, 0.0, 0
+	for _, name := range st.order {
+		d1 := eval.RelativeDecline(st.machineRes[name], st.humanRes[name], 1)
+		d5 := eval.RelativeDecline(st.machineRes[name], st.humanRes[name], 5)
+		fmt.Fprintf(w, "%-22s %13.1f%% %13.1f%%\n", name, 100*d1, 100*d5)
+		sum1 += d1
+		sum5 += d5
+		cnt++
+	}
+	fmt.Fprintf(w, "%-22s %13.1f%% %13.1f%%  (paper: ~19%% / ~15%%)\n", "average",
+		100*sum1/float64(cnt), 100*sum5/float64(cnt))
+}

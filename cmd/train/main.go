@@ -1,0 +1,93 @@
+// Command train runs the paper's training recipe (Fig. 2-II) over datasets
+// produced by cmd/augment: continual pretraining on Verilog-PT, supervised
+// fine-tuning on SVA-Bug + Verilog-Bug, and DPO on challenging cases. It
+// saves the resulting models:
+//
+//	base.model  - untrained baseline
+//	sft.model   - after PT + SFT
+//	assertsolver.model - after PT + SFT + DPO
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("train: ")
+	var (
+		dataDir = flag.String("data", "data", "directory with cmd/augment output")
+		outDir  = flag.String("out", "models", "directory for saved models")
+		dpoN    = flag.Int("dpo-n", 20, "responses sampled per training case during DPO challenge mining")
+		temp    = flag.Float64("temp", 0.2, "sampling temperature")
+		beta    = flag.Float64("beta", 0.1, "DPO preference weight (paper: 0.1)")
+		seed    = flag.Int64("seed", 77, "DPO sampling seed")
+	)
+	flag.Parse()
+
+	var pt []dataset.PTEntry
+	var vbug []dataset.BugEntry
+	var svabug []dataset.SVASample
+	mustRead(filepath.Join(*dataDir, "verilog_pt.json"), &pt)
+	mustRead(filepath.Join(*dataDir, "verilog_bug.json"), &vbug)
+	mustRead(filepath.Join(*dataDir, "sva_bug.json"), &svabug)
+	fmt.Printf("loaded: PT=%d Verilog-Bug=%d SVA-Bug=%d\n", len(pt), len(vbug), len(svabug))
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	base := model.New()
+	save(base, filepath.Join(*outDir, "base.model"))
+
+	t0 := time.Now()
+	sft := model.New()
+	sft.Pretrain(pt)
+	fmt.Printf("pretraining done (%v)\n", time.Since(t0))
+	t0 = time.Now()
+	sft.SFT(svabug, vbug)
+	fmt.Printf("SFT done: %d whole-line patterns, %d span patterns (%v)\n",
+		sft.Patterns.Len(), sft.Patterns.SpanLen(), time.Since(t0))
+	save(sft, filepath.Join(*outDir, "sft.model"))
+
+	t0 = time.Now()
+	solver := model.New()
+	solver.Pretrain(pt)
+	solver.SFT(svabug, vbug)
+	stats := solver.DPO(svabug, *dpoN, *temp, *beta, *seed)
+	fmt.Printf("DPO done: %d/%d challenging cases, %d adjustments, sharpness %.3f (%v)\n",
+		stats.Challenging, stats.Samples, stats.Adjusted, solver.Sharpness, time.Since(t0))
+	save(solver, filepath.Join(*outDir, "assertsolver.model"))
+}
+
+func mustRead(path string, v any) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("%v (run cmd/augment first)", err)
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(v); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+}
+
+func save(m *model.Model, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved %s (%s)\n", path, m.Name())
+}

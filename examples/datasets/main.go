@@ -1,0 +1,70 @@
+// Datasets demonstrates the data-augmentation pipeline on a single design
+// family: spec generation, bug injection with taxonomy labels, the
+// verifier logs that become model inputs, and CoT generation/validation —
+// the raw material of the Verilog-PT / Verilog-Bug / SVA-Bug datasets.
+//
+//	go run ./examples/datasets
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/augment"
+	"repro/internal/corpus"
+	"repro/internal/cot"
+	"repro/internal/spec"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	b := corpus.ClkDiv(4, 2)
+	fmt.Println("=== generated specification ===")
+	fmt.Println(spec.Generate(b))
+
+	var stats augment.Stats
+	gen := cot.NewGenerator(0.25, 1)
+	samples, bugEntries, err := augment.InjectAndValidate(b,
+		augment.Config{Seed: 5, MutationsPerDesign: 12, RandomRuns: 8}, &stats, gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== stage 2 results for %s ===\n", b.Name())
+	fmt.Printf("mutants tried: %d; assertion failures: %d; functional-only: %d; no-ops: %d\n\n",
+		stats.MutantsTried, stats.MutantsAssertFail, stats.MutantsFuncOnly, stats.MutantsNoop)
+
+	for i, s := range samples {
+		if i >= 2 {
+			break
+		}
+		fmt.Printf("--- SVA-Bug sample %s [%s] ---\n", s.ID, strings.Join(s.TypeLabels(), "/"))
+		fmt.Printf("buggy line %d: %s\n", s.LineNo, s.BuggyLine)
+		fmt.Printf("golden fix:   %s\n", s.FixedLine)
+		fmt.Printf("logs:\n%s", indent(s.Logs))
+		if s.CoTValid {
+			fmt.Printf("validated CoT:\n%s", indent(s.CoT))
+		} else {
+			fmt.Println("CoT rejected by validation (answer-only entry)")
+		}
+		fmt.Printf("model question (truncated): %.160s...\n\n", s.Question(s.CoTValid))
+	}
+
+	for i, e := range bugEntries {
+		if i >= 1 {
+			break
+		}
+		fmt.Printf("--- Verilog-Bug entry %s (no assertion fired) ---\n", e.Name)
+		fmt.Printf("buggy line %d: %s\n", e.LineNo, e.BuggyLine)
+		fmt.Printf("behavioural evidence: %s\n", e.DiffReport)
+	}
+}
+
+func indent(s string) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		sb.WriteString("    " + line + "\n")
+	}
+	return sb.String()
+}

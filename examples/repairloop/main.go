@@ -1,0 +1,57 @@
+// Repairloop demonstrates the iterative propose-verify extension: a
+// reasoning solver attacks an assertion failure in rounds, each rejected
+// repair feeding fresh verifier logs back into the next attempt.
+//
+//	go run ./examples/repairloop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/augment"
+	"repro/internal/bugs"
+	"repro/internal/corpus"
+	"repro/internal/cot"
+	"repro/internal/llm"
+	"repro/internal/repairloop"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	var stats augment.Stats
+	gen := cot.NewGenerator(0, 1)
+	samples, _, err := augment.InjectAndValidate(corpus.FIFOFlags(4, 3),
+		augment.Config{Seed: 21, MutationsPerDesign: 10, RandomRuns: 8}, &stats, gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(samples) == 0 {
+		log.Fatal("no cases produced")
+	}
+	s := samples[len(samples)-1]
+	fmt.Printf("design: %s\nbug (ground truth): line %d: %s\n\n", s.Module, s.LineNo, s.BuggyLine)
+
+	solver := llm.ByName("Claude-3.5")
+	res, err := repairloop.Run(solver, s.Spec, s.BuggyCode, s.Logs, repairloop.Options{
+		MaxRounds: 4, PerRound: 4, Depth: s.CheckDepth, Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, att := range res.Attempts {
+		status := "rejected"
+		if att.Solved {
+			status = "SOLVED"
+		} else if !att.Compiled {
+			status = "did not compile"
+		}
+		fmt.Printf("round %d: line %d: %-50s [%s]\n", att.Round, att.Response.BugLine, att.Response.Fix, status)
+	}
+	fmt.Printf("\nsolved=%v after %d round(s), %d verified attempts\n", res.Solved, res.Rounds, len(res.Attempts))
+	if res.Solved {
+		lineNo, _, fixedLine, _ := bugs.DiffLines(s.BuggyCode, res.FixedSrc)
+		fmt.Printf("accepted repair at line %d: %s\n", lineNo, fixedLine)
+	}
+}

@@ -1,0 +1,78 @@
+// Triage demonstrates untrained assertion-failure debugging: bugs are
+// injected into three designs, the bounded model checker produces failure
+// logs, and a reasoning solver (the o1-preview capability profile — no
+// domain training) proposes repairs that are then verified by the judge.
+//
+//	go run ./examples/triage
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/augment"
+	"repro/internal/corpus"
+	"repro/internal/cot"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Build a handful of real assertion-failure cases via the pipeline.
+	cfg := augment.Config{Seed: 11, MutationsPerDesign: 6, RandomRuns: 8}
+	var stats augment.Stats
+	gen := cot.NewGenerator(0, 1)
+	var cases []casePair
+	for _, b := range []*corpus.Blueprint{
+		corpus.Counter(4, 9),
+		corpus.FIFOFlags(3, 2),
+		corpus.Handshake(2),
+	} {
+		samples, _, err := augment.InjectAndValidate(b, cfg, &stats, gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(samples) > 0 {
+			cases = append(cases, casePair{design: b.Name(), sample: samples[0]})
+		}
+	}
+
+	solver := llm.ByName("o1-preview")
+	judge := eval.NewJudge(10)
+	rng := rand.New(rand.NewSource(3))
+
+	for _, c := range cases {
+		s := c.sample
+		fmt.Printf("=== %s ===\n", c.design)
+		fmt.Printf("ground truth: line %d: %s  ->  %s\n", s.LineNo, s.BuggyLine, s.FixedLine)
+		fmt.Printf("log excerpt:  %s\n", firstLine(s.Logs))
+		responses := solver.Solve(model.ProblemOf(&s), 3, 0.2, rng)
+		for i, r := range responses {
+			verdict := "rejected by the verifier"
+			if judge.Solves(&s, r) {
+				verdict = "solves the assertion failure"
+			}
+			fmt.Printf("  response %d: line %d: %s  [%s]\n", i+1, r.BugLine, r.Fix, verdict)
+		}
+		fmt.Println()
+	}
+}
+
+type casePair struct {
+	design string
+	sample dataset.SVASample
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

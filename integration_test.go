@@ -1,0 +1,78 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/model"
+)
+
+// TestEndToEndOrdering runs the reduced-scale experiment and asserts the
+// paper's qualitative claims hold: training lifts performance massively,
+// the judge accepts every golden fix, and the capability gradient across
+// counterpart solvers is monotone at the extremes.
+func TestEndToEndOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run skipped in -short mode")
+	}
+	f := getFixture(t)
+	bench := f.evalSlice(16)
+
+	// The judge must accept every golden solution (dataset invariant).
+	for i := range bench {
+		s := &bench[i]
+		r := model.Response{BugLine: s.LineNo, BugLineText: s.BuggyLine, Fix: s.FixedLine, FormatOK: true}
+		if !f.judge.Solves(s, r) {
+			t.Fatalf("%s: golden fix rejected by the judge", s.ID)
+		}
+	}
+
+	baseRes := eval.Evaluate(f.base, bench, f.judge, 10, 0.2, 99)
+	sftRes := eval.Evaluate(f.sft, bench, f.judge, 10, 0.2, 99)
+	dpoRes := eval.Evaluate(f.solver, bench, f.judge, 10, 0.2, 99)
+
+	baseP1 := eval.MeanPassAtK(baseRes, 1)
+	sftP1 := eval.MeanPassAtK(sftRes, 1)
+	dpoP1 := eval.MeanPassAtK(dpoRes, 1)
+
+	if sftP1 < 4*baseP1 {
+		t.Errorf("SFT pass@1 %.3f not clearly above base %.3f (paper: ~16x)", sftP1, baseP1)
+	}
+	if sftP1 < 0.5 {
+		t.Errorf("SFT pass@1 %.3f below 50%% on machine slice", sftP1)
+	}
+	if dpoP1 < sftP1-0.15 {
+		t.Errorf("DPO collapsed pass@1: %.3f vs SFT %.3f", dpoP1, sftP1)
+	}
+
+	// Capability gradient: the strongest untrained solver beats the
+	// weakest decisively.
+	o1Res := eval.Evaluate(llm.ByName("o1-preview"), bench, f.judge, 10, 0.2, 99)
+	clRes := eval.Evaluate(llm.ByName("CodeLlama-7b"), bench, f.judge, 10, 0.2, 99)
+	if eval.MeanPassAtK(o1Res, 1) <= eval.MeanPassAtK(clRes, 1) {
+		t.Error("o1-preview profile not above CodeLlama profile")
+	}
+
+	// pass@5 dominates pass@1 everywhere (estimator property on real data).
+	for _, res := range [][]eval.CaseResult{baseRes, sftRes, dpoRes, o1Res} {
+		if eval.MeanPassAtK(res, 5) < eval.MeanPassAtK(res, 1)-1e-9 {
+			t.Error("pass@5 below pass@1")
+		}
+	}
+}
+
+// TestHumanBenchmarkHarder asserts the RQ3 direction for the trained
+// solver: the human-crafted cases are harder than the machine set.
+func TestHumanBenchmarkHarder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run skipped in -short mode")
+	}
+	f := getFixture(t)
+	machine := eval.Evaluate(f.solver, f.evalSlice(20), f.judge, 10, 0.2, 99)
+	human := eval.Evaluate(f.solver, f.human, f.judge, 10, 0.2, 99)
+	if eval.MeanPassAtK(human, 1) >= eval.MeanPassAtK(machine, 1) {
+		t.Errorf("human cases (%.3f) not harder than machine (%.3f) for the trained solver",
+			eval.MeanPassAtK(human, 1), eval.MeanPassAtK(machine, 1))
+	}
+}

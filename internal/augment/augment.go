@@ -1,0 +1,328 @@
+// Package augment orchestrates the three-stage data-augmentation pipeline
+// of Fig. 2-(I):
+//
+//	Stage 1 — filtering and syntax checking: degenerate sources are removed
+//	  (incomplete, logic-free, duplicated), the remainder is compiled, and
+//	  both compiling and non-compiling code lands in Verilog-PT, the latter
+//	  with a failure analysis.
+//	Stage 2 — key component generation and validation: specs are written,
+//	  typed bugs are injected into each golden design, re-compiled, and
+//	  bounded-model-checked against the design's validated SVAs. Bugs that
+//	  trigger assertion failures become SVA samples (with logs); bugs that
+//	  change behaviour without firing an assertion become Verilog-Bug
+//	  entries; no-ops are discarded.
+//	Stage 3 — CoT generation and validation: a chain of thought is generated
+//	  for every SVA sample and kept only when it argues for the golden
+//	  solution (the paper reports 74.55% validity).
+//
+// Finally the SVA samples are split 90/10 by module name within each code-
+// length bin into SVA-Bug (train) and SVA-Eval-Machine (test).
+package augment
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/bugs"
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/cot"
+	"repro/internal/dataset"
+	"repro/internal/formal"
+	"repro/internal/spec"
+	"repro/internal/sva"
+	"repro/internal/verilog"
+)
+
+// Config controls the pipeline.
+type Config struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// MutationsPerDesign caps bug injection per golden design (0 = all).
+	MutationsPerDesign int
+	// BinCaps caps mutations per design by code-length bin, shaping the
+	// dataset like the paper's Table II pyramid (short code dominates).
+	// Zero entries mean no per-bin cap.
+	BinCaps [5]int
+	// CoTCorruptRate is the chance a generated CoT derails (paper: ~25%).
+	CoTCorruptRate float64
+	// TrainFrac is the train share of the module-name split (paper: 0.9).
+	TrainFrac float64
+	// RandomRuns bounds the random phase of each formal check.
+	RandomRuns int
+}
+
+// withDefaults fills unset fields with the paper's settings.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CoTCorruptRate == 0 {
+		c.CoTCorruptRate = 0.25
+	}
+	if c.TrainFrac == 0 {
+		c.TrainFrac = 0.9
+	}
+	if c.RandomRuns == 0 {
+		c.RandomRuns = 24
+	}
+	if c.BinCaps == [5]int{} {
+		c.BinCaps = [5]int{64, 32, 14, 10, 8}
+	}
+	return c
+}
+
+// Stats counts what happened at each stage.
+type Stats struct {
+	RawEntries         int
+	FilteredIncomplete int
+	FilteredTrivial    int
+	FilteredDuplicate  int
+	CompileFailed      int
+	Compiled           int
+
+	MutantsTried      int
+	MutantsNoncompile int
+	MutantsNoop       int
+	MutantsAssertFail int
+	MutantsFuncOnly   int
+	MutantsSimError   int
+
+	CoTGenerated int
+	CoTValid     int
+}
+
+// CoTValidity returns the fraction of valid CoTs (paper: 0.7455).
+func (s Stats) CoTValidity() float64 {
+	if s.CoTGenerated == 0 {
+		return 0
+	}
+	return float64(s.CoTValid) / float64(s.CoTGenerated)
+}
+
+// Output is the full pipeline product.
+type Output struct {
+	VerilogPT      []dataset.PTEntry
+	VerilogBug     []dataset.BugEntry
+	SVABug         []dataset.SVASample // train
+	SVAEvalMachine []dataset.SVASample // held-out machine benchmark
+	Stats          Stats
+}
+
+// Run executes the full pipeline over the synthetic corpus.
+func Run(cfg Config) (*Output, error) {
+	cfg = cfg.withDefaults()
+	out := &Output{}
+	raw := corpus.RawCorpus()
+	out.Stats.RawEntries = len(raw)
+
+	// --- Stage 1: filtering and syntax checking ---
+	seenSource := map[string]bool{}
+	var compiled []*corpus.Blueprint
+	for _, e := range raw {
+		if !hasModuleStructure(e.Source) {
+			out.Stats.FilteredIncomplete++
+			continue
+		}
+		if seenSource[e.Source] {
+			out.Stats.FilteredDuplicate++
+			continue
+		}
+		seenSource[e.Source] = true
+
+		m, perr := verilog.Parse(e.Source)
+		if perr == nil && isTrivial(m) {
+			out.Stats.FilteredTrivial++
+			continue
+		}
+
+		d, diags, cerr := compile.Compile(e.Source)
+		if cerr != nil || compile.HasErrors(diags) || d == nil {
+			out.Stats.CompileFailed++
+			analysis := ""
+			if cerr != nil {
+				analysis = cerr.Error()
+			} else {
+				analysis = compile.FormatDiags(diags)
+			}
+			specText := "Function: unavailable (code failed to compile).\n"
+			if m != nil {
+				specText = spec.GenerateBare(m)
+			}
+			out.VerilogPT = append(out.VerilogPT, dataset.PTEntry{
+				Name: e.Name, Code: e.Source, Spec: specText,
+				Compiles: false, Analysis: analysis,
+			})
+			continue
+		}
+		out.Stats.Compiled++
+		b := corpus.ByName(d.Module.Name)
+		specText := spec.GenerateBare(d.Module)
+		if b != nil {
+			specText = spec.Generate(b)
+		}
+		out.VerilogPT = append(out.VerilogPT, dataset.PTEntry{
+			Name: e.Name, Code: e.Source, Spec: specText, Compiles: true,
+		})
+		if b != nil {
+			compiled = append(compiled, b)
+		}
+	}
+
+	// --- Stage 2: bug injection and validation ---
+	cotGen := cot.NewGenerator(cfg.CoTCorruptRate, cfg.Seed*31+7)
+	var allSVA []dataset.SVASample
+	for _, b := range compiled {
+		samples, bugEntries, err := InjectAndValidate(b, cfg, &out.Stats, cotGen)
+		if err != nil {
+			return nil, fmt.Errorf("augment: %s: %w", b.Name(), err)
+		}
+		allSVA = append(allSVA, samples...)
+		out.VerilogBug = append(out.VerilogBug, bugEntries...)
+	}
+
+	// --- Split: 90/10 by module name within length bins ---
+	out.SVABug, out.SVAEvalMachine = dataset.SplitByModule(allSVA, cfg.TrainFrac, cfg.Seed*17+3)
+	return out, nil
+}
+
+// designSeed derives a deterministic per-design formal seed.
+func designSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return base ^ int64(h.Sum64()&0x7FFFFFFF)
+}
+
+// InjectAndValidate runs Stage 2 and Stage 3 for one golden blueprint,
+// returning its assertion-failure samples and functional-only bug entries.
+func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *cot.Generator) ([]dataset.SVASample, []dataset.BugEntry, error) {
+	cfg = cfg.withDefaults()
+	goldenSrc := b.Source()
+	goldenDesign, diags, err := compile.Compile(goldenSrc)
+	if err != nil || compile.HasErrors(diags) {
+		return nil, nil, fmt.Errorf("golden does not compile: %v %s", err, compile.FormatDiags(diags))
+	}
+	specText := spec.Generate(b)
+	depth := b.CheckDepth(16)
+	seed := designSeed(cfg.Seed, b.Name())
+	opts := formal.Options{Seed: seed, Depth: depth, RandomRuns: cfg.RandomRuns}
+
+	var samples []dataset.SVASample
+	var bugEntries []dataset.BugEntry
+	limit := cfg.BinCaps[corpus.BinIndex(b.LineCount())]
+	if cfg.MutationsPerDesign > 0 && (limit == 0 || cfg.MutationsPerDesign < limit) {
+		limit = cfg.MutationsPerDesign
+	}
+	muts := bugs.Enumerate(b.Module, limit)
+	for i, mu := range muts {
+		stats.MutantsTried++
+		mutSrc := verilog.Print(mu.Mutant)
+		mutDesign, mdiags, merr := compile.Compile(mutSrc)
+		if merr != nil || compile.HasErrors(mdiags) || mutDesign == nil {
+			stats.MutantsNoncompile++
+			continue
+		}
+		res, cerr := formal.Check(mutDesign, opts)
+		if cerr != nil {
+			stats.MutantsSimError++
+			continue
+		}
+		if !res.Pass {
+			stats.MutantsAssertFail++
+			s := buildSample(b, mu, i, specText, mutSrc, goldenSrc, res, depth)
+			// Stage 3: CoT generation and validation.
+			stats.CoTGenerated++
+			cOut := cotGen.Generate(cot.Input{
+				Module:    b.Name(),
+				LineNo:    s.LineNo,
+				BuggyLine: s.BuggyLine,
+				FixedLine: s.FixedLine,
+				Logs:      s.Logs,
+				Syn:       s.Syn,
+				IsCond:    s.IsCond,
+			})
+			if cot.Validate(cOut, s.LineNo, s.FixedLine) {
+				stats.CoTValid++
+				s.CoT = cOut.Text
+				s.CoTValid = true
+			}
+			samples = append(samples, s)
+			continue
+		}
+		// Passed all assertions: functional-only bug or no-op?
+		diff, diffLog, derr := formal.Differ(goldenDesign, mutDesign, opts)
+		if derr != nil {
+			stats.MutantsSimError++
+			continue
+		}
+		if !diff {
+			stats.MutantsNoop++
+			continue
+		}
+		stats.MutantsFuncOnly++
+		bugEntries = append(bugEntries, dataset.BugEntry{
+			Name:       fmt.Sprintf("%s_fbug%d", b.Name(), i),
+			Spec:       specText,
+			BuggyCode:  mutSrc,
+			BuggyLine:  mu.BuggyLine,
+			FixedLine:  mu.GoldenLine,
+			LineNo:     mu.LineNo,
+			DiffReport: diffLog,
+		})
+	}
+	return samples, bugEntries, nil
+}
+
+func buildSample(b *corpus.Blueprint, mu bugs.Mutation, idx int, specText, mutSrc, goldenSrc string, res *formal.Result, depth int) dataset.SVASample {
+	// Direct/Indirect: does a mutation-affected signal appear in the
+	// failing assertion's property?
+	isDirect := false
+	if res.Failure != nil {
+		isDirect = mu.IsDirect(sva.AssertSignals(res.Failure.Assert))
+	}
+	return dataset.SVASample{
+		ID:         fmt.Sprintf("%s_bug%d", b.Name(), idx),
+		Module:     b.Name(),
+		Family:     b.Family,
+		Spec:       specText,
+		BuggyCode:  mutSrc,
+		GoldenCode: goldenSrc,
+		Logs:       res.Log,
+		LineNo:     mu.LineNo,
+		BuggyLine:  mu.BuggyLine,
+		FixedLine:  mu.GoldenLine,
+		Syn:        mu.Syn.String(),
+		IsCond:     mu.IsCond,
+		IsDirect:   isDirect,
+		Lines:      strings.Count(mutSrc, "\n"),
+		CheckDepth: depth,
+		Origin:     "machine",
+	}
+}
+
+// hasModuleStructure implements the Stage-1 completeness filter.
+func hasModuleStructure(src string) bool {
+	return strings.Contains(src, "module") && strings.Contains(src, "endmodule")
+}
+
+// isTrivial implements the Stage-1 "no functional logic" filter: a module
+// with no always blocks and no assignment computing anything beyond a
+// direct feed-through or constant.
+func isTrivial(m *verilog.Module) bool {
+	hasLogic := false
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *verilog.Always, *verilog.Initial, *verilog.PropertyDecl, *verilog.AssertItem:
+			hasLogic = true
+		case *verilog.AssignItem:
+			switch x.RHS.(type) {
+			case *verilog.Ident, *verilog.Number:
+				// feed-through or constant: not functional logic
+			default:
+				hasLogic = true
+			}
+		}
+	}
+	return !hasLogic
+}

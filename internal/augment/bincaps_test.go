@@ -1,0 +1,50 @@
+package augment
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/cot"
+)
+
+// TestBinCapsLimitInjection verifies the Table II shaping knob: a design's
+// mutation budget follows its length bin.
+func TestBinCapsLimitInjection(t *testing.T) {
+	cfg := Config{Seed: 3, RandomRuns: 8, BinCaps: [5]int{4, 3, 2, 1, 1}}
+	gen := cot.NewGenerator(0, 1)
+
+	var statsSmall Stats
+	small := corpus.Counter(4, 9) // bin 0: cap 4
+	_, _, err := InjectAndValidate(small, cfg, &statsSmall, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsSmall.MutantsTried > 4 {
+		t.Errorf("bin-0 design tried %d mutants, cap 4", statsSmall.MutantsTried)
+	}
+
+	var statsBig Stats
+	big := corpus.RegFile(8, 4) // bin 2: cap 2
+	_, _, err = InjectAndValidate(big, cfg, &statsBig, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsBig.MutantsTried > 2 {
+		t.Errorf("bin-2 design tried %d mutants, cap 2", statsBig.MutantsTried)
+	}
+}
+
+// TestMutationsPerDesignOverridesBinCaps: the explicit cap wins when
+// smaller.
+func TestMutationsPerDesignOverridesBinCaps(t *testing.T) {
+	cfg := Config{Seed: 3, RandomRuns: 8, MutationsPerDesign: 2, BinCaps: [5]int{50, 50, 50, 50, 50}}
+	gen := cot.NewGenerator(0, 1)
+	var stats Stats
+	_, _, err := InjectAndValidate(corpus.Counter(4, 9), cfg, &stats, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MutantsTried > 2 {
+		t.Errorf("tried %d mutants, explicit cap 2", stats.MutantsTried)
+	}
+}

@@ -1,0 +1,138 @@
+package augment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bugs"
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/formal"
+	"repro/internal/sva"
+)
+
+// BuildHumanEval validates and converts the 38 hand-crafted cases into
+// SVA-Eval-Human samples. Every case is checked end to end: the golden
+// design must pass its assertions non-vacuously, the buggy design must
+// fail, and the bug must be a single-line edit.
+func BuildHumanEval(cfg Config) ([]dataset.SVASample, error) {
+	cfg = cfg.withDefaults()
+	var out []dataset.SVASample
+	for _, hc := range corpus.HumanCases() {
+		s, err := buildHumanSample(hc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("human case %s: %w", hc.Name, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func buildHumanSample(hc corpus.HumanCase, cfg Config) (dataset.SVASample, error) {
+	var zero dataset.SVASample
+	seed := designSeed(cfg.Seed, hc.Name)
+	opts := formal.Options{Seed: seed, Depth: hc.CheckDepth, RandomRuns: cfg.RandomRuns}
+
+	gd, diags, err := compile.Compile(hc.Golden)
+	if err != nil || compile.HasErrors(diags) {
+		return zero, fmt.Errorf("golden does not compile: %v %s", err, compile.FormatDiags(diags))
+	}
+	gres, err := formal.Check(gd, opts)
+	if err != nil {
+		return zero, err
+	}
+	if !gres.Pass {
+		return zero, fmt.Errorf("golden fails its assertions:\n%s", gres.Log)
+	}
+	if len(gres.VacuousAsserts) > 0 {
+		return zero, fmt.Errorf("golden has vacuous assertions: %v", gres.VacuousAsserts)
+	}
+
+	bd, diags, err := compile.Compile(hc.Buggy)
+	if err != nil || compile.HasErrors(diags) {
+		return zero, fmt.Errorf("buggy does not compile: %v %s", err, compile.FormatDiags(diags))
+	}
+	bres, err := formal.Check(bd, opts)
+	if err != nil {
+		return zero, err
+	}
+	if bres.Pass {
+		return zero, fmt.Errorf("buggy design passes all assertions (bug not detected)")
+	}
+
+	lineNo, goldenLine, buggyLine, nDiff := bugs.DiffLines(hc.Golden, hc.Buggy)
+	if nDiff != 1 {
+		return zero, fmt.Errorf("bug spans %d lines, want 1", nDiff)
+	}
+
+	isDirect := false
+	if bres.Failure != nil {
+		assertSigs := sva.AssertSignals(bres.Failure.Assert)
+		for _, a := range affectedOfLine(buggyLine) {
+			for _, s := range assertSigs {
+				if a == s {
+					isDirect = true
+				}
+			}
+		}
+	}
+
+	return dataset.SVASample{
+		ID:         "human_" + hc.Name,
+		Module:     gd.Module.Name,
+		Family:     "human",
+		Spec:       hc.Spec,
+		BuggyCode:  hc.Buggy,
+		GoldenCode: hc.Golden,
+		Logs:       bres.Log,
+		LineNo:     lineNo,
+		BuggyLine:  buggyLine,
+		FixedLine:  goldenLine,
+		Syn:        hc.Syn,
+		IsCond:     hc.IsCond,
+		IsDirect:   isDirect,
+		Lines:      strings.Count(hc.Buggy, "\n"),
+		CheckDepth: hc.CheckDepth,
+		Origin:     "human",
+	}, nil
+}
+
+// affectedOfLine extracts the assigned signal names from a single source
+// line (text before <= or =, plus assignment targets after a condition).
+func affectedOfLine(line string) []string {
+	var out []string
+	rest := line
+	for {
+		idx := strings.Index(rest, "<=")
+		if idx < 0 {
+			break
+		}
+		lhs := rest[:idx]
+		if cut := strings.LastIndexAny(lhs, ")("); cut >= 0 {
+			lhs = lhs[cut+1:]
+		}
+		fields := strings.Fields(lhs)
+		if len(fields) > 0 {
+			name := fields[len(fields)-1]
+			name = strings.TrimFunc(name, func(r rune) bool {
+				return !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+			})
+			if i := strings.IndexByte(name, '['); i > 0 {
+				name = name[:i]
+			}
+			if name != "" {
+				out = append(out, name)
+			}
+		}
+		rest = rest[idx+2:]
+	}
+	// assign statements: "assign x = ..."
+	if strings.HasPrefix(strings.TrimSpace(line), "assign ") {
+		t := strings.TrimSpace(line)[len("assign "):]
+		if i := strings.IndexAny(t, "=["); i > 0 {
+			out = append(out, strings.TrimSpace(t[:i]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,588 @@
+// Package bugs implements the bug-injection engine that stands in for the
+// paper's Claude-3.5 random bug generator (Stage 2 of Fig. 2-I). It
+// enumerates typed single-site mutations of a golden module's RTL (never of
+// its assertions) and labels every mutation along the three orthogonal axes
+// of Table I / Table II:
+//
+//   - syntactic class: Var (wrong identifier), Value (wrong constant or
+//     off-by-one), Op (wrong operator, including added/removed negation);
+//   - conditional axis: Cond (the mutation sits in an if condition, case
+//     subject or case label) versus Non_cond;
+//   - direct axis (resolved later, once the failing assertion is known):
+//     Direct when a signal affected by the mutation appears in the failing
+//     assertion's property, Indirect otherwise.
+package bugs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/verilog"
+)
+
+// SynClass is the syntactic mutation class of Table I.
+type SynClass int
+
+// Syntactic classes.
+const (
+	SynVar SynClass = iota
+	SynValue
+	SynOp
+)
+
+var synNames = [...]string{"Var", "Value", "Op"}
+
+// String names the class as in Table I.
+func (c SynClass) String() string { return synNames[c] }
+
+// ParseSynClass parses a Table I class name.
+func ParseSynClass(s string) (SynClass, error) {
+	for i, n := range synNames {
+		if n == s {
+			return SynClass(i), nil
+		}
+	}
+	return 0, fmt.Errorf("bugs: unknown syntactic class %q", s)
+}
+
+// Mutation is one injected bug: the mutated module plus full labelling and
+// the golden/buggy line pair that later forms the dataset "answer".
+type Mutation struct {
+	Mutant      *verilog.Module
+	Syn         SynClass
+	IsCond      bool
+	Description string
+	// LineNo is the 1-based line number of the mutated line in the printed
+	// mutant source.
+	LineNo int
+	// BuggyLine and GoldenLine are the trimmed differing lines of the
+	// mutant and golden printed sources.
+	BuggyLine  string
+	GoldenLine string
+	// Affected lists signals whose driving logic the mutation touches,
+	// used for the Direct/Indirect classification.
+	Affected []string
+}
+
+// Label renders the combined taxonomy label (without the direct axis).
+func (m *Mutation) Label() string {
+	cond := "Non_cond"
+	if m.IsCond {
+		cond = "Cond"
+	}
+	return m.Syn.String() + "/" + cond
+}
+
+// IsDirect resolves the Table I Direct/Indirect axis: a bug is Direct when
+// one of its affected signals appears in the failing assertion's property
+// expression signals.
+func (m *Mutation) IsDirect(assertSignals []string) bool {
+	for _, a := range m.Affected {
+		for _, s := range assertSignals {
+			if a == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// site context while walking the RTL.
+type ctx struct {
+	inCond   bool
+	affected []string
+}
+
+// mutator is one applicable edit discovered at a site. apply performs the
+// edit on the live (cloned) AST.
+type mutator struct {
+	syn   SynClass
+	cond  bool
+	desc  string
+	aff   []string
+	apply func()
+}
+
+// Enumerate returns every single-site mutation of the module's RTL, up to
+// limit (0 = no limit). The same golden module always yields the same
+// mutation list: enumeration is deterministic.
+//
+// Each returned mutation owns an independent clone of the module; mutations
+// whose printed source equals the golden source (no-ops) are dropped, as
+// are mutations that change more than one printed line.
+func Enumerate(golden *verilog.Module, limit int) []Mutation {
+	goldenSrc := verilog.Print(golden)
+	widths := signalWidths(golden)
+
+	// First pass: count sites by running the collector on a throwaway clone.
+	probe := collect(verilog.CloneModule(golden), widths)
+	n := len(probe)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+
+	var out []Mutation
+	for i := 0; i < n; i++ {
+		clone := verilog.CloneModule(golden)
+		muts := collect(clone, widths)
+		if i >= len(muts) {
+			break
+		}
+		mu := muts[i]
+		mu.apply()
+		mutSrc := verilog.Print(clone)
+		lineNo, goldenLine, buggyLine, nDiff := diffLines(goldenSrc, mutSrc)
+		if nDiff != 1 {
+			continue // no-op or multi-line edit
+		}
+		out = append(out, Mutation{
+			Mutant:      clone,
+			Syn:         mu.syn,
+			IsCond:      mu.cond,
+			Description: mu.desc,
+			LineNo:      lineNo,
+			BuggyLine:   buggyLine,
+			GoldenLine:  goldenLine,
+			Affected:    mu.aff,
+		})
+	}
+	return out
+}
+
+// signalWidths maps signal names to widths for compatible-identifier
+// substitution, without requiring full elaboration.
+func signalWidths(m *verilog.Module) map[string]int {
+	w := map[string]int{}
+	widthOf := func(r *verilog.Range) int {
+		if r == nil {
+			return 1
+		}
+		hi, okh := r.Hi.(*verilog.Number)
+		lo, okl := r.Lo.(*verilog.Number)
+		if okh && okl && hi.Value >= lo.Value {
+			return int(hi.Value-lo.Value) + 1
+		}
+		return 0 // parameterised width: unknown
+	}
+	for _, p := range m.Ports {
+		w[p.Name] = widthOf(p.Range)
+	}
+	for _, it := range m.Items {
+		if nd, ok := it.(*verilog.NetDecl); ok {
+			for _, name := range nd.Names {
+				if _, exists := w[name]; !exists {
+					w[name] = widthOf(nd.Range)
+				}
+			}
+		}
+	}
+	return w
+}
+
+// collect walks the module's RTL (clone) and returns the mutators in
+// deterministic order. The mutators close over nodes of this clone.
+func collect(m *verilog.Module, widths map[string]int) []mutator {
+	c := &collector{widths: widths, module: m}
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *verilog.AssignItem:
+			aff := lhsSignals(x.LHS)
+			c.expr(&x.RHS, ctx{affected: aff})
+		case *verilog.Always:
+			c.stmt(&x.Body, ctx{})
+		}
+	}
+	return c.muts
+}
+
+type collector struct {
+	widths map[string]int
+	module *verilog.Module
+	muts   []mutator
+}
+
+func (c *collector) add(m mutator) { c.muts = append(c.muts, m) }
+
+// stmt walks a statement, tracking the affected signals for expression
+// sites beneath it.
+func (c *collector) stmt(sp *verilog.Stmt, cx ctx) {
+	switch x := (*sp).(type) {
+	case *verilog.Block:
+		for i := range x.Stmts {
+			c.stmt(&x.Stmts[i], cx)
+		}
+	case *verilog.NonBlocking:
+		aff := lhsSignals(x.LHS)
+		c.expr(&x.RHS, ctx{affected: aff})
+		c.rhsOffByOne(&x.RHS, aff)
+	case *verilog.Blocking:
+		aff := lhsSignals(x.LHS)
+		c.expr(&x.RHS, ctx{affected: aff})
+		c.rhsOffByOne(&x.RHS, aff)
+	case *verilog.If:
+		aff := assignedBelow(x.Then)
+		aff = append(aff, assignedBelow(x.Else)...)
+		// Negating the whole condition is the canonical Cond bug (Fig. 1).
+		cond := &x.Cond
+		affCopy := dedup(aff)
+		c.add(mutator{
+			syn:  SynOp,
+			cond: true,
+			desc: "negated if-condition",
+			aff:  affCopy,
+			apply: func() {
+				if un, ok := (*cond).(*verilog.Unary); ok && un.Op == verilog.UnaryLogicalNot {
+					*cond = un.X
+				} else {
+					*cond = &verilog.Unary{Op: verilog.UnaryLogicalNot, X: *cond}
+				}
+			},
+		})
+		c.expr(&x.Cond, ctx{inCond: true, affected: affCopy})
+		c.stmt(&x.Then, cx)
+		if x.Else != nil {
+			c.stmt(&x.Else, cx)
+		}
+	case *verilog.Case:
+		aff := dedup(assignedBelow(x))
+		c.expr(&x.Subject, ctx{inCond: true, affected: aff})
+		for i := range x.Items {
+			item := &x.Items[i]
+			for j := range item.Exprs {
+				c.expr(&item.Exprs[j], ctx{inCond: true, affected: dedup(assignedBelow(item.Body))})
+			}
+			c.stmt(&item.Body, cx)
+		}
+	}
+}
+
+// rhsOffByOne registers the Table I "out <= in + 1" style bug on whole
+// assignment right-hand sides that are not already arithmetic.
+func (c *collector) rhsOffByOne(rhs *verilog.Expr, aff []string) {
+	if _, ok := (*rhs).(*verilog.Binary); ok {
+		return // operator sites below already cover arithmetic RHS
+	}
+	if _, ok := (*rhs).(*verilog.Number); ok {
+		return // constant sites cover literals
+	}
+	target := rhs
+	c.add(mutator{
+		syn:  SynValue,
+		cond: false,
+		desc: "off-by-one on assignment RHS",
+		aff:  append([]string(nil), aff...),
+		apply: func() {
+			*target = &verilog.Binary{Op: verilog.BinAdd, X: *target, Y: &verilog.Number{Value: 1}}
+		},
+	})
+}
+
+// expr walks an expression tree registering mutators for every site.
+func (c *collector) expr(ep *verilog.Expr, cx ctx) {
+	switch x := (*ep).(type) {
+	case *verilog.Ident:
+		c.identSite(ep, x, cx)
+	case *verilog.Number:
+		c.numberSite(x, cx)
+	case *verilog.Unary:
+		c.unarySite(ep, x, cx)
+		c.expr(&x.X, cx)
+	case *verilog.Binary:
+		c.binarySite(x, cx)
+		c.expr(&x.X, cx)
+		c.expr(&x.Y, cx)
+	case *verilog.Ternary:
+		c.expr(&x.Cond, ctx{inCond: true, affected: cx.affected})
+		c.expr(&x.X, cx)
+		c.expr(&x.Y, cx)
+	case *verilog.Index:
+		c.expr(&x.Idx, cx)
+	case *verilog.Slice:
+		// Slice bounds stay fixed: mutating them usually breaks elaboration.
+	case *verilog.Concat:
+		for i := range x.Elems {
+			c.expr(&x.Elems[i], cx)
+		}
+	case *verilog.Repl:
+		c.expr(&x.Elem, cx)
+	case *verilog.Call:
+		for i := range x.Args {
+			c.expr(&x.Args[i], cx)
+		}
+	}
+}
+
+// identSite substitutes another signal for the referenced identifier.
+// Same-width signals are preferred (subtle bugs); when none exist one
+// differing-width substitution is registered, mirroring the Table I "Var"
+// example where a wrong name also changes the width.
+func (c *collector) identSite(ep *verilog.Expr, x *verilog.Ident, cx ctx) {
+	w, known := c.widths[x.Name]
+	if !known {
+		return // parameter or localparam reference: leave to numberSite-like swaps
+	}
+	candidates := func(sameWidth bool, limit int) int {
+		count := 0
+		consider := func(cand string) bool {
+			if cand == x.Name || isClockReset(cand) {
+				return false
+			}
+			if sameWidth != (c.widths[cand] == w) {
+				return false
+			}
+			c.addIdentSwap(ep, x.Name, cand, cx)
+			count++
+			return count >= limit
+		}
+		for _, p := range c.module.Ports {
+			if consider(p.Name) {
+				return count
+			}
+		}
+		for _, it := range c.module.Items {
+			nd, ok := it.(*verilog.NetDecl)
+			if !ok {
+				continue
+			}
+			for _, cand := range nd.Names {
+				if consider(cand) {
+					return count
+				}
+			}
+		}
+		return count
+	}
+	// One substitution per site keeps the Table II class mix close to the
+	// paper's (Value > Op > Var): identifiers appear at far more sites than
+	// constants, so unbounded swapping would invert the distribution.
+	if candidates(true, 1) == 0 {
+		candidates(false, 1)
+	}
+}
+
+func (c *collector) addIdentSwap(ep *verilog.Expr, from, to string, cx ctx) {
+	target := ep
+	c.add(mutator{
+		syn:  SynVar,
+		cond: cx.inCond,
+		desc: fmt.Sprintf("replaced signal %s with %s", from, to),
+		aff:  append([]string(nil), cx.affected...),
+		apply: func() {
+			*target = &verilog.Ident{Name: to}
+		},
+	})
+}
+
+func isClockReset(name string) bool {
+	switch strings.ToLower(name) {
+	case "clk", "clock", "rst", "rst_n", "reset", "reset_n":
+		return true
+	}
+	return false
+}
+
+// numberSite perturbs a constant: +1, -1 (when nonzero), and lowest-bit
+// flip for multi-bit literals.
+func (c *collector) numberSite(x *verilog.Number, cx ctx) {
+	base := x.Value
+	mask := ^uint64(0)
+	if x.Width > 0 && x.Width < 64 {
+		mask = (uint64(1) << uint(x.Width)) - 1
+	}
+	node := x
+	c.add(mutator{
+		syn:  SynValue,
+		cond: cx.inCond,
+		desc: fmt.Sprintf("constant %d changed to %d", base, (base+1)&mask),
+		aff:  append([]string(nil), cx.affected...),
+		apply: func() {
+			node.Value = (base + 1) & mask
+		},
+	})
+	if base > 0 {
+		c.add(mutator{
+			syn:  SynValue,
+			cond: cx.inCond,
+			desc: fmt.Sprintf("constant %d changed to %d", base, (base-1)&mask),
+			aff:  append([]string(nil), cx.affected...),
+			apply: func() {
+				node.Value = (base - 1) & mask
+			},
+		})
+	}
+	// Bit-weight error (doubled constant), a classic transcription bug,
+	// registered when it produces a fresh value.
+	if doubled := (base << 1) & mask; doubled != base && doubled != (base+1)&mask && base > 0 {
+		c.add(mutator{
+			syn:  SynValue,
+			cond: cx.inCond,
+			desc: fmt.Sprintf("constant %d changed to %d", base, doubled),
+			aff:  append([]string(nil), cx.affected...),
+			apply: func() {
+				node.Value = doubled
+			},
+		})
+	}
+}
+
+// unarySite removes a logical negation or swaps reduction operators.
+func (c *collector) unarySite(ep *verilog.Expr, x *verilog.Unary, cx ctx) {
+	target := ep
+	switch x.Op {
+	case verilog.UnaryLogicalNot:
+		inner := x.X
+		c.add(mutator{
+			syn:  SynOp,
+			cond: cx.inCond,
+			desc: "removed logical negation",
+			aff:  append([]string(nil), cx.affected...),
+			apply: func() {
+				*target = inner
+			},
+		})
+	case verilog.UnaryRedAnd:
+		node := x
+		c.add(mutator{
+			syn:  SynOp,
+			cond: cx.inCond,
+			desc: "reduction AND changed to reduction OR",
+			aff:  append([]string(nil), cx.affected...),
+			apply: func() {
+				node.Op = verilog.UnaryRedOr
+			},
+		})
+	case verilog.UnaryRedOr:
+		node := x
+		c.add(mutator{
+			syn:  SynOp,
+			cond: cx.inCond,
+			desc: "reduction OR changed to reduction AND",
+			aff:  append([]string(nil), cx.affected...),
+			apply: func() {
+				node.Op = verilog.UnaryRedAnd
+			},
+		})
+	case verilog.UnaryRedXor:
+		node := x
+		c.add(mutator{
+			syn:  SynOp,
+			cond: cx.inCond,
+			desc: "reduction XOR changed to reduction XNOR",
+			aff:  append([]string(nil), cx.affected...),
+			apply: func() {
+				node.Op = verilog.UnaryRedXnor
+			},
+		})
+	}
+}
+
+// opAlternates maps each binary operator to its Table I style misuses.
+var opAlternates = map[verilog.BinaryOp][]verilog.BinaryOp{
+	verilog.BinAdd:    {verilog.BinSub},
+	verilog.BinSub:    {verilog.BinAdd},
+	verilog.BinAnd:    {verilog.BinOr, verilog.BinXor},
+	verilog.BinOr:     {verilog.BinAnd, verilog.BinXor},
+	verilog.BinXor:    {verilog.BinAnd, verilog.BinOr},
+	verilog.BinEq:     {verilog.BinNe},
+	verilog.BinNe:     {verilog.BinEq},
+	verilog.BinLt:     {verilog.BinLe, verilog.BinGt},
+	verilog.BinLe:     {verilog.BinLt, verilog.BinGe},
+	verilog.BinGt:     {verilog.BinGe, verilog.BinLt},
+	verilog.BinGe:     {verilog.BinGt, verilog.BinLe},
+	verilog.BinLogAnd: {verilog.BinLogOr},
+	verilog.BinLogOr:  {verilog.BinLogAnd},
+	verilog.BinShl:    {verilog.BinShr},
+	verilog.BinShr:    {verilog.BinShl},
+}
+
+func (c *collector) binarySite(x *verilog.Binary, cx ctx) {
+	alts, ok := opAlternates[x.Op]
+	if !ok {
+		return
+	}
+	for _, alt := range alts {
+		node, from, to := x, x.Op, alt
+		c.add(mutator{
+			syn:  SynOp,
+			cond: cx.inCond,
+			desc: fmt.Sprintf("operator %s misused as %s", from, to),
+			aff:  append([]string(nil), cx.affected...),
+			apply: func() {
+				node.Op = to
+			},
+		})
+	}
+}
+
+// lhsSignals extracts the base signal names of an assignment target.
+func lhsSignals(lhs verilog.Expr) []string {
+	var out []string
+	verilog.WalkExpr(lhs, func(e verilog.Expr) {
+		if id, ok := e.(*verilog.Ident); ok {
+			out = append(out, id.Name)
+		}
+	})
+	return dedup(out)
+}
+
+// assignedBelow lists all signals assigned anywhere beneath a statement.
+func assignedBelow(s verilog.Stmt) []string {
+	var out []string
+	verilog.WalkStmt(s, func(sub verilog.Stmt) {
+		switch x := sub.(type) {
+		case *verilog.NonBlocking:
+			out = append(out, lhsSignals(x.LHS)...)
+		case *verilog.Blocking:
+			out = append(out, lhsSignals(x.LHS)...)
+		}
+	})
+	return dedup(out)
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// diffLines compares two printed sources and returns the 1-based line
+// number of the first difference, the golden and mutant line texts
+// (trimmed), and the total number of differing lines.
+func diffLines(golden, mutant string) (lineNo int, goldenLine, buggyLine string, nDiff int) {
+	gl := strings.Split(golden, "\n")
+	ml := strings.Split(mutant, "\n")
+	n := len(gl)
+	if len(ml) > n {
+		n = len(ml)
+	}
+	for i := 0; i < n; i++ {
+		var g, mline string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(ml) {
+			mline = ml[i]
+		}
+		if g != mline {
+			nDiff++
+			if lineNo == 0 {
+				lineNo = i + 1
+				goldenLine = strings.TrimSpace(g)
+				buggyLine = strings.TrimSpace(mline)
+			}
+		}
+	}
+	return lineNo, goldenLine, buggyLine, nDiff
+}
+
+// DiffLines exposes the printed-source diff for other packages (the judge
+// and the CoT validator use it).
+func DiffLines(golden, mutant string) (lineNo int, goldenLine, buggyLine string, nDiff int) {
+	return diffLines(golden, mutant)
+}

@@ -1,0 +1,179 @@
+package bugs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/verilog"
+)
+
+func counterModule(t *testing.T) *verilog.Module {
+	t.Helper()
+	return corpus.Counter(4, 9).Module
+}
+
+func TestEnumerateProducesMutations(t *testing.T) {
+	muts := Enumerate(counterModule(t), 0)
+	if len(muts) < 10 {
+		t.Fatalf("got %d mutations, want >= 10", len(muts))
+	}
+	// Across a few representative modules, all six (Syn x Cond) labels must
+	// be reachable.
+	classes := map[string]int{}
+	for _, b := range []string{"counter_w4_m9", "accu_w8_g2", "fifo_flags_d3", "regfile_n4_w4"} {
+		bp := corpus.ByName(b)
+		if bp == nil {
+			t.Fatalf("missing blueprint %s", b)
+		}
+		for _, m := range Enumerate(bp.Module, 0) {
+			classes[m.Label()]++
+		}
+	}
+	for _, want := range []string{"Op/Cond", "Op/Non_cond", "Value/Non_cond", "Value/Cond", "Var/Non_cond", "Var/Cond"} {
+		if classes[want] == 0 {
+			t.Errorf("no mutation with label %s (got %v)", want, classes)
+		}
+	}
+}
+
+func TestEnumerateDeterministic(t *testing.T) {
+	a := Enumerate(counterModule(t), 0)
+	b := Enumerate(counterModule(t), 0)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Description != b[i].Description || a[i].LineNo != b[i].LineNo ||
+			verilog.Print(a[i].Mutant) != verilog.Print(b[i].Mutant) {
+			t.Errorf("mutation %d differs between runs", i)
+		}
+	}
+}
+
+func TestMutationsSingleLine(t *testing.T) {
+	golden := counterModule(t)
+	goldenSrc := verilog.Print(golden)
+	for _, m := range Enumerate(golden, 0) {
+		mutSrc := verilog.Print(m.Mutant)
+		_, _, _, n := DiffLines(goldenSrc, mutSrc)
+		if n != 1 {
+			t.Errorf("%s: %d differing lines, want 1", m.Description, n)
+		}
+		if m.BuggyLine == m.GoldenLine {
+			t.Errorf("%s: buggy line equals golden line", m.Description)
+		}
+		if m.LineNo <= 0 {
+			t.Errorf("%s: bad line number %d", m.Description, m.LineNo)
+		}
+	}
+}
+
+func TestMutantsDoNotTouchGolden(t *testing.T) {
+	golden := counterModule(t)
+	before := verilog.Print(golden)
+	Enumerate(golden, 0)
+	if verilog.Print(golden) != before {
+		t.Fatal("Enumerate mutated the golden module")
+	}
+}
+
+func TestMutantsCompile(t *testing.T) {
+	golden := counterModule(t)
+	bad := 0
+	muts := Enumerate(golden, 0)
+	for _, m := range muts {
+		_, diags, err := compile.Compile(verilog.Print(m.Mutant))
+		if err != nil || compile.HasErrors(diags) {
+			bad++
+		}
+	}
+	// Typed AST mutations should essentially always stay compilable; allow
+	// a small margin for width-related diagnostics.
+	if bad*10 > len(muts) {
+		t.Errorf("%d of %d mutants fail to compile", bad, len(muts))
+	}
+}
+
+func TestCondClassification(t *testing.T) {
+	golden := counterModule(t)
+	for _, m := range Enumerate(golden, 0) {
+		if strings.Contains(m.Description, "negated if-condition") && !m.IsCond {
+			t.Errorf("if-condition negation not labelled Cond: %s", m.Description)
+		}
+	}
+}
+
+func TestAffectedSignals(t *testing.T) {
+	golden := counterModule(t)
+	foundWrapAffect := false
+	for _, m := range Enumerate(golden, 0) {
+		if strings.Contains(m.BuggyLine, "assign wrap") {
+			for _, a := range m.Affected {
+				if a == "wrap" {
+					foundWrapAffect = true
+				}
+			}
+		}
+	}
+	if !foundWrapAffect {
+		t.Error("mutations of 'assign wrap = ...' must list wrap as affected")
+	}
+}
+
+func TestIsDirect(t *testing.T) {
+	m := &Mutation{Affected: []string{"count"}}
+	if !m.IsDirect([]string{"count", "rst_n"}) {
+		t.Error("count vs [count rst_n] should be direct")
+	}
+	if m.IsDirect([]string{"wrap", "rst_n"}) {
+		t.Error("count vs [wrap rst_n] should be indirect")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	all := Enumerate(counterModule(t), 0)
+	few := Enumerate(counterModule(t), 5)
+	if len(few) > 5 {
+		t.Errorf("limit ignored: got %d", len(few))
+	}
+	if len(all) <= 5 {
+		t.Skip("counter produces too few mutations to test limiting")
+	}
+}
+
+func TestAssertionsNeverMutated(t *testing.T) {
+	golden := counterModule(t)
+	goldenSrc := verilog.Print(golden)
+	goldenProps := goldenSrc[strings.Index(goldenSrc, "property"):]
+	for _, m := range Enumerate(golden, 0) {
+		mutSrc := verilog.Print(m.Mutant)
+		idx := strings.Index(mutSrc, "property")
+		if idx < 0 || mutSrc[idx:] != goldenProps {
+			t.Fatalf("%s: mutation reached the assertion section", m.Description)
+		}
+	}
+}
+
+func TestEnumerateAcrossCatalog(t *testing.T) {
+	// Every blueprint must yield a healthy number of typed mutations.
+	for _, b := range corpus.Catalog()[:12] {
+		muts := Enumerate(b.Module, 0)
+		if len(muts) < 4 {
+			t.Errorf("%s: only %d mutations", b.Name(), len(muts))
+		}
+	}
+}
+
+func TestParseSynClass(t *testing.T) {
+	for _, name := range []string{"Var", "Value", "Op"} {
+		c, err := ParseSynClass(name)
+		if err != nil || c.String() != name {
+			t.Errorf("round trip failed for %s", name)
+		}
+	}
+	if _, err := ParseSynClass("Bogus"); err == nil {
+		t.Error("want error for unknown class")
+	}
+}

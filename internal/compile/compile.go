@@ -1,0 +1,669 @@
+// Package compile elaborates parsed Verilog modules into simulatable
+// designs and performs the semantic checks that the paper delegates to the
+// Icarus Verilog compiler: name resolution, declaration consistency,
+// assignment-target legality, width sanity, and assertion resolution.
+//
+// Compile is the gate used by the data-augmentation pipeline (Stage 1 syntax
+// checking and Stage 2 bug-sanitisation): a design "compiles" when parsing
+// succeeds and elaboration produces no error-severity diagnostics.
+package compile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/verilog"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Diagnostic severities.
+const (
+	SevWarning Severity = iota
+	SevError
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one compiler message.
+type Diagnostic struct {
+	Pos      verilog.Pos
+	Severity Severity
+	Msg      string
+}
+
+// String renders the diagnostic in a compiler-like format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Severity, d.Msg)
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatDiags renders diagnostics one per line, the way a compiler log would
+// appear in the Verilog-PT dataset.
+func FormatDiags(diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// SignalKind classifies an elaborated signal.
+type SignalKind int
+
+// Signal kinds.
+const (
+	SigInput SignalKind = iota
+	SigOutput
+	SigWire
+	SigReg
+)
+
+var signalKindNames = [...]string{"input", "output", "wire", "reg"}
+
+// String returns the kind keyword.
+func (k SignalKind) String() string { return signalKindNames[k] }
+
+// Signal is one elaborated net or variable.
+type Signal struct {
+	Name  string
+	Kind  SignalKind
+	Width int  // 1..64
+	IsReg bool // procedural target (reg-typed output or reg)
+}
+
+// Mask returns the bit mask for the signal's width.
+func (s *Signal) Mask() uint64 {
+	if s.Width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(s.Width)) - 1
+}
+
+// ResolvedAssert is a concurrent assertion with its property resolved.
+type ResolvedAssert struct {
+	Name       string
+	Clock      verilog.Event
+	DisableIff verilog.Expr
+	Seq        *verilog.SeqExpr
+	ErrMsg     string
+}
+
+// Design is an elaborated module ready for simulation and formal checking.
+type Design struct {
+	Module  *verilog.Module
+	Signals map[string]*Signal
+	// Order lists signal names deterministically: ports first in declaration
+	// order, then internal nets sorted by name.
+	Order      []string
+	Params     map[string]uint64
+	Assigns    []*verilog.AssignItem
+	CombAlways []*verilog.Always
+	SeqAlways  []*verilog.Always
+	Initials   []*verilog.Initial
+	Asserts    []ResolvedAssert
+	RegInit    map[string]uint64 // constant initials from initial blocks / decls
+}
+
+// Inputs returns the input ports excluding clock/reset-style signals when
+// skipClkRst is set (used by stimulus generators).
+func (d *Design) Inputs(skipClkRst bool) []*Signal {
+	var out []*Signal
+	for _, p := range d.Module.Ports {
+		if p.Dir != verilog.DirInput {
+			continue
+		}
+		if skipClkRst && IsClockOrReset(p.Name) {
+			continue
+		}
+		out = append(out, d.Signals[p.Name])
+	}
+	return out
+}
+
+// Outputs returns the output port signals in declaration order.
+func (d *Design) Outputs() []*Signal {
+	var out []*Signal
+	for _, p := range d.Module.Ports {
+		if p.Dir == verilog.DirOutput {
+			out = append(out, d.Signals[p.Name])
+		}
+	}
+	return out
+}
+
+// IsClockOrReset reports whether a port name follows the clock/reset naming
+// conventions used throughout the corpus (clk, clock, rst, rst_n, reset...).
+func IsClockOrReset(name string) bool {
+	n := strings.ToLower(name)
+	switch n {
+	case "clk", "clock", "clk_i", "i_clk":
+		return true
+	case "rst", "rst_n", "reset", "reset_n", "rstn", "arst_n", "i_rst", "rst_ni":
+		return true
+	}
+	return false
+}
+
+// ClockName returns the design's clock input name, defaulting to "clk".
+func (d *Design) ClockName() string {
+	for _, p := range d.Module.Ports {
+		ln := strings.ToLower(p.Name)
+		if p.Dir == verilog.DirInput && (strings.HasPrefix(ln, "clk") || strings.HasPrefix(ln, "clock") || ln == "i_clk") {
+			return p.Name
+		}
+	}
+	return "clk"
+}
+
+// ResetInfo describes the reset input, if any.
+type ResetInfo struct {
+	Name      string
+	ActiveLow bool
+	Present   bool
+}
+
+// Reset returns the design's reset input description.
+func (d *Design) Reset() ResetInfo {
+	for _, p := range d.Module.Ports {
+		if p.Dir != verilog.DirInput {
+			continue
+		}
+		ln := strings.ToLower(p.Name)
+		if strings.HasPrefix(ln, "rst") || strings.HasPrefix(ln, "reset") || ln == "arst_n" {
+			activeLow := strings.HasSuffix(ln, "_n") || strings.HasSuffix(ln, "n") && strings.Contains(ln, "_n") || strings.HasSuffix(ln, "_ni")
+			// Common convention: any name ending in n after rst/reset is active low.
+			if strings.HasSuffix(ln, "rstn") || strings.HasSuffix(ln, "_n") || strings.HasSuffix(ln, "_ni") {
+				activeLow = true
+			}
+			return ResetInfo{Name: p.Name, ActiveLow: activeLow, Present: true}
+		}
+	}
+	return ResetInfo{}
+}
+
+// Compile parses and elaborates source text. A parse failure is returned as
+// err; semantic problems are reported in diags. design is nil whenever
+// compilation failed (err != nil or error diagnostics present).
+func Compile(src string) (*Design, []Diagnostic, error) {
+	m, err := verilog.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, diags := Elaborate(m)
+	if HasErrors(diags) {
+		return nil, diags, nil
+	}
+	return d, diags, nil
+}
+
+// Elaborate builds a Design from a parsed module, reporting semantic
+// diagnostics. The returned design is usable only if no error diagnostics
+// were produced.
+func Elaborate(m *verilog.Module) (*Design, []Diagnostic) {
+	e := &elaborator{
+		design: &Design{
+			Module:  m,
+			Signals: map[string]*Signal{},
+			Params:  map[string]uint64{},
+			RegInit: map[string]uint64{},
+		},
+	}
+	e.run()
+	return e.design, e.diags
+}
+
+type elaborator struct {
+	design *Design
+	diags  []Diagnostic
+}
+
+func (e *elaborator) errorf(pos verilog.Pos, format string, args ...any) {
+	e.diags = append(e.diags, Diagnostic{Pos: pos, Severity: SevError, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (e *elaborator) warnf(pos verilog.Pos, format string, args ...any) {
+	e.diags = append(e.diags, Diagnostic{Pos: pos, Severity: SevWarning, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (e *elaborator) run() {
+	d := e.design
+	m := d.Module
+
+	// Pass 1: parameters, in declaration order.
+	for _, it := range m.Items {
+		if p, ok := it.(*verilog.ParamDecl); ok {
+			v, ok2 := e.constEval(p.Value)
+			if !ok2 {
+				e.errorf(p.Pos, "parameter %s is not a constant expression", p.Name)
+				continue
+			}
+			if _, dup := d.Params[p.Name]; dup {
+				e.errorf(p.Pos, "parameter %s redeclared", p.Name)
+				continue
+			}
+			d.Params[p.Name] = v
+		}
+	}
+
+	// Pass 2: ports.
+	for _, p := range m.Ports {
+		width := e.rangeWidth(p.Range, p.Pos)
+		kind := SigInput
+		isReg := false
+		switch p.Dir {
+		case verilog.DirOutput:
+			kind = SigOutput
+			isReg = p.IsReg
+		case verilog.DirInout:
+			e.errorf(p.Pos, "inout ports are not supported")
+			continue
+		default:
+			if p.IsReg {
+				e.errorf(p.Pos, "input %s declared reg", p.Name)
+			}
+		}
+		if _, dup := d.Signals[p.Name]; dup {
+			e.errorf(p.Pos, "port %s redeclared", p.Name)
+			continue
+		}
+		d.Signals[p.Name] = &Signal{Name: p.Name, Kind: kind, Width: width, IsReg: isReg}
+		d.Order = append(d.Order, p.Name)
+	}
+
+	// Pass 3: internal nets.
+	var internals []string
+	for _, it := range m.Items {
+		nd, ok := it.(*verilog.NetDecl)
+		if !ok {
+			continue
+		}
+		width := e.rangeWidth(nd.Range, nd.Pos)
+		if nd.Kind == verilog.NetInteger {
+			width = 32
+		}
+		for _, name := range nd.Names {
+			if existing, dup := d.Signals[name]; dup {
+				// "output reg" split across port and reg decl is legal.
+				if existing.Kind == SigOutput && nd.Kind == verilog.NetReg {
+					existing.IsReg = true
+					if nd.Range != nil && existing.Width != width {
+						e.errorf(nd.Pos, "signal %s redeclared with different width", name)
+					}
+					continue
+				}
+				e.errorf(nd.Pos, "signal %s redeclared", name)
+				continue
+			}
+			isReg := nd.Kind == verilog.NetReg || nd.Kind == verilog.NetInteger
+			kind := SigWire
+			if isReg {
+				kind = SigReg
+			}
+			d.Signals[name] = &Signal{Name: name, Kind: kind, Width: width, IsReg: isReg}
+			internals = append(internals, name)
+		}
+		if nd.Init != nil {
+			if v, ok := e.constEval(nd.Init); ok && nd.Kind != verilog.NetWire {
+				d.RegInit[nd.Names[0]] = v
+			} else if nd.Kind == verilog.NetWire {
+				// wire w = expr is a continuous assignment.
+				d.Assigns = append(d.Assigns, &verilog.AssignItem{
+					LHS: &verilog.Ident{Name: nd.Names[0], Pos: nd.Pos},
+					RHS: nd.Init,
+					Pos: nd.Pos,
+				})
+			}
+		}
+	}
+	sort.Strings(internals)
+	d.Order = append(d.Order, internals...)
+
+	// Pass 4: behavioural items and assertions.
+	props := map[string]*verilog.PropertyDecl{}
+	for _, it := range m.Items {
+		if p, ok := it.(*verilog.PropertyDecl); ok {
+			if _, dup := props[p.Name]; dup {
+				e.errorf(p.Pos, "property %s redeclared", p.Name)
+				continue
+			}
+			props[p.Name] = p
+		}
+	}
+	assertIdx := 0
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *verilog.AssignItem:
+			e.checkAssignTarget(x.LHS, false)
+			e.checkExpr(x.RHS, x.Pos)
+			e.checkExpr(x.LHS, x.Pos)
+			d.Assigns = append(d.Assigns, x)
+		case *verilog.Always:
+			e.elabAlways(x)
+		case *verilog.Initial:
+			e.elabInitial(x)
+			d.Initials = append(d.Initials, x)
+		case *verilog.AssertItem:
+			ra, ok := e.resolveAssert(x, props, assertIdx)
+			if ok {
+				d.Asserts = append(d.Asserts, ra)
+			}
+			assertIdx++
+		}
+	}
+
+	// Unresolved-property check and per-property expression checks.
+	for _, p := range props {
+		if p.DisableIff != nil {
+			e.checkExpr(p.DisableIff, p.Pos)
+		}
+		e.checkSeq(p.Seq, p.Pos)
+		if p.Clock.Signal != "" {
+			e.checkName(p.Clock.Signal, p.Pos)
+		}
+	}
+}
+
+func (e *elaborator) rangeWidth(r *verilog.Range, pos verilog.Pos) int {
+	if r == nil {
+		return 1
+	}
+	hi, ok1 := e.constEval(r.Hi)
+	lo, ok2 := e.constEval(r.Lo)
+	if !ok1 || !ok2 {
+		e.errorf(pos, "range bounds must be constant")
+		return 1
+	}
+	if lo != 0 {
+		e.warnf(pos, "non-zero LSB %d treated as width only", lo)
+	}
+	if hi < lo {
+		e.errorf(pos, "descending range [%d:%d] not supported", hi, lo)
+		return 1
+	}
+	w := int(hi-lo) + 1
+	if w > 64 {
+		e.errorf(pos, "width %d exceeds 64-bit simulator limit", w)
+		return 64
+	}
+	return w
+}
+
+// constEval evaluates a constant expression using resolved parameters.
+func (e *elaborator) constEval(expr verilog.Expr) (uint64, bool) {
+	switch x := expr.(type) {
+	case *verilog.Number:
+		return x.Value, true
+	case *verilog.Ident:
+		v, ok := e.design.Params[x.Name]
+		return v, ok
+	case *verilog.Unary:
+		v, ok := e.constEval(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case verilog.UnaryMinus:
+			return -v, true
+		case verilog.UnaryBitNot:
+			return ^v, true
+		case verilog.UnaryLogicalNot:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		case verilog.UnaryPlus:
+			return v, true
+		}
+		return 0, false
+	case *verilog.Binary:
+		a, ok1 := e.constEval(x.X)
+		b, ok2 := e.constEval(x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case verilog.BinAdd:
+			return a + b, true
+		case verilog.BinSub:
+			return a - b, true
+		case verilog.BinMul:
+			return a * b, true
+		case verilog.BinDiv:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case verilog.BinMod:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case verilog.BinShl:
+			return a << (b & 63), true
+		case verilog.BinShr:
+			return a >> (b & 63), true
+		}
+		return 0, false
+	case *verilog.Ternary:
+		c, ok := e.constEval(x.Cond)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return e.constEval(x.X)
+		}
+		return e.constEval(x.Y)
+	}
+	return 0, false
+}
+
+func (e *elaborator) checkName(name string, pos verilog.Pos) *Signal {
+	if s, ok := e.design.Signals[name]; ok {
+		return s
+	}
+	if _, ok := e.design.Params[name]; ok {
+		return nil
+	}
+	e.errorf(pos, "undeclared identifier %q", name)
+	return nil
+}
+
+// checkExpr validates every identifier and call in an expression.
+func (e *elaborator) checkExpr(expr verilog.Expr, pos verilog.Pos) {
+	verilog.WalkExpr(expr, func(sub verilog.Expr) {
+		switch x := sub.(type) {
+		case *verilog.Ident:
+			e.checkName(x.Name, x.Pos)
+		case *verilog.Call:
+			switch x.Name {
+			case "$past", "$rose", "$fell", "$stable", "$changed", "$countones", "$onehot", "$onehot0", "$signed", "$unsigned":
+				if len(x.Args) == 0 {
+					e.errorf(x.Pos, "%s requires at least one argument", x.Name)
+				}
+			case "$error", "$display", "$finish", "$time":
+				// side-effect tasks: accepted anywhere
+			default:
+				e.errorf(x.Pos, "unsupported system function %s", x.Name)
+			}
+		}
+	})
+}
+
+// checkAssignTarget validates an assignment LHS. procedural selects whether
+// the assignment appears inside an always block.
+func (e *elaborator) checkAssignTarget(lhs verilog.Expr, procedural bool) {
+	base := lhs
+	for {
+		switch x := base.(type) {
+		case *verilog.Index:
+			base = x.X
+			continue
+		case *verilog.Slice:
+			base = x.X
+			continue
+		case *verilog.Concat:
+			for _, el := range x.Elems {
+				e.checkAssignTarget(el, procedural)
+			}
+			return
+		}
+		break
+	}
+	id, ok := base.(*verilog.Ident)
+	if !ok {
+		e.errorf(lhs.Span(), "invalid assignment target")
+		return
+	}
+	sig := e.checkName(id.Name, id.Pos)
+	if sig == nil {
+		return
+	}
+	switch {
+	case sig.Kind == SigInput:
+		e.errorf(id.Pos, "cannot assign to input %s", id.Name)
+	case procedural && !sig.IsReg:
+		e.errorf(id.Pos, "procedural assignment to wire %s (declare it reg)", id.Name)
+	case !procedural && sig.IsReg:
+		e.errorf(id.Pos, "continuous assignment to reg %s (use a wire)", id.Name)
+	}
+}
+
+func (e *elaborator) elabAlways(a *verilog.Always) {
+	d := e.design
+	isSeq := false
+	hasLevel := false
+	for _, ev := range a.Events {
+		if ev.Edge == verilog.EdgeAny {
+			hasLevel = true
+		} else {
+			isSeq = true
+			e.checkName(ev.Signal, a.Pos)
+		}
+	}
+	if isSeq && hasLevel {
+		e.errorf(a.Pos, "mixed edge and level sensitivity")
+		return
+	}
+	if a.Kind == verilog.AlwaysFF && !isSeq {
+		e.errorf(a.Pos, "always_ff requires an edge-sensitive event list")
+		return
+	}
+	e.checkStmt(a.Body, true)
+	if isSeq {
+		d.SeqAlways = append(d.SeqAlways, a)
+	} else {
+		d.CombAlways = append(d.CombAlways, a)
+	}
+}
+
+func (e *elaborator) elabInitial(ini *verilog.Initial) {
+	// Accept constant register initialisation only; everything else is
+	// checked but ignored by the simulator.
+	verilog.WalkStmt(ini.Body, func(s verilog.Stmt) {
+		switch x := s.(type) {
+		case *verilog.Blocking:
+			if id, ok := x.LHS.(*verilog.Ident); ok {
+				if v, cok := e.constEval(x.RHS); cok {
+					if sig := e.design.Signals[id.Name]; sig != nil && sig.IsReg {
+						e.design.RegInit[id.Name] = v & sig.Mask()
+					}
+				}
+			}
+			e.checkStmt(x, true)
+		case *verilog.NonBlocking:
+			e.checkStmt(x, true)
+		}
+	})
+}
+
+// checkStmt validates statements; procedural is always true here but kept
+// for clarity with checkAssignTarget.
+func (e *elaborator) checkStmt(s verilog.Stmt, procedural bool) {
+	verilog.WalkStmt(s, func(sub verilog.Stmt) {
+		switch x := sub.(type) {
+		case *verilog.NonBlocking:
+			e.checkAssignTarget(x.LHS, procedural)
+			e.checkExpr(x.RHS, x.Pos)
+		case *verilog.Blocking:
+			e.checkAssignTarget(x.LHS, procedural)
+			e.checkExpr(x.RHS, x.Pos)
+		case *verilog.If:
+			e.checkExpr(x.Cond, x.Pos)
+		case *verilog.Case:
+			e.checkExpr(x.Subject, x.Pos)
+			for _, item := range x.Items {
+				for _, ce := range item.Exprs {
+					e.checkExpr(ce, item.Pos)
+				}
+			}
+		}
+	})
+}
+
+func (e *elaborator) resolveAssert(a *verilog.AssertItem, props map[string]*verilog.PropertyDecl, idx int) (ResolvedAssert, bool) {
+	ra := ResolvedAssert{Name: a.Label, ErrMsg: a.ErrMsg}
+	if ra.Name == "" {
+		ra.Name = fmt.Sprintf("assert_%d", idx)
+	}
+	if a.Ref != "" {
+		p, ok := props[a.Ref]
+		if !ok {
+			e.errorf(a.Pos, "assertion references undeclared property %q", a.Ref)
+			return ra, false
+		}
+		if ra.Name == fmt.Sprintf("assert_%d", idx) {
+			ra.Name = p.Name
+		}
+		ra.Clock = p.Clock
+		ra.DisableIff = p.DisableIff
+		ra.Seq = p.Seq
+		return ra, true
+	}
+	if a.Clock == nil {
+		e.errorf(a.Pos, "inline assertion lacks a clocking event")
+		return ra, false
+	}
+	ra.Clock = *a.Clock
+	ra.DisableIff = a.DisableIff
+	ra.Seq = a.Seq
+	if a.DisableIff != nil {
+		e.checkExpr(a.DisableIff, a.Pos)
+	}
+	e.checkSeq(a.Seq, a.Pos)
+	return ra, true
+}
+
+func (e *elaborator) checkSeq(s *verilog.SeqExpr, pos verilog.Pos) {
+	if s == nil {
+		e.errorf(pos, "empty property body")
+		return
+	}
+	for _, t := range s.Antecedent {
+		e.checkExpr(t.Expr, pos)
+	}
+	for _, t := range s.Consequent {
+		e.checkExpr(t.Expr, pos)
+	}
+	if len(s.Consequent) == 0 {
+		e.errorf(pos, "property has no consequent sequence")
+	}
+}

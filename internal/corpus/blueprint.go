@@ -1,0 +1,88 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/verilog"
+)
+
+// PortDoc documents one port for the specification generator.
+type PortDoc struct {
+	Name string
+	Role string
+}
+
+// Blueprint is one golden design: module (with embedded SVAs), family tag,
+// and the metadata the specification writer needs.
+type Blueprint struct {
+	Family      string
+	Module      *verilog.Module
+	Description string
+	PortDocs    []PortDoc
+	// MinDepth is the minimum bounded-check depth (cycles) needed to
+	// exercise every assertion non-vacuously; 0 means the default bound
+	// suffices. Deep pipelines and long-period counters need more cycles.
+	MinDepth int
+}
+
+// CheckDepth returns the bounded-check depth for this blueprint: MinDepth
+// when set, otherwise the given default.
+func (b *Blueprint) CheckDepth(def int) int {
+	if b.MinDepth > def {
+		return b.MinDepth
+	}
+	return def
+}
+
+// Name returns the module name.
+func (b *Blueprint) Name() string { return b.Module.Name }
+
+// Source returns the canonical printed source.
+func (b *Blueprint) Source() string { return verilog.Print(b.Module) }
+
+// LineCount returns the printed source length in lines, the binning variable
+// of Table II.
+func (b *Blueprint) LineCount() int {
+	return strings.Count(b.Source(), "\n")
+}
+
+// doc builds a PortDoc.
+func doc(name, role string) PortDoc { return PortDoc{Name: name, Role: role} }
+
+// stdDocs returns clk/rst_n docs plus extras.
+func stdDocs(extra ...PortDoc) []PortDoc {
+	docs := []PortDoc{
+		doc("clk", "clock, rising-edge active"),
+		doc("rst_n", "asynchronous reset, active low"),
+	}
+	return append(docs, extra...)
+}
+
+// padToBin appends banner comments until the printed module reaches at
+// least minLines, keeping the family's length bin deterministic. Comments
+// are inserted before the first property so they read as section banners.
+func padToBin(b *Blueprint, minLines int) *Blueprint {
+	n := b.LineCount()
+	if n >= minLines {
+		return b
+	}
+	// Insert before the first PropertyDecl (or at the end).
+	insertAt := len(b.Module.Items)
+	for i, it := range b.Module.Items {
+		if _, ok := it.(*verilog.PropertyDecl); ok {
+			insertAt = i
+			break
+		}
+	}
+	var pads []verilog.Item
+	for i := 0; n+len(pads) < minLines; i++ {
+		pads = append(pads, comment(fmt.Sprintf("implementation note %d: see the specification for timing details", i+1)))
+	}
+	items := make([]verilog.Item, 0, len(b.Module.Items)+len(pads))
+	items = append(items, b.Module.Items[:insertAt]...)
+	items = append(items, pads...)
+	items = append(items, b.Module.Items[insertAt:]...)
+	b.Module.Items = items
+	return b
+}

@@ -1,0 +1,249 @@
+// Package corpus generates the synthetic Verilog population that replaces
+// the paper's 108,971-sample Hugging Face corpus. It provides:
+//
+//   - parametric golden-design generators ("families") covering the RTL
+//     idioms the paper's evaluation spans: counters, accumulators, shift
+//     registers, FSMs, FIFOs, ALUs, encoders, handshakes and multi-stage
+//     pipelines, spread across the five code-length bins of Table II;
+//   - candidate SystemVerilog assertions per family, later validated by the
+//     formal substitute (internal/svagen);
+//   - deliberately defective sources (syntax errors, semantic errors,
+//     trivial modules, duplicates) exercising the Stage-1 filter and
+//     populating the Verilog-PT dataset;
+//   - the 38 hand-crafted SVA-Eval-Human cases.
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/verilog"
+)
+
+// ---------------------------------------------------------------------------
+// Compact AST builders. These keep family generators readable; they build
+// exactly the nodes the printer and simulator expect.
+// ---------------------------------------------------------------------------
+
+func id(name string) *verilog.Ident { return &verilog.Ident{Name: name} }
+
+func num(v uint64) *verilog.Number { return &verilog.Number{Value: v} }
+
+func sized(width int, v uint64) *verilog.Number {
+	return &verilog.Number{Width: width, Base: 'd', Value: v}
+}
+
+func binop(op verilog.BinaryOp, x, y verilog.Expr) *verilog.Binary {
+	return &verilog.Binary{Op: op, X: x, Y: y}
+}
+
+func add(x, y verilog.Expr) verilog.Expr  { return binop(verilog.BinAdd, x, y) }
+func sub(x, y verilog.Expr) verilog.Expr  { return binop(verilog.BinSub, x, y) }
+func eq(x, y verilog.Expr) verilog.Expr   { return binop(verilog.BinEq, x, y) }
+func ne(x, y verilog.Expr) verilog.Expr   { return binop(verilog.BinNe, x, y) }
+func lt(x, y verilog.Expr) verilog.Expr   { return binop(verilog.BinLt, x, y) }
+func le(x, y verilog.Expr) verilog.Expr   { return binop(verilog.BinLe, x, y) }
+func gt(x, y verilog.Expr) verilog.Expr   { return binop(verilog.BinGt, x, y) }
+func ge(x, y verilog.Expr) verilog.Expr   { return binop(verilog.BinGe, x, y) }
+func land(x, y verilog.Expr) verilog.Expr { return binop(verilog.BinLogAnd, x, y) }
+func lor(x, y verilog.Expr) verilog.Expr  { return binop(verilog.BinLogOr, x, y) }
+func band(x, y verilog.Expr) verilog.Expr { return binop(verilog.BinAnd, x, y) }
+func bor(x, y verilog.Expr) verilog.Expr  { return binop(verilog.BinOr, x, y) }
+func bxor(x, y verilog.Expr) verilog.Expr { return binop(verilog.BinXor, x, y) }
+func shl(x, y verilog.Expr) verilog.Expr  { return binop(verilog.BinShl, x, y) }
+func shr(x, y verilog.Expr) verilog.Expr  { return binop(verilog.BinShr, x, y) }
+
+func lnot(x verilog.Expr) verilog.Expr {
+	return &verilog.Unary{Op: verilog.UnaryLogicalNot, X: x}
+}
+
+func bnot(x verilog.Expr) verilog.Expr {
+	return &verilog.Unary{Op: verilog.UnaryBitNot, X: x}
+}
+
+func redxor(x verilog.Expr) verilog.Expr {
+	return &verilog.Unary{Op: verilog.UnaryRedXor, X: x}
+}
+
+func redand(x verilog.Expr) verilog.Expr {
+	return &verilog.Unary{Op: verilog.UnaryRedAnd, X: x}
+}
+
+func redor(x verilog.Expr) verilog.Expr {
+	return &verilog.Unary{Op: verilog.UnaryRedOr, X: x}
+}
+
+func tern(c, x, y verilog.Expr) verilog.Expr {
+	return &verilog.Ternary{Cond: c, X: x, Y: y}
+}
+
+func index(x verilog.Expr, i verilog.Expr) verilog.Expr {
+	return &verilog.Index{X: x, Idx: i}
+}
+
+func bit(name string, i uint64) verilog.Expr { return index(id(name), num(i)) }
+
+func slice(name string, hi, lo uint64) verilog.Expr {
+	return &verilog.Slice{X: id(name), Hi: num(hi), Lo: num(lo)}
+}
+
+func concat(elems ...verilog.Expr) verilog.Expr {
+	return &verilog.Concat{Elems: elems}
+}
+
+func call(name string, args ...verilog.Expr) verilog.Expr {
+	return &verilog.Call{Name: name, Args: args}
+}
+
+func past(e verilog.Expr, n int) verilog.Expr {
+	if n == 1 {
+		return call("$past", e)
+	}
+	return call("$past", e, num(uint64(n)))
+}
+
+// Statements.
+
+func nb(lhs, rhs verilog.Expr) verilog.Stmt {
+	return &verilog.NonBlocking{LHS: lhs, RHS: rhs}
+}
+
+func bassign(lhs, rhs verilog.Expr) verilog.Stmt {
+	return &verilog.Blocking{LHS: lhs, RHS: rhs}
+}
+
+func block(stmts ...verilog.Stmt) *verilog.Block {
+	return &verilog.Block{Stmts: stmts}
+}
+
+func ifs(cond verilog.Expr, then, els verilog.Stmt) *verilog.If {
+	return &verilog.If{Cond: cond, Then: then, Else: els}
+}
+
+func caseStmt(subject verilog.Expr, items ...verilog.CaseItem) *verilog.Case {
+	return &verilog.Case{Subject: subject, Items: items}
+}
+
+func caseArm(body verilog.Stmt, labels ...verilog.Expr) verilog.CaseItem {
+	return verilog.CaseItem{Exprs: labels, Body: body}
+}
+
+func caseDefault(body verilog.Stmt) verilog.CaseItem {
+	return verilog.CaseItem{Body: body}
+}
+
+// Module items.
+
+func inPort(name string, width int) *verilog.Port {
+	return &verilog.Port{Dir: verilog.DirInput, Name: name, Range: rangeOf(width)}
+}
+
+func outPort(name string, width int) *verilog.Port {
+	return &verilog.Port{Dir: verilog.DirOutput, Name: name, Range: rangeOf(width)}
+}
+
+func outReg(name string, width int) *verilog.Port {
+	return &verilog.Port{Dir: verilog.DirOutput, IsReg: true, Name: name, Range: rangeOf(width)}
+}
+
+func rangeOf(width int) *verilog.Range {
+	if width <= 1 {
+		return nil
+	}
+	return &verilog.Range{Hi: num(uint64(width - 1)), Lo: num(0)}
+}
+
+func wire(name string, width int) *verilog.NetDecl {
+	return &verilog.NetDecl{Kind: verilog.NetWire, Range: rangeOf(width), Names: []string{name}}
+}
+
+func reg(name string, width int) *verilog.NetDecl {
+	return &verilog.NetDecl{Kind: verilog.NetReg, Range: rangeOf(width), Names: []string{name}}
+}
+
+func param(name string, value uint64) *verilog.ParamDecl {
+	return &verilog.ParamDecl{Name: name, Value: num(value)}
+}
+
+func assign(lhs, rhs verilog.Expr) *verilog.AssignItem {
+	return &verilog.AssignItem{LHS: lhs, RHS: rhs}
+}
+
+func comment(text string) *verilog.CommentItem {
+	return &verilog.CommentItem{Text: text}
+}
+
+// alwaysSeq builds always @(posedge clk or negedge rst_n) with an async
+// active-low reset pattern: if (!rst_n) <resets> else <body>.
+func alwaysSeq(clk, rstn string, resets verilog.Stmt, body verilog.Stmt) *verilog.Always {
+	events := []verilog.Event{{Edge: verilog.EdgePos, Signal: clk}}
+	inner := body
+	if rstn != "" {
+		events = append(events, verilog.Event{Edge: verilog.EdgeNeg, Signal: rstn})
+		inner = ifs(lnot(id(rstn)), resets, body)
+	}
+	return &verilog.Always{Kind: verilog.AlwaysPlain, Events: events, Body: block(inner)}
+}
+
+// alwaysSeqNoReset builds always @(posedge clk) begin body end.
+func alwaysSeqNoReset(clk string, body ...verilog.Stmt) *verilog.Always {
+	return &verilog.Always{
+		Kind:   verilog.AlwaysPlain,
+		Events: []verilog.Event{{Edge: verilog.EdgePos, Signal: clk}},
+		Body:   block(body...),
+	}
+}
+
+// alwaysComb builds always @(*) begin body end.
+func alwaysComb(body ...verilog.Stmt) *verilog.Always {
+	return &verilog.Always{Kind: verilog.AlwaysPlain, Body: block(body...)}
+}
+
+// Property construction.
+
+type term = verilog.SeqTerm
+
+func t0(e verilog.Expr) term        { return term{Expr: e} }
+func tN(n int, e verilog.Expr) term { return term{DelayFromPrev: n, Expr: e} }
+
+// property builds a named PropertyDecl plus its assert item.
+func property(name, clk string, disableIff verilog.Expr, ante []term, impl verilog.ImplKind, cons []term, errMsg string) []verilog.Item {
+	decl := &verilog.PropertyDecl{
+		Name:       name,
+		Clock:      verilog.Event{Edge: verilog.EdgePos, Signal: clk},
+		DisableIff: disableIff,
+		Seq:        &verilog.SeqExpr{Antecedent: ante, Impl: impl, Consequent: cons},
+	}
+	as := &verilog.AssertItem{
+		Label:  name + "_assertion",
+		Ref:    name,
+		ErrMsg: errMsg,
+	}
+	return []verilog.Item{decl, as}
+}
+
+// invariant builds a plain always-true property.
+func invariant(name, clk string, disableIff verilog.Expr, cond verilog.Expr, errMsg string) []verilog.Item {
+	return property(name, clk, disableIff, nil, verilog.ImplNone, []term{t0(cond)}, errMsg)
+}
+
+// moduleOf assembles a module from ports and items.
+func moduleOf(name string, ports []*verilog.Port, items ...verilog.Item) *verilog.Module {
+	return &verilog.Module{Name: name, Ports: ports, Items: items}
+}
+
+// notRst is the canonical disable-iff expression.
+func notRst() verilog.Expr { return lnot(id("rst_n")) }
+
+// stdPorts returns clk+rst_n input ports.
+func stdPorts() []*verilog.Port {
+	return []*verilog.Port{inPort("clk", 1), inPort("rst_n", 1)}
+}
+
+// fmtName builds deterministic module names like "counter_w4_m9".
+func fmtName(family string, parts ...any) string {
+	name := family
+	for _, p := range parts {
+		name += fmt.Sprintf("_%v", p)
+	}
+	return name
+}

@@ -1,0 +1,287 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Catalog returns every golden blueprint, deterministically ordered,
+// spanning the five code-length bins of Table II. Each call builds fresh
+// ASTs, so callers may mutate the results freely.
+func Catalog() []*Blueprint {
+	var out []*Blueprint
+	add := func(b *Blueprint) { out = append(out, b) }
+
+	// --- (0, 50] ---
+	add(Counter(4, 9))
+	add(Counter(4, 15))
+	add(Counter(3, 5))
+	add(Counter(6, 49))
+	add(Counter(5, 29))
+	add(Counter(8, 23))
+	add(EdgeDetect())
+	add(Parity(8))
+	add(Parity(16))
+	add(ClkDiv(4, 2))
+	add(ClkDiv(6, 3))
+	add(ClkDiv(10, 4))
+	add(PWM(4))
+	add(PWM(6))
+	add(Gray(4))
+	add(Gray(5))
+	add(MinMax(4))
+	add(MinMax(8))
+	add(OneHotRotate(4))
+	add(OneHotRotate(6))
+	add(LFSR(4, 0x9))
+	add(LFSR(5, 0x14))
+	add(ShiftReg(3))
+
+	// --- (50, 100] ---
+	add(SatAdd(4))
+	add(SatAdd(8))
+	add(Comparator(4))
+	add(Comparator(8))
+	add(Accu(8, 2))
+	add(Accu(4, 2))
+	add(Accu(8, 3))
+	add(ShiftReg(8))
+	add(ShiftReg(12))
+	add(FIFOFlags(3, 2))
+	add(FIFOFlags(4, 3))
+	add(FIFOFlags(7, 3))
+	add(Handshake(2))
+	add(Handshake(3))
+	add(Handshake(5))
+	add(Mux(4, 2))
+	add(Mux(4, 4))
+	add(FSMDetect([]int{1, 0, 1}))
+	add(FSMDetect([]int{1, 1, 0, 1}))
+	add(VendingFSM())
+	add(Debouncer(3))
+	add(Debouncer(5))
+	add(CRC(4, 0x3))
+	add(CRC(8, 0x07))
+	add(UARTTx(4))
+	add(UARTTx(8))
+	add(SeqMultiplier(3))
+	add(SeqMultiplier(4))
+	add(RoundRobinN(3))
+	add(RoundRobinN(4))
+
+	// --- (50, 100] --- (continued)
+	add(FSMDetect([]int{1, 0, 1, 1, 0}))
+	add(FSMDetect([]int{0, 1, 1, 0, 1, 1}))
+	add(Mux(8, 2))
+	add(ALU(4, 4))
+	add(ALU(8, 6))
+	add(RegFile(4, 4))
+	add(RegFile(6, 4))
+	add(Pipeline(10, 8))
+	add(Pipeline(15, 8))
+
+	// --- (100, 150] ---
+	add(padToBin(Pipeline(12, 8), 101))
+	add(ALU(8, 8))
+	add(RegFile(8, 4))
+	add(Mux(16, 2))
+	add(Pipeline(24, 8))
+	add(RegFile(12, 8))
+
+	// --- (150, 200] ---
+	add(padToBin(System(8, 4, 500), 151))
+	add(Pipeline(30, 16))
+	add(RegFile(16, 4))
+	add(padToBin(Pipeline(20, 8), 170))
+	add(padToBin(RegFile(10, 8), 160))
+
+	// --- (200, +inf) ---
+	add(padToBin(System(8, 8, 900), 201))
+	add(padToBin(ALU(16, 8), 201))
+	add(RegFile(20, 4))
+	add(Mux(32, 2))
+	add(padToBin(Pipeline(36, 16), 205))
+
+	return out
+}
+
+// LengthBins are the code-length intervals of Table II. Bin i covers
+// (LengthBins[i-1], LengthBins[i]] with an implicit 0 on the left and +inf
+// on the right.
+var LengthBins = []int{50, 100, 150, 200}
+
+// BinLabel names the Table II length interval for a line count.
+func BinLabel(lines int) string {
+	prev := 0
+	for _, hi := range LengthBins {
+		if lines <= hi {
+			return fmt.Sprintf("(%d, %d]", prev, hi)
+		}
+		prev = hi
+	}
+	return fmt.Sprintf("(%d, +inf)", prev)
+}
+
+// BinIndex returns the 0-based Table II bin index for a line count.
+func BinIndex(lines int) int {
+	for i, hi := range LengthBins {
+		if lines <= hi {
+			return i
+		}
+	}
+	return len(LengthBins)
+}
+
+// BinLabels lists the bin labels in order.
+func BinLabels() []string {
+	labels := make([]string, 0, len(LengthBins)+1)
+	prev := 0
+	for _, hi := range LengthBins {
+		labels = append(labels, fmt.Sprintf("(%d, %d]", prev, hi))
+		prev = hi
+	}
+	return append(labels, fmt.Sprintf("(%d, +inf)", prev))
+}
+
+// ---------------------------------------------------------------------------
+// Defective and degenerate sources for Stage 1 of the pipeline.
+// ---------------------------------------------------------------------------
+
+// DefectKind classifies a raw corpus entry for Stage-1 filtering.
+type DefectKind int
+
+// Defect kinds.
+const (
+	DefectNone       DefectKind = iota // clean, compilable module
+	DefectSyntax                       // fails the compiler front end
+	DefectSemantic                     // parses but fails elaboration
+	DefectIncomplete                   // lacks module/endmodule (filtered before compile)
+	DefectTrivial                      // no functional logic (filtered)
+	DefectDuplicate                    // exact duplicate of an earlier entry
+)
+
+var defectNames = [...]string{"none", "syntax", "semantic", "incomplete", "trivial", "duplicate"}
+
+// String names the defect kind.
+func (k DefectKind) String() string { return defectNames[k] }
+
+// RawEntry is one entry of the unfiltered corpus: source text plus the
+// ground-truth defect label (used only by tests; the pipeline rediscovers
+// the label itself).
+type RawEntry struct {
+	Name   string
+	Source string
+	Truth  DefectKind
+}
+
+// BreakSyntax derives deterministic syntax-broken variants from a good
+// source, mimicking the non-compilable share of the paper's corpus.
+func BreakSyntax(name, src string) []RawEntry {
+	var out []RawEntry
+	add := func(suffix, broken string) {
+		out = append(out, RawEntry{Name: name + "_" + suffix, Source: broken, Truth: DefectSyntax})
+	}
+	if i := strings.Index(src, ";"); i >= 0 {
+		add("nosemi", src[:i]+src[i+1:])
+	}
+	if i := strings.Index(src, "begin"); i >= 0 {
+		add("nobegin", src[:i]+src[i+5:])
+	}
+	add("truncated", src[:len(src)*2/3])
+	add("badkw", strings.Replace(src, "endmodule", "endmodul", 1))
+	if i := strings.Index(src, "assign"); i >= 0 {
+		add("noassign", strings.Replace(src, "assign", "assign =", 1))
+	}
+	return out
+}
+
+// BreakSemantics derives variants that parse but fail elaboration.
+func BreakSemantics(name, src string) []RawEntry {
+	var out []RawEntry
+	add := func(suffix, broken string) {
+		out = append(out, RawEntry{Name: name + "_" + suffix, Source: broken, Truth: DefectSemantic})
+	}
+	// Undeclared identifier: rename the first wire/reg declaration away.
+	for _, kw := range []string{"wire ", "reg "} {
+		if i := strings.Index(src, "    "+kw); i >= 0 {
+			line := src[i : i+strings.IndexByte(src[i:], '\n')]
+			add("undeclared", strings.Replace(src, line+"\n", "", 1))
+			break
+		}
+	}
+	return out
+}
+
+// TrivialModules returns degenerate modules with no functional logic, which
+// Stage 1 must filter out.
+func TrivialModules() []RawEntry {
+	return []RawEntry{
+		{
+			Name: "trivial_const",
+			Source: "module trivial_const (\n    output y\n);\n" +
+				"    assign y = 1'b0;\nendmodule\n",
+			Truth: DefectTrivial,
+		},
+		{
+			Name: "trivial_feed",
+			Source: "module trivial_feed (\n    input a,\n    output y\n);\n" +
+				"    assign y = a;\nendmodule\n",
+			Truth: DefectTrivial,
+		},
+		{
+			Name:   "trivial_empty",
+			Source: "module trivial_empty (\n    input a\n);\nendmodule\n",
+			Truth:  DefectTrivial,
+		},
+	}
+}
+
+// IncompleteFragments returns sources lacking module/endmodule structure.
+func IncompleteFragments() []RawEntry {
+	return []RawEntry{
+		{Name: "frag_no_module", Source: "wire x;\nassign x = 1'b1;\n", Truth: DefectIncomplete},
+		{Name: "frag_no_end", Source: "module frag_no_end (input a);\n    wire w;\n", Truth: DefectIncomplete},
+		{Name: "frag_comment_only", Source: "// placeholder file\n", Truth: DefectIncomplete},
+	}
+}
+
+// RawCorpus assembles the full unfiltered population: every golden
+// blueprint, syntax/semantic breakages of a subset, trivial modules,
+// incomplete fragments and duplicates. This is what Stage 1 consumes.
+func RawCorpus() []RawEntry {
+	var out []RawEntry
+	blueprints := Catalog()
+	for _, b := range blueprints {
+		out = append(out, RawEntry{Name: b.Name(), Source: b.Source(), Truth: DefectNone})
+	}
+	// Break roughly every third blueprint to populate Verilog-PT.
+	for i, b := range blueprints {
+		if i%3 == 0 {
+			out = append(out, BreakSyntax(b.Name(), b.Source())...)
+		}
+		if i%5 == 0 {
+			out = append(out, BreakSemantics(b.Name(), b.Source())...)
+		}
+	}
+	out = append(out, TrivialModules()...)
+	out = append(out, IncompleteFragments()...)
+	// Duplicates: re-emit a handful of earlier sources under the same name.
+	for i := 0; i < len(blueprints); i += 7 {
+		out = append(out, RawEntry{
+			Name:   blueprints[i].Name(),
+			Source: blueprints[i].Source(),
+			Truth:  DefectDuplicate,
+		})
+	}
+	return out
+}
+
+// ByName returns the blueprint with the given module name, or nil.
+func ByName(name string) *Blueprint {
+	for _, b := range Catalog() {
+		if b.Name() == name {
+			return b
+		}
+	}
+	return nil
+}

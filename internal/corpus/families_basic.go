@@ -1,0 +1,500 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/verilog"
+)
+
+// ---------------------------------------------------------------------------
+// Small families: the (0,50] and (50,100] length bins.
+// ---------------------------------------------------------------------------
+
+// Counter builds a parameterised wrapping up-counter with enable.
+func Counter(width int, max uint64) *Blueprint {
+	name := fmtName("counter", fmt.Sprintf("w%d", width), fmt.Sprintf("m%d", max))
+	ports := append(stdPorts(),
+		inPort("en", 1),
+		outReg("count", width),
+		outPort("wrap", 1),
+	)
+	items := []verilog.Item{
+		param("MAX", max),
+		assign(id("wrap"), eq(id("count"), id("MAX"))),
+		alwaysSeq("clk", "rst_n",
+			nb(id("count"), num(0)),
+			ifs(id("en"),
+				ifs(id("wrap"), nb(id("count"), num(0)), nb(id("count"), add(id("count"), num(1)))),
+				nil)),
+	}
+	items = append(items, property("p_wrap", "clk", notRst(),
+		[]term{t0(land(id("wrap"), id("en")))}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("count"), num(0)))},
+		"count must return to zero after wrapping")...)
+	items = append(items, invariant("p_bound", "clk", notRst(),
+		le(id("count"), id("MAX")),
+		"count must never exceed MAX")...)
+	items = append(items, property("p_incr", "clk", notRst(),
+		[]term{t0(land(id("en"), lnot(id("wrap"))))}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("count"), add(call("$past", id("count")), num(1))))},
+		"count must increment by one when enabled")...)
+	items = append(items, property("p_hold", "clk", notRst(),
+		[]term{t0(lnot(id("en")))}, verilog.ImplNonOverlap,
+		[]term{t0(call("$stable", id("count")))},
+		"count must hold its value when disabled")...)
+	return &Blueprint{
+		Family:   "counter",
+		MinDepth: int(max) + 8,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A %d-bit wrapping up-counter. While en is high the counter "+
+			"increments once per clock cycle; after reaching MAX (%d) it returns to zero on the "+
+			"next enabled cycle. The wrap output is high whenever the counter value equals MAX. "+
+			"An active-low asynchronous reset clears the counter.", width, max),
+		PortDocs: stdDocs(
+			doc("en", "count enable"),
+			doc("count", fmt.Sprintf("current counter value, %d bits", width)),
+			doc("wrap", "high when count equals MAX"),
+		),
+	}
+}
+
+// Accu builds the Fig. 1 accumulator: sums groups of accumulation windows
+// and pulses valid_out when a window completes.
+func Accu(width, groupBits int) *Blueprint {
+	group := uint64(1)<<uint(groupBits) - 1 // window ends when count == group
+	sumWidth := width + 6
+	name := fmtName("accu", fmt.Sprintf("w%d", width), fmt.Sprintf("g%d", groupBits))
+	ports := append(stdPorts(),
+		inPort("in", width),
+		inPort("valid_in", 1),
+		outReg("valid_out", 1),
+		outReg("data_out", sumWidth),
+	)
+	items := []verilog.Item{
+		wire("end_cnt", 1),
+		reg("count", groupBits),
+		assign(id("end_cnt"), land(id("valid_in"), eq(id("count"), sized(groupBits, group)))),
+		alwaysSeq("clk", "rst_n",
+			nb(id("count"), num(0)),
+			ifs(id("valid_in"), nb(id("count"), add(id("count"), num(1))), nil)),
+		alwaysSeq("clk", "rst_n",
+			nb(id("valid_out"), num(0)),
+			ifs(id("end_cnt"), nb(id("valid_out"), num(1)), nb(id("valid_out"), num(0)))),
+		alwaysSeq("clk", "rst_n",
+			nb(id("data_out"), num(0)),
+			ifs(id("valid_in"), nb(id("data_out"), add(id("data_out"), id("in"))), nil)),
+	}
+	items = append(items, property("p_valid_out", "clk", notRst(),
+		[]term{t0(id("end_cnt"))}, verilog.ImplOverlap,
+		[]term{tN(1, eq(id("valid_out"), num(1)))},
+		"valid_out should be high when end_cnt high")...)
+	items = append(items, property("p_valid_low", "clk", notRst(),
+		[]term{t0(lnot(id("end_cnt")))}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("valid_out"), num(0)))},
+		"valid_out must stay low without end_cnt")...)
+	items = append(items, property("p_sum", "clk", notRst(),
+		[]term{t0(id("valid_in"))}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("data_out"), add(call("$past", id("data_out")), call("$past", id("in")))))},
+		"data_out must accumulate the input stream")...)
+	return &Blueprint{
+		Family:   "accu",
+		MinDepth: (1<<uint(groupBits))*2 + 8,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A serial accumulator. Each cycle with valid_in high adds the "+
+			"%d-bit input to data_out and advances a window counter. When %d valid inputs have "+
+			"been seen (end_cnt high), valid_out pulses high for one cycle. An active-low "+
+			"asynchronous reset clears all state.", width, group+1),
+		PortDocs: stdDocs(
+			doc("in", fmt.Sprintf("%d-bit input operand", width)),
+			doc("valid_in", "input valid strobe"),
+			doc("valid_out", "pulses one cycle after each completed accumulation window"),
+			doc("data_out", "running accumulator value"),
+		),
+	}
+}
+
+// ShiftReg builds a 1-bit shift register of the given depth (no reset, so
+// $past-based properties align with zero initialisation).
+func ShiftReg(depth int) *Blueprint {
+	name := fmtName("shift_reg", fmt.Sprintf("d%d", depth))
+	ports := []*verilog.Port{
+		inPort("clk", 1),
+		inPort("d", 1),
+		outPort("q", 1),
+	}
+	var items []verilog.Item
+	var stmts []verilog.Stmt
+	prev := "d"
+	for i := 1; i <= depth; i++ {
+		st := fmt.Sprintf("stage%d", i)
+		items = append(items, reg(st, 1))
+		stmts = append(stmts, nb(id(st), id(prev)))
+		prev = st
+	}
+	items = append(items, assign(id("q"), id(prev)))
+	items = append(items, alwaysSeqNoReset("clk", stmts...))
+	items = append(items, invariant("p_delay", "clk", nil,
+		eq(id("q"), past(id("d"), depth)),
+		fmt.Sprintf("q must equal d delayed by %d cycles", depth))...)
+	items = append(items, invariant("p_stage1", "clk", nil,
+		eq(id("stage1"), past(id("d"), 1)),
+		"the first stage must capture d each cycle")...)
+	return &Blueprint{
+		Family:   "shift_reg",
+		MinDepth: depth + 6,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A %d-stage single-bit shift register. Input d enters stage1 on "+
+			"each rising clock edge and emerges on q after %d cycles. All stages power up at zero.",
+			depth, depth),
+		PortDocs: []PortDoc{
+			doc("clk", "clock, rising-edge active"),
+			doc("d", "serial input"),
+			doc("q", fmt.Sprintf("serial output, d delayed by %d cycles", depth)),
+		},
+	}
+}
+
+// EdgeDetect builds a rising-edge detector (no reset).
+func EdgeDetect() *Blueprint {
+	ports := []*verilog.Port{
+		inPort("clk", 1),
+		inPort("sig", 1),
+		outPort("pulse", 1),
+	}
+	items := []verilog.Item{
+		reg("sig_d", 1),
+		alwaysSeqNoReset("clk", nb(id("sig_d"), id("sig"))),
+		assign(id("pulse"), land(id("sig"), lnot(id("sig_d")))),
+	}
+	items = append(items, invariant("p_pulse", "clk", nil,
+		eq(id("pulse"), call("$rose", id("sig"))),
+		"pulse must fire exactly on rising edges of sig")...)
+	items = append(items, property("p_no_repeat", "clk", nil,
+		[]term{t0(id("pulse"))}, verilog.ImplNonOverlap,
+		[]term{t0(lor(lnot(id("pulse")), lnot(id("sig_d"))))},
+		"pulse cannot fire twice without sig falling")...)
+	return &Blueprint{
+		Family: "edge_detect",
+		Module: moduleOf("edge_detect", ports, items...),
+		Description: "A rising-edge detector. The pulse output is high for exactly one cycle " +
+			"whenever sig transitions from low to high. Internally the previous value of sig is " +
+			"registered and compared against the current value.",
+		PortDocs: []PortDoc{
+			doc("clk", "clock, rising-edge active"),
+			doc("sig", "monitored signal"),
+			doc("pulse", "one-cycle pulse on each rising edge of sig"),
+		},
+	}
+}
+
+// Parity builds a combinational parity generator/checker.
+func Parity(width int) *Blueprint {
+	name := fmtName("parity", fmt.Sprintf("w%d", width))
+	ports := []*verilog.Port{
+		inPort("clk", 1),
+		inPort("data", width),
+		outPort("even_parity", 1),
+		outPort("odd_parity", 1),
+	}
+	items := []verilog.Item{
+		assign(id("even_parity"), redxor(id("data"))),
+		assign(id("odd_parity"), lnot(redxor(id("data")))),
+	}
+	items = append(items, invariant("p_even", "clk", nil,
+		eq(id("even_parity"), redxor(id("data"))),
+		"even_parity must be the XOR reduction of data")...)
+	items = append(items, invariant("p_complement", "clk", nil,
+		ne(id("even_parity"), id("odd_parity")),
+		"the two parity outputs must be complementary")...)
+	return &Blueprint{
+		Family: "parity",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A combinational parity unit for %d-bit data. even_parity is "+
+			"the XOR reduction of all data bits; odd_parity is its complement.", width),
+		PortDocs: []PortDoc{
+			doc("clk", "clock used only for assertion sampling"),
+			doc("data", fmt.Sprintf("%d-bit input word", width)),
+			doc("even_parity", "XOR reduction of data"),
+			doc("odd_parity", "complement of even_parity"),
+		},
+	}
+}
+
+// Gray builds a free-running Gray-code counter.
+func Gray(width int) *Blueprint {
+	name := fmtName("gray", fmt.Sprintf("w%d", width))
+	ports := []*verilog.Port{
+		inPort("clk", 1),
+		outPort("gray", width),
+	}
+	items := []verilog.Item{
+		reg("bin", width),
+		reg("started", 1),
+		alwaysSeqNoReset("clk",
+			nb(id("bin"), add(id("bin"), num(1))),
+			nb(id("started"), num(1)),
+		),
+		assign(id("gray"), bxor(id("bin"), shr(id("bin"), num(1)))),
+	}
+	items = append(items, property("p_onestep", "clk", nil,
+		[]term{t0(id("started"))}, verilog.ImplOverlap,
+		[]term{t0(eq(call("$countones", bxor(id("gray"), call("$past", id("gray")))), num(1)))},
+		"successive Gray codes must differ in exactly one bit")...)
+	items = append(items, invariant("p_encode", "clk", nil,
+		eq(id("gray"), bxor(id("bin"), shr(id("bin"), num(1)))),
+		"gray must equal bin xor (bin >> 1)")...)
+	return &Blueprint{
+		Family: "gray",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A free-running %d-bit Gray-code counter. An internal binary "+
+			"counter increments every cycle; the output is its Gray encoding (bin ^ (bin >> 1)), "+
+			"so successive outputs differ in exactly one bit.", width),
+		PortDocs: []PortDoc{
+			doc("clk", "clock, rising-edge active"),
+			doc("gray", fmt.Sprintf("%d-bit Gray-coded counter value", width)),
+		},
+	}
+}
+
+// ClkDiv builds a clock divider producing a 1-cycle tick every div cycles.
+func ClkDiv(div uint64, width int) *Blueprint {
+	name := fmtName("clkdiv", fmt.Sprintf("d%d", div))
+	ports := append(stdPorts(), outPort("tick", 1))
+	items := []verilog.Item{
+		param("DIV", div),
+		reg("cnt", width),
+		assign(id("tick"), eq(id("cnt"), sub(id("DIV"), num(1)))),
+		alwaysSeq("clk", "rst_n",
+			nb(id("cnt"), num(0)),
+			ifs(id("tick"),
+				nb(id("cnt"), num(0)),
+				nb(id("cnt"), add(id("cnt"), num(1))))),
+	}
+	items = append(items, invariant("p_bound", "clk", notRst(),
+		lt(id("cnt"), id("DIV")),
+		"divider count must stay below DIV")...)
+	items = append(items, property("p_gap", "clk", notRst(),
+		[]term{t0(id("tick"))}, verilog.ImplNonOverlap,
+		[]term{t0(lnot(id("tick")))},
+		"ticks must be separated by at least one idle cycle")...)
+	items = append(items, property("p_restart", "clk", notRst(),
+		[]term{t0(id("tick"))}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("cnt"), num(0)))},
+		"count must restart after a tick")...)
+	return &Blueprint{
+		Family:   "clkdiv",
+		MinDepth: int(div)*2 + 6,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A clock divider. An internal counter counts from 0 to DIV-1 "+
+			"(%d); tick is high for exactly one cycle per period, when the counter reaches DIV-1. "+
+			"An active-low asynchronous reset restarts the period.", div),
+		PortDocs: stdDocs(doc("tick", fmt.Sprintf("one-cycle strobe every %d cycles", div))),
+	}
+}
+
+// PWM builds a pulse-width modulator with a programmable duty threshold.
+func PWM(width int) *Blueprint {
+	name := fmtName("pwm", fmt.Sprintf("w%d", width))
+	ports := append(stdPorts(),
+		inPort("duty", width),
+		outPort("pwm_out", 1),
+	)
+	items := []verilog.Item{
+		reg("cnt", width),
+		alwaysSeq("clk", "rst_n",
+			nb(id("cnt"), num(0)),
+			nb(id("cnt"), add(id("cnt"), num(1)))),
+		assign(id("pwm_out"), lt(id("cnt"), id("duty"))),
+	}
+	items = append(items, invariant("p_shape", "clk", notRst(),
+		eq(id("pwm_out"), lt(id("cnt"), id("duty"))),
+		"pwm_out must compare the counter against duty")...)
+	items = append(items, property("p_zero", "clk", notRst(),
+		[]term{t0(eq(id("duty"), num(0)))}, verilog.ImplOverlap,
+		[]term{t0(lnot(id("pwm_out")))},
+		"zero duty must keep the output low")...)
+	return &Blueprint{
+		Family: "pwm",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A %d-bit pulse-width modulator. A free-running counter wraps "+
+			"through its full range; pwm_out is high while the counter is below the duty input, "+
+			"so the duty value directly sets the high time per period.", width),
+		PortDocs: stdDocs(
+			doc("duty", "duty threshold: number of high cycles per period"),
+			doc("pwm_out", "modulated output"),
+		),
+	}
+}
+
+// SatAdd builds a saturating adder.
+func SatAdd(width int) *Blueprint {
+	max := uint64(1)<<uint(width) - 1
+	name := fmtName("sat_add", fmt.Sprintf("w%d", width))
+	ports := []*verilog.Port{
+		inPort("clk", 1),
+		inPort("a", width),
+		inPort("b", width),
+		outPort("y", width),
+		outPort("sat", 1),
+	}
+	items := []verilog.Item{
+		param("MAXV", max),
+		wire("sum", width+1),
+		assign(id("sum"), add(id("a"), id("b"))),
+		assign(id("sat"), gt(id("sum"), id("MAXV"))),
+		assign(id("y"), tern(id("sat"), id("MAXV"), slice("sum", uint64(width-1), 0))),
+	}
+	items = append(items, property("p_sat", "clk", nil,
+		[]term{t0(id("sat"))}, verilog.ImplOverlap,
+		[]term{t0(eq(id("y"), id("MAXV")))},
+		"overflowing sums must clamp to MAXV")...)
+	items = append(items, property("p_exact", "clk", nil,
+		[]term{t0(lnot(id("sat")))}, verilog.ImplOverlap,
+		[]term{t0(eq(id("y"), id("sum")))},
+		"non-overflowing sums must pass through")...)
+	items = append(items, invariant("p_bound", "clk", nil,
+		le(id("y"), id("MAXV")),
+		"y must never exceed MAXV")...)
+	return &Blueprint{
+		Family: "sat_add",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A %d-bit saturating adder. The full-width sum of a and b is "+
+			"computed with one extra bit; if it exceeds MAXV (%d) the output clamps to MAXV and "+
+			"sat is raised, otherwise the exact sum is produced.", width, max),
+		PortDocs: []PortDoc{
+			doc("clk", "clock used only for assertion sampling"),
+			doc("a", "first addend"),
+			doc("b", "second addend"),
+			doc("y", "saturating sum"),
+			doc("sat", "high when the sum clamped"),
+		},
+	}
+}
+
+// MinMax tracks the running maximum of a valid-qualified input stream.
+func MinMax(width int) *Blueprint {
+	name := fmtName("max_track", fmt.Sprintf("w%d", width))
+	ports := append(stdPorts(),
+		inPort("in", width),
+		inPort("valid", 1),
+		outReg("max_val", width),
+	)
+	items := []verilog.Item{
+		alwaysSeq("clk", "rst_n",
+			nb(id("max_val"), num(0)),
+			ifs(land(id("valid"), gt(id("in"), id("max_val"))),
+				nb(id("max_val"), id("in")), nil)),
+	}
+	items = append(items, property("p_geq_in", "clk", notRst(),
+		[]term{t0(id("valid"))}, verilog.ImplNonOverlap,
+		[]term{t0(ge(id("max_val"), call("$past", id("in"))))},
+		"max_val must dominate every accepted input")...)
+	items = append(items, invariant("p_mono", "clk", notRst(),
+		ge(id("max_val"), call("$past", id("max_val"))),
+		"max_val must be monotonically non-decreasing")...)
+	return &Blueprint{
+		Family: "max_track",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A running-maximum tracker for a %d-bit stream. On each cycle "+
+			"with valid high, the input is compared against the stored maximum and replaces it "+
+			"when larger. Reset clears the maximum to zero.", width),
+		PortDocs: stdDocs(
+			doc("in", "input sample"),
+			doc("valid", "sample qualifier"),
+			doc("max_val", "largest accepted sample so far"),
+		),
+	}
+}
+
+// Comparator builds a combinational magnitude comparator with one-hot
+// outputs.
+func Comparator(width int) *Blueprint {
+	name := fmtName("cmp", fmt.Sprintf("w%d", width))
+	ports := []*verilog.Port{
+		inPort("clk", 1),
+		inPort("a", width),
+		inPort("b", width),
+		outPort("a_gt_b", 1),
+		outPort("a_lt_b", 1),
+		outPort("a_eq_b", 1),
+	}
+	items := []verilog.Item{
+		assign(id("a_gt_b"), gt(id("a"), id("b"))),
+		assign(id("a_lt_b"), lt(id("a"), id("b"))),
+		assign(id("a_eq_b"), eq(id("a"), id("b"))),
+	}
+	items = append(items, invariant("p_onehot", "clk", nil,
+		call("$onehot", concat(id("a_gt_b"), id("a_lt_b"), id("a_eq_b"))),
+		"exactly one comparison outcome must be asserted")...)
+	items = append(items, invariant("p_gt", "clk", nil,
+		eq(id("a_gt_b"), gt(id("a"), id("b"))),
+		"a_gt_b must reflect a > b")...)
+	items = append(items, invariant("p_eq", "clk", nil,
+		eq(id("a_eq_b"), eq(id("a"), id("b"))),
+		"a_eq_b must reflect a == b")...)
+	return &Blueprint{
+		Family: "cmp",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A combinational %d-bit magnitude comparator producing one-hot "+
+			"greater/less/equal outputs for unsigned operands a and b.", width),
+		PortDocs: []PortDoc{
+			doc("clk", "clock used only for assertion sampling"),
+			doc("a", "left operand"),
+			doc("b", "right operand"),
+			doc("a_gt_b", "a strictly greater"),
+			doc("a_lt_b", "a strictly smaller"),
+			doc("a_eq_b", "operands equal"),
+		},
+	}
+}
+
+// OneHotRotate builds a rotating one-hot ring register.
+func OneHotRotate(width int) *Blueprint {
+	name := fmtName("onehot_ring", fmt.Sprintf("w%d", width))
+	ports := append(stdPorts(), outReg("ring", width))
+	items := []verilog.Item{
+		alwaysSeq("clk", "rst_n",
+			nb(id("ring"), num(1)),
+			nb(id("ring"), concat(slice("ring", uint64(width-2), 0), bit("ring", uint64(width-1))))),
+	}
+	items = append(items, invariant("p_onehot", "clk", notRst(),
+		call("$onehot", id("ring")),
+		"the ring register must stay one-hot")...)
+	items = append(items, invariant("p_nonzero", "clk", notRst(),
+		ne(id("ring"), num(0)),
+		"the ring register must never be empty")...)
+	return &Blueprint{
+		Family: "onehot_ring",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A %d-bit one-hot ring register. Reset loads a single hot bit "+
+			"at position zero; each clock cycle rotates the hot bit one position towards the MSB, "+
+			"wrapping from the top back to bit zero.", width),
+		PortDocs: stdDocs(doc("ring", "one-hot ring state")),
+	}
+}
+
+// LFSR builds a Fibonacci LFSR whose taps include the MSB, making the
+// nonzero invariant hold from the seeded state.
+func LFSR(width int, taps uint64) *Blueprint {
+	name := fmtName("lfsr", fmt.Sprintf("w%d", width))
+	ports := append(stdPorts(), outReg("lfsr", width))
+	feedback := redxor(band(id("lfsr"), id("TAPS")))
+	items := []verilog.Item{
+		param("TAPS", taps),
+		alwaysSeq("clk", "rst_n",
+			nb(id("lfsr"), num(1)),
+			nb(id("lfsr"), concat(slice("lfsr", uint64(width-2), 0), feedback))),
+	}
+	items = append(items, invariant("p_nonzero", "clk", notRst(),
+		ne(id("lfsr"), num(0)),
+		"a seeded LFSR must never reach the all-zero state")...)
+	return &Blueprint{
+		Family: "lfsr",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A %d-bit Fibonacci LFSR with tap mask %#x (MSB tapped). Reset "+
+			"seeds the register with 1; each cycle the register shifts left and the XOR of the "+
+			"tapped bits enters at bit zero. From a nonzero seed the state never becomes zero.",
+			width, taps),
+		PortDocs: stdDocs(doc("lfsr", "current LFSR state")),
+	}
+}

@@ -1,0 +1,623 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/verilog"
+)
+
+// ---------------------------------------------------------------------------
+// Medium and large families: the (50,100] through (200,+inf) length bins.
+// ---------------------------------------------------------------------------
+
+// FSMDetect builds a Moore sequence detector for a fixed bit pattern.
+// States S0..Sn track the length of the matched prefix; detection fires in
+// the final state. More pattern bits mean more states and longer code.
+func FSMDetect(pattern []int) *Blueprint {
+	n := len(pattern)
+	stateBits := 1
+	for (1 << uint(stateBits)) < n+1 {
+		stateBits++
+	}
+	patStr := ""
+	for _, b := range pattern {
+		patStr += fmt.Sprintf("%d", b)
+	}
+	name := fmtName("fsm_detect", patStr)
+	ports := append(stdPorts(),
+		inPort("in", 1),
+		outPort("det", 1),
+	)
+	items := []verilog.Item{}
+	for i := 0; i <= n; i++ {
+		items = append(items, &verilog.ParamDecl{IsLocal: true, Name: fmt.Sprintf("S%d", i), Value: num(uint64(i))})
+	}
+	items = append(items, reg("state", stateBits))
+	items = append(items, assign(id("det"), eq(id("state"), id(fmt.Sprintf("S%d", n)))))
+
+	// fallback returns the restart state when the input mismatches at
+	// prefix i: 1 if the input bit matches pattern[0], else 0. (Simplified
+	// KMP: restart at prefix length <=1, correct for the patterns used.)
+	fallback := func(inBit int) verilog.Expr {
+		if inBit == pattern[0] {
+			return id("S1")
+		}
+		return id("S0")
+	}
+	var arms []verilog.CaseItem
+	for i := 0; i < n; i++ {
+		want := pattern[i]
+		inMatch := verilog.Expr(id("in"))
+		if want == 0 {
+			inMatch = lnot(id("in"))
+		}
+		matchBit := 1 - want // the mismatching input bit value
+		arms = append(arms, caseArm(
+			ifs(inMatch,
+				nb(id("state"), id(fmt.Sprintf("S%d", i+1))),
+				nb(id("state"), fallback(matchBit))),
+			id(fmt.Sprintf("S%d", i)),
+		))
+	}
+	// Final state: restart, possibly reusing the input as a new prefix.
+	arms = append(arms, caseArm(
+		ifs(eq(id("in"), sized(1, uint64(pattern[0]))),
+			nb(id("state"), id("S1")),
+			nb(id("state"), id("S0"))),
+		id(fmt.Sprintf("S%d", n)),
+	))
+	arms = append(arms, caseDefault(nb(id("state"), id("S0"))))
+	items = append(items, alwaysSeq("clk", "rst_n",
+		nb(id("state"), id("S0")),
+		caseStmt(id("state"), arms...)))
+
+	lastBit := pattern[n-1]
+	lastIn := verilog.Expr(eq(call("$past", id("in")), num(uint64(lastBit))))
+	items = append(items, invariant("p_state_bound", "clk", notRst(),
+		le(id("state"), id(fmt.Sprintf("S%d", n))),
+		"state must stay within the defined range")...)
+	items = append(items, property("p_det_cause", "clk", notRst(),
+		[]term{t0(id("det"))}, verilog.ImplOverlap,
+		[]term{t0(land(lastIn, eq(call("$past", id("state")), id(fmt.Sprintf("S%d", n-1)))))},
+		"detection requires completing the pattern from the penultimate state")...)
+	items = append(items, invariant("p_det_def", "clk", notRst(),
+		eq(id("det"), eq(id("state"), id(fmt.Sprintf("S%d", n)))),
+		"det must be asserted exactly in the final state")...)
+	return &Blueprint{
+		Family: "fsm_detect",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A Moore finite-state machine that detects the serial bit "+
+			"pattern %s on the in input. States S0..S%d count the matched prefix length; det is "+
+			"high for one cycle in the final state after the complete pattern has been seen. On a "+
+			"mismatch the machine falls back to the longest restartable prefix. Active-low "+
+			"asynchronous reset returns to S0.", patStr, n),
+		PortDocs: stdDocs(
+			doc("in", "serial input bit"),
+			doc("det", "pattern-detected strobe (Moore output)"),
+		),
+	}
+}
+
+// Mux builds a combinational N-way multiplexer.
+func Mux(n, width int) *Blueprint {
+	selBits := 1
+	for (1 << uint(selBits)) < n {
+		selBits++
+	}
+	name := fmtName("mux", fmt.Sprintf("n%d", n), fmt.Sprintf("w%d", width))
+	ports := []*verilog.Port{inPort("clk", 1), inPort("sel", selBits)}
+	for i := 0; i < n; i++ {
+		ports = append(ports, inPort(fmt.Sprintf("in%d", i), width))
+	}
+	ports = append(ports, outReg("y", width))
+	var arms []verilog.CaseItem
+	for i := 0; i < n; i++ {
+		arms = append(arms, caseArm(
+			bassign(id("y"), id(fmt.Sprintf("in%d", i))),
+			sized(selBits, uint64(i))))
+	}
+	arms = append(arms, caseDefault(bassign(id("y"), num(0))))
+	items := []verilog.Item{
+		alwaysComb(caseStmt(id("sel"), arms...)),
+	}
+	for i := 0; i < n; i++ {
+		items = append(items, property(fmt.Sprintf("p_sel%d", i), "clk", nil,
+			[]term{t0(eq(id("sel"), sized(selBits, uint64(i))))}, verilog.ImplOverlap,
+			[]term{t0(eq(id("y"), id(fmt.Sprintf("in%d", i))))},
+			fmt.Sprintf("selection %d must route in%d", i, i))...)
+	}
+	return &Blueprint{
+		Family: "mux",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A combinational %d-way multiplexer for %d-bit data. The sel "+
+			"input chooses which of the %d inputs drives y; undefined selections drive zero.",
+			n, width, n),
+		PortDocs: []PortDoc{
+			doc("clk", "clock used only for assertion sampling"),
+			doc("sel", "input selector"),
+			doc("y", "selected data"),
+		},
+	}
+}
+
+// ALU operation codes, shared with the spec text.
+var aluOps = []struct {
+	Name string
+	Code uint64
+}{
+	{"ADD", 0}, {"SUB", 1}, {"AND", 2}, {"OR", 3},
+	{"XOR", 4}, {"SHL", 5}, {"SHR", 6}, {"PASS", 7},
+}
+
+// ALU builds a combinational ALU with nops operations (4..8) and a zero
+// flag.
+func ALU(width, nops int) *Blueprint {
+	if nops < 4 {
+		nops = 4
+	}
+	if nops > len(aluOps) {
+		nops = len(aluOps)
+	}
+	name := fmtName("alu", fmt.Sprintf("w%d", width), fmt.Sprintf("o%d", nops))
+	ports := []*verilog.Port{
+		inPort("clk", 1),
+		inPort("op", 3),
+		inPort("a", width),
+		inPort("b", width),
+		outReg("y", width),
+		outPort("zero", 1),
+	}
+	items := []verilog.Item{}
+	for i := 0; i < nops; i++ {
+		items = append(items, &verilog.ParamDecl{IsLocal: true, Name: "OP_" + aluOps[i].Name, Value: num(aluOps[i].Code)})
+	}
+	resultOf := func(opName string) verilog.Expr {
+		switch opName {
+		case "ADD":
+			return add(id("a"), id("b"))
+		case "SUB":
+			return sub(id("a"), id("b"))
+		case "AND":
+			return band(id("a"), id("b"))
+		case "OR":
+			return bor(id("a"), id("b"))
+		case "XOR":
+			return bxor(id("a"), id("b"))
+		case "SHL":
+			return shl(id("a"), num(1))
+		case "SHR":
+			return shr(id("a"), num(1))
+		default: // PASS
+			return id("a")
+		}
+	}
+	// Reference wires let properties compare against masked results.
+	var arms []verilog.CaseItem
+	for i := 0; i < nops; i++ {
+		op := aluOps[i]
+		refName := "ref_" + lower(op.Name)
+		items = append(items, wire(refName, width))
+		items = append(items, assign(id(refName), resultOf(op.Name)))
+		arms = append(arms, caseArm(bassign(id("y"), resultOf(op.Name)), id("OP_"+op.Name)))
+	}
+	arms = append(arms, caseDefault(bassign(id("y"), num(0))))
+	items = append(items, alwaysComb(caseStmt(id("op"), arms...)))
+	items = append(items, assign(id("zero"), eq(id("y"), num(0))))
+	for i := 0; i < nops; i++ {
+		op := aluOps[i]
+		items = append(items, property("p_"+lower(op.Name), "clk", nil,
+			[]term{t0(eq(id("op"), id("OP_"+op.Name)))}, verilog.ImplOverlap,
+			[]term{t0(eq(id("y"), id("ref_"+lower(op.Name))))},
+			fmt.Sprintf("operation %s must produce its reference result", op.Name))...)
+	}
+	items = append(items, invariant("p_zero_flag", "clk", nil,
+		eq(id("zero"), eq(id("y"), num(0))),
+		"the zero flag must track the result")...)
+	return &Blueprint{
+		Family: "alu",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A combinational %d-bit ALU supporting %d operations selected "+
+			"by op: ADD, SUB, AND, OR and further codes up to PASS. Results wrap at %d bits; the "+
+			"zero flag is high when the result is zero. Undefined opcodes produce zero.",
+			width, nops, width),
+		PortDocs: []PortDoc{
+			doc("clk", "clock used only for assertion sampling"),
+			doc("op", "operation select code"),
+			doc("a", "left operand"),
+			doc("b", "right operand"),
+			doc("y", "operation result"),
+			doc("zero", "result-is-zero flag"),
+		},
+	}
+}
+
+func lower(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+// FIFOFlags builds the occupancy-tracking logic of a synchronous FIFO:
+// count, full and empty, without the storage array.
+func FIFOFlags(depth uint64, width int) *Blueprint {
+	name := fmtName("fifo_flags", fmt.Sprintf("d%d", depth))
+	ports := append(stdPorts(),
+		inPort("push", 1),
+		inPort("pop", 1),
+		outReg("count", width),
+		outPort("full", 1),
+		outPort("empty", 1),
+	)
+	doPush := land(id("push"), land(lnot(id("pop")), lnot(id("full"))))
+	doPop := land(id("pop"), land(lnot(id("push")), lnot(id("empty"))))
+	items := []verilog.Item{
+		param("DEPTH", depth),
+		assign(id("full"), eq(id("count"), id("DEPTH"))),
+		assign(id("empty"), eq(id("count"), num(0))),
+		alwaysSeq("clk", "rst_n",
+			nb(id("count"), num(0)),
+			ifs(doPush,
+				nb(id("count"), add(id("count"), num(1))),
+				ifs(doPop,
+					nb(id("count"), sub(id("count"), num(1))),
+					nil))),
+	}
+	items = append(items, invariant("p_no_conflict", "clk", notRst(),
+		lnot(land(id("full"), id("empty"))),
+		"full and empty are mutually exclusive")...)
+	items = append(items, invariant("p_bound", "clk", notRst(),
+		le(id("count"), id("DEPTH")),
+		"occupancy must never exceed DEPTH")...)
+	items = append(items, property("p_push", "clk", notRst(),
+		[]term{t0(doPush)}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("count"), add(call("$past", id("count")), num(1))))},
+		"a push must raise the occupancy by one")...)
+	items = append(items, property("p_pop", "clk", notRst(),
+		[]term{t0(doPop)}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("count"), sub(call("$past", id("count")), num(1))))},
+		"a pop must lower the occupancy by one")...)
+	items = append(items, property("p_full_blocks", "clk", notRst(),
+		[]term{t0(land(id("full"), id("push")))}, verilog.ImplNonOverlap,
+		[]term{t0(le(id("count"), id("DEPTH")))},
+		"pushing into a full FIFO must not overflow")...)
+	return &Blueprint{
+		Family:   "fifo_flags",
+		MinDepth: int(depth)*2 + 8,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("Occupancy tracking for a synchronous FIFO of depth %d. "+
+			"Simultaneous push and pop (or blocked operations) leave the count unchanged; a push "+
+			"into a non-full FIFO increments it and a pop from a non-empty FIFO decrements it. "+
+			"full and empty are combinational comparisons against DEPTH and zero.", depth),
+		PortDocs: stdDocs(
+			doc("push", "enqueue request"),
+			doc("pop", "dequeue request"),
+			doc("count", "current occupancy"),
+			doc("full", "occupancy equals DEPTH"),
+			doc("empty", "occupancy is zero"),
+		),
+	}
+}
+
+// RegFile builds a register file with nregs registers implemented as
+// discrete registers, one write port and one combinational read port. Size
+// scales linearly with nregs.
+func RegFile(nregs, width int) *Blueprint {
+	addrBits := 1
+	for (1 << uint(addrBits)) < nregs {
+		addrBits++
+	}
+	name := fmtName("regfile", fmt.Sprintf("n%d", nregs), fmt.Sprintf("w%d", width))
+	ports := append(stdPorts(),
+		inPort("we", 1),
+		inPort("waddr", addrBits),
+		inPort("wdata", width),
+		inPort("raddr", addrBits),
+		outReg("rdata", width),
+	)
+	items := []verilog.Item{}
+	var resets, writes []verilog.Stmt
+	for i := 0; i < nregs; i++ {
+		rn := fmt.Sprintf("r%d", i)
+		items = append(items, reg(rn, width))
+		resets = append(resets, nb(id(rn), num(0)))
+		writes = append(writes, ifs(land(id("we"), eq(id("waddr"), sized(addrBits, uint64(i)))),
+			nb(id(rn), id("wdata")), nil))
+	}
+	items = append(items, alwaysSeq("clk", "rst_n", block(resets...), block(writes...)))
+	var arms []verilog.CaseItem
+	for i := 0; i < nregs; i++ {
+		arms = append(arms, caseArm(bassign(id("rdata"), id(fmt.Sprintf("r%d", i))), sized(addrBits, uint64(i))))
+	}
+	arms = append(arms, caseDefault(bassign(id("rdata"), num(0))))
+	items = append(items, alwaysComb(caseStmt(id("raddr"), arms...)))
+	for i := 0; i < nregs; i++ {
+		items = append(items, property(fmt.Sprintf("p_write%d", i), "clk", notRst(),
+			[]term{t0(land(id("we"), eq(id("waddr"), sized(addrBits, uint64(i)))))}, verilog.ImplNonOverlap,
+			[]term{t0(eq(id(fmt.Sprintf("r%d", i)), call("$past", id("wdata"))))},
+			fmt.Sprintf("a write to address %d must land in r%d", i, i))...)
+	}
+	items = append(items, property("p_read0", "clk", notRst(),
+		[]term{t0(eq(id("raddr"), sized(addrBits, 0)))}, verilog.ImplOverlap,
+		[]term{t0(eq(id("rdata"), id("r0")))},
+		"reading address 0 must return r0")...)
+	return &Blueprint{
+		Family: "regfile",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A %d-entry, %d-bit register file with one synchronous write "+
+			"port and one combinational read port. A write cycle (we high) stores wdata into the "+
+			"register selected by waddr; rdata continuously reflects the register selected by "+
+			"raddr. Reset clears every register.", nregs, width),
+		PortDocs: stdDocs(
+			doc("we", "write enable"),
+			doc("waddr", "write address"),
+			doc("wdata", "write data"),
+			doc("raddr", "read address"),
+			doc("rdata", "read data (combinational)"),
+		),
+	}
+}
+
+// PriorityEnc builds a priority encoder: y is the index of the highest set
+// input bit; valid indicates any bit set.
+func PriorityEnc(width int) *Blueprint {
+	outBits := 1
+	for (1 << uint(outBits)) < width {
+		outBits++
+	}
+	name := fmtName("prio_enc", fmt.Sprintf("w%d", width))
+	ports := []*verilog.Port{
+		inPort("clk", 1),
+		inPort("req", width),
+		outReg("grant_idx", outBits),
+		outPort("valid", 1),
+	}
+	// if req[W-1] grant=W-1 else if req[W-2] ... else grant=0
+	var chain verilog.Stmt = bassign(id("grant_idx"), num(0))
+	for i := 0; i < width-1; i++ {
+		chain = ifs(bit("req", uint64(i)), bassign(id("grant_idx"), sized(outBits, uint64(i))), chain)
+	}
+	chain = ifs(bit("req", uint64(width-1)), bassign(id("grant_idx"), sized(outBits, uint64(width-1))), chain)
+	items := []verilog.Item{
+		assign(id("valid"), redor(id("req"))),
+		alwaysComb(chain),
+	}
+	items = append(items, invariant("p_valid", "clk", nil,
+		eq(id("valid"), redor(id("req"))),
+		"valid must be the OR reduction of req")...)
+	items = append(items, property("p_top", "clk", nil,
+		[]term{t0(bit("req", uint64(width-1)))}, verilog.ImplOverlap,
+		[]term{t0(eq(id("grant_idx"), num(uint64(width-1))))},
+		"the MSB request must always win")...)
+	items = append(items, property("p_granted_real", "clk", nil,
+		[]term{t0(id("valid"))}, verilog.ImplOverlap,
+		[]term{t0(index(id("req"), id("grant_idx")))},
+		"the granted index must point at an asserted request")...)
+	items = append(items, property("p_highest", "clk", nil,
+		[]term{t0(id("valid"))}, verilog.ImplOverlap,
+		[]term{t0(eq(shr(id("req"), add(id("grant_idx"), num(1))), num(0)))},
+		"no request above the granted index may be asserted")...)
+	return &Blueprint{
+		Family: "prio_enc",
+		Module: moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A %d-input priority encoder. grant_idx reports the index of "+
+			"the highest asserted bit of req (bit %d has the highest priority); valid is high "+
+			"whenever at least one request is asserted. With no requests, grant_idx is zero.",
+			width, width-1),
+		PortDocs: []PortDoc{
+			doc("clk", "clock used only for assertion sampling"),
+			doc("req", "request bit vector"),
+			doc("grant_idx", "index of the highest asserted request"),
+			doc("valid", "at least one request asserted"),
+		},
+	}
+}
+
+// Handshake builds a req/ack requester-responder pair with a programmable
+// response latency.
+func Handshake(latency uint64) *Blueprint {
+	cntBits := 1
+	for (uint64(1) << uint(cntBits)) <= latency {
+		cntBits++
+	}
+	name := fmtName("handshake", fmt.Sprintf("l%d", latency))
+	ports := append(stdPorts(),
+		inPort("start", 1),
+		outReg("req", 1),
+		outPort("ack", 1),
+	)
+	items := []verilog.Item{
+		param("LATENCY", latency),
+		reg("resp_cnt", cntBits),
+		assign(id("ack"), eq(id("resp_cnt"), id("LATENCY"))),
+		alwaysSeq("clk", "rst_n",
+			nb(id("req"), num(0)),
+			ifs(id("ack"),
+				nb(id("req"), num(0)),
+				ifs(id("start"), nb(id("req"), num(1)), nil))),
+		alwaysSeq("clk", "rst_n",
+			nb(id("resp_cnt"), num(0)),
+			ifs(land(id("req"), lnot(id("ack"))),
+				nb(id("resp_cnt"), add(id("resp_cnt"), num(1))),
+				nb(id("resp_cnt"), num(0)))),
+	}
+	items = append(items, property("p_hold", "clk", notRst(),
+		[]term{t0(land(id("req"), lnot(id("ack"))))}, verilog.ImplNonOverlap,
+		[]term{t0(lor(id("req"), id("ack")))},
+		"req must hold until acknowledged")...)
+	items = append(items, property("p_ack_cause", "clk", notRst(),
+		[]term{t0(id("ack"))}, verilog.ImplOverlap,
+		[]term{t0(id("req"))},
+		"ack may only occur while req is pending")...)
+	items = append(items, property("p_ack_clears", "clk", notRst(),
+		[]term{t0(id("ack"))}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("resp_cnt"), num(0)))},
+		"the response counter must clear after ack")...)
+	items = append(items, invariant("p_cnt_bound", "clk", notRst(),
+		le(id("resp_cnt"), id("LATENCY")),
+		"the response counter must never pass LATENCY")...)
+	return &Blueprint{
+		Family:   "handshake",
+		MinDepth: int(latency)*2 + 8,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A four-phase req/ack handshake with a fixed response latency "+
+			"of %d cycles. start raises req; an internal response counter counts cycles with req "+
+			"pending and raises ack after %d cycles, which clears req and the counter.",
+			latency, latency),
+		PortDocs: stdDocs(
+			doc("start", "transaction request from the local side"),
+			doc("req", "request to the responder, held until ack"),
+			doc("ack", "response strobe after LATENCY cycles"),
+		),
+	}
+}
+
+// Pipeline builds an N-stage valid/data pipeline where each stage XORs a
+// stage constant into the data. Length scales with stages; properties relate
+// the output to $past of the input, exercising deep indirect reasoning.
+func Pipeline(stages, width int) *Blueprint {
+	name := fmtName("pipeline", fmt.Sprintf("s%d", stages), fmt.Sprintf("w%d", width))
+	ports := []*verilog.Port{
+		inPort("clk", 1),
+		inPort("valid_in", 1),
+		inPort("data_in", width),
+		outPort("valid_out", 1),
+		outPort("data_out", width),
+	}
+	items := []verilog.Item{
+		comment(fmt.Sprintf("%d-stage transform pipeline", stages)),
+	}
+	mask := uint64(1)<<uint(width) - 1
+	var xconst uint64
+	var stmts []verilog.Stmt
+	prevV, prevD := "valid_in", "data_in"
+	for i := 1; i <= stages; i++ {
+		vc := fmt.Sprintf("v%d", i)
+		dc := fmt.Sprintf("d%d", i)
+		items = append(items, reg(vc, 1), reg(dc, width))
+		c := (uint64(0x5A5A5A5A5A5A5A5A) >> uint(i%8)) & mask
+		xconst ^= c
+		stmts = append(stmts,
+			nb(id(vc), id(prevV)),
+			nb(id(dc), bxor(id(prevD), sized(width, c))),
+		)
+		prevV, prevD = vc, dc
+	}
+	items = append(items, alwaysSeqNoReset("clk", stmts...))
+	items = append(items, assign(id("valid_out"), id(prevV)))
+	items = append(items, assign(id("data_out"), id(prevD)))
+	items = append(items, invariant("p_latency", "clk", nil,
+		eq(id("valid_out"), past(id("valid_in"), stages)),
+		fmt.Sprintf("valid must propagate in exactly %d cycles", stages))...)
+	items = append(items, property("p_transform", "clk", nil,
+		[]term{t0(id("valid_out"))}, verilog.ImplOverlap,
+		[]term{t0(eq(id("data_out"), bxor(past(id("data_in"), stages), sized(width, xconst))))},
+		"the output must be the input transformed by the stage constants")...)
+	items = append(items, invariant("p_stage1", "clk", nil,
+		eq(id("v1"), past(id("valid_in"), 1)),
+		"stage one must capture the input valid")...)
+	return &Blueprint{
+		Family:   "pipeline",
+		MinDepth: stages + 6,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A %d-stage data pipeline. Each stage registers the previous "+
+			"stage's valid bit and XORs a fixed stage constant into the data, so data_out equals "+
+			"data_in (delayed %d cycles) XOR the combined constant %#x. valid_out mirrors "+
+			"valid_in with the same latency. All stages power up at zero.", stages, stages, xconst),
+		PortDocs: []PortDoc{
+			doc("clk", "clock, rising-edge active"),
+			doc("valid_in", "input qualifier entering the pipe"),
+			doc("data_in", "input data word"),
+			doc("valid_out", fmt.Sprintf("valid_in delayed %d cycles", stages)),
+			doc("data_out", "transformed data"),
+		},
+	}
+}
+
+// System composes a timer, an accumulation datapath and a threshold alarm
+// FSM into one module — the largest family, exercising cross-subsystem
+// (indirect) reasoning.
+func System(width int, window uint64, threshold uint64) *Blueprint {
+	sumW := width + 8
+	name := fmtName("system", fmt.Sprintf("w%d", width), fmt.Sprintf("t%d", threshold))
+	ports := append(stdPorts(),
+		inPort("sample", width),
+		inPort("sample_valid", 1),
+		outReg("window_sum", sumW),
+		outPort("window_done", 1),
+		outReg("alarm", 1),
+		outReg("alarm_count", 8),
+	)
+	items := []verilog.Item{
+		comment("section 1: window timer"),
+		param("WINDOW", window),
+		param("THRESH", threshold),
+		reg("win_cnt", 8),
+		assign(id("window_done"), land(id("sample_valid"), eq(id("win_cnt"), sub(id("WINDOW"), num(1))))),
+		alwaysSeq("clk", "rst_n",
+			nb(id("win_cnt"), num(0)),
+			ifs(id("sample_valid"),
+				ifs(id("window_done"),
+					nb(id("win_cnt"), num(0)),
+					nb(id("win_cnt"), add(id("win_cnt"), num(1)))),
+				nil)),
+		comment("section 2: accumulation datapath"),
+		alwaysSeq("clk", "rst_n",
+			nb(id("window_sum"), num(0)),
+			ifs(id("sample_valid"),
+				ifs(id("window_done"),
+					nb(id("window_sum"), num(0)),
+					nb(id("window_sum"), add(id("window_sum"), id("sample")))),
+				nil)),
+		comment("section 3: threshold alarm"),
+		wire("over", 1),
+		assign(id("over"), gt(add(id("window_sum"), id("sample")), id("THRESH"))),
+		alwaysSeq("clk", "rst_n",
+			block(nb(id("alarm"), num(0)), nb(id("alarm_count"), num(0))),
+			ifs(land(id("window_done"), id("over")),
+				block(
+					nb(id("alarm"), num(1)),
+					nb(id("alarm_count"), add(id("alarm_count"), num(1))),
+				),
+				nb(id("alarm"), num(0)))),
+	}
+	items = append(items, invariant("p_win_bound", "clk", notRst(),
+		lt(id("win_cnt"), id("WINDOW")),
+		"window counter must stay below WINDOW")...)
+	items = append(items, property("p_sum_reset", "clk", notRst(),
+		[]term{t0(id("window_done"))}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("window_sum"), num(0)))},
+		"the accumulator must clear when a window completes")...)
+	items = append(items, property("p_alarm_cause", "clk", notRst(),
+		[]term{t0(id("alarm"))}, verilog.ImplOverlap,
+		[]term{t0(call("$past", id("window_done")))},
+		"alarms fire only at window boundaries")...)
+	items = append(items, property("p_accumulate", "clk", notRst(),
+		[]term{t0(land(id("sample_valid"), lnot(id("window_done"))))}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("window_sum"), add(call("$past", id("window_sum")), call("$past", id("sample")))))},
+		"samples inside a window must accumulate")...)
+	return &Blueprint{
+		Family:   "system",
+		MinDepth: int(window)*2 + 8,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A windowed monitoring unit composed of three sections. A "+
+			"window timer counts %d valid samples; an accumulator sums the %d-bit samples within "+
+			"the window and clears at each boundary; a threshold section raises alarm for one "+
+			"cycle when the closing window's total (including the final sample) exceeds THRESH "+
+			"(%d), also counting alarms. Active-low asynchronous reset clears all sections.",
+			window, width, threshold),
+		PortDocs: stdDocs(
+			doc("sample", "input sample value"),
+			doc("sample_valid", "sample qualifier"),
+			doc("window_sum", "running sum within the current window"),
+			doc("window_done", "strobe on the last sample of each window"),
+			doc("alarm", "one-cycle over-threshold alarm"),
+			doc("alarm_count", "number of alarms since reset"),
+		),
+	}
+}

@@ -1,0 +1,420 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/verilog"
+)
+
+// ---------------------------------------------------------------------------
+// Protocol and arithmetic families: UART framing, CRC, arbitration,
+// sequential arithmetic — the "peripheral IP" end of the corpus.
+// ---------------------------------------------------------------------------
+
+// UARTTx builds the bit-sequencing core of a UART transmitter (baud tick
+// supplied externally): start bit, payload bits LSB-first, stop bit.
+func UARTTx(payloadBits int) *Blueprint {
+	cntBits := 1
+	for (1 << uint(cntBits)) < payloadBits+2 {
+		cntBits++
+	}
+	name := fmtName("uart_tx", fmt.Sprintf("p%d", payloadBits))
+	ports := append(stdPorts(),
+		inPort("start", 1),
+		inPort("data", payloadBits),
+		outReg("tx", 1),
+		outReg("busy", 1),
+	)
+	lastIdx := uint64(payloadBits + 1) // start bit + payload bits, then stop
+	items := []verilog.Item{
+		reg("bit_cnt", cntBits),
+		reg("shifter", payloadBits),
+		// Idle line is high. A start request latches the payload and pulls
+		// tx low for the start bit; payload shifts out LSB first; the stop
+		// bit returns the line high.
+		alwaysSeq("clk", "rst_n",
+			block(
+				nb(id("tx"), num(1)),
+				nb(id("busy"), num(0)),
+				nb(id("bit_cnt"), num(0)),
+				nb(id("shifter"), num(0)),
+			),
+			ifs(land(lnot(id("busy")), id("start")),
+				block(
+					nb(id("busy"), num(1)),
+					nb(id("bit_cnt"), num(0)),
+					nb(id("shifter"), id("data")),
+					nb(id("tx"), num(0)), // start bit
+				),
+				ifs(id("busy"),
+					ifs(eq(id("bit_cnt"), sized(cntBits, lastIdx)),
+						block(
+							nb(id("tx"), num(1)), // stop bit already out; go idle
+							nb(id("busy"), num(0)),
+						),
+						block(
+							nb(id("bit_cnt"), add(id("bit_cnt"), num(1))),
+							ifs(eq(id("bit_cnt"), sized(cntBits, lastIdx-1)),
+								nb(id("tx"), num(1)), // stop bit
+								block(
+									nb(id("tx"), bit("shifter", 0)),
+									nb(id("shifter"), shr(id("shifter"), num(1))),
+								)),
+						)),
+					nil)),
+		),
+	}
+	items = append(items, property("p_idle_high", "clk", notRst(),
+		[]term{t0(lnot(id("busy")))}, verilog.ImplOverlap,
+		[]term{t0(lor(id("tx"), call("$past", id("busy"))))},
+		"the idle line must rest high")...)
+	items = append(items, property("p_start_bit", "clk", notRst(),
+		[]term{t0(land(lnot(id("busy")), id("start")))}, verilog.ImplNonOverlap,
+		[]term{t0(land(lnot(id("tx")), id("busy")))},
+		"a transmission must begin with a low start bit")...)
+	items = append(items, property("p_cnt_bound", "clk", notRst(),
+		nil, verilog.ImplNone,
+		[]term{t0(le(id("bit_cnt"), sized(cntBits, lastIdx)))},
+		"the bit counter must stay within the frame")...)
+	items = append(items, property("p_busy_latch", "clk", notRst(),
+		[]term{t0(land(id("busy"), lnot(eq(id("bit_cnt"), sized(cntBits, lastIdx)))))}, verilog.ImplNonOverlap,
+		[]term{t0(id("busy"))},
+		"busy must hold until the frame completes")...)
+	return &Blueprint{
+		Family:   "uart_tx",
+		MinDepth: payloadBits*2 + 12,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("The bit sequencer of a UART transmitter with a %d-bit payload "+
+			"(one cycle per bit; baud pacing external). From idle (tx high), a start request "+
+			"latches data, drives the low start bit, shifts the payload out LSB first, then a "+
+			"high stop bit, with busy asserted for the whole frame.", payloadBits),
+		PortDocs: stdDocs(
+			doc("start", "frame request, accepted when idle"),
+			doc("data", "payload, sent LSB first"),
+			doc("tx", "serial line, idle high"),
+			doc("busy", "frame in progress"),
+		),
+	}
+}
+
+// CRC builds a serial CRC generator over a programmable polynomial.
+func CRC(width int, poly uint64) *Blueprint {
+	name := fmtName("crc", fmt.Sprintf("w%d", width))
+	ports := append(stdPorts(),
+		inPort("din", 1),
+		inPort("din_valid", 1),
+		inPort("clear", 1),
+		outReg("crc", width),
+	)
+	// Serial CRC: feedback = din ^ crc[msb]; shift left, XOR polynomial
+	// when feedback set.
+	msb := uint64(width - 1)
+	fb := bxor(id("din"), bit("crc", msb))
+	shifted := shl(id("crc"), num(1))
+	items := []verilog.Item{
+		param("POLY", poly),
+		wire("fb", 1),
+		assign(id("fb"), fb),
+		alwaysSeq("clk", "rst_n",
+			nb(id("crc"), num(0)),
+			ifs(id("clear"),
+				nb(id("crc"), num(0)),
+				ifs(id("din_valid"),
+					ifs(id("fb"),
+						nb(id("crc"), bxor(shifted, id("POLY"))),
+						nb(id("crc"), shifted)),
+					nil))),
+	}
+	items = append(items, property("p_clear", "clk", notRst(),
+		[]term{t0(id("clear"))}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("crc"), num(0)))},
+		"clear must reset the remainder")...)
+	items = append(items, property("p_hold", "clk", notRst(),
+		[]term{t0(land(lnot(id("clear")), lnot(id("din_valid"))))}, verilog.ImplNonOverlap,
+		[]term{t0(call("$stable", id("crc")))},
+		"the remainder holds without input")...)
+	// The shift relation is expressed bitwise so it stays exact at the
+	// register width (a << comparison would widen past the remainder).
+	items = append(items, property("p_step", "clk", notRst(),
+		[]term{t0(land(lnot(id("clear")), land(id("din_valid"), lnot(id("fb")))))}, verilog.ImplNonOverlap,
+		[]term{t0(land(
+			eq(bit("crc", 0), num(0)),
+			eq(slice("crc", msb, 1), call("$past", slice("crc", msb-1, 0)))))},
+		"without feedback the remainder shifts")...)
+	return &Blueprint{
+		Family:   "crc",
+		MinDepth: width + 10,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A serial CRC generator with a %d-bit remainder and polynomial "+
+			"%#x. Each valid input bit XORs with the remainder MSB to form the feedback; the "+
+			"remainder shifts left and XORs the polynomial when the feedback is one. clear "+
+			"restarts a message.", width, poly),
+		PortDocs: stdDocs(
+			doc("din", "message bit"),
+			doc("din_valid", "bit qualifier"),
+			doc("clear", "restart the message"),
+			doc("crc", "current remainder"),
+		),
+	}
+}
+
+// RoundRobinN builds an N-way rotating-priority arbiter (combinational
+// grant from a registered pointer).
+func RoundRobinN(n int) *Blueprint {
+	ptrBits := 1
+	for (1 << uint(ptrBits)) < n {
+		ptrBits++
+	}
+	name := fmtName("rr_arb", fmt.Sprintf("n%d", n))
+	ports := append(stdPorts(),
+		inPort("req", n),
+		outReg("grant", n),
+		outReg("ptr", ptrBits),
+	)
+	// Grant logic: scan n positions starting after ptr; first asserted
+	// request wins. Unrolled as a priority chain over rotated distance.
+	items := []verilog.Item{}
+	// pick(d): index (ptr + d) mod n for d = 1..n
+	grantExpr := func() verilog.Stmt {
+		// innermost default: no grant
+		var chain verilog.Stmt = block(nb(id("grant"), num(0)))
+		for d := n; d >= 1; d-- {
+			idx := &verilog.Binary{Op: verilog.BinMod, X: add(id("ptr"), num(uint64(d))), Y: num(uint64(n))}
+			idxCopy := &verilog.Binary{Op: verilog.BinMod, X: add(id("ptr"), num(uint64(d))), Y: num(uint64(n))}
+			chain = ifs(index(id("req"), idx),
+				block(
+					nb(id("grant"), shl(num(1), idxCopy)),
+					nb(id("ptr"), &verilog.Binary{Op: verilog.BinMod, X: add(id("ptr"), num(uint64(d))), Y: num(uint64(n))}),
+				),
+				chain)
+		}
+		return chain
+	}
+	items = append(items,
+		alwaysSeq("clk", "rst_n",
+			block(nb(id("grant"), num(0)), nb(id("ptr"), num(0))),
+			grantExpr()),
+	)
+	items = append(items, invariant("p_onehot0", "clk", notRst(),
+		call("$onehot0", id("grant")),
+		"at most one grant at a time")...)
+	items = append(items, property("p_granted_requested", "clk", notRst(),
+		[]term{t0(ne(id("grant"), num(0)))}, verilog.ImplOverlap,
+		[]term{t0(ne(band(id("grant"), call("$past", id("req"))), num(0)))},
+		"grants go only to requesters")...)
+	items = append(items, property("p_work_conserving", "clk", notRst(),
+		[]term{t0(ne(id("req"), num(0)))}, verilog.ImplNonOverlap,
+		[]term{t0(ne(id("grant"), num(0)))},
+		"pending requests must produce a grant")...)
+	items = append(items, invariant("p_ptr_bound", "clk", notRst(),
+		lt(id("ptr"), num(uint64(n))),
+		"the rotation pointer stays in range")...)
+	return &Blueprint{
+		Family:   "rr_arb",
+		MinDepth: 2*n + 8,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A %d-way round-robin arbiter. A registered pointer remembers "+
+			"the last winner; each cycle the requests are scanned starting just after the "+
+			"pointer and the first asserted one receives a one-hot grant on the next cycle, "+
+			"moving the pointer to it. With no requests there is no grant.", n),
+		PortDocs: stdDocs(
+			doc("req", "request bit per client"),
+			doc("grant", "registered one-hot grant"),
+			doc("ptr", "rotation pointer (last winner)"),
+		),
+	}
+}
+
+// SeqMultiplier builds an iterative shift-and-add multiplier.
+func SeqMultiplier(width int) *Blueprint {
+	cntBits := 1
+	for (1 << uint(cntBits)) < width+1 {
+		cntBits++
+	}
+	name := fmtName("seq_mul", fmt.Sprintf("w%d", width))
+	ports := append(stdPorts(),
+		inPort("start", 1),
+		inPort("a", width),
+		inPort("b", width),
+		outReg("product", 2*width),
+		outReg("done", 1),
+	)
+	items := []verilog.Item{
+		reg("mcand", 2*width),
+		reg("mplier", width),
+		reg("cnt", cntBits),
+		reg("running", 1),
+		alwaysSeq("clk", "rst_n",
+			block(
+				nb(id("product"), num(0)),
+				nb(id("done"), num(0)),
+				nb(id("mcand"), num(0)),
+				nb(id("mplier"), num(0)),
+				nb(id("cnt"), num(0)),
+				nb(id("running"), num(0)),
+			),
+			ifs(land(id("start"), lnot(id("running"))),
+				block(
+					nb(id("running"), num(1)),
+					nb(id("done"), num(0)),
+					nb(id("product"), num(0)),
+					nb(id("mcand"), id("a")),
+					nb(id("mplier"), id("b")),
+					nb(id("cnt"), num(0)),
+				),
+				ifs(id("running"),
+					ifs(eq(id("cnt"), sized(cntBits, uint64(width))),
+						block(
+							nb(id("running"), num(0)),
+							nb(id("done"), num(1)),
+						),
+						block(
+							ifs(bit("mplier", 0),
+								nb(id("product"), add(id("product"), id("mcand"))),
+								nil),
+							nb(id("mcand"), shl(id("mcand"), num(1))),
+							nb(id("mplier"), shr(id("mplier"), num(1))),
+							nb(id("cnt"), add(id("cnt"), num(1))),
+						)),
+					nb(id("done"), num(0))))),
+	}
+	items = append(items, property("p_done_pulse", "clk", notRst(),
+		[]term{t0(id("done"))}, verilog.ImplNonOverlap,
+		[]term{t0(lor(lnot(id("done")), id("running")))},
+		"done is a single-cycle strobe")...)
+	items = append(items, invariant("p_cnt_bound", "clk", notRst(),
+		le(id("cnt"), sized(cntBits, uint64(width))),
+		"the iteration counter stays within the operand width")...)
+	items = append(items, property("p_result", "clk", notRst(),
+		[]term{t0(id("done"))}, verilog.ImplOverlap,
+		[]term{t0(eq(id("product"), &verilog.Binary{
+			Op: verilog.BinMul,
+			X:  past(id("a"), width+2),
+			Y:  past(id("b"), width+2),
+		}))},
+		"the product must equal the latched operands multiplied")...)
+	return &Blueprint{
+		Family:   "seq_mul",
+		MinDepth: 3*width + 14,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("An iterative %d-bit shift-and-add multiplier. start latches "+
+			"the operands; each cycle the multiplicand shifts left while the multiplier shifts "+
+			"right, adding the multiplicand into the product when the multiplier LSB is one. "+
+			"After %d iterations done pulses for one cycle with the full %d-bit product.",
+			width, width, 2*width),
+		PortDocs: stdDocs(
+			doc("start", "operation request, accepted when idle"),
+			doc("a", "multiplicand"),
+			doc("b", "multiplier"),
+			doc("product", "full-width result"),
+			doc("done", "single-cycle completion strobe"),
+		),
+	}
+}
+
+// VendingFSM builds a small vending-machine controller: accepts nickels
+// (5) and dimes (10), vends at 20, returns change for 25.
+func VendingFSM() *Blueprint {
+	ports := append(stdPorts(),
+		inPort("nickel", 1),
+		inPort("dime", 1),
+		outReg("credit", 5),
+		outPort("vend", 1),
+		outPort("change", 1),
+	)
+	price := uint64(20)
+	items := []verilog.Item{
+		param("PRICE", price),
+		assign(id("vend"), ge(id("credit"), id("PRICE"))),
+		assign(id("change"), gt(id("credit"), id("PRICE"))),
+		alwaysSeq("clk", "rst_n",
+			nb(id("credit"), num(0)),
+			ifs(id("vend"),
+				nb(id("credit"), num(0)),
+				ifs(land(id("nickel"), lnot(id("dime"))),
+					nb(id("credit"), add(id("credit"), num(5))),
+					ifs(land(id("dime"), lnot(id("nickel"))),
+						nb(id("credit"), add(id("credit"), num(10))),
+						nil)))),
+	}
+	items = append(items, invariant("p_credit_bound", "clk", notRst(),
+		le(id("credit"), num(25)),
+		"credit can never exceed 25 cents")...)
+	items = append(items, property("p_vend_clears", "clk", notRst(),
+		[]term{t0(id("vend"))}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("credit"), num(0)))},
+		"vending must consume the credit")...)
+	items = append(items, property("p_change_cause", "clk", notRst(),
+		[]term{t0(id("change"))}, verilog.ImplOverlap,
+		[]term{t0(eq(id("credit"), num(25)))},
+		"change is due exactly on 25 cents")...)
+	items = append(items, invariant("p_step5", "clk", notRst(),
+		eq(&verilog.Binary{Op: verilog.BinMod, X: id("credit"), Y: num(5)}, num(0)),
+		"credit moves in 5-cent steps")...)
+	return &Blueprint{
+		Family:   "vending",
+		MinDepth: 20,
+		Module:   moduleOf("vending_fsm", ports, items...),
+		Description: "A vending-machine credit controller. Nickels add 5 and dimes add 10 to " +
+			"the credit; when it reaches the 20-cent price, vend is raised (with change when " +
+			"the total hit 25) and the credit clears on the next cycle. Simultaneous coins are " +
+			"rejected.",
+		PortDocs: stdDocs(
+			doc("nickel", "5-cent coin inserted"),
+			doc("dime", "10-cent coin inserted"),
+			doc("credit", "accumulated credit in cents"),
+			doc("vend", "price reached: dispense"),
+			doc("change", "a nickel of change is due"),
+		),
+	}
+}
+
+// Debouncer builds a counter-based input debouncer.
+func Debouncer(settle uint64) *Blueprint {
+	cntBits := 1
+	for (uint64(1) << uint(cntBits)) <= settle {
+		cntBits++
+	}
+	name := fmtName("debounce", fmt.Sprintf("s%d", settle))
+	ports := append(stdPorts(),
+		inPort("raw", 1),
+		outReg("clean", 1),
+	)
+	items := []verilog.Item{
+		param("SETTLE", settle),
+		reg("stable_cnt", cntBits),
+		alwaysSeq("clk", "rst_n",
+			block(nb(id("clean"), num(0)), nb(id("stable_cnt"), num(0))),
+			ifs(eq(id("raw"), id("clean")),
+				nb(id("stable_cnt"), num(0)),
+				ifs(eq(id("stable_cnt"), sub(id("SETTLE"), num(1))),
+					block(
+						nb(id("clean"), id("raw")),
+						nb(id("stable_cnt"), num(0)),
+					),
+					nb(id("stable_cnt"), add(id("stable_cnt"), num(1)))))),
+	}
+	items = append(items, invariant("p_cnt_bound", "clk", notRst(),
+		lt(id("stable_cnt"), id("SETTLE")),
+		"the stability counter stays below SETTLE")...)
+	items = append(items, property("p_no_glitch", "clk", notRst(),
+		[]term{t0(land(call("$stable", id("clean")), eq(id("raw"), id("clean"))))}, verilog.ImplNonOverlap,
+		[]term{t0(call("$stable", id("clean")))},
+		"a settled output cannot change without a sustained input change")...)
+	items = append(items, property("p_change_cause", "clk", notRst(),
+		[]term{t0(call("$changed", id("clean")))}, verilog.ImplOverlap,
+		[]term{t0(eq(call("$past", id("stable_cnt")), sub(id("SETTLE"), num(1))))},
+		"output changes require a full settle interval")...)
+	return &Blueprint{
+		Family:   "debounce",
+		MinDepth: int(settle)*3 + 10,
+		Module:   moduleOf(name, ports, items...),
+		Description: fmt.Sprintf("A counter-based debouncer. While the raw input disagrees with "+
+			"the clean output, a counter measures the disagreement; after %d consecutive cycles "+
+			"the clean output adopts the raw value. Any agreement restarts the count.", settle),
+		PortDocs: stdDocs(
+			doc("raw", "bouncy input"),
+			doc("clean", "debounced output"),
+		),
+	}
+}

@@ -1,0 +1,753 @@
+package corpus
+
+import "strings"
+
+// HumanCase is one hand-crafted SVA-Eval-Human benchmark case: a golden
+// design, a single-line human-placed bug, and taxonomy labels. These stand
+// in for the paper's 38 cases derived from the RTLLM dataset. The bugs are
+// deliberately subtler than machine mutations: deep in indirect chains,
+// in rarer syntactic shapes, and often timing-sensitive — reproducing the
+// paper's observation (RQ3) that human-crafted bugs are systematically
+// harder for every model.
+type HumanCase struct {
+	Name       string
+	Spec       string
+	Golden     string
+	Buggy      string
+	Syn        string // Var | Value | Op
+	IsCond     bool
+	CheckDepth int
+}
+
+// mkBug derives a buggy source by replacing one exact line (matched after
+// trimming) — panics at init time if the golden text does not contain it,
+// so a broken table cannot ship.
+func mkBug(golden, from, to string) string {
+	if !strings.Contains(golden, from) {
+		panic("human case: golden text does not contain: " + from)
+	}
+	return strings.Replace(golden, from, to, 1)
+}
+
+// --- Design 1: traffic light controller -----------------------------------
+
+const trafficGolden = `
+module traffic_light (
+    input clk,
+    input rst_n,
+    output reg [1:0] state,
+    output red,
+    output yellow,
+    output green
+);
+    localparam S_RED = 0;
+    localparam S_GREEN = 1;
+    localparam S_YELLOW = 2;
+    localparam T_RED = 4;
+    localparam T_GREEN = 5;
+    localparam T_YELLOW = 2;
+    reg [2:0] timer;
+    wire phase_end;
+    assign phase_end = timer == 0;
+    assign red = state == S_RED;
+    assign yellow = state == S_YELLOW;
+    assign green = state == S_GREEN;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) timer <= T_RED - 1;
+        else if (phase_end) begin
+            if (state == S_RED) timer <= T_GREEN - 1;
+            else if (state == S_GREEN) timer <= T_YELLOW - 1;
+            else timer <= T_RED - 1;
+        end else timer <= timer - 1;
+    end
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) state <= S_RED;
+        else if (phase_end) begin
+            if (state == S_RED) state <= S_GREEN;
+            else if (state == S_GREEN) state <= S_YELLOW;
+            else state <= S_RED;
+        end
+    end
+    property p_onehot;
+        @(posedge clk) disable iff (!rst_n)
+        $onehot({red, yellow, green});
+    endproperty
+    p_onehot_assertion: assert property (p_onehot)
+        else $error("exactly one lamp must be lit");
+    property p_after_green;
+        @(posedge clk) disable iff (!rst_n)
+        green && phase_end |=> yellow;
+    endproperty
+    p_after_green_assertion: assert property (p_after_green)
+        else $error("green must hand over to yellow");
+    property p_state_legal;
+        @(posedge clk) disable iff (!rst_n)
+        state <= S_YELLOW;
+    endproperty
+    p_state_legal_assertion: assert property (p_state_legal)
+        else $error("state must stay within the three phases");
+    property p_yellow_min;
+        @(posedge clk) disable iff (!rst_n)
+        $rose(yellow) |=> yellow;
+    endproperty
+    p_yellow_min_assertion: assert property (p_yellow_min)
+        else $error("yellow must last at least two cycles");
+    property p_yellow_exact;
+        @(posedge clk) disable iff (!rst_n)
+        $rose(yellow) |-> ##2 !yellow;
+    endproperty
+    p_yellow_exact_assertion: assert property (p_yellow_exact)
+        else $error("yellow must last exactly two cycles");
+    property p_green_min;
+        @(posedge clk) disable iff (!rst_n)
+        $rose(green) |-> ##2 green;
+    endproperty
+    p_green_min_assertion: assert property (p_green_min)
+        else $error("green must last at least three cycles");
+endmodule
+`
+
+const trafficSpec = `Module: traffic_light
+Ports:
+  clk: input, 1 bit - clock, rising-edge active
+  rst_n: input, 1 bit - asynchronous reset, active low
+  state: output, 2 bits - current phase (0 red, 1 green, 2 yellow)
+  red/yellow/green: output, 1 bit each - lamp drivers, one-hot
+Function: A three-phase traffic light. Reset enters the red phase. Each
+phase runs a down-timer (red 4 cycles, green 5, yellow 2); when the timer
+reaches zero the controller advances red -> green -> yellow -> red and
+reloads the next phase's duration. Exactly one lamp is lit at any time.
+`
+
+// --- Design 2: serial-to-parallel converter --------------------------------
+
+const s2pGolden = `
+module serial2parallel (
+    input clk,
+    input rst_n,
+    input din,
+    input din_valid,
+    output reg [7:0] dout,
+    output reg dout_valid
+);
+    reg [2:0] cnt;
+    wire last_bit;
+    assign last_bit = cnt == 3'd7;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) cnt <= 0;
+        else if (din_valid) cnt <= cnt + 1;
+    end
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) dout <= 0;
+        else if (din_valid) dout <= {dout[6:0], din};
+    end
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) dout_valid <= 0;
+        else if (din_valid && last_bit) dout_valid <= 1;
+        else dout_valid <= 0;
+    end
+    property p_valid_period;
+        @(posedge clk) disable iff (!rst_n)
+        din_valid && last_bit |=> dout_valid;
+    endproperty
+    p_valid_period_assertion: assert property (p_valid_period)
+        else $error("dout_valid must pulse after the eighth bit");
+    property p_no_early;
+        @(posedge clk) disable iff (!rst_n)
+        din_valid && !last_bit |=> !dout_valid;
+    endproperty
+    p_no_early_assertion: assert property (p_no_early)
+        else $error("dout_valid must stay low mid-word");
+    property p_lsb_tracks;
+        @(posedge clk) disable iff (!rst_n)
+        din_valid |=> dout[0] == $past(din);
+    endproperty
+    p_lsb_tracks_assertion: assert property (p_lsb_tracks)
+        else $error("the newest bit enters at dout[0]");
+    property p_count_full;
+        @(posedge clk) disable iff (!rst_n)
+        dout_valid |-> $past(cnt) == 3'd7;
+    endproperty
+    p_count_full_assertion: assert property (p_count_full)
+        else $error("a word completes only at bit position seven");
+    property p_cnt_hold;
+        @(posedge clk) disable iff (!rst_n)
+        !din_valid |=> $stable(cnt);
+    endproperty
+    p_cnt_hold_assertion: assert property (p_cnt_hold)
+        else $error("the bit counter advances only on valid bits");
+endmodule
+`
+
+const s2pSpec = `Module: serial2parallel
+Ports:
+  clk: input, 1 bit - clock
+  rst_n: input, 1 bit - asynchronous reset, active low
+  din: input, 1 bit - serial data, MSB first
+  din_valid: input, 1 bit - serial bit qualifier
+  dout: output, 8 bits - assembled parallel word
+  dout_valid: output, 1 bit - pulses for one cycle after every 8th bit
+Function: Collects eight serial bits (MSB first) into a parallel word by
+shifting din into the LSB. A 3-bit counter tracks the bit position;
+dout_valid pulses for exactly one cycle when the eighth bit has been taken.
+`
+
+// --- Design 3: two-stage pipelined adder -----------------------------------
+
+const addPipeGolden = `
+module adder_pipe (
+    input clk,
+    input [7:0] a,
+    input [7:0] b,
+    input in_valid,
+    output [8:0] sum,
+    output out_valid
+);
+    reg [8:0] s1;
+    reg v1;
+    reg [8:0] s2;
+    reg v2;
+    always @(posedge clk) begin
+        s1 <= a + b;
+        v1 <= in_valid;
+        s2 <= s1;
+        v2 <= v1;
+    end
+    assign sum = s2;
+    assign out_valid = v2;
+    property p_latency;
+        @(posedge clk)
+        out_valid == $past(in_valid, 2);
+    endproperty
+    p_latency_assertion: assert property (p_latency)
+        else $error("valid must take exactly two cycles");
+    property p_sum_correct;
+        @(posedge clk)
+        out_valid |-> sum == $past(a, 2) + $past(b, 2);
+    endproperty
+    p_sum_correct_assertion: assert property (p_sum_correct)
+        else $error("sum must equal the operands presented two cycles ago");
+endmodule
+`
+
+const addPipeSpec = `Module: adder_pipe
+Ports:
+  clk: input, 1 bit - clock
+  a, b: input, 8 bits each - addends
+  in_valid: input, 1 bit - input qualifier
+  sum: output, 9 bits - full-precision sum, two cycles later
+  out_valid: output, 1 bit - in_valid delayed two cycles
+Function: A two-stage pipelined adder. Stage one registers the 9-bit sum of
+a and b; stage two registers it again. out_valid mirrors in_valid with the
+same two-cycle latency. All registers power up at zero.
+`
+
+// --- Design 4: up/down saturating counter ----------------------------------
+
+const updownGolden = `
+module updown_sat (
+    input clk,
+    input rst_n,
+    input up,
+    input down,
+    output reg [3:0] value
+);
+    localparam VMAX = 15;
+    wire at_max;
+    wire at_min;
+    assign at_max = value == VMAX;
+    assign at_min = value == 0;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) value <= 0;
+        else if (up && !down) begin
+            if (!at_max) value <= value + 1;
+        end else if (down && !up) begin
+            if (!at_min) value <= value - 1;
+        end
+    end
+    property p_no_overflow;
+        @(posedge clk) disable iff (!rst_n)
+        at_max && up && !down |=> value == VMAX;
+    endproperty
+    p_no_overflow_assertion: assert property (p_no_overflow)
+        else $error("the counter must saturate at VMAX");
+    property p_no_underflow;
+        @(posedge clk) disable iff (!rst_n)
+        at_min && down && !up |=> value == 0;
+    endproperty
+    p_no_underflow_assertion: assert property (p_no_underflow)
+        else $error("the counter must saturate at zero");
+    property p_hold;
+        @(posedge clk) disable iff (!rst_n)
+        up == down |=> $stable(value);
+    endproperty
+    p_hold_assertion: assert property (p_hold)
+        else $error("conflicting or idle requests must hold the value");
+    property p_up;
+        @(posedge clk) disable iff (!rst_n)
+        up && !down && !at_max |=> value == $past(value) + 1;
+    endproperty
+    p_up_assertion: assert property (p_up)
+        else $error("an unopposed up request increments the value");
+endmodule
+`
+
+const updownSpec = `Module: updown_sat
+Ports:
+  clk: input, 1 bit - clock
+  rst_n: input, 1 bit - asynchronous reset, active low
+  up, down: input, 1 bit each - count requests
+  value: output, 4 bits - current count
+Function: A saturating up/down counter. An up request increments unless the
+value is at 15; a down request decrements unless at zero; simultaneous or
+absent requests leave the value unchanged. Reset clears to zero.
+`
+
+// --- Design 5: watchdog timeout ---------------------------------------------
+
+const watchdogGolden = `
+module watchdog (
+    input clk,
+    input rst_n,
+    input kick,
+    output reg alarm
+);
+    localparam LIMIT = 6;
+    reg [2:0] idle_cnt;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) idle_cnt <= 0;
+        else if (kick) idle_cnt <= 0;
+        else if (idle_cnt != LIMIT) idle_cnt <= idle_cnt + 1;
+    end
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) alarm <= 0;
+        else alarm <= idle_cnt == LIMIT;
+    end
+    property p_kick_clears;
+        @(posedge clk) disable iff (!rst_n)
+        kick |=> ##1 !alarm;
+    endproperty
+    p_kick_clears_assertion: assert property (p_kick_clears)
+        else $error("a kick must clear the alarm path");
+    property p_cnt_bound;
+        @(posedge clk) disable iff (!rst_n)
+        idle_cnt <= LIMIT;
+    endproperty
+    p_cnt_bound_assertion: assert property (p_cnt_bound)
+        else $error("the idle counter must stop at LIMIT");
+    property p_alarm_cause;
+        @(posedge clk) disable iff (!rst_n)
+        alarm |-> $past(idle_cnt) == LIMIT;
+    endproperty
+    p_alarm_cause_assertion: assert property (p_alarm_cause)
+        else $error("the alarm requires a full idle period");
+    property p_timeout;
+        @(posedge clk) disable iff (!rst_n)
+        !kick ##1 !kick ##1 !kick ##1 !kick ##1 !kick ##1 !kick ##1 !kick |-> ##1 alarm;
+    endproperty
+    p_timeout_assertion: assert property (p_timeout)
+        else $error("seven idle cycles must raise the alarm");
+endmodule
+`
+
+const watchdogSpec = `Module: watchdog
+Ports:
+  clk: input, 1 bit - clock
+  rst_n: input, 1 bit - asynchronous reset, active low
+  kick: input, 1 bit - watchdog service strobe
+  alarm: output, 1 bit - raised after 6 idle cycles without a kick
+Function: A watchdog timer. An internal counter counts cycles since the
+last kick, saturating at LIMIT (6); the registered alarm output is high
+while the counter sits at LIMIT. Any kick restarts the idle period.
+`
+
+// --- Design 6: round-robin arbiter ------------------------------------------
+
+const rrArbGolden = `
+module rr_arbiter (
+    input clk,
+    input rst_n,
+    input req0,
+    input req1,
+    output reg grant0,
+    output reg grant1
+);
+    reg last;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            grant0 <= 0;
+            grant1 <= 0;
+            last <= 1;
+        end else begin
+            grant0 <= 0;
+            grant1 <= 0;
+            if (req0 && req1) begin
+                if (last) grant0 <= 1;
+                else grant1 <= 1;
+                last <= !last;
+            end else if (req0) begin
+                grant0 <= 1;
+                last <= 0;
+            end else if (req1) begin
+                grant1 <= 1;
+                last <= 1;
+            end
+        end
+    end
+    property p_mutex;
+        @(posedge clk) disable iff (!rst_n)
+        !(grant0 && grant1);
+    endproperty
+    p_mutex_assertion: assert property (p_mutex)
+        else $error("grants are mutually exclusive");
+    property p_granted_requested;
+        @(posedge clk) disable iff (!rst_n)
+        grant0 |-> $past(req0);
+    endproperty
+    p_granted_requested_assertion: assert property (p_granted_requested)
+        else $error("a grant requires a pending request");
+    property p_alternate;
+        @(posedge clk) disable iff (!rst_n)
+        grant0 && req0 && req1 |=> grant1;
+    endproperty
+    p_alternate_assertion: assert property (p_alternate)
+        else $error("contending requesters alternate");
+    property p_alternate2;
+        @(posedge clk) disable iff (!rst_n)
+        grant1 && req0 && req1 |=> grant0;
+    endproperty
+    p_alternate2_assertion: assert property (p_alternate2)
+        else $error("requester zero regains the bus after losing it");
+endmodule
+`
+
+const rrArbSpec = `Module: rr_arbiter
+Ports:
+  clk: input, 1 bit - clock
+  rst_n: input, 1 bit - asynchronous reset, active low
+  req0, req1: input, 1 bit each - request lines
+  grant0, grant1: output, 1 bit each - registered one-hot grants
+Function: A two-requester round-robin arbiter. A lone request is granted on
+the next cycle. When both compete, the arbiter alternates, starting with
+requester 0 after reset; the internal last flag remembers who lost the most
+recent contention round.
+`
+
+// --- Design 7: running XOR checksum ------------------------------------------
+
+const checksumGolden = `
+module checksum (
+    input clk,
+    input rst_n,
+    input [7:0] data,
+    input data_valid,
+    input frame_end,
+    output reg [7:0] csum,
+    output reg csum_valid
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) csum <= 0;
+        else if (data_valid) begin
+            if (frame_end) csum <= 0;
+            else csum <= csum ^ data;
+        end
+    end
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) csum_valid <= 0;
+        else csum_valid <= data_valid && frame_end;
+    end
+    property p_restart;
+        @(posedge clk) disable iff (!rst_n)
+        data_valid && frame_end |=> csum == 0;
+    endproperty
+    p_restart_assertion: assert property (p_restart)
+        else $error("the accumulator restarts after a frame");
+    property p_accumulate;
+        @(posedge clk) disable iff (!rst_n)
+        data_valid && !frame_end |=> csum == ($past(csum) ^ $past(data));
+    endproperty
+    p_accumulate_assertion: assert property (p_accumulate)
+        else $error("mid-frame bytes fold into the checksum");
+    property p_valid_pulse;
+        @(posedge clk) disable iff (!rst_n)
+        csum_valid |-> $past(data_valid && frame_end);
+    endproperty
+    p_valid_pulse_assertion: assert property (p_valid_pulse)
+        else $error("csum_valid marks frame boundaries only");
+    property p_idle_hold;
+        @(posedge clk) disable iff (!rst_n)
+        !data_valid |=> $stable(csum);
+    endproperty
+    p_idle_hold_assertion: assert property (p_idle_hold)
+        else $error("the accumulator holds without valid data");
+endmodule
+`
+
+const checksumSpec = `Module: checksum
+Ports:
+  clk: input, 1 bit - clock
+  rst_n: input, 1 bit - asynchronous reset, active low
+  data: input, 8 bits - frame byte
+  data_valid: input, 1 bit - byte qualifier
+  frame_end: input, 1 bit - marks the final byte of a frame
+  csum: output, 8 bits - running XOR of the frame so far
+  csum_valid: output, 1 bit - pulses the cycle after a frame ends
+Function: Maintains a running XOR checksum over frame bytes. Mid-frame
+bytes XOR into the accumulator; the byte marked frame_end produces a
+csum_valid pulse on the following cycle and restarts the accumulator.
+`
+
+// --- Design 8: pulse stretcher -----------------------------------------------
+
+const stretchGolden = `
+module stretcher (
+    input clk,
+    input rst_n,
+    input trig,
+    output stretched
+);
+    localparam HOLD = 4;
+    reg [2:0] hold_cnt;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) hold_cnt <= 0;
+        else if (trig) hold_cnt <= HOLD;
+        else if (hold_cnt != 0) hold_cnt <= hold_cnt - 1;
+    end
+    assign stretched = hold_cnt != 0;
+    property p_trig_starts;
+        @(posedge clk) disable iff (!rst_n)
+        trig |=> stretched;
+    endproperty
+    p_trig_starts_assertion: assert property (p_trig_starts)
+        else $error("a trigger must raise the stretched output");
+    property p_bounded;
+        @(posedge clk) disable iff (!rst_n)
+        hold_cnt <= HOLD;
+    endproperty
+    p_bounded_assertion: assert property (p_bounded)
+        else $error("the hold counter never exceeds HOLD");
+    property p_decays;
+        @(posedge clk) disable iff (!rst_n)
+        !trig && stretched |=> hold_cnt == $past(hold_cnt) - 1;
+    endproperty
+    p_decays_assertion: assert property (p_decays)
+        else $error("without retrigger the hold window shrinks");
+    property p_full_window;
+        @(posedge clk) disable iff (!rst_n)
+        trig |-> ##1 stretched ##1 stretched ##1 stretched ##1 stretched;
+    endproperty
+    p_full_window_assertion: assert property (p_full_window)
+        else $error("each trigger guarantees a full HOLD window");
+endmodule
+`
+
+const stretchSpec = `Module: stretcher
+Ports:
+  clk: input, 1 bit - clock
+  rst_n: input, 1 bit - asynchronous reset, active low
+  trig: input, 1 bit - trigger pulse
+  stretched: output, 1 bit - high for HOLD cycles after each trigger
+Function: Stretches single-cycle triggers. A trigger loads a down-counter
+with HOLD (4); the output is high while the counter is nonzero, and any
+retrigger restarts the window.
+`
+
+// --- Design 9: majority vote filter -------------------------------------------
+
+const majorityGolden = `
+module majority3 (
+    input clk,
+    input din,
+    output voted
+);
+    reg s0;
+    reg s1;
+    reg s2;
+    always @(posedge clk) begin
+        s0 <= din;
+        s1 <= s0;
+        s2 <= s1;
+    end
+    assign voted = (s0 && s1) || (s1 && s2) || (s0 && s2);
+    property p_all_ones;
+        @(posedge clk)
+        s0 && s1 && s2 |-> voted;
+    endproperty
+    p_all_ones_assertion: assert property (p_all_ones)
+        else $error("three ones must vote high");
+    property p_all_zeros;
+        @(posedge clk)
+        !s0 && !s1 && !s2 |-> !voted;
+    endproperty
+    p_all_zeros_assertion: assert property (p_all_zeros)
+        else $error("three zeros must vote low");
+    property p_window;
+        @(posedge clk)
+        voted == (($past(din, 1) && $past(din, 2)) || ($past(din, 2) && $past(din, 3)) || ($past(din, 1) && $past(din, 3)));
+    endproperty
+    p_window_assertion: assert property (p_window)
+        else $error("the vote covers the last three samples");
+endmodule
+`
+
+const majoritySpec = `Module: majority3
+Ports:
+  clk: input, 1 bit - clock
+  din: input, 1 bit - raw sample stream
+  voted: output, 1 bit - majority of the last three samples
+Function: A 3-tap majority filter. The last three samples of din are kept
+in a shift chain; the output is high when at least two of them are high.
+All taps power up at zero.
+`
+
+// HumanCases returns the 38 hand-crafted SVA-Eval-Human cases.
+func HumanCases() []HumanCase {
+	var cases []HumanCase
+	addCase := func(name, specText, golden, from, to, syn string, isCond bool, depth int) {
+		cases = append(cases, HumanCase{
+			Name:       name,
+			Spec:       specText,
+			Golden:     strings.TrimLeft(golden, "\n"),
+			Buggy:      strings.TrimLeft(mkBug(golden, from, to), "\n"),
+			Syn:        syn,
+			IsCond:     isCond,
+			CheckDepth: depth,
+		})
+	}
+
+	// traffic_light: 5 bugs.
+	addCase("traffic_reload_swap", trafficSpec, trafficGolden,
+		"if (state == S_RED) timer <= T_GREEN - 1;",
+		"if (state == S_RED) timer <= T_YELLOW - 1;", "Var", false, 28)
+	addCase("traffic_skip_yellow", trafficSpec, trafficGolden,
+		"else if (state == S_GREEN) state <= S_YELLOW;",
+		"else if (state == S_GREEN) state <= S_RED;", "Var", false, 28)
+	addCase("traffic_yellow_long", trafficSpec, trafficGolden,
+		"else if (state == S_GREEN) timer <= T_YELLOW - 1;",
+		"else if (state == S_GREEN) timer <= T_YELLOW;", "Value", false, 28)
+	addCase("traffic_phase_cmp", trafficSpec, trafficGolden,
+		"assign phase_end = timer == 0;",
+		"assign phase_end = timer == 1;", "Value", false, 28)
+	addCase("traffic_lamp_decode", trafficSpec, trafficGolden,
+		"assign yellow = state == S_YELLOW;",
+		"assign yellow = state == S_GREEN;", "Var", false, 28)
+
+	// serial2parallel: 4 bugs.
+	addCase("s2p_last_bit_early", s2pSpec, s2pGolden,
+		"assign last_bit = cnt == 3'd7;",
+		"assign last_bit = cnt == 3'd6;", "Value", false, 24)
+	addCase("s2p_shift_direction", s2pSpec, s2pGolden,
+		"else if (din_valid) dout <= {dout[6:0], din};",
+		"else if (din_valid) dout <= {din, dout[7:1]};", "Op", false, 24)
+	addCase("s2p_cnt_gate", s2pSpec, s2pGolden,
+		"else if (din_valid) cnt <= cnt + 1;",
+		"else cnt <= cnt + 1;", "Op", true, 24)
+	addCase("s2p_valid_latch", s2pSpec, s2pGolden,
+		"else if (din_valid && last_bit) dout_valid <= 1;",
+		"else if (din_valid || last_bit) dout_valid <= 1;", "Op", true, 24)
+
+	// adder_pipe: 4 bugs.
+	addCase("addpipe_stage_skip", addPipeSpec, addPipeGolden,
+		"s2 <= s1;",
+		"s2 <= a + b;", "Var", false, 16)
+	addCase("addpipe_valid_skip", addPipeSpec, addPipeGolden,
+		"v2 <= v1;",
+		"v2 <= in_valid;", "Var", false, 16)
+	addCase("addpipe_sub", addPipeSpec, addPipeGolden,
+		"s1 <= a + b;",
+		"s1 <= a - b;", "Op", false, 16)
+	addCase("addpipe_tap_wrong", addPipeSpec, addPipeGolden,
+		"assign sum = s2;",
+		"assign sum = s1;", "Var", false, 16)
+
+	// updown_sat: 4 bugs.
+	addCase("updown_sat_limit", updownSpec, updownGolden,
+		"assign at_max = value == VMAX;",
+		"assign at_max = value == VMAX - 1;", "Value", false, 24)
+	addCase("updown_dir_swap", updownSpec, updownGolden,
+		"if (!at_max) value <= value + 1;",
+		"if (!at_max) value <= value - 1;", "Op", false, 24)
+	addCase("updown_guard_drop", updownSpec, updownGolden,
+		"if (!at_min) value <= value - 1;",
+		"value <= value - 1;", "Op", true, 24)
+	addCase("updown_priority", updownSpec, updownGolden,
+		"end else if (down && !up) begin",
+		"end else if (down) begin", "Op", true, 24)
+
+	// watchdog: 4 bugs.
+	addCase("watchdog_limit_short", watchdogSpec, watchdogGolden,
+		"else if (idle_cnt != LIMIT) idle_cnt <= idle_cnt + 1;",
+		"else if (idle_cnt != LIMIT - 1) idle_cnt <= idle_cnt + 1;", "Value", true, 24)
+	addCase("watchdog_kick_ignored", watchdogSpec, watchdogGolden,
+		"else if (kick) idle_cnt <= 0;",
+		"else if (kick && idle_cnt != LIMIT) idle_cnt <= 0;", "Op", true, 24)
+	addCase("watchdog_alarm_cmp", watchdogSpec, watchdogGolden,
+		"else alarm <= idle_cnt == LIMIT;",
+		"else alarm <= idle_cnt >= LIMIT - 1;", "Op", false, 24)
+	addCase("watchdog_cnt_runaway", watchdogSpec, watchdogGolden,
+		"localparam LIMIT = 6;",
+		"localparam LIMIT = 7;", "Value", false, 24)
+
+	// rr_arbiter: 4 bugs.
+	addCase("rrarb_no_toggle", rrArbSpec, rrArbGolden,
+		"last <= !last;",
+		"last <= last;", "Op", false, 20)
+	addCase("rrarb_both_grant", rrArbSpec, rrArbGolden,
+		"else grant1 <= 1;",
+		"grant1 <= 1;", "Op", true, 20)
+	addCase("rrarb_wrong_memory", rrArbSpec, rrArbGolden,
+		"grant1 <= 1;\n                last <= 1;",
+		"grant1 <= 1;\n                last <= 0;", "Value", false, 20)
+	addCase("rrarb_grant_cross", rrArbSpec, rrArbGolden,
+		"end else if (req1) begin\n                grant1 <= 1;",
+		"end else if (req1) begin\n                grant0 <= 1;", "Var", false, 20)
+
+	// checksum: 4 bugs.
+	addCase("checksum_or_fold", checksumSpec, checksumGolden,
+		"else csum <= csum ^ data;",
+		"else csum <= csum | data;", "Op", false, 20)
+	addCase("checksum_no_restart", checksumSpec, checksumGolden,
+		"if (frame_end) csum <= 0;",
+		"if (frame_end) csum <= csum;", "Var", false, 20)
+	addCase("checksum_valid_wide", checksumSpec, checksumGolden,
+		"else csum_valid <= data_valid && frame_end;",
+		"else csum_valid <= frame_end;", "Var", false, 20)
+	addCase("checksum_gate_drop", checksumSpec, checksumGolden,
+		"else if (data_valid) begin",
+		"else if (data_valid || frame_end) begin", "Op", true, 20)
+
+	// stretcher: 4 bugs.
+	addCase("stretch_hold_short", stretchSpec, stretchGolden,
+		"localparam HOLD = 4;",
+		"localparam HOLD = 3;", "Value", false, 20)
+	addCase("stretch_no_reload", stretchSpec, stretchGolden,
+		"else if (trig) hold_cnt <= HOLD;",
+		"else if (trig && hold_cnt == 0) hold_cnt <= HOLD;", "Op", true, 20)
+	addCase("stretch_decay_fast", stretchSpec, stretchGolden,
+		"else if (hold_cnt != 0) hold_cnt <= hold_cnt - 1;",
+		"else if (hold_cnt != 0) hold_cnt <= hold_cnt - 2;", "Value", false, 20)
+	addCase("stretch_level_cmp", stretchSpec, stretchGolden,
+		"assign stretched = hold_cnt != 0;",
+		"assign stretched = hold_cnt > 1;", "Value", false, 20)
+
+	// majority3: 4 bugs.
+	addCase("majority_tap_dup", majoritySpec, majorityGolden,
+		"s1 <= s0;",
+		"s1 <= din;", "Var", false, 16)
+	addCase("majority_and_or", majoritySpec, majorityGolden,
+		"assign voted = (s0 && s1) || (s1 && s2) || (s0 && s2);",
+		"assign voted = (s0 && s1) || (s1 && s2) && (s0 && s2);", "Op", false, 16)
+	addCase("majority_tap_drop", majoritySpec, majorityGolden,
+		"s2 <= s1;",
+		"s2 <= s0;", "Var", false, 16)
+	addCase("majority_pair_miss", majoritySpec, majorityGolden,
+		"assign voted = (s0 && s1) || (s1 && s2) || (s0 && s2);",
+		"assign voted = (s0 && s1) || (s1 && s2) || (s1 && s2);", "Var", false, 16)
+
+	// adder_pipe extra: 1 bug to reach 38.
+	addCase("addpipe_valid_const", addPipeSpec, addPipeGolden,
+		"v1 <= in_valid;",
+		"v1 <= 1'b1;", "Value", false, 16)
+
+	return cases
+}

@@ -1,0 +1,101 @@
+package cot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleInput() Input {
+	return Input{
+		Module:    "accu",
+		LineNo:    16,
+		BuggyLine: "else if (!end_cnt) valid_out <= 1;",
+		FixedLine: "else if (end_cnt) valid_out <= 1;",
+		Logs:      "failed assertion accu.valid_out_check at cycle 5\n",
+		Syn:       "Op",
+		IsCond:    true,
+	}
+}
+
+func TestGenerateClean(t *testing.T) {
+	g := NewGenerator(0, 1) // no corruption
+	out := g.Generate(sampleInput())
+	if out.ArguedLineNo != 16 || out.ArguedFix != "else if (end_cnt) valid_out <= 1;" {
+		t.Errorf("clean CoT argues line %d fix %q", out.ArguedLineNo, out.ArguedFix)
+	}
+	for _, want := range []string{"accu.valid_out_check", "Step 1", "Step 2", "Step 3", "Conclusion", "line 16"} {
+		if !strings.Contains(out.Text, want) {
+			t.Errorf("CoT missing %q:\n%s", want, out.Text)
+		}
+	}
+	if !Validate(out, 16, "else if (end_cnt) valid_out <= 1;") {
+		t.Error("clean CoT must validate")
+	}
+}
+
+func TestGenerateCorrupted(t *testing.T) {
+	g := NewGenerator(1.0, 1) // always corrupt
+	bad := 0
+	for i := 0; i < 50; i++ {
+		out := g.Generate(sampleInput())
+		if !Validate(out, 16, "else if (end_cnt) valid_out <= 1;") {
+			bad++
+		}
+	}
+	if bad != 50 {
+		t.Errorf("%d/50 corrupted CoTs validated; corruption must always fail validation", 50-bad)
+	}
+}
+
+func TestCorruptionRate(t *testing.T) {
+	// The paper reports 74.55% valid CoTs; with CorruptRate 0.25 roughly a
+	// quarter must fail validation.
+	g := NewGenerator(0.25, 7)
+	const n = 2000
+	valid := 0
+	for i := 0; i < n; i++ {
+		out := g.Generate(sampleInput())
+		if Validate(out, 16, "else if (end_cnt) valid_out <= 1;") {
+			valid++
+		}
+	}
+	frac := float64(valid) / n
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("valid CoT fraction = %.3f, want ~0.75", frac)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(0.25, 99)
+	b := NewGenerator(0.25, 99)
+	for i := 0; i < 20; i++ {
+		oa, ob := a.Generate(sampleInput()), b.Generate(sampleInput())
+		if oa.Text != ob.Text {
+			t.Fatalf("iteration %d: generator not deterministic", i)
+		}
+	}
+}
+
+func TestFailedAssertName(t *testing.T) {
+	if got := failedAssertName("failed assertion top.p_x at cycle 3\n"); got != "top.p_x" {
+		t.Errorf("got %q", got)
+	}
+	if got := failedAssertName("no failures here"); got != "the assertion" {
+		t.Errorf("fallback got %q", got)
+	}
+}
+
+func TestSynSpecificText(t *testing.T) {
+	g := NewGenerator(0, 1)
+	for syn, phrase := range map[string]string{
+		"Op":    "wrong operator",
+		"Value": "constant or offset",
+		"Var":   "wrong signal",
+	} {
+		in := sampleInput()
+		in.Syn = syn
+		if out := g.Generate(in); !strings.Contains(out.Text, phrase) {
+			t.Errorf("syn %s: missing %q", syn, phrase)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/augment"
+	"repro/internal/corpus"
+	"repro/internal/cot"
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+func TestPassAtK(t *testing.T) {
+	tests := []struct {
+		n, c, k int
+		want    float64
+	}{
+		{20, 0, 1, 0},
+		{20, 20, 1, 1},
+		{20, 10, 1, 0.5},
+		{20, 1, 1, 0.05},
+		{20, 20, 5, 1},
+		{20, 0, 5, 0},
+		{20, 16, 5, 1},       // n-c < k
+		{4, 2, 2, 1 - 1.0/6}, // C(2,2)/C(4,2) = 1/6
+	}
+	for _, tt := range tests {
+		got := PassAtK(tt.n, tt.c, tt.k)
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("PassAtK(%d,%d,%d) = %f, want %f", tt.n, tt.c, tt.k, got, tt.want)
+		}
+	}
+}
+
+// TestPassAtKMonotone is a property check: pass@k never decreases in c or k.
+func TestPassAtKMonotone(t *testing.T) {
+	for n := 1; n <= 20; n += 5 {
+		for c := 0; c < n; c++ {
+			for k := 1; k < n; k++ {
+				if PassAtK(n, c+1, k) < PassAtK(n, c, k)-1e-12 {
+					t.Fatalf("not monotone in c at n=%d c=%d k=%d", n, c, k)
+				}
+				if PassAtK(n, c, k+1) < PassAtK(n, c, k)-1e-12 {
+					t.Fatalf("not monotone in k at n=%d c=%d k=%d", n, c, k)
+				}
+			}
+		}
+	}
+}
+
+var evalFixtureOnce sync.Once
+var evalFixtureSamples []dataset.SVASample
+var evalFixtureErr error
+
+func evalFixture(t *testing.T) []dataset.SVASample {
+	t.Helper()
+	evalFixtureOnce.Do(func() {
+		var stats augment.Stats
+		gen := cot.NewGenerator(0, 1)
+		s, _, err := augment.InjectAndValidate(corpus.Counter(4, 9),
+			augment.Config{Seed: 3, MutationsPerDesign: 10, RandomRuns: 8}, &stats, gen)
+		if err != nil {
+			evalFixtureErr = err
+			return
+		}
+		evalFixtureSamples = s
+	})
+	if evalFixtureErr != nil {
+		t.Fatal(evalFixtureErr)
+	}
+	if len(evalFixtureSamples) < 3 {
+		t.Fatal("fixture too small")
+	}
+	return evalFixtureSamples
+}
+
+// goldenSolver always answers with the ground-truth fix.
+type goldenSolver struct{ bench []dataset.SVASample }
+
+func (g *goldenSolver) Name() string { return "golden" }
+
+func (g *goldenSolver) Solve(p model.Problem, n int, temp float64, rng *rand.Rand) []model.Response {
+	for i := range g.bench {
+		s := &g.bench[i]
+		if s.BuggyCode == p.BuggyCode {
+			out := make([]model.Response, n)
+			for j := range out {
+				out[j] = model.Response{BugLine: s.LineNo, BugLineText: s.BuggyLine, Fix: s.FixedLine, FormatOK: true}
+			}
+			return out
+		}
+	}
+	return make([]model.Response, n)
+}
+
+// brokenSolver always answers garbage.
+type brokenSolver struct{}
+
+func (brokenSolver) Name() string { return "broken" }
+
+func (brokenSolver) Solve(p model.Problem, n int, temp float64, rng *rand.Rand) []model.Response {
+	out := make([]model.Response, n)
+	for j := range out {
+		out[j] = model.Response{BugLine: 1, BugLineText: "", Fix: "garbage !!", FormatOK: true}
+	}
+	return out
+}
+
+func TestJudgeAcceptsGoldenRejectsGarbage(t *testing.T) {
+	bench := evalFixture(t)
+	judge := NewJudge(8)
+	golden := &goldenSolver{bench: bench}
+	res := Evaluate(golden, bench, judge, 4, 0.2, 1)
+	for _, r := range res {
+		if r.C != 4 {
+			t.Errorf("%s: golden solver scored %d/4", r.ID, r.C)
+		}
+	}
+	if got := MeanPassAtK(res, 1); got != 1 {
+		t.Errorf("golden pass@1 = %f", got)
+	}
+	res = Evaluate(brokenSolver{}, bench, judge, 4, 0.2, 1)
+	if got := MeanPassAtK(res, 1); got != 0 {
+		t.Errorf("broken pass@1 = %f", got)
+	}
+}
+
+func TestJudgeRejectsMalformed(t *testing.T) {
+	bench := evalFixture(t)
+	judge := NewJudge(8)
+	s := &bench[0]
+	r := model.Response{BugLine: s.LineNo, BugLineText: s.BuggyLine, Fix: s.FixedLine, FormatOK: false}
+	if judge.Solves(s, r) {
+		t.Error("malformed response accepted")
+	}
+	r.FormatOK = true
+	if !judge.Solves(s, r) {
+		t.Error("golden response rejected")
+	}
+}
+
+func TestJudgeCacheConsistent(t *testing.T) {
+	bench := evalFixture(t)
+	judge := NewJudge(8)
+	s := &bench[0]
+	r := model.Response{BugLine: s.LineNo, BugLineText: s.BuggyLine, Fix: s.FixedLine, FormatOK: true}
+	first := judge.Solves(s, r)
+	second := judge.Solves(s, r)
+	if first != second {
+		t.Error("cache changed the verdict")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	results := []CaseResult{
+		{N: 20, C: 0}, {N: 20, C: 0}, {N: 20, C: 20}, {N: 20, C: 7},
+	}
+	h := Histogram(results, 20)
+	if h[0] != 2 || h[20] != 1 || h[7] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	total := 0
+	for _, v := range h {
+		total += v
+	}
+	if total != len(results) {
+		t.Errorf("histogram total = %d", total)
+	}
+}
+
+func TestFiltersAndBreakdown(t *testing.T) {
+	mk := func(origin, syn string, isCond, isDirect bool, lines, c int) CaseResult {
+		return CaseResult{
+			Sample: &dataset.SVASample{Origin: origin, Syn: syn, IsCond: isCond, IsDirect: isDirect, Lines: lines},
+			N:      20, C: c,
+		}
+	}
+	results := []CaseResult{
+		mk("machine", "Op", true, true, 30, 20),
+		mk("machine", "Value", false, false, 120, 0),
+		mk("human", "Var", false, true, 60, 10),
+	}
+	if got := len(FilterByOrigin(results, "human")); got != 1 {
+		t.Errorf("human filter = %d", got)
+	}
+	if got := len(FilterByType(results, "Op")); got != 1 {
+		t.Errorf("Op filter = %d", got)
+	}
+	if got := len(FilterByType(results, "Cond")); got != 1 {
+		t.Errorf("Cond filter = %d", got)
+	}
+	if got := len(FilterByType(results, "Non_cond")); got != 2 {
+		t.Errorf("Non_cond filter = %d", got)
+	}
+	if got := len(FilterByBin(results, 0)); got != 1 {
+		t.Errorf("bin 0 filter = %d", got)
+	}
+	b := BreakdownOf(results)
+	if b.ByType["Op"][0] != 1 {
+		t.Errorf("Op pass@1 = %f", b.ByType["Op"][0])
+	}
+	if len(b.ByBin) != 5 {
+		t.Errorf("bins = %d", len(b.ByBin))
+	}
+}
+
+func TestRelativeDecline(t *testing.T) {
+	machine := []CaseResult{{N: 20, C: 20}, {N: 20, C: 20}}
+	human := []CaseResult{{N: 20, C: 20}, {N: 20, C: 0}}
+	if got := RelativeDecline(machine, human, 1); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("decline = %f, want 0.5", got)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	bench := evalFixture(t)
+	judge := NewJudge(8)
+	g := &goldenSolver{bench: bench}
+	a := Evaluate(g, bench, judge, 4, 0.2, 42)
+	b := Evaluate(g, bench, judge, 4, 0.2, 42)
+	for i := range a {
+		if a[i].C != b[i].C {
+			t.Fatal("evaluation not deterministic")
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package formal is the reproduction's stand-in for the SymbiYosys formal
+// verifier used in the paper. It performs bounded model checking of a
+// design's SVA assertions by exhaustive input enumeration when the input
+// space is small enough, falling back to directed patterns plus seeded
+// random stimulus otherwise. It answers the two questions the augmentation
+// pipeline asks of the verifier:
+//
+//  1. does this design (with a candidate bug injected) violate any of its
+//     assertions within the bound, and with what counterexample/log; and
+//  2. does a mutated design behave differently from the golden design at
+//     its outputs (used to separate real functional bugs from no-ops).
+package formal
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compile"
+	"repro/internal/sim"
+	"repro/internal/sva"
+)
+
+// Options configures a bounded check.
+type Options struct {
+	// Depth is the number of clock cycles per run (bound). Default 16.
+	Depth int
+	// RandomRuns is the number of random stimulus runs after the directed
+	// ones. Default 48.
+	RandomRuns int
+	// MaxExhaustiveBits caps full sequence enumeration: if the non-reset
+	// input bits times the free cycles is at most this, every input
+	// sequence is tried. Default 14.
+	MaxExhaustiveBits int
+	// MaxConstBits caps constant-input enumeration (each run holds inputs
+	// constant). Default 10.
+	MaxConstBits int
+	// Seed makes the random phase deterministic. The same seed always
+	// explores the same traces.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Depth <= 0 {
+		o.Depth = 16
+	}
+	if o.RandomRuns <= 0 {
+		o.RandomRuns = 48
+	}
+	if o.MaxExhaustiveBits <= 0 {
+		o.MaxExhaustiveBits = 14
+	}
+	if o.MaxConstBits <= 0 {
+		o.MaxConstBits = 10
+	}
+	return o
+}
+
+// Result is the outcome of a bounded check.
+type Result struct {
+	// Pass is true when no assertion failed on any explored trace.
+	Pass bool
+	// Failure is the first failure found (nil when Pass).
+	Failure *sva.Failure
+	// Trace is the counterexample trace (nil when Pass).
+	Trace *sim.Trace
+	// Log is the verifier log: failure report plus sampled values, in the
+	// same format the dataset attaches to samples.
+	Log string
+	// Strategy records how the state space was explored.
+	Strategy string
+	// Runs is the number of simulation runs executed.
+	Runs int
+	// VacuousAsserts lists assertions whose antecedent never matched on
+	// any explored trace; the SVA generator rejects these.
+	VacuousAsserts []string
+}
+
+// Check bounded-model-checks all assertions in the design.
+func Check(d *compile.Design, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	inputs := d.Inputs(true)
+	totalBits := 0
+	for _, in := range inputs {
+		totalBits += in.Width
+	}
+	reset := d.Reset()
+
+	res := &Result{Pass: true}
+	attempted := map[string]bool{}
+
+	runOne := func(stim sim.Stimulus) (bool, error) {
+		res.Runs++
+		tr, err := sim.Run(d, stim)
+		if err != nil {
+			return false, err
+		}
+		cres, err := sva.Check(tr)
+		if err != nil {
+			return false, err
+		}
+		for name := range cres.Attempts {
+			attempted[name] = true
+		}
+		if cres.Failed() {
+			f := cres.FirstFailure()
+			res.Pass = false
+			res.Failure = f
+			res.Trace = tr
+			res.Log = sva.FormatLog(d.Module.Name, tr, cres.Failures)
+			return true, nil
+		}
+		return false, nil
+	}
+
+	finish := func() *Result {
+		for _, a := range d.Asserts {
+			if !attempted[a.Name] {
+				res.VacuousAsserts = append(res.VacuousAsserts, a.Name)
+			}
+		}
+		if res.Pass {
+			res.Log = fmt.Sprintf("%s: all assertions passed (bound %d, %d runs, %s)\n",
+				d.Module.Name, opts.Depth, res.Runs, res.Strategy)
+		}
+		return res
+	}
+
+	freeCycles := opts.Depth - resetCycles(reset)
+	if freeCycles < 1 {
+		freeCycles = 1
+	}
+
+	// Strategy 1: full sequence enumeration for tiny input spaces.
+	if totalBits > 0 && totalBits*freeCycles <= opts.MaxExhaustiveBits {
+		res.Strategy = "exhaustive-sequences"
+		seqSpace := uint64(1) << uint(totalBits*freeCycles)
+		for code := uint64(0); code < seqSpace; code++ {
+			stim := decodeSequence(code, inputs, reset, opts.Depth, freeCycles)
+			if stop, err := runOne(stim); err != nil {
+				return nil, err
+			} else if stop {
+				return finish(), nil
+			}
+		}
+		return finish(), nil
+	}
+
+	// Strategy 2: directed patterns, constant enumeration, then random.
+	res.Strategy = "directed+random"
+	for _, stim := range directedStimuli(inputs, reset, opts.Depth) {
+		if stop, err := runOne(stim); err != nil {
+			return nil, err
+		} else if stop {
+			return finish(), nil
+		}
+	}
+	if totalBits > 0 && totalBits <= opts.MaxConstBits {
+		res.Strategy = "directed+const+random"
+		space := uint64(1) << uint(totalBits)
+		for code := uint64(0); code < space; code++ {
+			stim := constantStimulus(code, inputs, reset, opts.Depth)
+			if stop, err := runOne(stim); err != nil {
+				return nil, err
+			} else if stop {
+				return finish(), nil
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := 0; i < opts.RandomRuns; i++ {
+		stim := randomStimulus(rng, inputs, reset, opts.Depth)
+		if stop, err := runOne(stim); err != nil {
+			return nil, err
+		} else if stop {
+			return finish(), nil
+		}
+	}
+	return finish(), nil
+}
+
+func resetCycles(reset compile.ResetInfo) int {
+	if reset.Present {
+		return 2
+	}
+	return 0
+}
+
+// baseCycle returns the input assignments for one cycle with reset handled:
+// active for the first two cycles, inactive afterwards.
+func baseCycle(reset compile.ResetInfo, cycle int) map[string]uint64 {
+	m := map[string]uint64{}
+	if reset.Present {
+		active := cycle < 2
+		v := uint64(0)
+		if reset.ActiveLow != active {
+			// active-low & inactive -> 1; active-high & active -> 1
+			v = 1
+		}
+		m[reset.Name] = v
+	}
+	return m
+}
+
+// decodeSequence expands an integer code into a full per-cycle stimulus for
+// exhaustive sequence enumeration.
+func decodeSequence(code uint64, inputs []*compile.Signal, reset compile.ResetInfo, depth, freeCycles int) sim.Stimulus {
+	stim := make(sim.Stimulus, depth)
+	rc := resetCycles(reset)
+	for c := 0; c < depth; c++ {
+		cyc := baseCycle(reset, c)
+		free := c - rc
+		if free < 0 {
+			free = 0
+		}
+		if free >= freeCycles {
+			free = freeCycles - 1
+		}
+		offset := 0
+		for _, in := range inputs {
+			shift := uint(free*totalWidth(inputs) + offset)
+			cyc[in.Name] = (code >> shift) & in.Mask()
+			offset += in.Width
+		}
+		stim[c] = cyc
+	}
+	return stim
+}
+
+func totalWidth(inputs []*compile.Signal) int {
+	w := 0
+	for _, in := range inputs {
+		w += in.Width
+	}
+	return w
+}
+
+func constantStimulus(code uint64, inputs []*compile.Signal, reset compile.ResetInfo, depth int) sim.Stimulus {
+	stim := make(sim.Stimulus, depth)
+	for c := 0; c < depth; c++ {
+		cyc := baseCycle(reset, c)
+		offset := 0
+		for _, in := range inputs {
+			cyc[in.Name] = (code >> uint(offset)) & in.Mask()
+			offset += in.Width
+		}
+		stim[c] = cyc
+	}
+	return stim
+}
+
+// directedStimuli generates the canonical corner-case patterns: all zeros,
+// all ones, per-input walking ones, a ramp, and alternating phases.
+func directedStimuli(inputs []*compile.Signal, reset compile.ResetInfo, depth int) []sim.Stimulus {
+	var out []sim.Stimulus
+
+	constant := func(value func(in *compile.Signal, cycle int) uint64) sim.Stimulus {
+		stim := make(sim.Stimulus, depth)
+		for c := 0; c < depth; c++ {
+			cyc := baseCycle(reset, c)
+			for _, in := range inputs {
+				cyc[in.Name] = value(in, c) & in.Mask()
+			}
+			stim[c] = cyc
+		}
+		return stim
+	}
+
+	out = append(out,
+		constant(func(*compile.Signal, int) uint64 { return 0 }),
+		constant(func(in *compile.Signal, _ int) uint64 { return in.Mask() }),
+		constant(func(_ *compile.Signal, c int) uint64 { return uint64(c) }),
+		constant(func(_ *compile.Signal, c int) uint64 {
+			if c%2 == 0 {
+				return 0
+			}
+			return ^uint64(0)
+		}),
+		constant(func(in *compile.Signal, _ int) uint64 { return 1 }),
+	)
+	// Walking one: each input raised alone, others zero, for a few phases.
+	for i := range inputs {
+		i := i
+		out = append(out, constant(func(in *compile.Signal, c int) uint64 {
+			if in.Name == inputs[i].Name {
+				return uint64(1) << uint(c%maxInt(in.Width, 1))
+			}
+			return 0
+		}))
+	}
+	// One-hot per cycle across inputs (pulse each input in turn).
+	out = append(out, constant(func(in *compile.Signal, c int) uint64 {
+		for j, cand := range inputs {
+			if cand.Name == in.Name && c%maxInt(len(inputs), 1) == j {
+				return cand.Mask()
+			}
+		}
+		return 0
+	}))
+	// Idle-then-burst and burst-then-idle: catch timeout/watchdog logic
+	// whose interesting transition needs a long quiet phase first.
+	out = append(out,
+		constant(func(in *compile.Signal, c int) uint64 {
+			if c < depth/2 {
+				return 0
+			}
+			return in.Mask()
+		}),
+		constant(func(in *compile.Signal, c int) uint64 {
+			if c < depth/2 {
+				return in.Mask()
+			}
+			return 0
+		}),
+		// Long idle with a single late pulse on every input.
+		constant(func(in *compile.Signal, c int) uint64 {
+			if c == depth-3 {
+				return in.Mask()
+			}
+			return 0
+		}),
+	)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func randomStimulus(rng *rand.Rand, inputs []*compile.Signal, reset compile.ResetInfo, depth int) sim.Stimulus {
+	stim := make(sim.Stimulus, depth)
+	for c := 0; c < depth; c++ {
+		cyc := baseCycle(reset, c)
+		for _, in := range inputs {
+			switch rng.Intn(4) {
+			case 0:
+				cyc[in.Name] = 0
+			case 1:
+				cyc[in.Name] = in.Mask()
+			default:
+				cyc[in.Name] = rng.Uint64() & in.Mask()
+			}
+		}
+		stim[c] = cyc
+	}
+	return stim
+}
+
+// Differ reports whether two designs with identical interfaces diverge on
+// any output within the bound, using the same exploration strategies. It is
+// used to separate genuine functional bugs from behaviour-preserving
+// mutations. The first differing trace is summarised in diffLog.
+func Differ(golden, mutant *compile.Design, opts Options) (bool, string, error) {
+	opts = opts.withDefaults()
+	inputs := golden.Inputs(true)
+	reset := golden.Reset()
+	outputs := golden.Outputs()
+
+	compareOn := func(stim sim.Stimulus) (bool, string, error) {
+		trG, err := sim.Run(golden, stim)
+		if err != nil {
+			return false, "", err
+		}
+		trM, err := sim.Run(mutant, stim)
+		if err != nil {
+			// A mutant that cannot simulate (e.g. combinational loop) is
+			// behaviourally different by definition.
+			return true, fmt.Sprintf("mutant simulation error: %v", err), nil
+		}
+		for c := 0; c < trG.Len() && c < trM.Len(); c++ {
+			for _, out := range outputs {
+				g, _ := trG.Value(c, out.Name)
+				m, _ := trM.Value(c, out.Name)
+				if g != m {
+					return true, fmt.Sprintf("output %s differs at cycle %d: golden=%d mutant=%d", out.Name, c, g, m), nil
+				}
+			}
+		}
+		return false, "", nil
+	}
+
+	var stims []sim.Stimulus
+	stims = append(stims, directedStimuli(inputs, reset, opts.Depth)...)
+	totalBits := totalWidth(inputs)
+	if totalBits > 0 && totalBits <= opts.MaxConstBits {
+		space := uint64(1) << uint(totalBits)
+		for code := uint64(0); code < space; code++ {
+			stims = append(stims, constantStimulus(code, inputs, reset, opts.Depth))
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := 0; i < opts.RandomRuns; i++ {
+		stims = append(stims, randomStimulus(rng, inputs, reset, opts.Depth))
+	}
+	for _, stim := range stims {
+		diff, log, err := compareOn(stim)
+		if err != nil {
+			return false, "", err
+		}
+		if diff {
+			return true, log, nil
+		}
+	}
+	return false, "", nil
+}

@@ -1,0 +1,223 @@
+package formal
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+)
+
+func mustCompile(t *testing.T, src string) *compile.Design {
+	t.Helper()
+	d, diags, err := compile.Compile(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if compile.HasErrors(diags) {
+		t.Fatalf("compile errors:\n%s", compile.FormatDiags(diags))
+	}
+	return d
+}
+
+const counterGood = `
+module counter (
+    input clk,
+    input rst_n,
+    input en,
+    output reg [3:0] count,
+    output wrap
+);
+    parameter MAX = 9;
+    assign wrap = count == MAX;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) count <= 0;
+        else if (en) begin
+            if (wrap) count <= 0;
+            else count <= count + 1;
+        end
+    end
+    p_wrap: assert property (@(posedge clk) disable iff (!rst_n) wrap && en |=> count == 0);
+    p_bound: assert property (@(posedge clk) disable iff (!rst_n) count <= MAX);
+endmodule
+`
+
+func TestCheckGoodDesignPasses(t *testing.T) {
+	d := mustCompile(t, counterGood)
+	res, err := Check(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("good counter failed:\n%s", res.Log)
+	}
+	if len(res.VacuousAsserts) != 0 {
+		t.Errorf("vacuous asserts on good design: %v", res.VacuousAsserts)
+	}
+	if !strings.Contains(res.Log, "all assertions passed") {
+		t.Errorf("pass log = %q", res.Log)
+	}
+}
+
+func TestCheckFindsWrapBug(t *testing.T) {
+	// Off-by-one: wrap at MAX-1 comparison changed to <; count can exceed
+	// MAX, violating p_bound.
+	bad := strings.Replace(counterGood, "assign wrap = count == MAX;", "assign wrap = count == MAX + 1;", 1)
+	d := mustCompile(t, bad)
+	res, err := Check(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Fatal("wrap bug not found")
+	}
+	if res.Failure == nil || res.Trace == nil {
+		t.Fatal("missing counterexample")
+	}
+	if !strings.Contains(res.Log, "failed assertion counter.") {
+		t.Errorf("log = %q", res.Log)
+	}
+}
+
+func TestCheckFindsConditionInversion(t *testing.T) {
+	bad := strings.Replace(counterGood, "else if (en) begin", "else if (!en) begin", 1)
+	d := mustCompile(t, bad)
+	res, err := Check(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Fatal("condition inversion not found")
+	}
+}
+
+func TestExhaustiveStrategyForTinyInputs(t *testing.T) {
+	// Single 1-bit input, no reset: 1 bit x freeCycles <= 14 when depth is
+	// small, so sequences are enumerated exhaustively.
+	src := `
+module toggle (
+    input clk,
+    input t,
+    output reg q
+);
+    always @(posedge clk) begin
+        if (t) q <= !q;
+    end
+    p: assert property (@(posedge clk) t |=> q != $past(q));
+endmodule
+`
+	d := mustCompile(t, src)
+	res, err := Check(d, Options{Depth: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "exhaustive-sequences" {
+		t.Errorf("strategy = %q, want exhaustive-sequences", res.Strategy)
+	}
+	if !res.Pass {
+		t.Fatalf("toggle failed:\n%s", res.Log)
+	}
+	if res.Runs != 1<<8 {
+		t.Errorf("runs = %d, want 256", res.Runs)
+	}
+}
+
+func TestExhaustiveCatchesRareSequence(t *testing.T) {
+	// Bug only fires after the exact sequence 1,1,0 on a 1-bit input —
+	// exhaustive enumeration must find it.
+	src := `
+module seqbug (
+    input clk,
+    input d,
+    output reg [2:0] hist,
+    output reg flag
+);
+    always @(posedge clk) begin
+        hist <= {hist[1:0], d};
+        if ({hist[1:0], d} == 3'b110) flag <= 1;
+    end
+    p: assert property (@(posedge clk) flag == 0);
+endmodule
+`
+	d := mustCompile(t, src)
+	res, err := Check(d, Options{Depth: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Fatal("rare sequence bug not found by exhaustive search")
+	}
+}
+
+func TestVacuousAssertReported(t *testing.T) {
+	src := `
+module vac (
+    input clk,
+    input [3:0] a,
+    output q
+);
+    assign q = a[0];
+    p: assert property (@(posedge clk) a == 5'd16 |-> q);
+endmodule
+`
+	// a is 4 bits (max 15): a == 16 can never match, so the property is
+	// vacuous.
+	d := mustCompile(t, src)
+	res, err := Check(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("vacuous property failed: %s", res.Log)
+	}
+	if len(res.VacuousAsserts) != 1 || res.VacuousAsserts[0] != "p" {
+		t.Errorf("vacuous = %v, want [p]", res.VacuousAsserts)
+	}
+}
+
+func TestDifferDetectsFunctionalBug(t *testing.T) {
+	golden := mustCompile(t, counterGood)
+	bad := strings.Replace(counterGood, "count <= count + 1;", "count <= count + 2;", 1)
+	mutant := mustCompile(t, bad)
+	diff, log, err := Differ(golden, mutant, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff {
+		t.Fatal("behavioural difference not detected")
+	}
+	if !strings.Contains(log, "count") {
+		t.Errorf("diff log = %q", log)
+	}
+}
+
+func TestDifferIgnoresEquivalentMutation(t *testing.T) {
+	golden := mustCompile(t, counterGood)
+	// Semantically identical rewrite: en && wrap vs wrap && en via property
+	// ordering does not change outputs; simpler: rewrite count <= count + 1
+	// as count <= 1 + count.
+	same := strings.Replace(counterGood, "count <= count + 1;", "count <= 1 + count;", 1)
+	mutant := mustCompile(t, same)
+	diff, _, err := Differ(golden, mutant, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff {
+		t.Fatal("equivalent mutation flagged as differing")
+	}
+}
+
+func TestCheckDeterministic(t *testing.T) {
+	bad := strings.Replace(counterGood, "count <= count + 1;", "count <= count + 2;", 1)
+	d := mustCompile(t, bad)
+	r1, err := Check(d, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Check(d, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Pass != r2.Pass || r1.Runs != r2.Runs || r1.Log != r2.Log {
+		t.Error("Check is not deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,95 @@
+package llm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/augment"
+	"repro/internal/corpus"
+	"repro/internal/cot"
+	"repro/internal/model"
+)
+
+func TestCounterpartsComplete(t *testing.T) {
+	cs := Counterparts()
+	if len(cs) != 6 {
+		t.Fatalf("got %d counterparts, want 6", len(cs))
+	}
+	want := []string{"o1-preview", "Claude-3.5", "GPT-4", "Llama-3.1-8b", "CodeLlama-7b", "Deepseek-coder-6.7b"}
+	for i, name := range want {
+		if cs[i].Name() != name {
+			t.Errorf("counterpart %d = %q, want %q", i, cs[i].Name(), name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if c := ByName("GPT-4"); c == nil || c.Name() != "GPT-4" {
+		t.Error("ByName failed for GPT-4")
+	}
+	if ByName("GPT-9000") != nil {
+		t.Error("ByName invented a model")
+	}
+}
+
+func TestProfilesOrdered(t *testing.T) {
+	ps := Profiles()
+	for i := 1; i < len(ps); i++ {
+		if ps[i].ReasonDepth > ps[i-1].ReasonDepth {
+			t.Errorf("profiles not ordered by capability: %s deeper than %s", ps[i].Name, ps[i-1].Name)
+		}
+	}
+}
+
+func TestCapabilityGradient(t *testing.T) {
+	// On a small benchmark slice the strongest counterpart must match the
+	// golden answer at least as often as the weakest one (judge-free check
+	// to keep the test fast: golden string match).
+	var stats augment.Stats
+	gen := cot.NewGenerator(0, 1)
+	samples, _, err := augment.InjectAndValidate(corpus.Counter(4, 9),
+		augment.Config{Seed: 3, MutationsPerDesign: 10, RandomRuns: 8}, &stats, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := func(c *Counterpart) int {
+		n := 0
+		rng := rand.New(rand.NewSource(5))
+		for i := range samples {
+			s := &samples[i]
+			for _, r := range c.Solve(model.ProblemOf(s), 5, 0.2, rng) {
+				if model.Correct(r, s) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	strong := hits(ByName("o1-preview"))
+	weak := hits(ByName("CodeLlama-7b"))
+	if strong <= weak {
+		t.Errorf("o1-preview (%d) not above CodeLlama (%d)", strong, weak)
+	}
+}
+
+func TestCounterpartsDeterministic(t *testing.T) {
+	var stats augment.Stats
+	gen := cot.NewGenerator(0, 1)
+	samples, _, err := augment.InjectAndValidate(corpus.ClkDiv(4, 2),
+		augment.Config{Seed: 3, MutationsPerDesign: 6, RandomRuns: 8}, &stats, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Skip("no samples")
+	}
+	p := model.ProblemOf(&samples[0])
+	c := ByName("Claude-3.5")
+	a := c.Solve(p, 6, 0.2, rand.New(rand.NewSource(2)))
+	b := ByName("Claude-3.5").Solve(p, 6, 0.2, rand.New(rand.NewSource(2)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("counterpart inference not deterministic")
+		}
+	}
+}

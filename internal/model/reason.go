@@ -1,0 +1,88 @@
+package model
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/compile"
+	"repro/internal/formal"
+)
+
+// ApplyFix replaces the indicated line of the buggy source with the fix,
+// preserving indentation. The line number is validated against the quoted
+// line text; on mismatch the text is searched for.
+func ApplyFix(src string, lineNo int, lineText, fix string) (string, bool) {
+	lines := strings.Split(src, "\n")
+	idx := lineNo - 1
+	want := strings.TrimSpace(lineText)
+	valid := idx >= 0 && idx < len(lines) &&
+		(want == "" || strings.TrimSpace(lines[idx]) == want)
+	if !valid && want != "" {
+		idx = -1
+		for i, l := range lines {
+			if strings.TrimSpace(l) == want {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 || idx >= len(lines) {
+		return "", false
+	}
+	lines[idx] = lineIndent(lines[idx]) + strings.TrimSpace(fix)
+	return strings.Join(lines, "\n"), true
+}
+
+// internalCheck is the engine's mental verification of a candidate fix: a
+// cheap bounded simulation against the design's own assertions. It is
+// deliberately weaker than the external judge (fewer runs, smaller
+// exhaustive budget), so confidently wrong answers remain possible — the
+// model reasons, it does not run the EDA flow.
+func (m *Model) internalCheck(p Problem, c Candidate) bool {
+	fixed, ok := ApplyFix(p.BuggyCode, c.LineNo, c.LineText, c.Fix)
+	if !ok {
+		return false
+	}
+	d, diags, err := compile.Compile(fixed)
+	if err != nil || compile.HasErrors(diags) || d == nil {
+		return false
+	}
+	depth := p.CheckDepth
+	if depth <= 0 {
+		depth = 16
+	}
+	res, err := formal.Check(d, formal.Options{
+		Seed:              31,
+		Depth:             depth,
+		RandomRuns:        m.ReasonRuns,
+		MaxConstBits:      6,
+		MaxExhaustiveBits: 10,
+	})
+	if err != nil {
+		return false
+	}
+	return res.Pass
+}
+
+// rerank mentally verifies the strongest ReasonDepth candidates and moves
+// verified ones to the front (boost) while demoting refuted ones. This is
+// the reproduction's stand-in for the fine-tuned model's learned
+// chain-of-thought reasoning; its strength (depth and simulation budget)
+// is the capability axis that separates solver tiers.
+func (m *Model) rerank(p Problem, cands []Candidate) {
+	if m.ReasonDepth <= 0 || len(cands) == 0 {
+		return
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Logit > cands[j].Logit })
+	k := m.ReasonDepth
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for i := 0; i < k; i++ {
+		if m.internalCheck(p, cands[i]) {
+			cands[i].Logit += m.ReasonBoost
+		} else {
+			cands[i].Logit -= 2.0
+		}
+	}
+}

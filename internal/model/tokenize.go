@@ -1,0 +1,101 @@
+// Package model implements the reproduction's core contribution: a
+// trainable statistical repair engine standing in for the fine-tuned
+// AssertSolver LLM. The engine mirrors the paper's three training stages
+// with measurable behavioural consequences:
+//
+//   - Pretraining (PT) on Verilog-PT builds a token-level n-gram language
+//     model of Verilog, used to flag unusual lines during localisation.
+//   - Supervised fine-tuning (SFT) on SVA-Bug and Verilog-Bug learns (a) a
+//     naive-Bayes line localiser over structural/log features and (b) a
+//     store of abstracted edit patterns (buggy-template -> fix-template)
+//     with occurrence counts.
+//   - Direct preference optimisation (DPO) replays inference on the
+//     training set, finds "challenging cases" (>= 1 wrong answer among 20
+//     samples), and shifts pattern log-weights away from the edits behind
+//     wrong answers and towards the correct ones. Sharpening the sampling
+//     distribution raises pass@1 while slightly reducing sample diversity
+//     (pass@5), the paper's RQ1 trade-off, as an emergent consequence.
+//
+// Inference (Fig. 2-III) consumes Spec + buggy SV + logs and emits n
+// JSON-format responses with a candidate buggy line, a fix, and a CoT.
+package model
+
+import (
+	"strings"
+
+	"repro/internal/verilog"
+)
+
+// tokenText renders a lexer token in its canonical surface form for
+// language-model and pattern purposes.
+func tokenText(t verilog.Token) string {
+	switch t.Kind {
+	case verilog.TokIdent, verilog.TokSysIdent, verilog.TokNumber:
+		return t.Text
+	case verilog.TokString:
+		return "\"" + t.Text + "\""
+	default:
+		return t.Kind.String()
+	}
+}
+
+// tokenizeLine lexes a single source line, stopping gracefully at lexical
+// errors (the engine must cope with arbitrary model output).
+func tokenizeLine(line string) []verilog.Token {
+	lx := verilog.NewLexer(line)
+	var out []verilog.Token
+	for {
+		tok, err := lx.Next()
+		if err != nil || tok.Kind == verilog.TokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+// tokenizeText lexes full source text into surface strings, skipping
+// unlexable tails.
+func tokenizeText(src string) []string {
+	lx := verilog.NewLexer(src)
+	var out []string
+	for {
+		tok, err := lx.Next()
+		if err != nil || tok.Kind == verilog.TokEOF {
+			return out
+		}
+		out = append(out, tokenText(tok))
+	}
+}
+
+// isStatementLine reports whether a printed source line is a plausible bug
+// site: an assignment, condition or case arm, rather than a declaration,
+// port, comment or assertion line.
+func isStatementLine(line string) bool {
+	t := strings.TrimSpace(line)
+	if t == "" || strings.HasPrefix(t, "//") {
+		return false
+	}
+	for _, kw := range []string{"property", "endproperty", "assert", "module", "endmodule",
+		"endcase", "input", "output", "inout", "begin", "end", "end else begin", "else begin"} {
+		if t == kw || strings.HasPrefix(t, kw+" ") || strings.HasPrefix(t, kw+";") {
+			return false
+		}
+	}
+	if strings.HasSuffix(t, ":") { // bare case label
+		return false
+	}
+	// Declarations without initialisers are not bug sites in this corpus.
+	if (strings.HasPrefix(t, "wire ") || strings.HasPrefix(t, "reg ") ||
+		strings.HasPrefix(t, "integer ")) && !strings.Contains(t, "=") {
+		return false
+	}
+	return strings.Contains(t, "=") || strings.HasPrefix(t, "if ") ||
+		strings.HasPrefix(t, "else") || strings.HasPrefix(t, "case") ||
+		strings.Contains(t, "<=") || strings.HasPrefix(t, "assign ") ||
+		strings.HasPrefix(t, "localparam ") || strings.HasPrefix(t, "parameter ")
+}
+
+// lineIndent returns the leading whitespace of a line.
+func lineIndent(line string) string {
+	return line[:len(line)-len(strings.TrimLeft(line, " \t"))]
+}

@@ -1,0 +1,158 @@
+// Package repairloop implements an iterative repair agent on top of the
+// solver, the feedback-loop extension the paper's related work motivates
+// (AutoChip-style): propose a fix, verify it with the real flow, and on
+// failure feed the *new* verifier log back into the solver for another
+// attempt. This converts pass@k sampling into a budgeted closed loop and
+// usually solves cases a single-shot response misses.
+package repairloop
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/compile"
+	"repro/internal/formal"
+	"repro/internal/model"
+)
+
+// Solver is the inference interface the loop drives (the trained model or
+// any counterpart profile).
+type Solver interface {
+	Name() string
+	Solve(p model.Problem, n int, temp float64, rng *rand.Rand) []model.Response
+}
+
+// Options configure the loop.
+type Options struct {
+	// MaxRounds bounds the propose-verify iterations. Default 4.
+	MaxRounds int
+	// PerRound is the number of responses sampled each round. Default 5.
+	PerRound int
+	// Temp is the sampling temperature. Default 0.2.
+	Temp float64
+	// Depth/RandomRuns configure the verifying checks.
+	Depth      int
+	RandomRuns int
+	// Seed makes the loop deterministic.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 4
+	}
+	if o.PerRound <= 0 {
+		o.PerRound = 5
+	}
+	if o.Temp == 0 {
+		o.Temp = 0.2
+	}
+	if o.Depth <= 0 {
+		o.Depth = 16
+	}
+	if o.RandomRuns <= 0 {
+		o.RandomRuns = 12
+	}
+	return o
+}
+
+// Attempt records one verified proposal.
+type Attempt struct {
+	Round    int
+	Response model.Response
+	// Outcome of applying and verifying the fix.
+	Applied  bool
+	Compiled bool
+	Solved   bool
+	// Log is the verifier output for the fixed design (the feedback for
+	// the next round when not solved).
+	Log string
+}
+
+// Result is the loop outcome.
+type Result struct {
+	Solved   bool
+	FixedSrc string // the repaired source when Solved
+	Rounds   int
+	Attempts []Attempt
+}
+
+// Run drives the loop: each round samples PerRound responses against the
+// current logs, verifies the distinct fixes in sampling order, and either
+// finishes or continues with the strongest feedback (a fix that compiled
+// and changed the failure is preferred as the new state? No — the design
+// under repair stays the original; only the *logs* presented to the solver
+// evolve, preventing compounding bad edits).
+func Run(solver Solver, spec, buggySrc, logs string, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{}
+	curLogs := logs
+
+	seen := map[string]bool{}
+	for round := 1; round <= opts.MaxRounds; round++ {
+		res.Rounds = round
+		p := model.Problem{Spec: spec, BuggyCode: buggySrc, Logs: curLogs, CheckDepth: opts.Depth}
+		responses := solver.Solve(p, opts.PerRound, opts.Temp, rng)
+		var feedback string
+		for _, r := range responses {
+			key := fmt.Sprintf("%d\x00%s", r.BugLine, r.Fix)
+			if seen[key] || !r.FormatOK {
+				continue
+			}
+			seen[key] = true
+			att := Attempt{Round: round, Response: r}
+			fixed, ok := model.ApplyFix(buggySrc, r.BugLine, r.BugLineText, r.Fix)
+			att.Applied = ok
+			if ok {
+				verdict, vlog := verify(fixed, opts)
+				att.Compiled = verdict != verdictNoCompile
+				att.Solved = verdict == verdictPass
+				att.Log = vlog
+				if att.Solved {
+					res.Attempts = append(res.Attempts, att)
+					res.Solved = true
+					res.FixedSrc = fixed
+					return res, nil
+				}
+				if verdict == verdictFails && feedback == "" {
+					feedback = vlog
+				}
+			}
+			res.Attempts = append(res.Attempts, att)
+		}
+		// Feed the most informative new log back: how the best rejected
+		// fix changed the failure tells the solver what it misdiagnosed.
+		if feedback != "" {
+			curLogs = logs + "\nAfter a rejected repair attempt the verifier reported:\n" + feedback
+		}
+	}
+	return res, nil
+}
+
+type verdict int
+
+const (
+	verdictNoCompile verdict = iota
+	verdictFails
+	verdictPass
+)
+
+func verify(src string, opts Options) (verdict, string) {
+	d, diags, err := compile.Compile(src)
+	if err != nil {
+		return verdictNoCompile, "compile error: " + err.Error()
+	}
+	if compile.HasErrors(diags) {
+		return verdictNoCompile, strings.TrimSpace(compile.FormatDiags(diags))
+	}
+	res, err := formal.Check(d, formal.Options{Seed: 7, Depth: opts.Depth, RandomRuns: opts.RandomRuns})
+	if err != nil {
+		return verdictNoCompile, err.Error()
+	}
+	if res.Pass {
+		return verdictPass, res.Log
+	}
+	return verdictFails, res.Log
+}

@@ -1,0 +1,162 @@
+package repairloop
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/augment"
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/cot"
+	"repro/internal/dataset"
+	"repro/internal/formal"
+	"repro/internal/llm"
+	"repro/internal/model"
+)
+
+func sampleFixture(t *testing.T) []dataset.SVASample {
+	t.Helper()
+	var stats augment.Stats
+	gen := cot.NewGenerator(0, 1)
+	samples, _, err := augment.InjectAndValidate(corpus.Counter(4, 9),
+		augment.Config{Seed: 3, MutationsPerDesign: 8, RandomRuns: 8}, &stats, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 2 {
+		t.Fatal("fixture too small")
+	}
+	return samples
+}
+
+// perfectSolver always proposes the golden fix on its first response.
+type perfectSolver struct{ s *dataset.SVASample }
+
+func (p *perfectSolver) Name() string { return "perfect" }
+
+func (p *perfectSolver) Solve(_ model.Problem, n int, _ float64, _ *rand.Rand) []model.Response {
+	out := make([]model.Response, n)
+	for i := range out {
+		out[i] = model.Response{BugLine: p.s.LineNo, BugLineText: p.s.BuggyLine, Fix: p.s.FixedLine, FormatOK: true}
+	}
+	return out
+}
+
+// uselessSolver proposes the same non-compiling garbage forever.
+type uselessSolver struct{}
+
+func (uselessSolver) Name() string { return "useless" }
+
+func (uselessSolver) Solve(_ model.Problem, n int, _ float64, _ *rand.Rand) []model.Response {
+	out := make([]model.Response, n)
+	for i := range out {
+		out[i] = model.Response{BugLine: 1, BugLineText: "", Fix: "garbage(", FormatOK: true}
+	}
+	return out
+}
+
+func TestLoopSolvesWithPerfectSolver(t *testing.T) {
+	s := sampleFixture(t)[0]
+	res, err := Run(&perfectSolver{s: &s}, s.Spec, s.BuggyCode, s.Logs, Options{Depth: s.CheckDepth, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || res.Rounds != 1 {
+		t.Fatalf("solved=%v rounds=%d", res.Solved, res.Rounds)
+	}
+	// The repaired source must verify independently.
+	d, diags, err := compile.Compile(res.FixedSrc)
+	if err != nil || compile.HasErrors(diags) {
+		t.Fatal("fixed source broken")
+	}
+	check, err := formal.Check(d, formal.Options{Seed: 9, Depth: s.CheckDepth})
+	if err != nil || !check.Pass {
+		t.Fatal("fixed source does not verify")
+	}
+}
+
+func TestLoopGivesUpGracefully(t *testing.T) {
+	s := sampleFixture(t)[0]
+	res, err := Run(uselessSolver{}, s.Spec, s.BuggyCode, s.Logs, Options{MaxRounds: 3, Depth: s.CheckDepth, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Fatal("useless solver cannot solve anything")
+	}
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", res.Rounds)
+	}
+	// The identical garbage proposal must be deduplicated, not re-verified.
+	if len(res.Attempts) != 1 {
+		t.Errorf("attempts = %d, want 1 (deduplicated)", len(res.Attempts))
+	}
+}
+
+func TestLoopWithRealSolver(t *testing.T) {
+	samples := sampleFixture(t)
+	solver := llm.ByName("o1-preview")
+	solved := 0
+	for i := range samples {
+		s := &samples[i]
+		res, err := Run(solver, s.Spec, s.BuggyCode, s.Logs,
+			Options{MaxRounds: 3, PerRound: 4, Depth: s.CheckDepth, RandomRuns: 8, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Solved {
+			solved++
+			if res.FixedSrc == "" {
+				t.Error("solved without fixed source")
+			}
+		}
+	}
+	if solved == 0 {
+		t.Error("the loop solved nothing with a strong solver")
+	}
+}
+
+func TestFeedbackEvolvesLogs(t *testing.T) {
+	// A solver that records the logs it was shown: round 2 must include
+	// feedback from round 1's rejected attempt.
+	s := sampleFixture(t)[0]
+	var seenLogs []string
+	spy := &spySolver{logs: &seenLogs, wrongLine: s.LineNo, wrongText: s.BuggyLine}
+	_, err := Run(spy, s.Spec, s.BuggyCode, s.Logs, Options{MaxRounds: 2, PerRound: 1, Depth: s.CheckDepth, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seenLogs) != 2 {
+		t.Fatalf("solver consulted %d times, want 2", len(seenLogs))
+	}
+	if !strings.Contains(seenLogs[1], "rejected repair attempt") {
+		t.Error("round 2 logs lack feedback from round 1")
+	}
+}
+
+type spySolver struct {
+	logs      *[]string
+	wrongLine int
+	wrongText string
+}
+
+func (s *spySolver) Name() string { return "spy" }
+
+func (s *spySolver) Solve(p model.Problem, n int, _ float64, _ *rand.Rand) []model.Response {
+	*s.logs = append(*s.logs, p.Logs)
+	out := make([]model.Response, n)
+	for i := range out {
+		// A compiling but wrong edit: replace the buggy line with itself
+		// plus a harmless tweak that still fails verification.
+		out[i] = model.Response{
+			BugLine:     s.wrongLine,
+			BugLineText: s.wrongText,
+			Fix:         s.wrongText, // unchanged: still buggy
+			FormatOK:    true,
+		}
+	}
+	// Make each round's proposal distinct so dedup does not absorb it.
+	out[0].Fix = s.wrongText + " // attempt " + string(rune('a'+len(*s.logs)))
+	return out
+}

@@ -1,0 +1,452 @@
+// Package sim provides a deterministic, cycle-based, two-state simulator
+// for elaborated designs, plus the expression evaluator shared with the SVA
+// checker and the bounded model checker.
+//
+// Semantics (documented substitutions relative to event-driven 4-state
+// simulation):
+//   - two-state: x and z do not exist; registers initialise to zero unless
+//     an initial block or declaration initialiser says otherwise;
+//   - arithmetic is performed in 64 bits and masked at assignment, which
+//     matches Verilog's self-determined behaviour for the corpus subset;
+//   - asynchronous resets are sampled once per clock cycle: a sequential
+//     block sensitive to "negedge rst_n" executes its reset branch on any
+//     cycle in which rst_n is low at the clock edge.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/verilog"
+)
+
+// Env resolves signal values and widths during evaluation.
+type Env interface {
+	// Value returns the current value of a signal (or parameter).
+	Value(name string) (uint64, bool)
+	// Width returns the bit width of a signal, or 0 if unknown.
+	Width(name string) int
+}
+
+// HistoryEnv extends Env with access to earlier clock cycles, enabling the
+// SVA sampled-value functions ($past, $rose, $fell, $stable).
+type HistoryEnv interface {
+	Env
+	// At returns the environment offset cycles before the current one, or
+	// nil if the trace does not extend that far back.
+	At(offset int) Env
+}
+
+// EvalError reports an evaluation failure.
+type EvalError struct {
+	Pos verilog.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *EvalError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func evalErrf(pos verilog.Pos, format string, args ...any) error {
+	return &EvalError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func maskFor(width int) uint64 {
+	if width <= 0 || width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Eval evaluates an expression against an environment. All results are raw
+// 64-bit values; callers mask to the destination width on assignment.
+func Eval(e verilog.Expr, env Env) (uint64, error) {
+	switch x := e.(type) {
+	case *verilog.Number:
+		return x.Value, nil
+	case *verilog.Ident:
+		if v, ok := env.Value(x.Name); ok {
+			return v, nil
+		}
+		return 0, evalErrf(x.Pos, "unknown signal %q", x.Name)
+	case *verilog.Unary:
+		return evalUnary(x, env)
+	case *verilog.Binary:
+		return evalBinary(x, env)
+	case *verilog.Ternary:
+		c, err := Eval(x.Cond, env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return Eval(x.X, env)
+		}
+		return Eval(x.Y, env)
+	case *verilog.Index:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		idx, err := Eval(x.Idx, env)
+		if err != nil {
+			return 0, err
+		}
+		if idx >= 64 {
+			return 0, nil
+		}
+		return (v >> idx) & 1, nil
+	case *verilog.Slice:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		hi, err := Eval(x.Hi, env)
+		if err != nil {
+			return 0, err
+		}
+		lo, err := Eval(x.Lo, env)
+		if err != nil {
+			return 0, err
+		}
+		if lo > hi || lo >= 64 {
+			return 0, evalErrf(x.Pos, "invalid slice [%d:%d]", hi, lo)
+		}
+		return (v >> lo) & maskFor(int(hi-lo)+1), nil
+	case *verilog.Concat:
+		var out uint64
+		for _, el := range x.Elems {
+			w := ExprWidth(el, env)
+			v, err := Eval(el, env)
+			if err != nil {
+				return 0, err
+			}
+			out = (out << uint(w)) | (v & maskFor(w))
+		}
+		return out, nil
+	case *verilog.Repl:
+		n, err := Eval(x.Count, env)
+		if err != nil {
+			return 0, err
+		}
+		w := ExprWidth(x.Elem, env)
+		v, err := Eval(x.Elem, env)
+		if err != nil {
+			return 0, err
+		}
+		v &= maskFor(w)
+		var out uint64
+		for i := uint64(0); i < n && i < 64; i++ {
+			out = (out << uint(w)) | v
+		}
+		return out, nil
+	case *verilog.Call:
+		return evalCall(x, env)
+	case *verilog.StringLit:
+		return 0, evalErrf(x.Pos, "string literal in expression context")
+	}
+	return 0, evalErrf(e.Span(), "unsupported expression %T", e)
+}
+
+func evalUnary(x *verilog.Unary, env Env) (uint64, error) {
+	v, err := Eval(x.X, env)
+	if err != nil {
+		return 0, err
+	}
+	w := ExprWidth(x.X, env)
+	v &= maskFor(w)
+	switch x.Op {
+	case verilog.UnaryLogicalNot:
+		return boolVal(v == 0), nil
+	case verilog.UnaryBitNot:
+		return ^v & maskFor(w), nil
+	case verilog.UnaryMinus:
+		return -v, nil
+	case verilog.UnaryPlus:
+		return v, nil
+	case verilog.UnaryRedAnd:
+		return boolVal(v == maskFor(w)), nil
+	case verilog.UnaryRedOr:
+		return boolVal(v != 0), nil
+	case verilog.UnaryRedXor:
+		return uint64(popcount(v) & 1), nil
+	case verilog.UnaryRedXnor:
+		return uint64(1 - popcount(v)&1), nil
+	}
+	return 0, evalErrf(x.Pos, "unsupported unary operator %s", x.Op)
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+func evalBinary(x *verilog.Binary, env Env) (uint64, error) {
+	a, err := Eval(x.X, env)
+	if err != nil {
+		return 0, err
+	}
+	// Short-circuit logical operators.
+	switch x.Op {
+	case verilog.BinLogAnd:
+		if a == 0 {
+			return 0, nil
+		}
+		b, err := Eval(x.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		return boolVal(b != 0), nil
+	case verilog.BinLogOr:
+		if a != 0 {
+			return 1, nil
+		}
+		b, err := Eval(x.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		return boolVal(b != 0), nil
+	}
+	b, err := Eval(x.Y, env)
+	if err != nil {
+		return 0, err
+	}
+	switch x.Op {
+	case verilog.BinAdd:
+		return a + b, nil
+	case verilog.BinSub:
+		return a - b, nil
+	case verilog.BinMul:
+		return a * b, nil
+	case verilog.BinDiv:
+		if b == 0 {
+			return 0, nil // x in 4-state Verilog; 0 under two-state
+		}
+		return a / b, nil
+	case verilog.BinMod:
+		if b == 0 {
+			return 0, nil
+		}
+		return a % b, nil
+	case verilog.BinAnd:
+		return a & b, nil
+	case verilog.BinOr:
+		return a | b, nil
+	case verilog.BinXor:
+		return a ^ b, nil
+	case verilog.BinXnor:
+		w := ExprWidth(x.X, env)
+		if yw := ExprWidth(x.Y, env); yw > w {
+			w = yw
+		}
+		return ^(a ^ b) & maskFor(w), nil
+	case verilog.BinEq, verilog.BinCaseEq:
+		return boolVal(a == b), nil
+	case verilog.BinNe, verilog.BinCaseNe:
+		return boolVal(a != b), nil
+	case verilog.BinLt:
+		return boolVal(a < b), nil
+	case verilog.BinLe:
+		return boolVal(a <= b), nil
+	case verilog.BinGt:
+		return boolVal(a > b), nil
+	case verilog.BinGe:
+		return boolVal(a >= b), nil
+	case verilog.BinShl:
+		if b >= 64 {
+			return 0, nil
+		}
+		return a << b, nil
+	case verilog.BinShr, verilog.BinAShr:
+		if b >= 64 {
+			return 0, nil
+		}
+		return a >> b, nil
+	}
+	return 0, evalErrf(x.Pos, "unsupported binary operator %s", x.Op)
+}
+
+func evalCall(x *verilog.Call, env Env) (uint64, error) {
+	hist, hasHist := env.(HistoryEnv)
+	needArg := func() (verilog.Expr, error) {
+		if len(x.Args) == 0 {
+			return nil, evalErrf(x.Pos, "%s requires an argument", x.Name)
+		}
+		return x.Args[0], nil
+	}
+	switch x.Name {
+	case "$past":
+		arg, err := needArg()
+		if err != nil {
+			return 0, err
+		}
+		n := 1
+		if len(x.Args) > 1 {
+			nv, err := Eval(x.Args[1], env)
+			if err != nil {
+				return 0, err
+			}
+			n = int(nv)
+		}
+		if !hasHist {
+			return 0, evalErrf(x.Pos, "$past outside sampled context")
+		}
+		prev := hist.At(n)
+		if prev == nil {
+			return 0, nil // before start of time: sampled default (0)
+		}
+		return Eval(arg, prev)
+	case "$rose", "$fell", "$stable", "$changed":
+		arg, err := needArg()
+		if err != nil {
+			return 0, err
+		}
+		if !hasHist {
+			return 0, evalErrf(x.Pos, "%s outside sampled context", x.Name)
+		}
+		now, err := Eval(arg, env)
+		if err != nil {
+			return 0, err
+		}
+		var before uint64
+		if prev := hist.At(1); prev != nil {
+			before, err = Eval(arg, prev)
+			if err != nil {
+				return 0, err
+			}
+		}
+		switch x.Name {
+		case "$rose":
+			return boolVal(before&1 == 0 && now&1 == 1), nil
+		case "$fell":
+			return boolVal(before&1 == 1 && now&1 == 0), nil
+		case "$stable":
+			return boolVal(before == now), nil
+		default:
+			return boolVal(before != now), nil
+		}
+	case "$countones":
+		arg, err := needArg()
+		if err != nil {
+			return 0, err
+		}
+		v, err := Eval(arg, env)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(popcount(v & maskFor(ExprWidth(arg, env)))), nil
+	case "$onehot":
+		arg, err := needArg()
+		if err != nil {
+			return 0, err
+		}
+		v, err := Eval(arg, env)
+		if err != nil {
+			return 0, err
+		}
+		return boolVal(popcount(v&maskFor(ExprWidth(arg, env))) == 1), nil
+	case "$onehot0":
+		arg, err := needArg()
+		if err != nil {
+			return 0, err
+		}
+		v, err := Eval(arg, env)
+		if err != nil {
+			return 0, err
+		}
+		return boolVal(popcount(v&maskFor(ExprWidth(arg, env))) <= 1), nil
+	case "$signed", "$unsigned":
+		arg, err := needArg()
+		if err != nil {
+			return 0, err
+		}
+		return Eval(arg, env)
+	}
+	return 0, evalErrf(x.Pos, "unsupported system function %s", x.Name)
+}
+
+// ExprWidth infers the self-determined width of an expression, used for
+// concatenation, replication, reduction and bitwise-not masking. Unsized
+// numbers report 32 bits, matching Verilog's integer promotion.
+func ExprWidth(e verilog.Expr, env Env) int {
+	switch x := e.(type) {
+	case *verilog.Number:
+		if x.Width > 0 {
+			return x.Width
+		}
+		return 32
+	case *verilog.Ident:
+		if w := env.Width(x.Name); w > 0 {
+			return w
+		}
+		return 32
+	case *verilog.Unary:
+		switch x.Op {
+		case verilog.UnaryLogicalNot, verilog.UnaryRedAnd, verilog.UnaryRedOr,
+			verilog.UnaryRedXor, verilog.UnaryRedXnor:
+			return 1
+		}
+		return ExprWidth(x.X, env)
+	case *verilog.Binary:
+		switch x.Op {
+		case verilog.BinLogAnd, verilog.BinLogOr, verilog.BinEq, verilog.BinNe,
+			verilog.BinCaseEq, verilog.BinCaseNe, verilog.BinLt, verilog.BinLe,
+			verilog.BinGt, verilog.BinGe:
+			return 1
+		case verilog.BinShl, verilog.BinShr, verilog.BinAShr:
+			return ExprWidth(x.X, env)
+		}
+		a, b := ExprWidth(x.X, env), ExprWidth(x.Y, env)
+		if a > b {
+			return a
+		}
+		return b
+	case *verilog.Ternary:
+		a, b := ExprWidth(x.X, env), ExprWidth(x.Y, env)
+		if a > b {
+			return a
+		}
+		return b
+	case *verilog.Index:
+		return 1
+	case *verilog.Slice:
+		hi, err1 := Eval(x.Hi, env)
+		lo, err2 := Eval(x.Lo, env)
+		if err1 == nil && err2 == nil && hi >= lo {
+			return int(hi-lo) + 1
+		}
+		return 1
+	case *verilog.Concat:
+		w := 0
+		for _, el := range x.Elems {
+			w += ExprWidth(el, env)
+		}
+		return w
+	case *verilog.Repl:
+		n, err := Eval(x.Count, env)
+		if err != nil {
+			return 1
+		}
+		return int(n) * ExprWidth(x.Elem, env)
+	case *verilog.Call:
+		switch x.Name {
+		case "$rose", "$fell", "$stable", "$changed", "$onehot", "$onehot0":
+			return 1
+		case "$countones":
+			return 32
+		}
+		if len(x.Args) > 0 {
+			return ExprWidth(x.Args[0], env)
+		}
+		return 32
+	}
+	return 32
+}

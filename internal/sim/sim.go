@@ -1,0 +1,405 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/verilog"
+)
+
+// maxCombIterations bounds the combinational settle loop; exceeding it means
+// a combinational cycle.
+const maxCombIterations = 64
+
+// Simulator advances an elaborated design one clock cycle at a time.
+type Simulator struct {
+	design *compile.Design
+	vals   map[string]uint64
+	clock  string
+	reset  compile.ResetInfo
+}
+
+// New creates a simulator with registers at their declared initial values
+// (zero by default) and combinational logic settled.
+func New(d *compile.Design) (*Simulator, error) {
+	s := &Simulator{
+		design: d,
+		vals:   make(map[string]uint64, len(d.Signals)),
+		clock:  d.ClockName(),
+		reset:  d.Reset(),
+	}
+	for name, init := range d.RegInit {
+		if sig := d.Signals[name]; sig != nil {
+			s.vals[name] = init & sig.Mask()
+		}
+	}
+	if err := s.settle(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Design returns the simulated design.
+func (s *Simulator) Design() *compile.Design { return s.design }
+
+// SetInput drives an input port for the upcoming cycle.
+func (s *Simulator) SetInput(name string, v uint64) error {
+	sig := s.design.Signals[name]
+	if sig == nil || sig.Kind != compile.SigInput {
+		return fmt.Errorf("sim: %q is not an input", name)
+	}
+	s.vals[name] = v & sig.Mask()
+	return nil
+}
+
+// Get returns the current value of any signal.
+func (s *Simulator) Get(name string) (uint64, bool) {
+	sig := s.design.Signals[name]
+	if sig == nil {
+		if v, ok := s.design.Params[name]; ok {
+			return v, true
+		}
+		return 0, false
+	}
+	return s.vals[name], true
+}
+
+// simEnv adapts the simulator's value map (with an optional overlay for
+// blocking assignments) to the evaluator's Env interface.
+type simEnv struct {
+	s       *Simulator
+	overlay map[string]uint64
+}
+
+// Value implements Env.
+func (e simEnv) Value(name string) (uint64, bool) {
+	if e.overlay != nil {
+		if v, ok := e.overlay[name]; ok {
+			return v, true
+		}
+	}
+	return e.s.Get(name)
+}
+
+// Width implements Env.
+func (e simEnv) Width(name string) int {
+	if sig := e.s.design.Signals[name]; sig != nil {
+		return sig.Width
+	}
+	return 0
+}
+
+// settle evaluates continuous assignments and combinational always blocks to
+// a fixpoint.
+func (s *Simulator) settle() error {
+	env := simEnv{s: s}
+	for iter := 0; iter < maxCombIterations; iter++ {
+		changed := false
+		for _, as := range s.design.Assigns {
+			v, err := Eval(as.RHS, env)
+			if err != nil {
+				return err
+			}
+			ch, err := s.store(as.LHS, v, nil)
+			if err != nil {
+				return err
+			}
+			changed = changed || ch
+		}
+		for _, al := range s.design.CombAlways {
+			updates := map[string]uint64{}
+			if err := s.exec(al.Body, updates); err != nil {
+				return err
+			}
+			for name, v := range updates {
+				sig := s.design.Signals[name]
+				v &= sig.Mask()
+				if s.vals[name] != v {
+					s.vals[name] = v
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: combinational logic did not settle (cycle?)")
+}
+
+// store writes v into an assignment target. When updates is non-nil the
+// write is deferred (nonblocking); otherwise it hits the value map and the
+// return value reports whether anything changed.
+func (s *Simulator) store(lhs verilog.Expr, v uint64, updates map[string]uint64) (bool, error) {
+	switch x := lhs.(type) {
+	case *verilog.Ident:
+		sig := s.design.Signals[x.Name]
+		if sig == nil {
+			return false, fmt.Errorf("sim: assignment to unknown signal %q", x.Name)
+		}
+		v &= sig.Mask()
+		if updates != nil {
+			updates[x.Name] = v
+			return true, nil
+		}
+		if s.vals[x.Name] != v {
+			s.vals[x.Name] = v
+			return true, nil
+		}
+		return false, nil
+	case *verilog.Index:
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return false, fmt.Errorf("sim: unsupported assignment target")
+		}
+		idx, err := Eval(x.Idx, simEnv{s: s})
+		if err != nil {
+			return false, err
+		}
+		cur, _ := s.Get(id.Name)
+		if updates != nil {
+			if pending, ok := updates[id.Name]; ok {
+				cur = pending
+			}
+		}
+		bit := uint64(1) << (idx & 63)
+		nv := (cur &^ bit) | ((v & 1) << (idx & 63))
+		return s.store(id, nv, updates)
+	case *verilog.Slice:
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return false, fmt.Errorf("sim: unsupported assignment target")
+		}
+		env := simEnv{s: s}
+		hi, err := Eval(x.Hi, env)
+		if err != nil {
+			return false, err
+		}
+		lo, err := Eval(x.Lo, env)
+		if err != nil {
+			return false, err
+		}
+		if lo > hi {
+			return false, fmt.Errorf("sim: invalid slice target")
+		}
+		cur, _ := s.Get(id.Name)
+		if updates != nil {
+			if pending, ok := updates[id.Name]; ok {
+				cur = pending
+			}
+		}
+		m := maskFor(int(hi-lo)+1) << lo
+		nv := (cur &^ m) | ((v << lo) & m)
+		return s.store(id, nv, updates)
+	case *verilog.Concat:
+		// {a, b} = v assigns slices of v left to right.
+		env := simEnv{s: s}
+		total := 0
+		widths := make([]int, len(x.Elems))
+		for i, el := range x.Elems {
+			widths[i] = ExprWidth(el, env)
+			total += widths[i]
+		}
+		shift := total
+		changed := false
+		for i, el := range x.Elems {
+			shift -= widths[i]
+			part := (v >> uint(shift)) & maskFor(widths[i])
+			ch, err := s.store(el, part, updates)
+			if err != nil {
+				return changed, err
+			}
+			changed = changed || ch
+		}
+		return changed, nil
+	}
+	return false, fmt.Errorf("sim: unsupported assignment target %T", lhs)
+}
+
+// exec runs a statement with blocking semantics into the overlay map
+// `updates` acting as both blocking overlay and result set. Used for
+// combinational always blocks.
+func (s *Simulator) exec(stmt verilog.Stmt, updates map[string]uint64) error {
+	env := simEnv{s: s, overlay: updates}
+	switch x := stmt.(type) {
+	case *verilog.Block:
+		for _, sub := range x.Stmts {
+			if err := s.exec(sub, updates); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *verilog.Blocking, *verilog.NonBlocking:
+		var lhs, rhs verilog.Expr
+		if b, ok := x.(*verilog.Blocking); ok {
+			lhs, rhs = b.LHS, b.RHS
+		} else {
+			nb := x.(*verilog.NonBlocking)
+			lhs, rhs = nb.LHS, nb.RHS
+		}
+		v, err := Eval(rhs, env)
+		if err != nil {
+			return err
+		}
+		_, err = s.store(lhs, v, updates)
+		return err
+	case *verilog.If:
+		c, err := Eval(x.Cond, env)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return s.exec(x.Then, updates)
+		}
+		if x.Else != nil {
+			return s.exec(x.Else, updates)
+		}
+		return nil
+	case *verilog.Case:
+		return s.execCase(x, updates, env)
+	}
+	return nil
+}
+
+func (s *Simulator) execCase(x *verilog.Case, updates map[string]uint64, env simEnv) error {
+	subj, err := Eval(x.Subject, env)
+	if err != nil {
+		return err
+	}
+	var deflt verilog.Stmt
+	for _, item := range x.Items {
+		if item.Exprs == nil {
+			deflt = item.Body
+			continue
+		}
+		for _, le := range item.Exprs {
+			lv, err := Eval(le, env)
+			if err != nil {
+				return err
+			}
+			if lv == subj {
+				return s.exec(item.Body, updates)
+			}
+		}
+	}
+	if deflt != nil {
+		return s.exec(deflt, updates)
+	}
+	return nil
+}
+
+// Step advances one clock cycle: combinational logic is settled against the
+// current inputs, sequential blocks execute at the clock edge, nonblocking
+// updates commit, and combinational logic settles again.
+func (s *Simulator) Step() error {
+	if err := s.settle(); err != nil {
+		return err
+	}
+	return s.edge()
+}
+
+// Settle re-evaluates combinational logic against the current inputs without
+// advancing the clock. Callers that need a preponed sample (the value set
+// just before the clock edge) call Settle, read Snapshot, then Edge.
+func (s *Simulator) Settle() error { return s.settle() }
+
+// Edge executes the clock edge only: sequential blocks run against the
+// current (pre-edge) values, nonblocking updates commit, and combinational
+// logic settles.
+func (s *Simulator) Edge() error { return s.edge() }
+
+func (s *Simulator) edge() error {
+	nba := map[string]uint64{}
+	for _, al := range s.design.SeqAlways {
+		blocking := map[string]uint64{}
+		if err := s.execSeq(al.Body, nba, blocking); err != nil {
+			return err
+		}
+		// Blocking assignments inside sequential blocks commit with the edge.
+		for name, v := range blocking {
+			nba[name] = v
+		}
+	}
+	for name, v := range nba {
+		if sig := s.design.Signals[name]; sig != nil {
+			s.vals[name] = v & sig.Mask()
+		}
+	}
+	return s.settle()
+}
+
+// execSeq runs a sequential block body. Reads see pre-edge values overlaid
+// with this block's blocking assignments; nonblocking writes land in nba.
+func (s *Simulator) execSeq(stmt verilog.Stmt, nba, blocking map[string]uint64) error {
+	env := simEnv{s: s, overlay: blocking}
+	switch x := stmt.(type) {
+	case *verilog.Block:
+		for _, sub := range x.Stmts {
+			if err := s.execSeq(sub, nba, blocking); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *verilog.NonBlocking:
+		v, err := Eval(x.RHS, env)
+		if err != nil {
+			return err
+		}
+		_, err = s.store(x.LHS, v, nba)
+		return err
+	case *verilog.Blocking:
+		v, err := Eval(x.RHS, env)
+		if err != nil {
+			return err
+		}
+		_, err = s.store(x.LHS, v, blocking)
+		return err
+	case *verilog.If:
+		c, err := Eval(x.Cond, env)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return s.execSeq(x.Then, nba, blocking)
+		}
+		if x.Else != nil {
+			return s.execSeq(x.Else, nba, blocking)
+		}
+		return nil
+	case *verilog.Case:
+		subj, err := Eval(x.Subject, env)
+		if err != nil {
+			return err
+		}
+		var deflt verilog.Stmt
+		for _, item := range x.Items {
+			if item.Exprs == nil {
+				deflt = item.Body
+				continue
+			}
+			for _, le := range item.Exprs {
+				lv, err := Eval(le, env)
+				if err != nil {
+					return err
+				}
+				if lv == subj {
+					return s.execSeq(item.Body, nba, blocking)
+				}
+			}
+		}
+		if deflt != nil {
+			return s.execSeq(deflt, nba, blocking)
+		}
+		return nil
+	}
+	return nil
+}
+
+// Snapshot copies the current value of every signal, keyed by name.
+func (s *Simulator) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.design.Order))
+	for _, name := range s.design.Order {
+		out[name] = s.vals[name]
+	}
+	return out
+}

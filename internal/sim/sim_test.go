@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+)
+
+func mustCompile(t *testing.T, src string) *compile.Design {
+	t.Helper()
+	d, diags, err := compile.Compile(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if compile.HasErrors(diags) {
+		t.Fatalf("compile errors:\n%s", compile.FormatDiags(diags))
+	}
+	return d
+}
+
+const counterSrc = `
+module counter (
+    input clk,
+    input rst_n,
+    input en,
+    output reg [3:0] count,
+    output wrap
+);
+    parameter MAX = 9;
+    assign wrap = count == MAX;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) count <= 0;
+        else if (en) begin
+            if (wrap) count <= 0;
+            else count <= count + 1;
+        end
+    end
+endmodule
+`
+
+func TestCounterBasic(t *testing.T) {
+	d := mustCompile(t, counterSrc)
+	stim := Stimulus{
+		{"rst_n": 0, "en": 0},
+		{"rst_n": 1, "en": 1},
+	}
+	for i := 0; i < 12; i++ {
+		stim = append(stim, map[string]uint64{"rst_n": 1, "en": 1})
+	}
+	tr, err := Run(d, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 0: reset asserted, count samples 0. After reset deasserts the
+	// counter increments once per enabled cycle and wraps at MAX=9.
+	wantCount := []uint64{0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1, 2}
+	for i, want := range wantCount {
+		got, ok := tr.Value(i, "count")
+		if !ok || got != want {
+			t.Errorf("cycle %d: count = %d (ok=%v), want %d", i, got, ok, want)
+		}
+	}
+	// wrap must be high exactly when count == 9.
+	for i := range wantCount {
+		count, _ := tr.Value(i, "count")
+		wrap, _ := tr.Value(i, "wrap")
+		want := uint64(0)
+		if count == 9 {
+			want = 1
+		}
+		if wrap != want {
+			t.Errorf("cycle %d: wrap = %d with count %d", i, wrap, count)
+		}
+	}
+}
+
+func TestEnableGating(t *testing.T) {
+	d := mustCompile(t, counterSrc)
+	stim := Stimulus{
+		{"rst_n": 0, "en": 0},
+		{"rst_n": 1, "en": 1},
+		{"rst_n": 1, "en": 0},
+		{"rst_n": 1, "en": 0},
+		{"rst_n": 1, "en": 1},
+		{"rst_n": 1, "en": 1},
+	}
+	tr, err := Run(d, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 0, 1, 1, 1, 2}
+	for i, w := range want {
+		got, _ := tr.Value(i, "count")
+		if got != w {
+			t.Errorf("cycle %d: count = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMidRunReset(t *testing.T) {
+	d := mustCompile(t, counterSrc)
+	stim := Stimulus{
+		{"rst_n": 1, "en": 1},
+		{"rst_n": 1, "en": 1},
+		{"rst_n": 1, "en": 1},
+		{"rst_n": 0, "en": 1}, // async reset pulse
+		{"rst_n": 1, "en": 1},
+	}
+	tr, err := Run(d, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got3, _ := tr.Value(4, "count") // cycle after reset: sampled 0
+	if got3 != 0 {
+		t.Errorf("count after reset = %d, want 0", got3)
+	}
+}
+
+// The Fig. 1 accumulator: accumulates 4 inputs, then pulses valid_out.
+const accuSrc = `
+module accu (
+    input clk,
+    input rst_n,
+    input [7:0] in,
+    input valid_in,
+    output reg valid_out,
+    output reg [9:0] data_out
+);
+    wire end_cnt;
+    reg [1:0] count;
+    assign end_cnt = valid_in && count == 2'd3;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) count <= 0;
+        else if (valid_in) count <= count + 1;
+    end
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) valid_out <= 0;
+        else if (end_cnt) valid_out <= 1;
+        else valid_out <= 0;
+    end
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) data_out <= 0;
+        else if (valid_in) data_out <= data_out + in;
+    end
+endmodule
+`
+
+func TestAccu(t *testing.T) {
+	d := mustCompile(t, accuSrc)
+	stim := Stimulus{
+		{"rst_n": 0, "in": 0, "valid_in": 0},
+		{"rst_n": 1, "in": 10, "valid_in": 1},
+		{"rst_n": 1, "in": 20, "valid_in": 1},
+		{"rst_n": 1, "in": 30, "valid_in": 1},
+		{"rst_n": 1, "in": 40, "valid_in": 1},
+		{"rst_n": 1, "in": 0, "valid_in": 0},
+	}
+	tr, err := Run(d, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// end_cnt rises in cycle 4 (count==3 && valid_in); valid_out pulses in
+	// cycle 5's sample; data_out totals 100.
+	if v, _ := tr.Value(4, "end_cnt"); v != 1 {
+		t.Errorf("end_cnt at cycle 4 = %d, want 1", v)
+	}
+	if v, _ := tr.Value(5, "valid_out"); v != 1 {
+		t.Errorf("valid_out at cycle 5 = %d, want 1", v)
+	}
+	if v, _ := tr.Value(5, "data_out"); v != 100 {
+		t.Errorf("data_out at cycle 5 = %d, want 100", v)
+	}
+}
+
+func TestBlockingVsNonblocking(t *testing.T) {
+	// Classic shift register: with NBAs both stages move together; with
+	// blocking assignments the value skips through in one cycle.
+	nbSrc := `
+module shift (
+    input clk,
+    input d,
+    output reg q1,
+    output reg q2
+);
+    always @(posedge clk) begin
+        q1 <= d;
+        q2 <= q1;
+    end
+endmodule
+`
+	bSrc := strings.ReplaceAll(nbSrc, "<=", "=")
+	dNB := mustCompile(t, nbSrc)
+	dB := mustCompile(t, bSrc)
+	stim := Stimulus{{"d": 1}, {"d": 0}, {"d": 0}}
+
+	trNB, err := Run(dNB, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NBA: q2 sees the old q1, so the 1 arrives at q2 one cycle after q1.
+	if v, _ := trNB.Value(1, "q1"); v != 1 {
+		t.Errorf("NBA q1 cycle1 = %d, want 1", v)
+	}
+	if v, _ := trNB.Value(1, "q2"); v != 0 {
+		t.Errorf("NBA q2 cycle1 = %d, want 0", v)
+	}
+	if v, _ := trNB.Value(2, "q2"); v != 1 {
+		t.Errorf("NBA q2 cycle2 = %d, want 1", v)
+	}
+
+	trB, err := Run(dB, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocking: q2 = q1 reads the just-written q1, so both update together.
+	if v, _ := trB.Value(1, "q2"); v != 1 {
+		t.Errorf("blocking q2 cycle1 = %d, want 1", v)
+	}
+}
+
+func TestCombAlwaysCase(t *testing.T) {
+	src := `
+module dec (
+    input [1:0] sel,
+    output reg [3:0] y
+);
+    always @(*) begin
+        case (sel)
+            2'd0: y = 4'b0001;
+            2'd1: y = 4'b0010;
+            2'd2: y = 4'b0100;
+            default: y = 4'b1000;
+        endcase
+    end
+endmodule
+`
+	d := mustCompile(t, src)
+	for sel, want := range map[uint64]uint64{0: 1, 1: 2, 2: 4, 3: 8} {
+		tr, err := Run(d, Stimulus{{"sel": sel}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := tr.Value(0, "y"); got != want {
+			t.Errorf("sel=%d: y = %d, want %d", sel, got, want)
+		}
+	}
+}
+
+func TestCombLoopDetected(t *testing.T) {
+	src := `
+module osc (
+    input a,
+    output w
+);
+    wire x;
+    assign x = ~x | a;
+    assign w = x;
+endmodule
+`
+	d := mustCompile(t, src)
+	if _, err := Run(d, Stimulus{{"a": 0}}); err == nil {
+		t.Fatal("want combinational settle error")
+	}
+}
+
+func TestBitAndSliceAssign(t *testing.T) {
+	src := `
+module bits (
+    input clk,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        q[3:0] <= d[7:4];
+        q[7] <= d[0];
+    end
+endmodule
+`
+	d := mustCompile(t, src)
+	tr, err := Run(d, Stimulus{{"d": 0xA5}, {"d": 0xA5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d = 1010_0101: q[3:0] <= 1010, q[7] <= 1.
+	got, _ := tr.Value(1, "q")
+	if got != 0x8A {
+		t.Errorf("q = %#x, want 0x8a", got)
+	}
+}
+
+func TestConcatAssign(t *testing.T) {
+	src := `
+module cc (
+    input [3:0] a,
+    input [3:0] b,
+    output [7:0] y
+);
+    assign y = {a, b};
+endmodule
+`
+	d := mustCompile(t, src)
+	tr, err := Run(d, Stimulus{{"a": 0xC, "b": 0x3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.Value(0, "y"); got != 0xC3 {
+		t.Errorf("y = %#x, want 0xc3", got)
+	}
+}
+
+func TestRegInitApplied(t *testing.T) {
+	src := `
+module ini (
+    input clk,
+    output reg [3:0] q
+);
+    reg [3:0] seed = 4'd7;
+    always @(posedge clk) q <= seed;
+endmodule
+`
+	d := mustCompile(t, src)
+	tr, err := Run(d, Stimulus{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.Value(0, "seed"); got != 7 {
+		t.Errorf("seed = %d, want 7", got)
+	}
+	if got, _ := tr.Value(1, "q"); got != 7 {
+		t.Errorf("q = %d, want 7", got)
+	}
+}
+
+func TestTraceFormat(t *testing.T) {
+	d := mustCompile(t, counterSrc)
+	tr, err := Run(d, Stimulus{{"rst_n": 0, "en": 0}, {"rst_n": 1, "en": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := tr.Format([]string{"count", "wrap"})
+	if !strings.Contains(text, "count") || !strings.Contains(text, "wrap") {
+		t.Errorf("Format output missing signals:\n%s", text)
+	}
+}
+
+func TestSetInputValidation(t *testing.T) {
+	d := mustCompile(t, counterSrc)
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInput("count", 1); err == nil {
+		t.Error("SetInput on output should fail")
+	}
+	if err := s.SetInput("ghost", 1); err == nil {
+		t.Error("SetInput on unknown signal should fail")
+	}
+	if err := s.SetInput("en", 0xFF); err != nil {
+		t.Errorf("SetInput: %v", err)
+	}
+	if v, _ := s.Get("en"); v != 1 {
+		t.Errorf("en masked to %d, want 1", v)
+	}
+}

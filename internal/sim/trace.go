@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/compile"
+)
+
+// Trace is the sampled history of a simulation run. Rows[i] holds the
+// preponed sample for clock cycle i: the value of every signal immediately
+// before the i-th rising clock edge. This matches SVA sampling semantics,
+// so the SVA checker evaluates properties directly over trace rows.
+type Trace struct {
+	Design *compile.Design
+	Rows   []map[string]uint64
+}
+
+// Len returns the number of sampled cycles.
+func (t *Trace) Len() int { return len(t.Rows) }
+
+// Value returns signal name's sampled value at cycle.
+func (t *Trace) Value(cycle int, name string) (uint64, bool) {
+	if cycle < 0 || cycle >= len(t.Rows) {
+		return 0, false
+	}
+	v, ok := t.Rows[cycle][name]
+	if !ok {
+		if pv, pok := t.Design.Params[name]; pok {
+			return pv, true
+		}
+	}
+	return v, ok
+}
+
+// Format renders the trace as a compact waveform table for counterexample
+// logs, limited to the named signals (or all signals when names is nil).
+func (t *Trace) Format(names []string) string {
+	if names == nil {
+		names = t.Design.Order
+	}
+	var sb strings.Builder
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	fmt.Fprintf(&sb, "%*s |", width, "cycle")
+	for i := range t.Rows {
+		fmt.Fprintf(&sb, " %3d", i)
+	}
+	sb.WriteString("\n")
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%*s |", width, n)
+		for i := range t.Rows {
+			v := t.Rows[i][n]
+			fmt.Fprintf(&sb, " %3d", v)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Stimulus drives a simulation: one map of input values per clock cycle.
+// The clock itself is implicit (one rising edge per entry). Reset values are
+// supplied like any other input.
+type Stimulus []map[string]uint64
+
+// InputNames returns the sorted set of input names mentioned anywhere in the
+// stimulus, used for validation and logging.
+func (st Stimulus) InputNames() []string {
+	set := map[string]bool{}
+	for _, cyc := range st {
+		for name := range cyc {
+			set[name] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run simulates the design over the stimulus and returns the sampled trace.
+// Inputs not mentioned in a cycle hold their previous value.
+func Run(d *compile.Design, stim Stimulus) (*Trace, error) {
+	s, err := New(d)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Design: d, Rows: make([]map[string]uint64, 0, len(stim))}
+	for i, cyc := range stim {
+		for name, v := range cyc {
+			if err := s.SetInput(name, v); err != nil {
+				return nil, fmt.Errorf("cycle %d: %w", i, err)
+			}
+		}
+		if err := s.Settle(); err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", i, err)
+		}
+		tr.Rows = append(tr.Rows, s.Snapshot())
+		if err := s.Edge(); err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", i, err)
+		}
+	}
+	return tr, nil
+}

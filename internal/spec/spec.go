@@ -1,0 +1,64 @@
+// Package spec writes natural-language design specifications, standing in
+// for the GPT-4 spec-generation step of the paper's pipeline (Stage 1 of
+// Fig. 2-I). Specifications are rendered from blueprint metadata (family
+// description plus port roles) and from the module interface itself, so
+// every dataset sample carries the same three inputs the paper's model
+// sees: Spec, buggy SV code, and logs.
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/verilog"
+)
+
+// Generate renders the specification for a blueprint.
+func Generate(b *corpus.Blueprint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Module: %s\n", b.Name())
+	sb.WriteString("Ports:\n")
+	docs := map[string]string{}
+	for _, pd := range b.PortDocs {
+		docs[pd.Name] = pd.Role
+	}
+	for _, p := range b.Module.Ports {
+		width := 1
+		if p.Range != nil {
+			if hi, ok := p.Range.Hi.(*verilog.Number); ok {
+				width = int(hi.Value) + 1
+			}
+		}
+		role := docs[p.Name]
+		if role == "" {
+			role = "see function description"
+		}
+		fmt.Fprintf(&sb, "  %s: %s, %d bit", p.Name, p.Dir, width)
+		if width > 1 {
+			sb.WriteString("s")
+		}
+		fmt.Fprintf(&sb, " - %s\n", role)
+	}
+	sb.WriteString("Function: ")
+	sb.WriteString(b.Description)
+	sb.WriteString("\n")
+	if n := len(b.Module.Asserts()); n > 0 {
+		fmt.Fprintf(&sb, "Verification: the module embeds %d SystemVerilog assertion(s) checking the behaviour above.\n", n)
+	}
+	return sb.String()
+}
+
+// GenerateBare renders a minimal specification for a module without
+// blueprint metadata (used for raw corpus entries in the Verilog-PT
+// dataset, where only the interface is known).
+func GenerateBare(m *verilog.Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Module: %s\n", m.Name)
+	sb.WriteString("Ports:\n")
+	for _, p := range m.Ports {
+		fmt.Fprintf(&sb, "  %s: %s\n", p.Name, p.Dir)
+	}
+	sb.WriteString("Function: behavioural description unavailable; inferred from structure.\n")
+	return sb.String()
+}

@@ -1,0 +1,61 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/verilog"
+)
+
+func TestGenerate(t *testing.T) {
+	b := corpus.Counter(4, 9)
+	s := Generate(b)
+	for _, want := range []string{
+		"Module: counter_w4_m9",
+		"clk: input, 1 bit",
+		"count: output, 4 bits",
+		"Function:",
+		"wrapping up-counter",
+		"Verification:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("spec missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestGenerateAllBlueprints(t *testing.T) {
+	for _, b := range corpus.Catalog() {
+		s := Generate(b)
+		if !strings.Contains(s, "Module: "+b.Name()) {
+			t.Errorf("%s: bad header", b.Name())
+		}
+		if !strings.Contains(s, "Function: ") {
+			t.Errorf("%s: missing function section", b.Name())
+		}
+		for _, p := range b.Module.Ports {
+			if !strings.Contains(s, p.Name+":") {
+				t.Errorf("%s: port %s undocumented", b.Name(), p.Name)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	b := corpus.Accu(8, 2)
+	if Generate(b) != Generate(corpus.Accu(8, 2)) {
+		t.Error("spec generation not deterministic")
+	}
+}
+
+func TestGenerateBare(t *testing.T) {
+	m, err := verilog.Parse("module m (input a, output y);\nassign y = a;\nendmodule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := GenerateBare(m)
+	if !strings.Contains(s, "Module: m") || !strings.Contains(s, "a: input") {
+		t.Errorf("bare spec = %q", s)
+	}
+}

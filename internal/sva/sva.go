@@ -1,0 +1,281 @@
+// Package sva evaluates SystemVerilog Assertions over sampled simulation
+// traces. It implements the property subset used by the corpus: clocked
+// properties with optional "disable iff", boolean sequence terms joined by
+// ##N cycle delays, and the overlapping (|->) and non-overlapping (|=>)
+// implication operators, plus the sampled-value functions handled by the
+// expression evaluator ($past, $rose, $fell, $stable).
+//
+// Together with internal/sim and internal/formal this package plays the
+// role SymbiYosys plays in the paper: deciding whether a bug/SVA pair
+// triggers an assertion failure and producing the failure logs that become
+// part of every SVA-Bug and SVA-Eval sample.
+package sva
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/compile"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+)
+
+// Failure is one assertion failure detected on a trace.
+type Failure struct {
+	Assert     compile.ResolvedAssert
+	StartCycle int // cycle at which the property attempt began
+	FailCycle  int // cycle at which the failing term was evaluated
+	Term       verilog.Expr
+}
+
+// String renders a single failure line.
+func (f Failure) String() string {
+	return fmt.Sprintf("failed assertion %s at cycle %d (attempt started at cycle %d): %s is false",
+		f.Assert.Name, f.FailCycle, f.StartCycle, verilog.ExprString(f.Term))
+}
+
+// Result summarises checking all assertions against one trace.
+type Result struct {
+	Failures []Failure
+	// Attempts counts non-vacuous property attempts per assertion name,
+	// a coverage signal used by the SVA generator to discard properties
+	// whose antecedent never fires.
+	Attempts map[string]int
+}
+
+// Failed reports whether any assertion failed.
+func (r *Result) Failed() bool { return len(r.Failures) > 0 }
+
+// FirstFailure returns the earliest failure by (FailCycle, assertion name),
+// or nil.
+func (r *Result) FirstFailure() *Failure {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	best := r.Failures[0]
+	for _, f := range r.Failures[1:] {
+		if f.FailCycle < best.FailCycle ||
+			(f.FailCycle == best.FailCycle && f.Assert.Name < best.Assert.Name) {
+			best = f
+		}
+	}
+	return &best
+}
+
+// traceEnv adapts a trace row to the evaluator environment, with history
+// access for sampled-value functions.
+type traceEnv struct {
+	tr  *sim.Trace
+	idx int
+}
+
+// Value implements sim.Env.
+func (e traceEnv) Value(name string) (uint64, bool) { return e.tr.Value(e.idx, name) }
+
+// Width implements sim.Env.
+func (e traceEnv) Width(name string) int {
+	if sig := e.tr.Design.Signals[name]; sig != nil {
+		return sig.Width
+	}
+	return 0
+}
+
+// At implements sim.HistoryEnv.
+func (e traceEnv) At(offset int) sim.Env {
+	if e.idx-offset < 0 {
+		return nil
+	}
+	return traceEnv{tr: e.tr, idx: e.idx - offset}
+}
+
+// Check evaluates every assertion of the trace's design over the trace.
+// Property attempts that run past the end of the trace are treated as
+// pending (bounded-check semantics), not failures.
+func Check(tr *sim.Trace) (*Result, error) {
+	res := &Result{Attempts: map[string]int{}}
+	for _, a := range tr.Design.Asserts {
+		if err := checkAssert(tr, a, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func checkAssert(tr *sim.Trace, a compile.ResolvedAssert, res *Result) error {
+	n := tr.Len()
+	for start := 0; start < n; start++ {
+		outcome, err := evalAttempt(tr, a, start)
+		if err != nil {
+			return err
+		}
+		switch outcome.kind {
+		case attemptFail:
+			res.Attempts[a.Name]++
+			res.Failures = append(res.Failures, Failure{
+				Assert:     a,
+				StartCycle: start,
+				FailCycle:  outcome.failCycle,
+				Term:       outcome.failTerm,
+			})
+		case attemptPass:
+			res.Attempts[a.Name]++
+		}
+	}
+	return nil
+}
+
+type attemptKind int
+
+const (
+	attemptPass attemptKind = iota
+	attemptFail
+	attemptVacuous // antecedent did not match or attempt disabled
+	attemptPending // ran past end of bounded trace
+)
+
+type attemptOutcome struct {
+	kind      attemptKind
+	failCycle int
+	failTerm  verilog.Expr
+}
+
+// evalAttempt evaluates one property attempt starting at cycle start.
+func evalAttempt(tr *sim.Trace, a compile.ResolvedAssert, start int) (attemptOutcome, error) {
+	disabled := func(cycle int) (bool, error) {
+		if a.DisableIff == nil {
+			return false, nil
+		}
+		v, err := sim.Eval(a.DisableIff, traceEnv{tr: tr, idx: cycle})
+		if err != nil {
+			return false, err
+		}
+		return v != 0, nil
+	}
+
+	cursor := start
+	// Antecedent phase.
+	if a.Seq.Impl != verilog.ImplNone {
+		for _, term := range a.Seq.Antecedent {
+			cursor += term.DelayFromPrev
+			if cursor >= tr.Len() {
+				return attemptOutcome{kind: attemptPending}, nil
+			}
+			if dis, err := disabled(cursor); err != nil {
+				return attemptOutcome{}, err
+			} else if dis {
+				return attemptOutcome{kind: attemptVacuous}, nil
+			}
+			v, err := sim.Eval(term.Expr, traceEnv{tr: tr, idx: cursor})
+			if err != nil {
+				return attemptOutcome{}, err
+			}
+			if v == 0 {
+				return attemptOutcome{kind: attemptVacuous}, nil
+			}
+		}
+		if a.Seq.Impl == verilog.ImplNonOverlap {
+			cursor++
+		}
+	}
+
+	// Consequent phase.
+	for _, term := range a.Seq.Consequent {
+		cursor += term.DelayFromPrev
+		if cursor >= tr.Len() {
+			return attemptOutcome{kind: attemptPending}, nil
+		}
+		if dis, err := disabled(cursor); err != nil {
+			return attemptOutcome{}, err
+		} else if dis {
+			return attemptOutcome{kind: attemptVacuous}, nil
+		}
+		v, err := sim.Eval(term.Expr, traceEnv{tr: tr, idx: cursor})
+		if err != nil {
+			return attemptOutcome{}, err
+		}
+		if v == 0 {
+			return attemptOutcome{kind: attemptFail, failCycle: cursor, failTerm: term.Expr}, nil
+		}
+	}
+	return attemptOutcome{kind: attemptPass}, nil
+}
+
+// FormatLog renders failures as the simulator/verifier log text attached to
+// dataset samples. The format is stable: the repair model parses assertion
+// names and signal values out of it.
+func FormatLog(moduleName string, tr *sim.Trace, failures []Failure) string {
+	if len(failures) == 0 {
+		return fmt.Sprintf("%s: all assertions passed (%d cycles)\n", moduleName, tr.Len())
+	}
+	var sb strings.Builder
+	// Group by assertion; report the first failure per assertion plus a
+	// total count, the way a bounded model checker reports one
+	// counterexample per property.
+	byName := map[string][]Failure{}
+	var names []string
+	for _, f := range failures {
+		if _, seen := byName[f.Assert.Name]; !seen {
+			names = append(names, f.Assert.Name)
+		}
+		byName[f.Assert.Name] = append(byName[f.Assert.Name], f)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fs := byName[name]
+		first := fs[0]
+		for _, f := range fs[1:] {
+			if f.FailCycle < first.FailCycle {
+				first = f
+			}
+		}
+		fmt.Fprintf(&sb, "failed assertion %s.%s at cycle %d\n", moduleName, name, first.FailCycle)
+		if first.Assert.ErrMsg != "" {
+			fmt.Fprintf(&sb, "  message: %s\n", first.Assert.ErrMsg)
+		}
+		fmt.Fprintf(&sb, "  failing term: %s (attempt started at cycle %d, %d failing attempts in trace)\n",
+			verilog.ExprString(first.Term), first.StartCycle, len(fs))
+		// Signal values around the failure help localisation.
+		ids := signalsOf(first.Assert)
+		fmt.Fprintf(&sb, "  sampled values at cycle %d:", first.FailCycle)
+		for _, id := range ids {
+			if v, ok := tr.Value(first.FailCycle, id); ok {
+				fmt.Fprintf(&sb, " %s=%d", id, v)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// signalsOf returns the sorted identifiers referenced by an assertion's
+// property (antecedent, consequent and disable expressions).
+func signalsOf(a compile.ResolvedAssert) []string {
+	set := map[string]bool{}
+	add := func(e verilog.Expr) {
+		for id := range verilog.ExprIdents(e) {
+			set[id] = true
+		}
+	}
+	if a.DisableIff != nil {
+		add(a.DisableIff)
+	}
+	if a.Seq != nil {
+		for _, t := range a.Seq.Antecedent {
+			add(t.Expr)
+		}
+		for _, t := range a.Seq.Consequent {
+			add(t.Expr)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AssertSignals exposes the assertion-signal extraction for the repair
+// model's localisation features.
+func AssertSignals(a compile.ResolvedAssert) []string { return signalsOf(a) }

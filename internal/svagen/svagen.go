@@ -1,0 +1,197 @@
+// Package svagen validates candidate SystemVerilog assertions against
+// golden designs, reproducing the two-step verification the paper applies
+// to Claude-3.5's generated SVAs: each candidate is inserted into the
+// golden code, compiled, and bounded-model-checked; candidates that fail on
+// the golden design or are vacuous (antecedent never fires) are rejected.
+//
+// The corpus blueprints carry their own curated assertions, so this package
+// plays two roles: re-validating those assertions end to end, and
+// exercising the rejection path with deliberately corrupted candidates
+// (modelling LLM hallucination).
+package svagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/formal"
+	"repro/internal/verilog"
+)
+
+// Candidate is one generated property+assert pair to validate.
+type Candidate struct {
+	Name  string
+	Items []verilog.Item // exactly one PropertyDecl and one AssertItem
+}
+
+// Verdict classifies a validation outcome.
+type Verdict int
+
+// Verdicts.
+const (
+	Accepted Verdict = iota
+	RejectedCompile
+	RejectedFails   // assertion fires on the golden design
+	RejectedVacuous // antecedent never matches within the bound
+)
+
+var verdictNames = [...]string{"accepted", "rejected-compile", "rejected-fails", "rejected-vacuous"}
+
+// String names the verdict.
+func (v Verdict) String() string { return verdictNames[v] }
+
+// Result pairs a candidate with its verdict.
+type Result struct {
+	Candidate Candidate
+	Verdict   Verdict
+	Detail    string
+}
+
+// ValidateBlueprint checks that the blueprint's own embedded assertions
+// pass non-vacuously on the golden design (the accept path).
+func ValidateBlueprint(b *corpus.Blueprint, seed int64) error {
+	d, diags, err := compile.Compile(b.Source())
+	if err != nil {
+		return fmt.Errorf("svagen: %s: %w", b.Name(), err)
+	}
+	if compile.HasErrors(diags) {
+		return fmt.Errorf("svagen: %s: %s", b.Name(), compile.FormatDiags(diags))
+	}
+	res, err := formal.Check(d, formal.Options{Seed: seed, Depth: b.CheckDepth(16)})
+	if err != nil {
+		return err
+	}
+	if !res.Pass {
+		return fmt.Errorf("svagen: %s: golden design fails its assertions:\n%s", b.Name(), res.Log)
+	}
+	if len(res.VacuousAsserts) > 0 {
+		return fmt.Errorf("svagen: %s: vacuous assertions %v", b.Name(), res.VacuousAsserts)
+	}
+	return nil
+}
+
+// ExtractCandidates lifts the blueprint's embedded property/assert pairs
+// into standalone candidates.
+func ExtractCandidates(b *corpus.Blueprint) []Candidate {
+	var out []Candidate
+	props := map[string]*verilog.PropertyDecl{}
+	for _, it := range b.Module.Items {
+		if p, ok := it.(*verilog.PropertyDecl); ok {
+			props[p.Name] = p
+		}
+	}
+	for _, it := range b.Module.Items {
+		a, ok := it.(*verilog.AssertItem)
+		if !ok || a.Ref == "" {
+			continue
+		}
+		p := props[a.Ref]
+		if p == nil {
+			continue
+		}
+		out = append(out, Candidate{
+			Name: p.Name,
+			Items: []verilog.Item{
+				verilog.CloneItem(p),
+				verilog.CloneItem(a),
+			},
+		})
+	}
+	return out
+}
+
+// CorruptCandidates derives broken variants of real candidates, modelling
+// hallucinated SVAs: consequent-negated properties (fail on golden) and
+// impossible-antecedent properties (vacuous).
+func CorruptCandidates(b *corpus.Blueprint, rng *rand.Rand) []Candidate {
+	var out []Candidate
+	for i, c := range ExtractCandidates(b) {
+		prop := c.Items[0].(*verilog.PropertyDecl)
+		as := c.Items[1].(*verilog.AssertItem)
+		switch (i + rng.Intn(2)) % 2 {
+		case 0: // negate the first consequent term
+			bad := verilog.CloneItem(prop).(*verilog.PropertyDecl)
+			bad.Name = prop.Name + "_neg"
+			if len(bad.Seq.Consequent) > 0 {
+				bad.Seq.Consequent[0].Expr = &verilog.Unary{
+					Op: verilog.UnaryLogicalNot, X: bad.Seq.Consequent[0].Expr,
+				}
+			}
+			badAssert := verilog.CloneItem(as).(*verilog.AssertItem)
+			badAssert.Ref = bad.Name
+			badAssert.Label = bad.Name + "_assertion"
+			out = append(out, Candidate{Name: bad.Name, Items: []verilog.Item{bad, badAssert}})
+		default: // impossible antecedent: X && !X
+			bad := verilog.CloneItem(prop).(*verilog.PropertyDecl)
+			bad.Name = prop.Name + "_vac"
+			impossible := &verilog.Binary{
+				Op: verilog.BinLogAnd,
+				X:  &verilog.Ident{Name: "clk"},
+				Y:  &verilog.Unary{Op: verilog.UnaryLogicalNot, X: &verilog.Ident{Name: "clk"}},
+			}
+			bad.Seq = &verilog.SeqExpr{
+				Antecedent: []verilog.SeqTerm{{Expr: impossible}},
+				Impl:       verilog.ImplOverlap,
+				Consequent: bad.Seq.Consequent,
+			}
+			if len(bad.Seq.Consequent) == 0 {
+				bad.Seq.Consequent = []verilog.SeqTerm{{Expr: &verilog.Number{Value: 1}}}
+			}
+			badAssert := verilog.CloneItem(as).(*verilog.AssertItem)
+			badAssert.Ref = bad.Name
+			badAssert.Label = bad.Name + "_assertion"
+			out = append(out, Candidate{Name: bad.Name, Items: []verilog.Item{bad, badAssert}})
+		}
+	}
+	return out
+}
+
+// ValidateCandidate inserts a single candidate into a copy of the golden
+// module stripped of its other assertions and runs the two-step check.
+func ValidateCandidate(b *corpus.Blueprint, c Candidate, seed int64) Result {
+	m := verilog.CloneModule(b.Module)
+	var kept []verilog.Item
+	for _, it := range m.Items {
+		switch it.(type) {
+		case *verilog.PropertyDecl, *verilog.AssertItem:
+			continue
+		}
+		kept = append(kept, it)
+	}
+	m.Items = append(kept, c.Items...)
+	src := verilog.Print(m)
+
+	d, diags, err := compile.Compile(src)
+	if err != nil {
+		return Result{Candidate: c, Verdict: RejectedCompile, Detail: err.Error()}
+	}
+	if compile.HasErrors(diags) {
+		return Result{Candidate: c, Verdict: RejectedCompile, Detail: compile.FormatDiags(diags)}
+	}
+	res, err := formal.Check(d, formal.Options{Seed: seed, Depth: b.CheckDepth(16)})
+	if err != nil {
+		return Result{Candidate: c, Verdict: RejectedCompile, Detail: err.Error()}
+	}
+	if !res.Pass {
+		return Result{Candidate: c, Verdict: RejectedFails, Detail: res.Log}
+	}
+	if len(res.VacuousAsserts) > 0 {
+		return Result{Candidate: c, Verdict: RejectedVacuous, Detail: fmt.Sprint(res.VacuousAsserts)}
+	}
+	return Result{Candidate: c, Verdict: Accepted}
+}
+
+// Filter validates a candidate list, returning accepted and rejected sets.
+func Filter(b *corpus.Blueprint, cands []Candidate, seed int64) (accepted []Candidate, rejected []Result) {
+	for _, c := range cands {
+		r := ValidateCandidate(b, c, seed)
+		if r.Verdict == Accepted {
+			accepted = append(accepted, c)
+		} else {
+			rejected = append(rejected, r)
+		}
+	}
+	return accepted, rejected
+}

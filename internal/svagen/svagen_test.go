@@ -1,0 +1,90 @@
+package svagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func TestValidateBlueprintAccepts(t *testing.T) {
+	for _, name := range []string{"counter_w4_m9", "accu_w8_g2", "fifo_flags_d3"} {
+		b := corpus.ByName(name)
+		if b == nil {
+			t.Fatalf("missing blueprint %s", name)
+		}
+		if err := ValidateBlueprint(b, 11); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestExtractCandidates(t *testing.T) {
+	b := corpus.Counter(4, 9)
+	cands := ExtractCandidates(b)
+	if len(cands) != 4 {
+		t.Fatalf("got %d candidates, want 4 (counter has 4 properties)", len(cands))
+	}
+	names := map[string]bool{}
+	for _, c := range cands {
+		names[c.Name] = true
+		if len(c.Items) != 2 {
+			t.Errorf("%s: %d items, want 2", c.Name, len(c.Items))
+		}
+	}
+	for _, want := range []string{"p_wrap", "p_bound", "p_incr", "p_hold"} {
+		if !names[want] {
+			t.Errorf("missing candidate %s", want)
+		}
+	}
+}
+
+func TestRealCandidatesAccepted(t *testing.T) {
+	b := corpus.Counter(4, 9)
+	accepted, rejected := Filter(b, ExtractCandidates(b), 5)
+	if len(rejected) != 0 {
+		for _, r := range rejected {
+			t.Errorf("rejected %s: %s (%s)", r.Candidate.Name, r.Verdict, r.Detail)
+		}
+	}
+	if len(accepted) != 4 {
+		t.Errorf("accepted %d, want 4", len(accepted))
+	}
+}
+
+func TestCorruptCandidatesRejected(t *testing.T) {
+	b := corpus.Counter(4, 9)
+	rng := rand.New(rand.NewSource(3))
+	corrupted := CorruptCandidates(b, rng)
+	if len(corrupted) == 0 {
+		t.Fatal("no corrupted candidates generated")
+	}
+	accepted, rejected := Filter(b, corrupted, 5)
+	if len(accepted) != 0 {
+		for _, c := range accepted {
+			t.Errorf("corrupted candidate %s was accepted", c.Name)
+		}
+	}
+	// The two corruption modes must both appear and carry the right verdict.
+	verdicts := map[Verdict]int{}
+	for _, r := range rejected {
+		verdicts[r.Verdict]++
+	}
+	if verdicts[RejectedFails] == 0 {
+		t.Error("no candidate rejected for failing on golden")
+	}
+	if verdicts[RejectedVacuous] == 0 {
+		t.Error("no candidate rejected as vacuous")
+	}
+}
+
+func TestValidateCandidateIsolation(t *testing.T) {
+	// Validating one candidate must not be influenced by the blueprint's
+	// other assertions: strip-and-insert leaves exactly one assert.
+	b := corpus.Counter(4, 9)
+	c := ExtractCandidates(b)[0]
+	r := ValidateCandidate(b, c, 5)
+	if r.Verdict != Accepted {
+		t.Fatalf("verdict = %s, detail: %s", r.Verdict, r.Detail)
+	}
+}

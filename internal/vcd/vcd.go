@@ -1,0 +1,148 @@
+// Package vcd renders simulation traces as Value Change Dump (IEEE 1364
+// §18) text, the interchange format every waveform viewer reads. The
+// pipeline uses it to ship counterexample traces alongside failure logs,
+// and cmd/solve can emit the failing waveform next to its repair
+// suggestions.
+package vcd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Options control rendering.
+type Options struct {
+	// Timescale per clock cycle; default "1ns".
+	Timescale string
+	// Signals restricts the dump to the named signals (nil = all, in the
+	// design's deterministic order).
+	Signals []string
+	// Date stamps the header; empty omits the field (keeps output
+	// deterministic for tests and dataset artefacts).
+	Date time.Time
+}
+
+// Write renders the trace as a VCD document. Each trace row (a preponed
+// sample) becomes one timestep; the clock itself is emitted as an extra
+// toggling signal so viewers show edges.
+func Write(w io.Writer, tr *sim.Trace, opts Options) error {
+	if tr == nil || tr.Design == nil {
+		return fmt.Errorf("vcd: nil trace")
+	}
+	ts := opts.Timescale
+	if ts == "" {
+		ts = "1ns"
+	}
+	names := opts.Signals
+	if names == nil {
+		names = tr.Design.Order
+	}
+	for _, n := range names {
+		if tr.Design.Signals[n] == nil {
+			return fmt.Errorf("vcd: unknown signal %q", n)
+		}
+	}
+
+	var sb strings.Builder
+	if !opts.Date.IsZero() {
+		fmt.Fprintf(&sb, "$date %s $end\n", opts.Date.UTC().Format(time.RFC3339))
+	}
+	sb.WriteString("$version repro AssertSolver reproduction $end\n")
+	fmt.Fprintf(&sb, "$timescale %s $end\n", ts)
+	fmt.Fprintf(&sb, "$scope module %s $end\n", tr.Design.Module.Name)
+
+	ids := identifiers(len(names) + 1)
+	clkID := ids[len(names)]
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = tr.Design.Signals[n].Width
+		kind := "wire"
+		if tr.Design.Signals[n].IsReg {
+			kind = "reg"
+		}
+		if widths[i] == 1 {
+			fmt.Fprintf(&sb, "$var %s 1 %s %s $end\n", kind, ids[i], n)
+		} else {
+			fmt.Fprintf(&sb, "$var %s %d %s %s [%d:0] $end\n", kind, widths[i], ids[i], n, widths[i]-1)
+		}
+	}
+	fmt.Fprintf(&sb, "$var wire 1 %s clk $end\n", clkID)
+	sb.WriteString("$upscope $end\n$enddefinitions $end\n")
+
+	// Initial dump plus per-cycle changes. Each cycle spans two timesteps
+	// so the synthetic clock shows a rising edge at the sample point.
+	prev := make([]uint64, len(names))
+	first := true
+	for c := 0; c < tr.Len(); c++ {
+		fmt.Fprintf(&sb, "#%d\n", 2*c)
+		if first {
+			sb.WriteString("$dumpvars\n")
+		}
+		for i, n := range names {
+			v, _ := tr.Value(c, n)
+			if first || v != prev[i] {
+				writeValue(&sb, v, widths[i], ids[i])
+			}
+			prev[i] = v
+		}
+		fmt.Fprintf(&sb, "1%s\n", clkID)
+		if first {
+			sb.WriteString("$end\n")
+			first = false
+		}
+		fmt.Fprintf(&sb, "#%d\n0%s\n", 2*c+1, clkID)
+	}
+	fmt.Fprintf(&sb, "#%d\n", 2*tr.Len())
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func writeValue(sb *strings.Builder, v uint64, width int, id string) {
+	if width == 1 {
+		fmt.Fprintf(sb, "%d%s\n", v&1, id)
+		return
+	}
+	fmt.Fprintf(sb, "b%b %s\n", v, id)
+}
+
+// identifiers generates n distinct short VCD identifier codes from the
+// printable range '!'..'~'.
+func identifiers(n int) []string {
+	const lo, hi = 33, 126
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		x := i
+		var b []byte
+		for {
+			b = append(b, byte(lo+x%(hi-lo+1)))
+			x = x/(hi-lo+1) - 1
+			if x < 0 {
+				break
+			}
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// Strings renders a trace to a string (convenience for logs and tests).
+func Strings(tr *sim.Trace, opts Options) (string, error) {
+	var sb strings.Builder
+	if err := Write(&sb, tr, opts); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// SortedSignalNames returns the trace's signal names sorted, a helper for
+// callers choosing a subset.
+func SortedSignalNames(tr *sim.Trace) []string {
+	out := append([]string(nil), tr.Design.Order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,118 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/sim"
+)
+
+func traceFixture(t *testing.T) *sim.Trace {
+	t.Helper()
+	src := `
+module m (
+    input clk,
+    input [3:0] d,
+    output reg [3:0] q,
+    output one
+);
+    assign one = q[0];
+    always @(posedge clk) q <= d;
+endmodule
+`
+	d, diags, err := compile.Compile(src)
+	if err != nil || compile.HasErrors(diags) {
+		t.Fatal("fixture broken")
+	}
+	tr, err := sim.Run(d, sim.Stimulus{
+		{"d": 5}, {"d": 5}, {"d": 9}, {"d": 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestWriteStructure(t *testing.T) {
+	tr := traceFixture(t)
+	out, err := Strings(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module m $end",
+		"$var wire 4", // input d
+		"$var reg 4",  // q
+		"$var wire 1",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#0",
+		"b101 ", // d = 5
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The synthetic clock must toggle: both phases appear.
+	if !strings.Contains(out, "#1\n0") {
+		t.Error("missing clock low phase")
+	}
+}
+
+func TestChangeOnlySemantics(t *testing.T) {
+	tr := traceFixture(t)
+	out, err := Strings(tr, Options{Signals: []string{"d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d is 5,5,9,9: the value line b101 must appear exactly once (initial
+	// dump) and b1001 exactly once (the change), not once per cycle.
+	if got := strings.Count(out, "b101 "); got != 1 {
+		t.Errorf("b101 appears %d times, want 1", got)
+	}
+	if got := strings.Count(out, "b1001 "); got != 1 {
+		t.Errorf("b1001 appears %d times, want 1", got)
+	}
+}
+
+func TestSignalSubsetAndErrors(t *testing.T) {
+	tr := traceFixture(t)
+	out, err := Strings(tr, Options{Signals: []string{"q"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, " d ") {
+		t.Error("subset dump leaked other signals")
+	}
+	if _, err := Strings(tr, Options{Signals: []string{"ghost"}}); err == nil {
+		t.Error("unknown signal accepted")
+	}
+	if _, err := Strings(nil, Options{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestIdentifiersDistinct(t *testing.T) {
+	ids := identifiers(500)
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate identifier %q", id)
+		}
+		seen[id] = true
+		if id == "" {
+			t.Fatal("empty identifier")
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	tr := traceFixture(t)
+	a, _ := Strings(tr, Options{})
+	b, _ := Strings(tr, Options{})
+	if a != b {
+		t.Error("VCD output not deterministic")
+	}
+}

@@ -1,0 +1,647 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Expr is any Verilog expression node.
+type Expr interface {
+	exprNode()
+	// Span returns the source position of the expression's first token.
+	Span() Pos
+}
+
+// Ident is a simple identifier reference.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// Number is a numeric literal. Width 0 means unsized (treated as 32-bit in
+// self-determined contexts). Base is 'b', 'o', 'd' or 'h'; 0 means a plain
+// decimal literal without a base specifier.
+type Number struct {
+	Width int
+	Base  byte
+	Value uint64
+	Pos   Pos
+}
+
+// UnaryOp enumerates unary operators, including reduction operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	UnaryLogicalNot UnaryOp = iota // !
+	UnaryBitNot                    // ~
+	UnaryMinus                     // -
+	UnaryPlus                      // +
+	UnaryRedAnd                    // &
+	UnaryRedOr                     // |
+	UnaryRedXor                    // ^
+	UnaryRedXnor                   // ~^
+)
+
+var unaryOpNames = [...]string{"!", "~", "-", "+", "&", "|", "^", "~^"}
+
+// String returns the operator's spelling.
+func (op UnaryOp) String() string { return unaryOpNames[op] }
+
+// Unary is a unary expression such as !x or &vec.
+type Unary struct {
+	Op  UnaryOp
+	X   Expr
+	Pos Pos
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators in no particular order; precedence lives in the parser.
+const (
+	BinAdd    BinaryOp = iota // +
+	BinSub                    // -
+	BinMul                    // *
+	BinDiv                    // /
+	BinMod                    // %
+	BinAnd                    // &
+	BinOr                     // |
+	BinXor                    // ^
+	BinXnor                   // ~^
+	BinLogAnd                 // &&
+	BinLogOr                  // ||
+	BinEq                     // ==
+	BinNe                     // !=
+	BinCaseEq                 // ===
+	BinCaseNe                 // !==
+	BinLt                     // <
+	BinLe                     // <=
+	BinGt                     // >
+	BinGe                     // >=
+	BinShl                    // <<
+	BinShr                    // >>
+	BinAShr                   // >>>
+)
+
+var binaryOpNames = [...]string{
+	"+", "-", "*", "/", "%", "&", "|", "^", "~^", "&&", "||",
+	"==", "!=", "===", "!==", "<", "<=", ">", ">=", "<<", ">>", ">>>",
+}
+
+// String returns the operator's spelling.
+func (op BinaryOp) String() string { return binaryOpNames[op] }
+
+// Binary is a binary expression.
+type Binary struct {
+	Op   BinaryOp
+	X, Y Expr
+	Pos  Pos
+}
+
+// Ternary is the conditional operator cond ? x : y.
+type Ternary struct {
+	Cond Expr
+	X, Y Expr
+	Pos  Pos
+}
+
+// Index is a bit select x[i].
+type Index struct {
+	X   Expr
+	Idx Expr
+	Pos Pos
+}
+
+// Slice is a part select x[hi:lo] with constant bounds.
+type Slice struct {
+	X      Expr
+	Hi, Lo Expr
+	Pos    Pos
+}
+
+// Concat is a concatenation {a, b, c}.
+type Concat struct {
+	Elems []Expr
+	Pos   Pos
+}
+
+// Repl is a replication {n{expr}}.
+type Repl struct {
+	Count Expr
+	Elem  Expr
+	Pos   Pos
+}
+
+// Call is a system-function call such as $past(x, 1) or $rose(y). Only
+// system functions appear in the supported subset.
+type Call struct {
+	Name string // includes the leading '$'
+	Args []Expr
+	Pos  Pos
+}
+
+func (*Ident) exprNode()   {}
+func (*Number) exprNode()  {}
+func (*Unary) exprNode()   {}
+func (*Binary) exprNode()  {}
+func (*Ternary) exprNode() {}
+func (*Index) exprNode()   {}
+func (*Slice) exprNode()   {}
+func (*Concat) exprNode()  {}
+func (*Repl) exprNode()    {}
+func (*Call) exprNode()    {}
+
+// Span implements Expr.
+func (e *Ident) Span() Pos { return e.Pos }
+
+// Span implements Expr.
+func (e *Number) Span() Pos { return e.Pos }
+
+// Span implements Expr.
+func (e *Unary) Span() Pos { return e.Pos }
+
+// Span implements Expr.
+func (e *Binary) Span() Pos { return e.Pos }
+
+// Span implements Expr.
+func (e *Ternary) Span() Pos { return e.Pos }
+
+// Span implements Expr.
+func (e *Index) Span() Pos { return e.Pos }
+
+// Span implements Expr.
+func (e *Slice) Span() Pos { return e.Pos }
+
+// Span implements Expr.
+func (e *Concat) Span() Pos { return e.Pos }
+
+// Span implements Expr.
+func (e *Repl) Span() Pos { return e.Pos }
+
+// Span implements Expr.
+func (e *Call) Span() Pos { return e.Pos }
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// Stmt is any procedural statement.
+type Stmt interface {
+	stmtNode()
+	// Span returns the statement's starting position.
+	Span() Pos
+}
+
+// Block is a begin ... end statement list, optionally named.
+type Block struct {
+	Label string
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// NonBlocking is a nonblocking assignment lhs <= rhs.
+type NonBlocking struct {
+	LHS Expr
+	RHS Expr
+	Pos Pos
+}
+
+// Blocking is a blocking assignment lhs = rhs.
+type Blocking struct {
+	LHS Expr
+	RHS Expr
+	Pos Pos
+}
+
+// If is an if/else statement. Else may be nil.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+	Pos  Pos
+}
+
+// CaseItem is one arm of a case statement. A nil Exprs slice denotes the
+// default arm.
+type CaseItem struct {
+	Exprs []Expr
+	Body  Stmt
+	Pos   Pos
+}
+
+// Case is a case or casez statement.
+type Case struct {
+	IsCasez bool
+	Subject Expr
+	Items   []CaseItem
+	Pos     Pos
+}
+
+func (*Block) stmtNode()       {}
+func (*NonBlocking) stmtNode() {}
+func (*Blocking) stmtNode()    {}
+func (*If) stmtNode()          {}
+func (*Case) stmtNode()        {}
+
+// Span implements Stmt.
+func (s *Block) Span() Pos { return s.Pos }
+
+// Span implements Stmt.
+func (s *NonBlocking) Span() Pos { return s.Pos }
+
+// Span implements Stmt.
+func (s *Blocking) Span() Pos { return s.Pos }
+
+// Span implements Stmt.
+func (s *If) Span() Pos { return s.Pos }
+
+// Span implements Stmt.
+func (s *Case) Span() Pos { return s.Pos }
+
+// ---------------------------------------------------------------------------
+// Module items
+// ---------------------------------------------------------------------------
+
+// Item is any top-level module item.
+type Item interface {
+	itemNode()
+	// Span returns the item's starting position.
+	Span() Pos
+}
+
+// PortDir is a port direction.
+type PortDir int
+
+// Port directions.
+const (
+	DirInput PortDir = iota
+	DirOutput
+	DirInout
+)
+
+var portDirNames = [...]string{"input", "output", "inout"}
+
+// String returns the direction keyword.
+func (d PortDir) String() string { return portDirNames[d] }
+
+// Range is a bit range [Hi:Lo]. Both bounds must be constant expressions
+// (possibly referencing parameters).
+type Range struct {
+	Hi, Lo Expr
+}
+
+// Port is an ANSI-style port declaration.
+type Port struct {
+	Dir   PortDir
+	IsReg bool
+	Range *Range // nil for scalar
+	Name  string
+	Pos   Pos
+}
+
+// NetKind distinguishes wire and reg declarations.
+type NetKind int
+
+// Net kinds.
+const (
+	NetWire NetKind = iota
+	NetReg
+	NetInteger
+)
+
+var netKindNames = [...]string{"wire", "reg", "integer"}
+
+// String returns the declaration keyword.
+func (k NetKind) String() string { return netKindNames[k] }
+
+// NetDecl declares one or more wires or regs, optionally with a continuous
+// init for wires (wire x = expr).
+type NetDecl struct {
+	Kind  NetKind
+	Range *Range
+	Names []string
+	Init  Expr // only valid for single-name wire declarations
+	Pos   Pos
+}
+
+// ParamDecl declares a parameter or localparam.
+type ParamDecl struct {
+	IsLocal bool
+	Name    string
+	Value   Expr
+	Pos     Pos
+}
+
+// AssignItem is a continuous assignment: assign lhs = rhs.
+type AssignItem struct {
+	LHS Expr
+	RHS Expr
+	Pos Pos
+}
+
+// EdgeKind is the kind of event in a sensitivity list.
+type EdgeKind int
+
+// Edge kinds. EdgeAny covers the @(*) and @(a or b) level-sensitive forms.
+const (
+	EdgePos EdgeKind = iota
+	EdgeNeg
+	EdgeAny
+)
+
+// Event is one entry in a sensitivity list.
+type Event struct {
+	Edge   EdgeKind
+	Signal string // empty for @(*)
+}
+
+// AlwaysKind distinguishes the flavours of always blocks.
+type AlwaysKind int
+
+// Always kinds.
+const (
+	AlwaysPlain AlwaysKind = iota
+	AlwaysFF
+	AlwaysComb
+)
+
+// Always is an always block with its sensitivity list and body.
+type Always struct {
+	Kind   AlwaysKind
+	Events []Event // empty means @(*) / always_comb
+	Body   Stmt
+	Pos    Pos
+}
+
+// Initial is an initial block (accepted and checked, ignored in simulation
+// except for constant register initialization).
+type Initial struct {
+	Body Stmt
+	Pos  Pos
+}
+
+// PropertyDecl is a named SVA property:
+//
+//	property p; @(posedge clk) disable iff (!rst_n) a |-> ##1 b; endproperty
+type PropertyDecl struct {
+	Name       string
+	Clock      Event
+	DisableIff Expr // nil if absent
+	Seq        *SeqExpr
+	Pos        Pos
+}
+
+// SeqTerm is one boolean term of a sequence, delayed DelayFromPrev cycles
+// after the previous term (the first term's delay is relative to the match
+// start and is normally 0).
+type SeqTerm struct {
+	DelayFromPrev int
+	Expr          Expr
+}
+
+// ImplKind is the implication operator between antecedent and consequent.
+type ImplKind int
+
+// Implication kinds. ImplNone means the property is a plain sequence that
+// must hold at every clock.
+const (
+	ImplNone       ImplKind = iota
+	ImplOverlap             // |->
+	ImplNonOverlap          // |=>
+)
+
+// SeqExpr is a property body: an optional antecedent sequence, an
+// implication operator, and a consequent sequence.
+type SeqExpr struct {
+	Antecedent []SeqTerm // empty when Impl == ImplNone
+	Impl       ImplKind
+	Consequent []SeqTerm
+}
+
+// AssertItem is a concurrent assertion:
+//
+//	label: assert property (prop_name) else $error("message");
+//
+// Property may name a PropertyDecl (Ref) or carry an inline SeqExpr with its
+// own clocking.
+type AssertItem struct {
+	Label      string
+	Ref        string // named property reference; empty if inline
+	Clock      *Event // inline form only
+	DisableIff Expr   // inline form only
+	Seq        *SeqExpr
+	ErrMsg     string
+	Pos        Pos
+}
+
+// CommentItem is a standalone comment line preserved by the corpus
+// generator so that code length (a first-class experimental variable in the
+// paper) can be controlled. The parser does not produce these; generators do.
+type CommentItem struct {
+	Text string
+	Pos  Pos
+}
+
+func (*Port) itemNode()         {}
+func (*NetDecl) itemNode()      {}
+func (*ParamDecl) itemNode()    {}
+func (*AssignItem) itemNode()   {}
+func (*Always) itemNode()       {}
+func (*Initial) itemNode()      {}
+func (*PropertyDecl) itemNode() {}
+func (*AssertItem) itemNode()   {}
+func (*CommentItem) itemNode()  {}
+
+// Span implements Item.
+func (i *Port) Span() Pos { return i.Pos }
+
+// Span implements Item.
+func (i *NetDecl) Span() Pos { return i.Pos }
+
+// Span implements Item.
+func (i *ParamDecl) Span() Pos { return i.Pos }
+
+// Span implements Item.
+func (i *AssignItem) Span() Pos { return i.Pos }
+
+// Span implements Item.
+func (i *Always) Span() Pos { return i.Pos }
+
+// Span implements Item.
+func (i *Initial) Span() Pos { return i.Pos }
+
+// Span implements Item.
+func (i *PropertyDecl) Span() Pos { return i.Pos }
+
+// Span implements Item.
+func (i *AssertItem) Span() Pos { return i.Pos }
+
+// Span implements Item.
+func (i *CommentItem) Span() Pos { return i.Pos }
+
+// Module is a single Verilog module.
+type Module struct {
+	Name  string
+	Ports []*Port
+	Items []Item
+	Pos   Pos
+}
+
+// FindPort returns the port with the given name, or nil.
+func (m *Module) FindPort(name string) *Port {
+	for _, p := range m.Ports {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Properties returns all named property declarations in order.
+func (m *Module) Properties() []*PropertyDecl {
+	var out []*PropertyDecl
+	for _, it := range m.Items {
+		if p, ok := it.(*PropertyDecl); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Asserts returns all concurrent assertions in order.
+func (m *Module) Asserts() []*AssertItem {
+	var out []*AssertItem
+	for _, it := range m.Items {
+		if a, ok := it.(*AssertItem); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Expression helpers shared by downstream packages
+// ---------------------------------------------------------------------------
+
+// WalkExpr visits e and every sub-expression in depth-first order. The visit
+// function may not be nil.
+func WalkExpr(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch x := e.(type) {
+	case *Unary:
+		WalkExpr(x.X, visit)
+	case *Binary:
+		WalkExpr(x.X, visit)
+		WalkExpr(x.Y, visit)
+	case *Ternary:
+		WalkExpr(x.Cond, visit)
+		WalkExpr(x.X, visit)
+		WalkExpr(x.Y, visit)
+	case *Index:
+		WalkExpr(x.X, visit)
+		WalkExpr(x.Idx, visit)
+	case *Slice:
+		WalkExpr(x.X, visit)
+		WalkExpr(x.Hi, visit)
+		WalkExpr(x.Lo, visit)
+	case *Concat:
+		for _, el := range x.Elems {
+			WalkExpr(el, visit)
+		}
+	case *Repl:
+		WalkExpr(x.Count, visit)
+		WalkExpr(x.Elem, visit)
+	case *Call:
+		for _, a := range x.Args {
+			WalkExpr(a, visit)
+		}
+	}
+}
+
+// ExprIdents returns the set of identifier names referenced by e.
+func ExprIdents(e Expr) map[string]bool {
+	out := map[string]bool{}
+	WalkExpr(e, func(sub Expr) {
+		if id, ok := sub.(*Ident); ok {
+			out[id.Name] = true
+		}
+	})
+	return out
+}
+
+// WalkStmt visits s and every nested statement in depth-first order.
+func WalkStmt(s Stmt, visit func(Stmt)) {
+	if s == nil {
+		return
+	}
+	visit(s)
+	switch x := s.(type) {
+	case *Block:
+		for _, sub := range x.Stmts {
+			WalkStmt(sub, visit)
+		}
+	case *If:
+		WalkStmt(x.Then, visit)
+		WalkStmt(x.Else, visit)
+	case *Case:
+		for _, item := range x.Items {
+			WalkStmt(item.Body, visit)
+		}
+	}
+}
+
+// StmtExprs calls visit for every expression appearing directly in s
+// (without descending into nested statements).
+func StmtExprs(s Stmt, visit func(Expr)) {
+	switch x := s.(type) {
+	case *NonBlocking:
+		visit(x.LHS)
+		visit(x.RHS)
+	case *Blocking:
+		visit(x.LHS)
+		visit(x.RHS)
+	case *If:
+		visit(x.Cond)
+	case *Case:
+		visit(x.Subject)
+		for _, item := range x.Items {
+			for _, e := range item.Exprs {
+				visit(e)
+			}
+		}
+	}
+}
+
+// NumberText renders a Number in canonical Verilog syntax.
+func NumberText(n *Number) string {
+	if n.Base == 0 {
+		return strconv.FormatUint(n.Value, 10)
+	}
+	var digits string
+	switch n.Base {
+	case 'b':
+		digits = strconv.FormatUint(n.Value, 2)
+		if n.Width > 0 && len(digits) < n.Width {
+			digits = strings.Repeat("0", n.Width-len(digits)) + digits
+		}
+	case 'o':
+		digits = strconv.FormatUint(n.Value, 8)
+	case 'h':
+		digits = strconv.FormatUint(n.Value, 16)
+	default: // 'd'
+		digits = strconv.FormatUint(n.Value, 10)
+	}
+	if n.Width > 0 {
+		return fmt.Sprintf("%d'%c%s", n.Width, n.Base, digits)
+	}
+	return fmt.Sprintf("'%c%s", n.Base, digits)
+}

@@ -1,0 +1,373 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// LexError describes a lexical error with its position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer turns Verilog source text into a token stream. It skips whitespace,
+// comments, and compiler directives (`...), and tracks line/column positions.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input. It returns the tokens (terminated by an EOF
+// token) and the first lexical error, if any.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return toks, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return &LexError{Pos: start, Msg: "unterminated block comment"}
+			}
+		case c == '`':
+			// Compiler directive: skip to end of line.
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isBaseDigit(c byte) bool {
+	switch {
+	case isDigit(c):
+		return true
+	case c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		return true
+	case c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?' || c == '_':
+		return true
+	}
+	return false
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		return lx.lexIdent(start), nil
+	case c == '$':
+		return lx.lexSysIdent(start)
+	case isDigit(c) || c == '\'':
+		return lx.lexNumber(start)
+	case c == '"':
+		return lx.lexString(start)
+	}
+	return lx.lexOperator(start)
+}
+
+func (lx *Lexer) lexIdent(start Pos) Token {
+	begin := lx.off
+	for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[begin:lx.off]
+	if kw, ok := keywords[text]; ok {
+		return Token{Kind: kw, Text: text, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: start}
+}
+
+func (lx *Lexer) lexSysIdent(start Pos) (Token, error) {
+	begin := lx.off
+	lx.advance() // consume '$'
+	if lx.off >= len(lx.src) || !isIdentStart(lx.peek()) {
+		return Token{}, &LexError{Pos: start, Msg: "expected identifier after '$'"}
+	}
+	for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+		lx.advance()
+	}
+	return Token{Kind: TokSysIdent, Text: lx.src[begin:lx.off], Pos: start}, nil
+}
+
+// lexNumber handles plain decimals (42), sized literals (4'b1010, 8'hFF),
+// and unsized based literals ('d15). Underscores are allowed inside digits.
+func (lx *Lexer) lexNumber(start Pos) (Token, error) {
+	begin := lx.off
+	for lx.off < len(lx.src) && (isDigit(lx.peek()) || lx.peek() == '_') {
+		lx.advance()
+	}
+	if lx.off < len(lx.src) && lx.peek() == '\'' {
+		lx.advance()
+		if lx.off < len(lx.src) && (lx.peek() == 's' || lx.peek() == 'S') {
+			lx.advance()
+		}
+		if lx.off >= len(lx.src) || !strings.ContainsRune("bBoOdDhH", rune(lx.peek())) {
+			return Token{}, &LexError{Pos: start, Msg: "invalid base specifier in numeric literal"}
+		}
+		lx.advance() // base letter
+		if lx.off >= len(lx.src) || !isBaseDigit(lx.peek()) {
+			return Token{}, &LexError{Pos: start, Msg: "missing digits in based numeric literal"}
+		}
+		for lx.off < len(lx.src) && isBaseDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	return Token{Kind: TokNumber, Text: lx.src[begin:lx.off], Pos: start}, nil
+}
+
+func (lx *Lexer) lexString(start Pos) (Token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, &LexError{Pos: start, Msg: "unterminated string literal"}
+		}
+		c := lx.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' && lx.off < len(lx.src) {
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				sb.WriteByte(esc)
+			}
+			continue
+		}
+		if c == '\n' {
+			return Token{}, &LexError{Pos: start, Msg: "newline in string literal"}
+		}
+		sb.WriteByte(c)
+	}
+	return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+}
+
+func (lx *Lexer) lexOperator(start Pos) (Token, error) {
+	c := lx.advance()
+	mk := func(k TokenKind) (Token, error) {
+		return Token{Kind: k, Text: k.String(), Pos: start}, nil
+	}
+	switch c {
+	case '(':
+		return mk(TokLParen)
+	case ')':
+		return mk(TokRParen)
+	case '[':
+		return mk(TokLBracket)
+	case ']':
+		return mk(TokRBracket)
+	case '{':
+		return mk(TokLBrace)
+	case '}':
+		return mk(TokRBrace)
+	case ';':
+		return mk(TokSemi)
+	case ',':
+		return mk(TokComma)
+	case ':':
+		return mk(TokColon)
+	case '.':
+		return mk(TokDot)
+	case '@':
+		return mk(TokAt)
+	case '?':
+		return mk(TokQuestion)
+	case '#':
+		if lx.peek() == '#' {
+			lx.advance()
+			return mk(TokHashHash)
+		}
+		return mk(TokHash)
+	case '+':
+		return mk(TokPlus)
+	case '-':
+		if lx.peek() == '>' {
+			lx.advance()
+			return mk(TokArrow)
+		}
+		return mk(TokMinus)
+	case '*':
+		return mk(TokStar)
+	case '/':
+		return mk(TokSlash)
+	case '%':
+		return mk(TokPercent)
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return mk(TokAndAnd)
+		}
+		return mk(TokAmp)
+	case '|':
+		switch {
+		case lx.peek() == '|':
+			lx.advance()
+			return mk(TokOrOr)
+		case lx.peek() == '-' && lx.peek2() == '>':
+			lx.advance()
+			lx.advance()
+			return mk(TokImplies)
+		case lx.peek() == '=' && lx.peek2() == '>':
+			lx.advance()
+			lx.advance()
+			return mk(TokImpliesNon)
+		}
+		return mk(TokPipe)
+	case '^':
+		if lx.peek() == '~' {
+			lx.advance()
+			return mk(TokTildeCaret)
+		}
+		return mk(TokCaret)
+	case '~':
+		if lx.peek() == '^' {
+			lx.advance()
+			return mk(TokTildeCaret)
+		}
+		return mk(TokTilde)
+	case '!':
+		switch {
+		case lx.peek() == '=' && lx.peek2() == '=':
+			lx.advance()
+			lx.advance()
+			return mk(TokCaseNe)
+		case lx.peek() == '=':
+			lx.advance()
+			return mk(TokNotEq)
+		}
+		return mk(TokBang)
+	case '=':
+		switch {
+		case lx.peek() == '=' && lx.peek2() == '=':
+			lx.advance()
+			lx.advance()
+			return mk(TokCaseEq)
+		case lx.peek() == '=':
+			lx.advance()
+			return mk(TokEqEq)
+		}
+		return mk(TokEq)
+	case '<':
+		switch {
+		case lx.peek() == '=':
+			lx.advance()
+			return mk(TokLE)
+		case lx.peek() == '<':
+			lx.advance()
+			return mk(TokShl)
+		}
+		return mk(TokLT)
+	case '>':
+		switch {
+		case lx.peek() == '=':
+			lx.advance()
+			return mk(TokGE)
+		case lx.peek() == '>':
+			lx.advance()
+			if lx.peek() == '>' {
+				lx.advance()
+				return mk(TokAShr)
+			}
+			return mk(TokShr)
+		}
+		return mk(TokGT)
+	}
+	return Token{}, &LexError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+}

@@ -1,0 +1,366 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+const accuSrc = `
+module accu (
+    input clk,
+    input rst_n,
+    input [7:0] in,
+    input valid_in,
+    output reg valid_out,
+    output reg [9:0] data_out
+);
+    wire end_cnt;
+    reg [1:0] count;
+
+    assign end_cnt = valid_in && count == 2'd3;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) count <= 0;
+        else if (valid_in) count <= count + 1;
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) valid_out <= 0;
+        else if (end_cnt) valid_out <= 1;
+        else valid_out <= 0;
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) data_out <= 0;
+        else if (valid_in) data_out <= data_out + in;
+    end
+
+    property valid_out_check;
+        @(posedge clk) disable iff (!rst_n)
+        end_cnt |-> ##1 valid_out == 1;
+    endproperty
+
+    valid_out_check_assertion: assert property (valid_out_check)
+        else $error("valid_out should be high when end_cnt high");
+endmodule
+`
+
+func TestParseAccu(t *testing.T) {
+	m, err := Parse(accuSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Name != "accu" {
+		t.Errorf("module name = %q, want accu", m.Name)
+	}
+	if len(m.Ports) != 6 {
+		t.Fatalf("got %d ports, want 6", len(m.Ports))
+	}
+	wantPorts := []struct {
+		name  string
+		dir   PortDir
+		width bool
+	}{
+		{"clk", DirInput, false},
+		{"rst_n", DirInput, false},
+		{"in", DirInput, true},
+		{"valid_in", DirInput, false},
+		{"valid_out", DirOutput, false},
+		{"data_out", DirOutput, true},
+	}
+	for i, w := range wantPorts {
+		p := m.Ports[i]
+		if p.Name != w.name || p.Dir != w.dir || (p.Range != nil) != w.width {
+			t.Errorf("port %d = {%s %s range=%v}, want %+v", i, p.Name, p.Dir, p.Range != nil, w)
+		}
+	}
+	props := m.Properties()
+	if len(props) != 1 {
+		t.Fatalf("got %d properties, want 1", len(props))
+	}
+	prop := props[0]
+	if prop.Name != "valid_out_check" {
+		t.Errorf("property name = %q", prop.Name)
+	}
+	if prop.Clock.Edge != EdgePos || prop.Clock.Signal != "clk" {
+		t.Errorf("property clock = %+v", prop.Clock)
+	}
+	if prop.DisableIff == nil {
+		t.Error("property missing disable iff")
+	}
+	if prop.Seq.Impl != ImplOverlap {
+		t.Errorf("implication = %v, want |->", prop.Seq.Impl)
+	}
+	if len(prop.Seq.Consequent) != 1 || prop.Seq.Consequent[0].DelayFromPrev != 1 {
+		t.Errorf("consequent = %+v, want one term delayed by 1", prop.Seq.Consequent)
+	}
+	asserts := m.Asserts()
+	if len(asserts) != 1 {
+		t.Fatalf("got %d asserts, want 1", len(asserts))
+	}
+	if asserts[0].Label != "valid_out_check_assertion" {
+		t.Errorf("assert label = %q", asserts[0].Label)
+	}
+	if asserts[0].Ref != "valid_out_check" {
+		t.Errorf("assert ref = %q", asserts[0].Ref)
+	}
+	if !strings.Contains(asserts[0].ErrMsg, "valid_out should be high") {
+		t.Errorf("assert message = %q", asserts[0].ErrMsg)
+	}
+}
+
+func TestParseNumberLiterals(t *testing.T) {
+	tests := []struct {
+		src   string
+		width int
+		value uint64
+	}{
+		{"42", 0, 42},
+		{"4'b1010", 4, 10},
+		{"8'hFF", 8, 255},
+		{"8'hff", 8, 255},
+		{"12'o777", 12, 511},
+		{"16'd1000", 16, 1000},
+		{"4'b10_10", 4, 10},
+		{"8'bxxxx_zz01", 8, 1}, // x/z decode as 0 (two-state)
+		{"3'b111", 3, 7},
+		{"1'b1", 1, 1},
+		{"32'hDEAD_BEEF", 32, 0xDEADBEEF},
+	}
+	for _, tt := range tests {
+		e, err := ParseExpr(tt.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", tt.src, err)
+			continue
+		}
+		n, ok := e.(*Number)
+		if !ok {
+			t.Errorf("ParseExpr(%q) = %T, want *Number", tt.src, e)
+			continue
+		}
+		if n.Width != tt.width || n.Value != tt.value {
+			t.Errorf("ParseExpr(%q) = width %d value %d, want width %d value %d",
+				tt.src, n.Width, n.Value, tt.width, tt.value)
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string // canonical re-print
+	}{
+		{"a + b * c", "a + b * c"},
+		{"(a + b) * c", "(a + b) * c"},
+		{"a | b & c", "a | b & c"},
+		{"!a && b", "!a && b"},
+		{"a == b || c != d", "a == b || c != d"},
+		{"a ? b : c ? d : e", "a ? b : c ? d : e"},
+		{"~(a ^ b)", "~(a ^ b)"},
+		{"a << 2 + 1", "a << 2 + 1"},
+		{"&vec", "&vec"},
+		{"a[3:0]", "a[3:0]"},
+		{"{a, b, c}", "{a, b, c}"},
+		{"{4{x}}", "{4{x}}"},
+		{"$past(x, 1)", "$past(x, 1)"},
+		{"a - b - c", "a - b - c"},
+		{"a - (b - c)", "a - (b - c)"},
+	}
+	for _, tt := range tests {
+		e, err := ParseExpr(tt.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", tt.src, err)
+			continue
+		}
+		got := ExprString(e)
+		if got != tt.want {
+			t.Errorf("ExprString(ParseExpr(%q)) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"missing endmodule", "module m (input a);"},
+		{"missing semicolon", "module m (input a)\nendmodule"},
+		{"bad port", "module m (42);\nendmodule"},
+		{"bad statement", "module m (input a);\nalways @(posedge a) 42;\nendmodule"},
+		{"unterminated string", "module m (input a);\ninitial x = \"oops;\nendmodule"},
+		{"bad literal base", "module m (input a);\nwire w = 4'q1010;\nendmodule"},
+		{"stray token after module", "module m (input a);\nendmodule\nwire x;"},
+		{"missing end", "module m (input a);\nalways @(posedge a) begin\nendmodule"},
+		{"missing endcase", "module m (input a, output reg o);\nalways @(*) begin\ncase (a)\n1'b1: o = 1;\nend\nendmodule"},
+		{"instantiation unsupported", "module m (input a);\nsub u0 (.a(a));\nendmodule"},
+	}
+	for _, tt := range tests {
+		if _, err := Parse(tt.src); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", tt.name)
+		}
+	}
+}
+
+// TestPrintRoundTrip checks the printer fixpoint property: parse → print →
+// parse → print must be stable, and the second parse must succeed.
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{accuSrc, `
+module ctl (
+    input clk,
+    input rst_n,
+    input [3:0] sel,
+    output reg [7:0] out
+);
+    localparam IDLE = 0;
+    reg [7:0] tmp;
+    always @(*) begin
+        case (sel)
+            4'd0: tmp = 8'h01;
+            4'd1, 4'd2: tmp = 8'h02;
+            default: tmp = 8'hFF;
+        endcase
+    end
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) out <= 0;
+        else out <= tmp;
+    end
+    assert property (@(posedge clk) disable iff (!rst_n) sel == 0 |=> out == 8'h01);
+endmodule
+`}
+	for i, src := range srcs {
+		m1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("src %d: first parse: %v", i, err)
+		}
+		text1 := Print(m1)
+		m2, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("src %d: reparse of printed output: %v\n%s", i, err, text1)
+		}
+		text2 := Print(m2)
+		if text1 != text2 {
+			t.Errorf("src %d: print not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", i, text1, text2)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("module m;\n  wire x;\nendmodule\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tokens: module m ; wire x ; endmodule EOF
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("module pos = %v", toks[0].Pos)
+	}
+	if toks[3].Kind != TokWire || toks[3].Pos.Line != 2 || toks[3].Pos.Col != 3 {
+		t.Errorf("wire tok = %v at %v", toks[3], toks[3].Pos)
+	}
+	if toks[6].Kind != TokEndmodule || toks[6].Pos.Line != 3 {
+		t.Errorf("endmodule tok = %v at %v", toks[6], toks[6].Pos)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("wire // comment\n/* block\ncomment */ x `define FOO 1\n;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokWire, TokIdent, TokSemi, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens %v, want %d", len(toks), toks, len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "|-> |=> ## # <= < << >= > >> >>> == != === !== && & || | ~^ ^~ -> -"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokImplies, TokImpliesNon, TokHashHash, TokHash,
+		TokLE, TokLT, TokShl, TokGE, TokGT, TokShr, TokAShr,
+		TokEqEq, TokNotEq, TokCaseEq, TokCaseNe,
+		TokAndAnd, TokAmp, TokOrOr, TokPipe, TokTildeCaret, TokTildeCaret,
+		TokArrow, TokMinus, TokEOF,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+}
+
+func TestNonANSIPorts(t *testing.T) {
+	src := `
+module legacy (a, b, y);
+    input a;
+    input b;
+    output y;
+    assign y = a & b;
+endmodule
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(m.Ports) != 3 {
+		t.Fatalf("got %d ports, want 3", len(m.Ports))
+	}
+	if m.Ports[2].Dir != DirOutput {
+		t.Errorf("port y dir = %v, want output", m.Ports[2].Dir)
+	}
+}
+
+func TestParamModule(t *testing.T) {
+	src := `
+module cnt #(parameter WIDTH = 4, parameter MAX = 9) (
+    input clk,
+    output reg [WIDTH-1:0] q
+);
+    always @(posedge clk) begin
+        if (q == MAX) q <= 0;
+        else q <= q + 1;
+    end
+endmodule
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var params []*ParamDecl
+	for _, it := range m.Items {
+		if p, ok := it.(*ParamDecl); ok {
+			params = append(params, p)
+		}
+	}
+	if len(params) != 2 || params[0].Name != "WIDTH" || params[1].Name != "MAX" {
+		t.Errorf("params = %+v", params)
+	}
+}
+
+func TestExprIdents(t *testing.T) {
+	e, err := ParseExpr("a + b[3] * (c ? d : $past(e))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := ExprIdents(e)
+	for _, want := range []string{"a", "b", "c", "d", "e"} {
+		if !ids[want] {
+			t.Errorf("missing identifier %q in %v", want, ids)
+		}
+	}
+	if len(ids) != 5 {
+		t.Errorf("got %d idents, want 5: %v", len(ids), ids)
+	}
+}

@@ -1,0 +1,273 @@
+// Package verilog implements a front end for the subset of Verilog-2001 and
+// SystemVerilog Assertions (SVA) used throughout the AssertSolver
+// reproduction: a lexer, a recursive-descent parser, an AST, and a
+// deterministic printer.
+//
+// The subset covers module declarations with ANSI and non-ANSI ports,
+// wire/reg/parameter declarations, continuous assignments, always blocks
+// (sequential and combinational), if/else, case, begin/end blocks, the usual
+// expression operators, and SVA property/assert constructs with clocking,
+// "disable iff", boolean sequences, cycle delays (##N) and the overlapping
+// and non-overlapping implication operators.
+package verilog
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds. Operators carry their own kind so the parser can switch on
+// them directly.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokSysIdent // $-prefixed identifier such as $past or $error
+	TokNumber   // any numeric literal, sized or not
+	TokString   // "..." string literal
+
+	// Keywords.
+	TokModule
+	TokEndmodule
+	TokInput
+	TokOutput
+	TokInout
+	TokWire
+	TokReg
+	TokLogic
+	TokInteger
+	TokParameter
+	TokLocalparam
+	TokAssign
+	TokAlways
+	TokAlwaysFF
+	TokAlwaysComb
+	TokInitial
+	TokBegin
+	TokEnd
+	TokIf
+	TokElse
+	TokCase
+	TokCasez
+	TokEndcase
+	TokDefault
+	TokFor
+	TokPosedge
+	TokNegedge
+	TokOr
+	TokProperty
+	TokEndproperty
+	TokAssert
+	TokDisable
+	TokIff
+	TokGenvar
+	TokFunction
+	TokEndfunction
+	TokSigned
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokLBrace
+	TokRBrace
+	TokSemi
+	TokComma
+	TokColon
+	TokDot
+	TokAt
+	TokHash     // #
+	TokHashHash // ##
+	TokQuestion
+
+	// Operators.
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTildeCaret // ~^ or ^~ (xnor)
+	TokTilde
+	TokBang
+	TokAndAnd
+	TokOrOr
+	TokEq     // =
+	TokEqEq   // ==
+	TokNotEq  // !=
+	TokCaseEq // ===
+	TokCaseNe // !==
+	TokLT
+	TokLE // <= (also nonblocking assignment, disambiguated by parser)
+	TokGT
+	TokGE
+	TokShl
+	TokShr
+	TokAShr       // >>>
+	TokImplies    // |->
+	TokImpliesNon // |=>
+	TokArrow      // ->
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:         "EOF",
+	TokIdent:       "identifier",
+	TokSysIdent:    "system identifier",
+	TokNumber:      "number",
+	TokString:      "string",
+	TokModule:      "module",
+	TokEndmodule:   "endmodule",
+	TokInput:       "input",
+	TokOutput:      "output",
+	TokInout:       "inout",
+	TokWire:        "wire",
+	TokReg:         "reg",
+	TokLogic:       "logic",
+	TokInteger:     "integer",
+	TokParameter:   "parameter",
+	TokLocalparam:  "localparam",
+	TokAssign:      "assign",
+	TokAlways:      "always",
+	TokAlwaysFF:    "always_ff",
+	TokAlwaysComb:  "always_comb",
+	TokInitial:     "initial",
+	TokBegin:       "begin",
+	TokEnd:         "end",
+	TokIf:          "if",
+	TokElse:        "else",
+	TokCase:        "case",
+	TokCasez:       "casez",
+	TokEndcase:     "endcase",
+	TokDefault:     "default",
+	TokFor:         "for",
+	TokPosedge:     "posedge",
+	TokNegedge:     "negedge",
+	TokOr:          "or",
+	TokProperty:    "property",
+	TokEndproperty: "endproperty",
+	TokAssert:      "assert",
+	TokDisable:     "disable",
+	TokIff:         "iff",
+	TokGenvar:      "genvar",
+	TokFunction:    "function",
+	TokEndfunction: "endfunction",
+	TokSigned:      "signed",
+	TokLParen:      "(",
+	TokRParen:      ")",
+	TokLBracket:    "[",
+	TokRBracket:    "]",
+	TokLBrace:      "{",
+	TokRBrace:      "}",
+	TokSemi:        ";",
+	TokComma:       ",",
+	TokColon:       ":",
+	TokDot:         ".",
+	TokAt:          "@",
+	TokHash:        "#",
+	TokHashHash:    "##",
+	TokQuestion:    "?",
+	TokPlus:        "+",
+	TokMinus:       "-",
+	TokStar:        "*",
+	TokSlash:       "/",
+	TokPercent:     "%",
+	TokAmp:         "&",
+	TokPipe:        "|",
+	TokCaret:       "^",
+	TokTildeCaret:  "~^",
+	TokTilde:       "~",
+	TokBang:        "!",
+	TokAndAnd:      "&&",
+	TokOrOr:        "||",
+	TokEq:          "=",
+	TokEqEq:        "==",
+	TokNotEq:       "!=",
+	TokCaseEq:      "===",
+	TokCaseNe:      "!==",
+	TokLT:          "<",
+	TokLE:          "<=",
+	TokGT:          ">",
+	TokGE:          ">=",
+	TokShl:         "<<",
+	TokShr:         ">>",
+	TokAShr:        ">>>",
+	TokImplies:     "|->",
+	TokImpliesNon:  "|=>",
+	TokArrow:       "->",
+}
+
+// String returns the canonical spelling of the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"module":      TokModule,
+	"endmodule":   TokEndmodule,
+	"input":       TokInput,
+	"output":      TokOutput,
+	"inout":       TokInout,
+	"wire":        TokWire,
+	"reg":         TokReg,
+	"logic":       TokLogic,
+	"integer":     TokInteger,
+	"parameter":   TokParameter,
+	"localparam":  TokLocalparam,
+	"assign":      TokAssign,
+	"always":      TokAlways,
+	"always_ff":   TokAlwaysFF,
+	"always_comb": TokAlwaysComb,
+	"initial":     TokInitial,
+	"begin":       TokBegin,
+	"end":         TokEnd,
+	"if":          TokIf,
+	"else":        TokElse,
+	"case":        TokCase,
+	"casez":       TokCasez,
+	"endcase":     TokEndcase,
+	"default":     TokDefault,
+	"for":         TokFor,
+	"posedge":     TokPosedge,
+	"negedge":     TokNegedge,
+	"or":          TokOr,
+	"property":    TokProperty,
+	"endproperty": TokEndproperty,
+	"assert":      TokAssert,
+	"disable":     TokDisable,
+	"iff":         TokIff,
+	"genvar":      TokGenvar,
+	"function":    TokFunction,
+	"endfunction": TokEndfunction,
+	"signed":      TokSigned,
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source position and raw text.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokSysIdent, TokNumber, TokString:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
