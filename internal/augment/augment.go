@@ -22,7 +22,9 @@ package augment
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/bugs"
 	"repro/internal/compile"
@@ -32,6 +34,7 @@ import (
 	"repro/internal/formal"
 	"repro/internal/spec"
 	"repro/internal/sva"
+	"repro/internal/verify"
 	"repro/internal/verilog"
 )
 
@@ -137,15 +140,10 @@ func Run(cfg Config) (*Output, error) {
 			continue
 		}
 
-		d, diags, cerr := compile.Compile(e.Source)
-		if cerr != nil || compile.HasErrors(diags) || d == nil {
+		v, cerr := verify.Default().Check(e.Source, nil, verify.Options{CompileOnly: true})
+		if cerr != nil || !v.Passed() {
 			out.Stats.CompileFailed++
-			analysis := ""
-			if cerr != nil {
-				analysis = cerr.Error()
-			} else {
-				analysis = compile.FormatDiags(diags)
-			}
+			analysis := v.Log
 			specText := "Function: unavailable (code failed to compile).\n"
 			if m != nil {
 				specText = spec.GenerateBare(m)
@@ -157,8 +155,8 @@ func Run(cfg Config) (*Output, error) {
 			continue
 		}
 		out.Stats.Compiled++
-		b := corpus.ByName(d.Module.Name)
-		specText := spec.GenerateBare(d.Module)
+		b := corpus.ByName(v.Design.Module.Name)
+		specText := spec.GenerateBare(v.Design.Module)
 		if b != nil {
 			specText = spec.Generate(b)
 		}
@@ -194,43 +192,92 @@ func designSeed(base int64, name string) int64 {
 	return base ^ int64(h.Sum64()&0x7FFFFFFF)
 }
 
+// mutOutcome is the parallel-phase product for one mutant: its printed
+// source, its verification verdict, and — when it passed all assertions —
+// the behavioural diff against the golden design.
+type mutOutcome struct {
+	src     string
+	verdict verify.Verdict
+	err     error
+	diff    bool
+	diffLog string
+	diffErr error
+}
+
 // InjectAndValidate runs Stage 2 and Stage 3 for one golden blueprint,
 // returning its assertion-failure samples and functional-only bug entries.
+// Mutant verification — the hot path — fans out over the shared
+// verification service: every mutant is compiled, bounded-model-checked
+// and (when it passes) behaviourally diffed in parallel, then stats, CoT
+// generation and sample assembly run sequentially in enumeration order so
+// the output is byte-identical to a sequential pass.
 func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *cot.Generator) ([]dataset.SVASample, []dataset.BugEntry, error) {
 	cfg = cfg.withDefaults()
+	svc := verify.Default()
 	goldenSrc := b.Source()
-	goldenDesign, diags, err := compile.Compile(goldenSrc)
-	if err != nil || compile.HasErrors(diags) {
-		return nil, nil, fmt.Errorf("golden does not compile: %v %s", err, compile.FormatDiags(diags))
+	gv, gerr := svc.Check(goldenSrc, nil, verify.Options{CompileOnly: true})
+	if gerr != nil || !gv.Passed() {
+		return nil, nil, fmt.Errorf("golden does not compile: %v %s", gv.CompileErr, compile.FormatDiags(gv.Diags))
 	}
+	goldenDesign := gv.Design
 	specText := spec.Generate(b)
 	depth := b.CheckDepth(16)
 	seed := designSeed(cfg.Seed, b.Name())
-	opts := formal.Options{Seed: seed, Depth: depth, RandomRuns: cfg.RandomRuns}
+	opts := verify.Options{Seed: seed, Depth: depth, RandomRuns: cfg.RandomRuns}
+	diffOpts := formal.Options{Seed: seed, Depth: depth, RandomRuns: cfg.RandomRuns}
 
-	var samples []dataset.SVASample
-	var bugEntries []dataset.BugEntry
 	limit := cfg.BinCaps[corpus.BinIndex(b.LineCount())]
 	if cfg.MutationsPerDesign > 0 && (limit == 0 || cfg.MutationsPerDesign < limit) {
 		limit = cfg.MutationsPerDesign
 	}
 	muts := bugs.Enumerate(b.Module, limit)
+
+	// Parallel phase: verify (and diff) every mutant.
+	outcomes := make([]mutOutcome, len(muts))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(muts) {
+		workers = len(muts)
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				o := &outcomes[i]
+				o.src = verilog.Print(muts[i].Mutant)
+				o.verdict, o.err = svc.Check(o.src, nil, opts)
+				if o.err == nil && o.verdict.Passed() {
+					o.diff, o.diffLog, o.diffErr = formal.Differ(goldenDesign, o.verdict.Design, diffOpts)
+				}
+			}
+		}()
+	}
+	for i := range muts {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	// Sequential phase, in enumeration order: classify outcomes, generate
+	// and validate CoT (the generator is stateful and deterministic).
+	var samples []dataset.SVASample
+	var bugEntries []dataset.BugEntry
 	for i, mu := range muts {
+		o := outcomes[i]
 		stats.MutantsTried++
-		mutSrc := verilog.Print(mu.Mutant)
-		mutDesign, mdiags, merr := compile.Compile(mutSrc)
-		if merr != nil || compile.HasErrors(mdiags) || mutDesign == nil {
+		if o.verdict.Status == verify.StatusCompileError {
 			stats.MutantsNoncompile++
 			continue
 		}
-		res, cerr := formal.Check(mutDesign, opts)
-		if cerr != nil {
+		if o.err != nil {
 			stats.MutantsSimError++
 			continue
 		}
-		if !res.Pass {
+		if o.verdict.Status == verify.StatusAssertFail {
 			stats.MutantsAssertFail++
-			s := buildSample(b, mu, i, specText, mutSrc, goldenSrc, res, depth)
+			s := buildSample(b, mu, i, specText, o.src, goldenSrc, o.verdict.Formal, depth)
 			// Stage 3: CoT generation and validation.
 			stats.CoTGenerated++
 			cOut := cotGen.Generate(cot.Input{
@@ -251,12 +298,11 @@ func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *co
 			continue
 		}
 		// Passed all assertions: functional-only bug or no-op?
-		diff, diffLog, derr := formal.Differ(goldenDesign, mutDesign, opts)
-		if derr != nil {
+		if o.diffErr != nil {
 			stats.MutantsSimError++
 			continue
 		}
-		if !diff {
+		if !o.diff {
 			stats.MutantsNoop++
 			continue
 		}
@@ -264,11 +310,11 @@ func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *co
 		bugEntries = append(bugEntries, dataset.BugEntry{
 			Name:       fmt.Sprintf("%s_fbug%d", b.Name(), i),
 			Spec:       specText,
-			BuggyCode:  mutSrc,
+			BuggyCode:  o.src,
 			BuggyLine:  mu.BuggyLine,
 			FixedLine:  mu.GoldenLine,
 			LineNo:     mu.LineNo,
-			DiffReport: diffLog,
+			DiffReport: o.diffLog,
 		})
 	}
 	return samples, bugEntries, nil

@@ -5,11 +5,10 @@ import (
 	"strings"
 
 	"repro/internal/bugs"
-	"repro/internal/compile"
 	"repro/internal/corpus"
 	"repro/internal/dataset"
-	"repro/internal/formal"
 	"repro/internal/sva"
+	"repro/internal/verify"
 )
 
 // BuildHumanEval validates and converts the 38 hand-crafted cases into
@@ -32,34 +31,34 @@ func BuildHumanEval(cfg Config) ([]dataset.SVASample, error) {
 func buildHumanSample(hc corpus.HumanCase, cfg Config) (dataset.SVASample, error) {
 	var zero dataset.SVASample
 	seed := designSeed(cfg.Seed, hc.Name)
-	opts := formal.Options{Seed: seed, Depth: hc.CheckDepth, RandomRuns: cfg.RandomRuns}
+	opts := verify.Options{Seed: seed, Depth: hc.CheckDepth, RandomRuns: cfg.RandomRuns}
+	svc := verify.Default()
 
-	gd, diags, err := compile.Compile(hc.Golden)
-	if err != nil || compile.HasErrors(diags) {
-		return zero, fmt.Errorf("golden does not compile: %v %s", err, compile.FormatDiags(diags))
-	}
-	gres, err := formal.Check(gd, opts)
+	gv, err := svc.Check(hc.Golden, nil, opts)
 	if err != nil {
 		return zero, err
 	}
-	if !gres.Pass {
-		return zero, fmt.Errorf("golden fails its assertions:\n%s", gres.Log)
+	if gv.Status == verify.StatusCompileError {
+		return zero, fmt.Errorf("golden does not compile: %v %s", gv.CompileErr, gv.Log)
 	}
-	if len(gres.VacuousAsserts) > 0 {
-		return zero, fmt.Errorf("golden has vacuous assertions: %v", gres.VacuousAsserts)
+	if !gv.Passed() {
+		return zero, fmt.Errorf("golden fails its assertions:\n%s", gv.Log)
+	}
+	if vac := gv.Vacuous(); len(vac) > 0 {
+		return zero, fmt.Errorf("golden has vacuous assertions: %v", vac)
 	}
 
-	bd, diags, err := compile.Compile(hc.Buggy)
-	if err != nil || compile.HasErrors(diags) {
-		return zero, fmt.Errorf("buggy does not compile: %v %s", err, compile.FormatDiags(diags))
-	}
-	bres, err := formal.Check(bd, opts)
+	bv, err := svc.Check(hc.Buggy, nil, opts)
 	if err != nil {
 		return zero, err
 	}
-	if bres.Pass {
+	if bv.Status == verify.StatusCompileError {
+		return zero, fmt.Errorf("buggy does not compile: %v %s", bv.CompileErr, bv.Log)
+	}
+	if bv.Passed() {
 		return zero, fmt.Errorf("buggy design passes all assertions (bug not detected)")
 	}
+	gd, bres := gv.Design, bv.Formal
 
 	lineNo, goldenLine, buggyLine, nDiff := bugs.DiffLines(hc.Golden, hc.Buggy)
 	if nDiff != 1 {

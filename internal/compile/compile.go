@@ -370,8 +370,14 @@ func (e *elaborator) run() {
 		}
 	}
 
-	// Unresolved-property check and per-property expression checks.
-	for _, p := range props {
+	// Unresolved-property check and per-property expression checks, in
+	// declaration order (iterating the props map would make diagnostic
+	// order vary between runs).
+	for _, it := range m.Items {
+		p, ok := it.(*verilog.PropertyDecl)
+		if !ok || props[p.Name] != p {
+			continue
+		}
 		if p.DisableIff != nil {
 			e.checkExpr(p.DisableIff, p.Pos)
 		}

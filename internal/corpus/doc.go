@@ -1,0 +1,14 @@
+// Package corpus generates the synthetic Verilog population that replaces
+// the paper's 108,971-sample Hugging Face corpus. It provides:
+//
+//   - parametric golden-design generators ("families") covering the RTL
+//     idioms the paper's evaluation spans: counters, accumulators, shift
+//     registers, FSMs, FIFOs, ALUs, encoders, handshakes and multi-stage
+//     pipelines, spread across the five code-length bins of Table II;
+//   - candidate SystemVerilog assertions per family, later validated by the
+//     formal substitute (internal/svagen);
+//   - deliberately defective sources (syntax errors, semantic errors,
+//     trivial modules, duplicates) exercising the Stage-1 filter and
+//     populating the Verilog-PT dataset;
+//   - the 38 hand-crafted SVA-Eval-Human cases.
+package corpus

@@ -12,12 +12,12 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
-	"repro/internal/compile"
 	"repro/internal/corpus"
 	"repro/internal/dataset"
-	"repro/internal/formal"
 	"repro/internal/model"
+	"repro/internal/verify"
 )
 
 // Solver is anything that answers assertion-failure problems; the trained
@@ -27,24 +27,33 @@ type Solver interface {
 	Solve(p model.Problem, n int, temp float64, rng *rand.Rand) []model.Response
 }
 
-// Judge decides whether a response solves a case, with memoisation (many
-// of the 20 samples repeat the same fix).
+// Judge decides whether a response solves a case. Memoisation lives in the
+// shared verification service: many of the 20 samples repeat the same fix,
+// and identical fixed sources are answered from the content-addressed
+// cache — across responses, cases and even pipeline stages.
 type Judge struct {
 	// RandomRuns bounds the verification effort per check.
 	RandomRuns int
-	mu         sync.Mutex
-	cache      map[string]bool
+	svc        *verify.Service
 }
 
-// NewJudge returns a judge with the given verification effort.
+// NewJudge returns a judge with the given verification effort, backed by
+// the process-wide verification service.
 func NewJudge(randomRuns int) *Judge {
+	return NewJudgeWith(verify.Default(), randomRuns)
+}
+
+// NewJudgeWith returns a judge backed by a specific verification service
+// (tests use a private instance to observe cache behaviour).
+func NewJudgeWith(svc *verify.Service, randomRuns int) *Judge {
 	if randomRuns <= 0 {
 		randomRuns = 12
 	}
-	return &Judge{RandomRuns: randomRuns, cache: map[string]bool{}}
+	return &Judge{RandomRuns: randomRuns, svc: svc}
 }
 
-// Solves verifies one response against one case.
+// Solves verifies one response against one case. It is safe to call from
+// concurrent goroutines; the service bounds the actual compute.
 func (j *Judge) Solves(s *dataset.SVASample, r model.Response) bool {
 	if !r.FormatOK || r.Fix == "" {
 		return false
@@ -53,36 +62,12 @@ func (j *Judge) Solves(s *dataset.SVASample, r model.Response) bool {
 	if !ok {
 		return false
 	}
-	key := s.ID + "\x00" + fixed
-	j.mu.Lock()
-	if v, hit := j.cache[key]; hit {
-		j.mu.Unlock()
-		return v
-	}
-	j.mu.Unlock()
-
-	result := j.verify(s, fixed)
-
-	j.mu.Lock()
-	j.cache[key] = result
-	j.mu.Unlock()
-	return result
-}
-
-func (j *Judge) verify(s *dataset.SVASample, fixedSrc string) bool {
-	d, diags, err := compile.Compile(fixedSrc)
-	if err != nil || compile.HasErrors(diags) || d == nil {
-		return false
-	}
-	res, err := formal.Check(d, formal.Options{
+	v, err := j.svc.Check(fixed, nil, verify.Options{
 		Seed:       7,
 		Depth:      s.CheckDepth,
 		RandomRuns: j.RandomRuns,
 	})
-	if err != nil {
-		return false
-	}
-	return res.Pass
+	return err == nil && v.Passed()
 }
 
 // ApplyFix applies a response's fix to buggy source text; it delegates to
@@ -115,20 +100,30 @@ type CaseResult struct {
 
 // Evaluate runs a solver over a benchmark with the paper's protocol
 // (n responses per case at the given temperature) and judges every
-// response.
+// response. Sampling stays sequential (each case owns a deterministic
+// rng), but the n verifications per case run concurrently through the
+// judge's bounded service pool; the per-case count is order-independent,
+// so results are identical to a sequential pass for a fixed seed.
 func Evaluate(solver Solver, bench []dataset.SVASample, judge *Judge, n int, temp float64, seed int64) []CaseResult {
 	out := make([]CaseResult, len(bench))
 	for i := range bench {
 		s := &bench[i]
 		rng := rand.New(rand.NewSource(seed + int64(i)*7919))
 		resp := solver.Solve(model.ProblemOf(s), n, temp, rng)
-		c := 0
+		var c atomic.Int64
+		var wg sync.WaitGroup
 		for _, r := range resp {
-			if judge.Solves(s, r) {
-				c++
-			}
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if judge.Solves(s, r) {
+					c.Add(1)
+				}
+			}()
 		}
-		out[i] = CaseResult{ID: s.ID, Sample: s, N: n, C: c}
+		wg.Wait()
+		out[i] = CaseResult{ID: s.ID, Sample: s, N: n, C: int(c.Load())}
 	}
 	return out
 }

@@ -7,10 +7,13 @@ import (
 	"testing"
 
 	"repro/internal/augment"
+	"repro/internal/compile"
 	"repro/internal/corpus"
 	"repro/internal/cot"
 	"repro/internal/dataset"
+	"repro/internal/formal"
 	"repro/internal/model"
+	"repro/internal/verify"
 )
 
 func TestPassAtK(t *testing.T) {
@@ -212,6 +215,96 @@ func TestRelativeDecline(t *testing.T) {
 	human := []CaseResult{{N: 20, C: 20}, {N: 20, C: 0}}
 	if got := RelativeDecline(machine, human, 1); math.Abs(got-0.5) > 1e-9 {
 		t.Errorf("decline = %f, want 0.5", got)
+	}
+}
+
+// seedVerify replays the seed's Judge.verify sequence — direct compile
+// plus formal check, no service, no cache — as the regression reference
+// for the internal/verify migration.
+func seedVerify(s *dataset.SVASample, fixedSrc string, randomRuns int) bool {
+	d, diags, err := compile.Compile(fixedSrc)
+	if err != nil || compile.HasErrors(diags) || d == nil {
+		return false
+	}
+	res, err := formal.Check(d, formal.Options{
+		Seed:       7,
+		Depth:      s.CheckDepth,
+		RandomRuns: randomRuns,
+	})
+	if err != nil {
+		return false
+	}
+	return res.Pass
+}
+
+// TestJudgeVerdictsUnchangedByMigration checks every fixture case with the
+// golden fix, a behaviour-breaking fix and a non-compiling fix, comparing
+// the migrated judge against the seed's inline verification sequence.
+func TestJudgeVerdictsUnchangedByMigration(t *testing.T) {
+	bench := evalFixture(t)
+	judge := NewJudgeWith(verify.New(0), 8)
+	for i := range bench {
+		s := &bench[i]
+		responses := []model.Response{
+			{BugLine: s.LineNo, BugLineText: s.BuggyLine, Fix: s.FixedLine, FormatOK: true},
+			{BugLine: s.LineNo, BugLineText: s.BuggyLine, Fix: s.BuggyLine + " ;", FormatOK: true},
+			{BugLine: s.LineNo, BugLineText: s.BuggyLine, Fix: "q <= undeclared_xyz;", FormatOK: true},
+		}
+		for ri, r := range responses {
+			fixed, ok := ApplyFix(s.BuggyCode, r.BugLine, r.BugLineText, r.Fix)
+			if !ok {
+				continue
+			}
+			want := seedVerify(s, fixed, judge.RandomRuns)
+			if got := judge.Solves(s, r); got != want {
+				t.Errorf("%s response %d: judge says %v, seed flow says %v", s.ID, ri, got, want)
+			}
+		}
+	}
+}
+
+// TestJudgeUsesSharedCache proves the judge's old private memoisation now
+// lives in the verification service: re-judging an identical response is a
+// cache hit, as is judging a different response that proposes the same fix.
+func TestJudgeUsesSharedCache(t *testing.T) {
+	bench := evalFixture(t)
+	svc := verify.New(0)
+	judge := NewJudgeWith(svc, 8)
+	s := &bench[0]
+	r := model.Response{BugLine: s.LineNo, BugLineText: s.BuggyLine, Fix: s.FixedLine, FormatOK: true}
+	judge.Solves(s, r)
+	if hits, misses := svc.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("first judgement: %d hits, %d misses; want 0, 1", hits, misses)
+	}
+	judge.Solves(s, r)
+	if hits, misses := svc.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("repeat judgement: %d hits, %d misses; want 1, 1", hits, misses)
+	}
+}
+
+// TestEvaluateConcurrentMatchesSequential compares the concurrent Evaluate
+// against a plain sequential judging loop over the same responses.
+func TestEvaluateConcurrentMatchesSequential(t *testing.T) {
+	bench := evalFixture(t)
+	judge := NewJudge(8)
+	g := &goldenSolver{bench: bench}
+	const n, temp, seed = 4, 0.2, 11
+
+	got := Evaluate(g, bench, judge, n, temp, seed)
+
+	for i := range bench {
+		s := &bench[i]
+		rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+		resp := g.Solve(model.ProblemOf(s), n, temp, rng)
+		c := 0
+		for _, r := range resp {
+			if judge.Solves(s, r) {
+				c++
+			}
+		}
+		if got[i].C != c {
+			t.Errorf("%s: concurrent C=%d, sequential C=%d", s.ID, got[i].C, c)
+		}
 	}
 }
 

@@ -39,6 +39,11 @@ type Options struct {
 	Seed int64
 }
 
+// Normalized returns the options with defaults applied, the canonical form
+// under which two option values describe the same check (internal/verify
+// keys its result cache on this).
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.Depth <= 0 {
 		o.Depth = 16

@@ -4,8 +4,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/compile"
-	"repro/internal/formal"
+	"repro/internal/verify"
 )
 
 // ApplyFix replaces the indicated line of the buggy source with the fix,
@@ -43,25 +42,18 @@ func (m *Model) internalCheck(p Problem, c Candidate) bool {
 	if !ok {
 		return false
 	}
-	d, diags, err := compile.Compile(fixed)
-	if err != nil || compile.HasErrors(diags) || d == nil {
-		return false
-	}
 	depth := p.CheckDepth
 	if depth <= 0 {
 		depth = 16
 	}
-	res, err := formal.Check(d, formal.Options{
+	v, err := verify.Default().Check(fixed, nil, verify.Options{
 		Seed:              31,
 		Depth:             depth,
 		RandomRuns:        m.ReasonRuns,
 		MaxConstBits:      6,
 		MaxExhaustiveBits: 10,
 	})
-	if err != nil {
-		return false
-	}
-	return res.Pass
+	return err == nil && v.Passed()
 }
 
 // rerank mentally verifies the strongest ReasonDepth candidates and moves

@@ -11,9 +11,8 @@ import (
 	"math/rand"
 	"strings"
 
-	"repro/internal/compile"
-	"repro/internal/formal"
 	"repro/internal/model"
+	"repro/internal/verify"
 )
 
 // Solver is the inference interface the loop drives (the trained model or
@@ -106,7 +105,7 @@ func Run(solver Solver, spec, buggySrc, logs string, opts Options) (*Result, err
 			fixed, ok := model.ApplyFix(buggySrc, r.BugLine, r.BugLineText, r.Fix)
 			att.Applied = ok
 			if ok {
-				verdict, vlog := verify(fixed, opts)
+				verdict, vlog := checkFix(fixed, opts)
 				att.Compiled = verdict != verdictNoCompile
 				att.Solved = verdict == verdictPass
 				att.Log = vlog
@@ -139,20 +138,22 @@ const (
 	verdictPass
 )
 
-func verify(src string, opts Options) (verdict, string) {
-	d, diags, err := compile.Compile(src)
-	if err != nil {
-		return verdictNoCompile, "compile error: " + err.Error()
-	}
-	if compile.HasErrors(diags) {
-		return verdictNoCompile, strings.TrimSpace(compile.FormatDiags(diags))
-	}
-	res, err := formal.Check(d, formal.Options{Seed: 7, Depth: opts.Depth, RandomRuns: opts.RandomRuns})
+// checkFix verifies a candidate repair through the shared verification
+// service; a fix already checked this round (or by any earlier stage —
+// the judge and the loop share one cache) costs nothing.
+func checkFix(src string, opts Options) (verdict, string) {
+	v, err := verify.Default().Check(src, nil, verify.Options{Seed: 7, Depth: opts.Depth, RandomRuns: opts.RandomRuns})
 	if err != nil {
 		return verdictNoCompile, err.Error()
 	}
-	if res.Pass {
-		return verdictPass, res.Log
+	switch v.Status {
+	case verify.StatusCompileError:
+		if v.CompileErr != nil {
+			return verdictNoCompile, "compile error: " + v.CompileErr.Error()
+		}
+		return verdictNoCompile, strings.TrimSpace(v.Log)
+	case verify.StatusPass:
+		return verdictPass, v.Log
 	}
-	return verdictFails, res.Log
+	return verdictFails, v.Log
 }

@@ -1,16 +1,3 @@
-// Package sim provides a deterministic, cycle-based, two-state simulator
-// for elaborated designs, plus the expression evaluator shared with the SVA
-// checker and the bounded model checker.
-//
-// Semantics (documented substitutions relative to event-driven 4-state
-// simulation):
-//   - two-state: x and z do not exist; registers initialise to zero unless
-//     an initial block or declaration initialiser says otherwise;
-//   - arithmetic is performed in 64 bits and masked at assignment, which
-//     matches Verilog's self-determined behaviour for the corpus subset;
-//   - asynchronous resets are sampled once per clock cycle: a sequential
-//     block sensitive to "negedge rst_n" executes its reset branch on any
-//     cycle in which rst_n is low at the clock edge.
 package sim
 
 import (

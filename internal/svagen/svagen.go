@@ -14,9 +14,8 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/compile"
 	"repro/internal/corpus"
-	"repro/internal/formal"
+	"repro/internal/verify"
 	"repro/internal/verilog"
 )
 
@@ -50,24 +49,25 @@ type Result struct {
 }
 
 // ValidateBlueprint checks that the blueprint's own embedded assertions
-// pass non-vacuously on the golden design (the accept path).
+// pass non-vacuously on the golden design (the accept path). The check is
+// routed through the shared verification service, so re-validating a
+// blueprint the pipeline has already touched is a cache hit.
 func ValidateBlueprint(b *corpus.Blueprint, seed int64) error {
-	d, diags, err := compile.Compile(b.Source())
-	if err != nil {
-		return fmt.Errorf("svagen: %s: %w", b.Name(), err)
-	}
-	if compile.HasErrors(diags) {
-		return fmt.Errorf("svagen: %s: %s", b.Name(), compile.FormatDiags(diags))
-	}
-	res, err := formal.Check(d, formal.Options{Seed: seed, Depth: b.CheckDepth(16)})
+	v, err := verify.Default().Check(b.Source(), nil, verify.Options{Seed: seed, Depth: b.CheckDepth(16)})
 	if err != nil {
 		return err
 	}
-	if !res.Pass {
-		return fmt.Errorf("svagen: %s: golden design fails its assertions:\n%s", b.Name(), res.Log)
+	switch v.Status {
+	case verify.StatusCompileError:
+		if v.CompileErr != nil {
+			return fmt.Errorf("svagen: %s: %w", b.Name(), v.CompileErr)
+		}
+		return fmt.Errorf("svagen: %s: %s", b.Name(), v.Log)
+	case verify.StatusAssertFail:
+		return fmt.Errorf("svagen: %s: golden design fails its assertions:\n%s", b.Name(), v.Log)
 	}
-	if len(res.VacuousAsserts) > 0 {
-		return fmt.Errorf("svagen: %s: vacuous assertions %v", b.Name(), res.VacuousAsserts)
+	if vac := v.Vacuous(); len(vac) > 0 {
+		return fmt.Errorf("svagen: %s: vacuous assertions %v", b.Name(), vac)
 	}
 	return nil
 }
@@ -148,37 +148,22 @@ func CorruptCandidates(b *corpus.Blueprint, rng *rand.Rand) []Candidate {
 	return out
 }
 
-// ValidateCandidate inserts a single candidate into a copy of the golden
-// module stripped of its other assertions and runs the two-step check.
+// ValidateCandidate runs the two-step check on a single candidate: the
+// verification service substitutes the candidate for the golden module's
+// own assertions (strip + insert), recompiles and bounded-model-checks.
 func ValidateCandidate(b *corpus.Blueprint, c Candidate, seed int64) Result {
-	m := verilog.CloneModule(b.Module)
-	var kept []verilog.Item
-	for _, it := range m.Items {
-		switch it.(type) {
-		case *verilog.PropertyDecl, *verilog.AssertItem:
-			continue
-		}
-		kept = append(kept, it)
-	}
-	m.Items = append(kept, c.Items...)
-	src := verilog.Print(m)
-
-	d, diags, err := compile.Compile(src)
+	v, err := verify.Default().Check(b.Source(), c.Items, verify.Options{Seed: seed, Depth: b.CheckDepth(16)})
 	if err != nil {
 		return Result{Candidate: c, Verdict: RejectedCompile, Detail: err.Error()}
 	}
-	if compile.HasErrors(diags) {
-		return Result{Candidate: c, Verdict: RejectedCompile, Detail: compile.FormatDiags(diags)}
+	switch v.Status {
+	case verify.StatusCompileError:
+		return Result{Candidate: c, Verdict: RejectedCompile, Detail: v.Log}
+	case verify.StatusAssertFail:
+		return Result{Candidate: c, Verdict: RejectedFails, Detail: v.Log}
 	}
-	res, err := formal.Check(d, formal.Options{Seed: seed, Depth: b.CheckDepth(16)})
-	if err != nil {
-		return Result{Candidate: c, Verdict: RejectedCompile, Detail: err.Error()}
-	}
-	if !res.Pass {
-		return Result{Candidate: c, Verdict: RejectedFails, Detail: res.Log}
-	}
-	if len(res.VacuousAsserts) > 0 {
-		return Result{Candidate: c, Verdict: RejectedVacuous, Detail: fmt.Sprint(res.VacuousAsserts)}
+	if vac := v.Vacuous(); len(vac) > 0 {
+		return Result{Candidate: c, Verdict: RejectedVacuous, Detail: fmt.Sprint(vac)}
 	}
 	return Result{Candidate: c, Verdict: Accepted}
 }

@@ -1,0 +1,55 @@
+package verify_test
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/verify"
+)
+
+// ExampleService_Check verifies a golden design twice through one service:
+// the first check compiles and bounded-model-checks the design, the second
+// identical request is answered from the content-addressed cache.
+func ExampleService_Check() {
+	svc := verify.New(4)
+	src := corpus.Counter(4, 9).Source()
+
+	fresh, err := svc.Check(src, nil, verify.Options{Seed: 1, Depth: 12})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fresh:  status=%s cached=%v\n", fresh.Status, fresh.Cached)
+
+	cached, err := svc.Check(src, nil, verify.Options{Seed: 1, Depth: 12})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cached: status=%s cached=%v\n", cached.Status, cached.Cached)
+
+	hits, misses := svc.Stats()
+	fmt.Printf("stats:  %d hit, %d miss\n", hits, misses)
+	// Output:
+	// fresh:  status=pass cached=false
+	// cached: status=pass cached=true
+	// stats:  1 hit, 1 miss
+}
+
+// ExampleService_Check_verdicts shows how the one API reports the three
+// outcomes the pipeline distinguishes: a clean pass, an assertion failure
+// with its counterexample log, and source that does not compile.
+func ExampleService_Check_verdicts() {
+	svc := verify.New(4)
+
+	golden := corpus.Counter(4, 9)
+	v, _ := svc.Check(golden.Source(), nil, verify.Options{Seed: 1, Depth: 12})
+	fmt.Println("golden design:", v.Status)
+
+	broken := "module broken(input clk, output reg q);\n" +
+		"  always @(posedge clk) q <= undeclared_signal;\n" +
+		"endmodule\n"
+	v, _ = svc.Check(broken, nil, verify.Options{Seed: 1, Depth: 12})
+	fmt.Println("broken design:", v.Status)
+	// Output:
+	// golden design: pass
+	// broken design: compile-error
+}

@@ -1,0 +1,336 @@
+// Package verify is the unified verification service behind every
+// insert-fix/recompile/bounded-model-check sequence in the reproduction.
+// The paper's whole protocol — Stage-2 bug validation, SVA candidate
+// filtering, judging the n=20 evaluation responses, and the iterative
+// repair loop — reduces to one expensive primitive: take source text (and
+// optionally a candidate assertion set), compile it, and bounded-model-
+// check its assertions. This package owns that primitive behind a single
+// API, Service.Check, with two properties the individual call sites used
+// to approximate independently or not at all:
+//
+//   - a content-addressed result cache: the key is a hash of the source,
+//     the candidate assertion set, and the normalised check options, so
+//     repeated identical checks (the common case — many of the 20 samples
+//     per evaluation case propose the same fix) are answered without
+//     recompiling or re-simulating, and concurrent duplicate requests are
+//     coalesced into one computation (singleflight). The cache is
+//     generational: the recent working set stays resident while one-shot
+//     checks (unique mutants of a full dataset build) age out, bounding
+//     memory for arbitrarily long runs;
+//   - a bounded worker pool: any number of goroutines may call Check, but
+//     at most Workers checks compute at once, so callers can fan out
+//     freely (parallel response judging, parallel mutant validation)
+//     without oversubscribing the machine.
+//
+// Verdicts carry the elaborated design and the formal result so callers
+// that need more than pass/fail (counterexample logs, vacuity sets, the
+// design for behavioural diffing) pay nothing extra. Cached verdicts are
+// shared between callers and must be treated as read-only.
+package verify
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compile"
+	"repro/internal/formal"
+	"repro/internal/verilog"
+)
+
+// Options configures one check. The formal fields mirror formal.Options;
+// zero values take the formal checker's defaults, and the cache key is
+// computed from the normalised (defaults-applied) form so e.g. Depth 0 and
+// Depth 16 address the same entry.
+type Options struct {
+	// Seed makes the random stimulus phase deterministic.
+	Seed int64
+	// Depth is the bound in clock cycles (default 16).
+	Depth int
+	// RandomRuns bounds the random stimulus phase (default 48).
+	RandomRuns int
+	// MaxExhaustiveBits caps full input-sequence enumeration (default 14).
+	MaxExhaustiveBits int
+	// MaxConstBits caps constant-input enumeration (default 10).
+	MaxConstBits int
+	// CompileOnly stops after elaboration: the verdict carries the design
+	// but no formal result. Used where a caller needs a compiled design
+	// (e.g. as the golden side of a behavioural diff) without checking it.
+	CompileOnly bool
+}
+
+func (o Options) formal() formal.Options {
+	return formal.Options{
+		Seed:              o.Seed,
+		Depth:             o.Depth,
+		RandomRuns:        o.RandomRuns,
+		MaxExhaustiveBits: o.MaxExhaustiveBits,
+		MaxConstBits:      o.MaxConstBits,
+	}
+}
+
+// Status classifies a verdict.
+type Status int
+
+// Verdict statuses.
+const (
+	// StatusPass: the design compiled and every assertion held within the
+	// bound (or CompileOnly was set and compilation succeeded).
+	StatusPass Status = iota
+	// StatusCompileError: parsing or elaboration failed.
+	StatusCompileError
+	// StatusAssertFail: the design compiled but an assertion failed.
+	StatusAssertFail
+	// StatusError: the check itself failed (e.g. a combinational loop made
+	// the design unsimulatable); the accompanying error is non-nil.
+	StatusError
+)
+
+var statusNames = [...]string{"pass", "compile-error", "assert-fail", "error"}
+
+// String names the status.
+func (s Status) String() string { return statusNames[s] }
+
+// Verdict is the outcome of one check. Verdicts returned from the cache
+// are shared; callers must not mutate the design or formal result.
+type Verdict struct {
+	Status Status
+	// Design is the elaborated design; nil when compilation failed.
+	Design *compile.Design
+	// CompileErr is the parse error when parsing failed (nil for
+	// elaboration failures, which are reported through Diags).
+	CompileErr error
+	// Diags holds the compiler diagnostics (which include at least one
+	// error when Status is StatusCompileError and CompileErr is nil).
+	Diags []compile.Diagnostic
+	// Formal is the bounded-check result; nil on compile errors, check
+	// errors and compile-only verdicts.
+	Formal *formal.Result
+	// Log is the caller-facing record: compiler diagnostics or parse error
+	// on compile failure, the verifier log otherwise.
+	Log string
+	// Cached reports whether this verdict was answered from the cache.
+	Cached bool
+}
+
+// Passed reports whether the check succeeded end to end.
+func (v Verdict) Passed() bool { return v.Status == StatusPass }
+
+// Vacuous lists assertions whose antecedent never matched (empty when the
+// check did not run).
+func (v Verdict) Vacuous() []string {
+	if v.Formal == nil {
+		return nil
+	}
+	return v.Formal.VacuousAsserts
+}
+
+// maxGenEntries bounds one cache generation. The cache keeps the current
+// and the previous generation, so memory is capped at roughly twice this
+// many verdicts while the recent working set (the fixes an evaluation or
+// repair loop keeps re-checking) stays resident. One-shot checks — e.g.
+// the tens of thousands of unique mutants of a full dataset build — age
+// out instead of accumulating for the life of the process.
+const maxGenEntries = 4096
+
+// Service runs checks behind the shared cache and worker pool. It is safe
+// for concurrent use by any number of goroutines.
+type Service struct {
+	sem        chan struct{}
+	mu         sync.Mutex
+	cur, prev  map[[sha256.Size]byte]*entry
+	maxEntries int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// entry is one cache slot. The first requester computes the verdict and
+// closes done; later requesters for the same key block on done and share
+// the result.
+type entry struct {
+	done    chan struct{}
+	verdict Verdict
+	err     error
+}
+
+// New returns a service whose pool runs at most workers checks at once;
+// workers <= 0 means GOMAXPROCS.
+func New(workers int) *Service {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Service{
+		sem:        make(chan struct{}, workers),
+		cur:        map[[sha256.Size]byte]*entry{},
+		maxEntries: maxGenEntries,
+	}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultSvc  *Service
+)
+
+// Default returns the process-wide shared service. All pipeline stages use
+// it unless handed a dedicated instance, so a fix verified while judging
+// responses is already cached when the repair loop re-verifies it.
+func Default() *Service {
+	defaultOnce.Do(func() { defaultSvc = New(0) })
+	return defaultSvc
+}
+
+// Stats reports cache hits (including coalesced concurrent duplicates) and
+// misses (computations) so far.
+func (s *Service) Stats() (hits, misses uint64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// Len returns the number of cached verdicts (both generations).
+func (s *Service) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.cur)
+	for k := range s.prev {
+		if _, dup := s.cur[k]; !dup {
+			n++
+		}
+	}
+	return n
+}
+
+// lookup finds or installs the cache entry for a key. The second return is
+// true when the entry already existed (the caller must wait on done rather
+// than compute). Inserting into a full current generation rotates it to
+// previous, aging the oldest generation out.
+func (s *Service) lookup(key [sha256.Size]byte) (*entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, hit := s.cur[key]; hit {
+		return e, true
+	}
+	if e, hit := s.prev[key]; hit {
+		s.cur[key] = e // promote: keep the working set in the young generation
+		return e, true
+	}
+	if len(s.cur) >= s.maxEntries {
+		s.prev = s.cur
+		s.cur = make(map[[sha256.Size]byte]*entry, s.maxEntries)
+	}
+	e := &entry{done: make(chan struct{})}
+	s.cur[key] = e
+	return e, false
+}
+
+// Check compiles src and bounded-model-checks its assertions. When
+// assertions is non-empty the module's own property/assert items are
+// replaced by the given ones first (the SVA-candidate validation flow);
+// otherwise the embedded assertions are checked. The returned error is
+// non-nil only for StatusError verdicts; compile failures and assertion
+// failures are ordinary verdicts. Results are cached by content — source,
+// assertion set and normalised options. A cache hit never parses or
+// prints the design itself; hashing a candidate assertion set does print
+// those items (small next to the design), and substitution into the
+// design happens only on a miss.
+func (s *Service) Check(src string, assertions []verilog.Item, opts Options) (Verdict, error) {
+	e, hit := s.lookup(cacheKey(src, assertions, opts))
+	if hit {
+		<-e.done
+		s.hits.Add(1)
+		v := e.verdict
+		v.Cached = true
+		return v, e.err
+	}
+	s.misses.Add(1)
+	s.sem <- struct{}{}
+	e.verdict, e.err = run(src, assertions, opts)
+	<-s.sem
+	close(e.done)
+	return e.verdict, e.err
+}
+
+// withAssertions substitutes a candidate assertion set into the source:
+// the module is parsed, stripped of its own property/assert items, and the
+// candidates are appended. A parse failure is a compile-error verdict.
+func withAssertions(src string, assertions []verilog.Item) (string, Verdict, bool) {
+	m, err := verilog.Parse(src)
+	if err != nil {
+		return "", Verdict{Status: StatusCompileError, CompileErr: err, Log: err.Error()}, false
+	}
+	var kept []verilog.Item
+	for _, it := range m.Items {
+		switch it.(type) {
+		case *verilog.PropertyDecl, *verilog.AssertItem:
+			continue
+		}
+		kept = append(kept, it)
+	}
+	m.Items = kept
+	for _, it := range assertions {
+		m.Items = append(m.Items, verilog.CloneItem(it))
+	}
+	return verilog.Print(m), Verdict{}, true
+}
+
+// run is the uncached (optional substitution ->) compile -> formal-check
+// sequence; it executes inside a worker slot.
+func run(src string, assertions []verilog.Item, opts Options) (Verdict, error) {
+	if len(assertions) > 0 {
+		var verdict Verdict
+		var ok bool
+		src, verdict, ok = withAssertions(src, assertions)
+		if !ok {
+			return verdict, nil
+		}
+	}
+	d, diags, err := compile.Compile(src)
+	if err != nil {
+		return Verdict{Status: StatusCompileError, CompileErr: err, Log: err.Error()}, nil
+	}
+	if compile.HasErrors(diags) || d == nil {
+		return Verdict{Status: StatusCompileError, Diags: diags, Log: compile.FormatDiags(diags)}, nil
+	}
+	if opts.CompileOnly {
+		return Verdict{Status: StatusPass, Design: d, Diags: diags}, nil
+	}
+	res, err := formal.Check(d, opts.formal())
+	if err != nil {
+		return Verdict{Status: StatusError, Design: d, Diags: diags, Log: err.Error()}, err
+	}
+	v := Verdict{Design: d, Diags: diags, Formal: res, Log: res.Log}
+	if res.Pass {
+		v.Status = StatusPass
+	} else {
+		v.Status = StatusAssertFail
+	}
+	return v, nil
+}
+
+// cacheKey hashes the source, the candidate assertion set and the
+// normalised options. The assertion items are hashed through their printed
+// form (printing a throwaway module is cheap relative to re-printing and
+// re-parsing the full design, which happens only on a miss).
+func cacheKey(src string, assertions []verilog.Item, opts Options) [sha256.Size]byte {
+	f := opts.formal().Normalized()
+	var meta [8 * 6]byte
+	binary.LittleEndian.PutUint64(meta[0:], uint64(f.Seed))
+	binary.LittleEndian.PutUint64(meta[8:], uint64(f.Depth))
+	binary.LittleEndian.PutUint64(meta[16:], uint64(f.RandomRuns))
+	binary.LittleEndian.PutUint64(meta[24:], uint64(f.MaxExhaustiveBits))
+	binary.LittleEndian.PutUint64(meta[32:], uint64(f.MaxConstBits))
+	if opts.CompileOnly {
+		meta[40] = 1
+	}
+	h := sha256.New()
+	h.Write(meta[:])
+	h.Write([]byte(src))
+	if len(assertions) > 0 {
+		h.Write([]byte{0})
+		h.Write([]byte(verilog.Print(&verilog.Module{Name: "__assertions__", Items: assertions})))
+	}
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}

@@ -1,0 +1,12 @@
+// Package verilog implements a front end for the subset of Verilog-2001 and
+// SystemVerilog Assertions (SVA) used throughout the AssertSolver
+// reproduction: a lexer, a recursive-descent parser, an AST, and a
+// deterministic printer.
+//
+// The subset covers module declarations with ANSI and non-ANSI ports,
+// wire/reg/parameter declarations, continuous assignments, always blocks
+// (sequential and combinational), if/else, case, begin/end blocks, the usual
+// expression operators, and SVA property/assert constructs with clocking,
+// "disable iff", boolean sequences, cycle delays (##N) and the overlapping
+// and non-overlapping implication operators.
+package verilog
