@@ -7,7 +7,10 @@
 package repro
 
 import (
+	"encoding/json"
+	"math"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 
@@ -296,6 +299,7 @@ func BenchmarkFormalStrategies(b *testing.B) {
 			b.Fatal("fixture broken")
 		}
 		b.Run(tc.name, func(b *testing.B) {
+			recordSimBench(b, "FormalStrategies/"+tc.name)
 			var res *formal.Result
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -309,8 +313,9 @@ func BenchmarkFormalStrategies(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulator measures raw cycle throughput of the simulator.
-func BenchmarkSimulator(b *testing.B) {
+// simBenchFixture builds the stimulus shared by the simulator benchmarks.
+func simBenchFixture(b *testing.B) (*compile.Design, sim.Stimulus) {
+	b.Helper()
 	d, diags, err := compile.Compile(corpus.Pipeline(10, 8).Source())
 	if err != nil || compile.HasErrors(diags) {
 		b.Fatal("fixture broken")
@@ -319,6 +324,14 @@ func BenchmarkSimulator(b *testing.B) {
 	for i := range stim {
 		stim[i] = map[string]uint64{"valid_in": uint64(i & 1), "data_in": uint64(i * 37)}
 	}
+	return d, stim
+}
+
+// BenchmarkSimulator measures raw cycle throughput of the simulator on the
+// compiled slot-indexed execution plan (the path sim.Run always takes).
+func BenchmarkSimulator(b *testing.B) {
+	d, stim := simBenchFixture(b)
+	recordSimBench(b, "Simulator")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr, err := sim.Run(d, stim)
@@ -330,6 +343,73 @@ func BenchmarkSimulator(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(64), "cycles/op")
+}
+
+// BenchmarkSimulatorReference measures the interpretive reference path on
+// the same workload, so the plan's speedup stays visible in every report.
+func BenchmarkSimulatorReference(b *testing.B) {
+	d, stim := simBenchFixture(b)
+	recordSimBench(b, "SimulatorReference")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := sim.RunReference(d, stim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sva.Check(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(64), "cycles/op")
+}
+
+// simBenchResults accumulates ns/op for the simulation-heavy benchmarks;
+// each completed benchmark rewrites BENCH_sim.json so `go test -bench`
+// leaves a machine-readable perf trajectory for future PRs to compare
+// against. Plain `go test` runs no benchmarks and never touches the file.
+var simBenchResults struct {
+	mu sync.Mutex
+	m  map[string]float64
+}
+
+func recordSimBench(b *testing.B, name string) {
+	b.Cleanup(func() {
+		ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		simBenchResults.mu.Lock()
+		defer simBenchResults.mu.Unlock()
+		if simBenchResults.m == nil {
+			simBenchResults.m = map[string]float64{}
+		}
+		simBenchResults.m[name] = ns
+		writeSimBenchJSON()
+	})
+}
+
+// writeSimBenchJSON merges the session's results into BENCH_sim.json,
+// preserving the recorded baselines. Called with simBenchResults.mu held.
+func writeSimBenchJSON() {
+	const path = "BENCH_sim.json"
+	doc := struct {
+		Note     string             `json:"note"`
+		Baseline map[string]float64 `json:"baseline_interpretive_ns_per_op"`
+		Current  map[string]float64 `json:"current_ns_per_op"`
+	}{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if json.Unmarshal(raw, &doc) != nil {
+			return // unrecognised file; leave it alone
+		}
+	}
+	if doc.Current == nil {
+		doc.Current = map[string]float64{}
+	}
+	for k, v := range simBenchResults.m {
+		doc.Current[k] = math.Round(v)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // BenchmarkCompile measures front-end throughput on the largest design.

@@ -1,0 +1,113 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/sim"
+	"repro/internal/sva"
+	"repro/internal/verilog"
+)
+
+// diffStim builds a deterministic reset-then-random stimulus for a design.
+func diffStim(d *compile.Design, seed int64, depth int) sim.Stimulus {
+	rng := rand.New(rand.NewSource(seed))
+	inputs := d.Inputs(true)
+	reset := d.Reset()
+	stim := make(sim.Stimulus, depth)
+	for c := 0; c < depth; c++ {
+		cyc := map[string]uint64{}
+		if reset.Present {
+			active := c < 2
+			v := uint64(0)
+			if reset.ActiveLow != active {
+				v = 1
+			}
+			cyc[reset.Name] = v
+		}
+		for _, in := range inputs {
+			cyc[in.Name] = rng.Uint64() & in.Mask()
+		}
+		stim[c] = cyc
+	}
+	return stim
+}
+
+// assertDifferential runs one design through the compiled slot-indexed plan
+// (sim.Run) and the reference interpreter (sim.RunReference) and requires
+// byte-identical traces and identical SVA verdicts. The reference trace
+// carries no plan, so sva.Check on it also exercises the interpretive
+// expression path against the compiled one.
+func assertDifferential(t *testing.T, name, src string, seed int64) {
+	t.Helper()
+	d, diags, err := compile.Compile(src)
+	if err != nil || compile.HasErrors(diags) || d == nil {
+		return // uncompilable mutants are out of scope here
+	}
+	dRef, _, _ := compile.Compile(src)
+	stim := diffStim(d, seed, 24)
+
+	tr, errPlan := sim.Run(d, stim)
+	ref, errRef := sim.RunReference(dRef, stim)
+	if (errPlan == nil) != (errRef == nil) {
+		t.Fatalf("%s: plan err=%v, reference err=%v", name, errPlan, errRef)
+	}
+	if errPlan != nil {
+		return // both paths reject the design (e.g. combinational loop)
+	}
+	if tr.Len() != ref.Len() {
+		t.Fatalf("%s: trace length %d vs %d", name, tr.Len(), ref.Len())
+	}
+	for c := 0; c < tr.Len(); c++ {
+		for _, sigName := range d.Order {
+			got, _ := tr.Value(c, sigName)
+			want, _ := ref.Value(c, sigName)
+			if got != want {
+				t.Fatalf("%s: cycle %d signal %s: plan=%#x reference=%#x", name, c, sigName, got, want)
+			}
+		}
+	}
+
+	resPlan, errPlan := sva.Check(tr)
+	resRef, errRef := sva.Check(ref)
+	if (errPlan == nil) != (errRef == nil) {
+		t.Fatalf("%s: sva plan err=%v, reference err=%v", name, errPlan, errRef)
+	}
+	if errPlan != nil {
+		return
+	}
+	if len(resPlan.Failures) != len(resRef.Failures) {
+		t.Fatalf("%s: %d failures on plan trace vs %d on reference", name, len(resPlan.Failures), len(resRef.Failures))
+	}
+	for i := range resPlan.Failures {
+		p, r := resPlan.Failures[i], resRef.Failures[i]
+		if p.Assert.Name != r.Assert.Name || p.StartCycle != r.StartCycle || p.FailCycle != r.FailCycle {
+			t.Fatalf("%s: failure %d differs: plan=%+v reference=%+v", name, i, p, r)
+		}
+	}
+	if len(resPlan.Attempts) != len(resRef.Attempts) {
+		t.Fatalf("%s: attempt sets differ: %v vs %v", name, resPlan.Attempts, resRef.Attempts)
+	}
+	for k, v := range resPlan.Attempts {
+		if resRef.Attempts[k] != v {
+			t.Fatalf("%s: attempts[%s]: plan=%d reference=%d", name, k, v, resRef.Attempts[k])
+		}
+	}
+}
+
+// TestDifferentialPlanVsReference drives every corpus golden design — and a
+// sample of single-site mutants of each — through both simulator backends
+// with a fixed seed and requires identical traces and SVA verdicts.
+func TestDifferentialPlanVsReference(t *testing.T) {
+	const mutantsPerDesign = 6
+	for i, bp := range corpus.Catalog() {
+		src := bp.Source()
+		assertDifferential(t, bp.Name(), src, int64(1000+i))
+		for j, mu := range bugs.Enumerate(bp.Module, mutantsPerDesign) {
+			assertDifferential(t, bp.Name()+"/"+mu.Label(), verilog.Print(mu.Mutant), int64(5000+100*i+j))
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/verilog"
 )
@@ -88,6 +89,10 @@ type Signal struct {
 	Kind  SignalKind
 	Width int  // 1..64
 	IsReg bool // procedural target (reg-typed output or reg)
+	// Slot is the signal's dense state index: Design.Order[Slot] == Name.
+	// Simulator state is stored as []uint64 indexed by Slot, so execution
+	// plans never hash signal names on the hot path.
+	Slot int
 }
 
 // Mask returns the bit mask for the signal's width.
@@ -121,6 +126,29 @@ type Design struct {
 	Initials   []*verilog.Initial
 	Asserts    []ResolvedAssert
 	RegInit    map[string]uint64 // constant initials from initial blocks / decls
+
+	// planMu/plan hold a lazily-built execution artifact (internal/sim's
+	// compiled plan). Storing it on the design ties its lifetime to the
+	// design's: internal/verify's verdict cache retains designs, so a
+	// cached verdict carries its compiled plan with it.
+	planMu sync.Mutex
+	plan   any
+}
+
+// SlotCount returns the number of dense signal slots; slots are the indices
+// 0..SlotCount()-1 in Order.
+func (d *Design) SlotCount() int { return len(d.Order) }
+
+// CachedPlan returns the design's cached execution artifact, building it
+// with build on first use. Concurrent callers see a single build; the
+// artifact must be safe for shared read-only use.
+func (d *Design) CachedPlan(build func() any) any {
+	d.planMu.Lock()
+	defer d.planMu.Unlock()
+	if d.plan == nil {
+		d.plan = build()
+	}
+	return d.plan
 }
 
 // Inputs returns the input ports excluding clock/reset-style signals when
@@ -336,6 +364,9 @@ func (e *elaborator) run() {
 	}
 	sort.Strings(internals)
 	d.Order = append(d.Order, internals...)
+	for i, name := range d.Order {
+		d.Signals[name].Slot = i
+	}
 
 	// Pass 4: behavioural items and assertions.
 	props := map[string]*verilog.PropertyDecl{}

@@ -83,19 +83,17 @@ type Result struct {
 // Check bounded-model-checks all assertions in the design.
 func Check(d *compile.Design, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	inputs := d.Inputs(true)
-	totalBits := 0
-	for _, in := range inputs {
-		totalBits += in.Width
-	}
-	reset := d.Reset()
+	ds := newDriveSet(d)
+	inputs := ds.inputs
+	totalBits := totalWidth(inputs)
+	reset := ds.reset
 
 	res := &Result{Pass: true}
 	attempted := map[string]bool{}
 
-	runOne := func(stim sim.Stimulus) (bool, error) {
+	runOne := func(stim sim.VecStimulus) (bool, error) {
 		res.Runs++
-		tr, err := sim.Run(d, stim)
+		tr, err := sim.RunVec(d, stim)
 		if err != nil {
 			return false, err
 		}
@@ -140,7 +138,7 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 		res.Strategy = "exhaustive-sequences"
 		seqSpace := uint64(1) << uint(totalBits*freeCycles)
 		for code := uint64(0); code < seqSpace; code++ {
-			stim := decodeSequence(code, inputs, reset, opts.Depth, freeCycles)
+			stim := ds.decodeSequence(code, opts.Depth, freeCycles)
 			if stop, err := runOne(stim); err != nil {
 				return nil, err
 			} else if stop {
@@ -152,7 +150,7 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 
 	// Strategy 2: directed patterns, constant enumeration, then random.
 	res.Strategy = "directed+random"
-	for _, stim := range directedStimuli(inputs, reset, opts.Depth) {
+	for _, stim := range ds.directedStimuli(opts.Depth) {
 		if stop, err := runOne(stim); err != nil {
 			return nil, err
 		} else if stop {
@@ -163,7 +161,7 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 		res.Strategy = "directed+const+random"
 		space := uint64(1) << uint(totalBits)
 		for code := uint64(0); code < space; code++ {
-			stim := constantStimulus(code, inputs, reset, opts.Depth)
+			stim := ds.constantStimulus(code, opts.Depth)
 			if stop, err := runOne(stim); err != nil {
 				return nil, err
 			} else if stop {
@@ -173,7 +171,7 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for i := 0; i < opts.RandomRuns; i++ {
-		stim := randomStimulus(rng, inputs, reset, opts.Depth)
+		stim := ds.randomStimulus(rng, opts.Depth)
 		if stop, err := runOne(stim); err != nil {
 			return nil, err
 		} else if stop {
@@ -190,29 +188,56 @@ func resetCycles(reset compile.ResetInfo) int {
 	return 0
 }
 
-// baseCycle returns the input assignments for one cycle with reset handled:
-// active for the first two cycles, inactive afterwards.
-func baseCycle(reset compile.ResetInfo, cycle int) map[string]uint64 {
-	m := map[string]uint64{}
-	if reset.Present {
+// driveSet is the precomputed drive list for one design: the non-clock/reset
+// inputs plus the reset input (when present) as the last column. Stimulus
+// generators fill dense per-cycle vectors parallel to this list, and
+// sim.RunVec writes them straight into state slots — no per-cycle maps, no
+// name hashing.
+type driveSet struct {
+	inputs []*compile.Signal // non-clk/rst inputs, declaration order
+	reset  compile.ResetInfo
+	all    []*compile.Signal // inputs plus the reset signal (when present)
+	ri     int               // reset column index in all; -1 when absent
+}
+
+func newDriveSet(d *compile.Design) driveSet {
+	ds := driveSet{inputs: d.Inputs(true), reset: d.Reset(), ri: -1}
+	ds.all = append(ds.all, ds.inputs...)
+	if ds.reset.Present {
+		if sig := d.Signals[ds.reset.Name]; sig != nil {
+			ds.ri = len(ds.all)
+			ds.all = append(ds.all, sig)
+		} else {
+			ds.reset = compile.ResetInfo{}
+		}
+	}
+	return ds
+}
+
+// newRow returns one stimulus row with the reset column filled: active for
+// the first two cycles, inactive afterwards.
+func (ds *driveSet) newRow(cycle int) []uint64 {
+	row := make([]uint64, len(ds.all))
+	if ds.ri >= 0 {
 		active := cycle < 2
 		v := uint64(0)
-		if reset.ActiveLow != active {
+		if ds.reset.ActiveLow != active {
 			// active-low & inactive -> 1; active-high & active -> 1
 			v = 1
 		}
-		m[reset.Name] = v
+		row[ds.ri] = v
 	}
-	return m
+	return row
 }
 
 // decodeSequence expands an integer code into a full per-cycle stimulus for
 // exhaustive sequence enumeration.
-func decodeSequence(code uint64, inputs []*compile.Signal, reset compile.ResetInfo, depth, freeCycles int) sim.Stimulus {
-	stim := make(sim.Stimulus, depth)
-	rc := resetCycles(reset)
+func (ds *driveSet) decodeSequence(code uint64, depth, freeCycles int) sim.VecStimulus {
+	rows := make([][]uint64, depth)
+	rc := resetCycles(ds.reset)
+	tw := totalWidth(ds.inputs)
 	for c := 0; c < depth; c++ {
-		cyc := baseCycle(reset, c)
+		row := ds.newRow(c)
 		free := c - rc
 		if free < 0 {
 			free = 0
@@ -221,14 +246,14 @@ func decodeSequence(code uint64, inputs []*compile.Signal, reset compile.ResetIn
 			free = freeCycles - 1
 		}
 		offset := 0
-		for _, in := range inputs {
-			shift := uint(free*totalWidth(inputs) + offset)
-			cyc[in.Name] = (code >> shift) & in.Mask()
+		for i, in := range ds.inputs {
+			shift := uint(free*tw + offset)
+			row[i] = (code >> shift) & in.Mask()
 			offset += in.Width
 		}
-		stim[c] = cyc
+		rows[c] = row
 	}
-	return stim
+	return sim.VecStimulus{Inputs: ds.all, Rows: rows}
 }
 
 func totalWidth(inputs []*compile.Signal) int {
@@ -239,35 +264,36 @@ func totalWidth(inputs []*compile.Signal) int {
 	return w
 }
 
-func constantStimulus(code uint64, inputs []*compile.Signal, reset compile.ResetInfo, depth int) sim.Stimulus {
-	stim := make(sim.Stimulus, depth)
+func (ds *driveSet) constantStimulus(code uint64, depth int) sim.VecStimulus {
+	rows := make([][]uint64, depth)
 	for c := 0; c < depth; c++ {
-		cyc := baseCycle(reset, c)
+		row := ds.newRow(c)
 		offset := 0
-		for _, in := range inputs {
-			cyc[in.Name] = (code >> uint(offset)) & in.Mask()
+		for i, in := range ds.inputs {
+			row[i] = (code >> uint(offset)) & in.Mask()
 			offset += in.Width
 		}
-		stim[c] = cyc
+		rows[c] = row
 	}
-	return stim
+	return sim.VecStimulus{Inputs: ds.all, Rows: rows}
 }
 
 // directedStimuli generates the canonical corner-case patterns: all zeros,
 // all ones, per-input walking ones, a ramp, and alternating phases.
-func directedStimuli(inputs []*compile.Signal, reset compile.ResetInfo, depth int) []sim.Stimulus {
-	var out []sim.Stimulus
+func (ds *driveSet) directedStimuli(depth int) []sim.VecStimulus {
+	var out []sim.VecStimulus
+	inputs := ds.inputs
 
-	constant := func(value func(in *compile.Signal, cycle int) uint64) sim.Stimulus {
-		stim := make(sim.Stimulus, depth)
+	constant := func(value func(in *compile.Signal, cycle int) uint64) sim.VecStimulus {
+		rows := make([][]uint64, depth)
 		for c := 0; c < depth; c++ {
-			cyc := baseCycle(reset, c)
-			for _, in := range inputs {
-				cyc[in.Name] = value(in, c) & in.Mask()
+			row := ds.newRow(c)
+			for i, in := range inputs {
+				row[i] = value(in, c) & in.Mask()
 			}
-			stim[c] = cyc
+			rows[c] = row
 		}
-		return stim
+		return sim.VecStimulus{Inputs: ds.all, Rows: rows}
 	}
 
 	out = append(out,
@@ -334,23 +360,23 @@ func maxInt(a, b int) int {
 	return b
 }
 
-func randomStimulus(rng *rand.Rand, inputs []*compile.Signal, reset compile.ResetInfo, depth int) sim.Stimulus {
-	stim := make(sim.Stimulus, depth)
+func (ds *driveSet) randomStimulus(rng *rand.Rand, depth int) sim.VecStimulus {
+	rows := make([][]uint64, depth)
 	for c := 0; c < depth; c++ {
-		cyc := baseCycle(reset, c)
-		for _, in := range inputs {
+		row := ds.newRow(c)
+		for i, in := range ds.inputs {
 			switch rng.Intn(4) {
 			case 0:
-				cyc[in.Name] = 0
+				row[i] = 0
 			case 1:
-				cyc[in.Name] = in.Mask()
+				row[i] = in.Mask()
 			default:
-				cyc[in.Name] = rng.Uint64() & in.Mask()
+				row[i] = rng.Uint64() & in.Mask()
 			}
 		}
-		stim[c] = cyc
+		rows[c] = row
 	}
-	return stim
+	return sim.VecStimulus{Inputs: ds.all, Rows: rows}
 }
 
 // Differ reports whether two designs with identical interfaces diverge on
@@ -359,16 +385,15 @@ func randomStimulus(rng *rand.Rand, inputs []*compile.Signal, reset compile.Rese
 // mutations. The first differing trace is summarised in diffLog.
 func Differ(golden, mutant *compile.Design, opts Options) (bool, string, error) {
 	opts = opts.withDefaults()
-	inputs := golden.Inputs(true)
-	reset := golden.Reset()
+	ds := newDriveSet(golden)
 	outputs := golden.Outputs()
 
-	compareOn := func(stim sim.Stimulus) (bool, string, error) {
-		trG, err := sim.Run(golden, stim)
+	compareOn := func(stim sim.VecStimulus) (bool, string, error) {
+		trG, err := sim.RunVec(golden, stim)
 		if err != nil {
 			return false, "", err
 		}
-		trM, err := sim.Run(mutant, stim)
+		trM, err := sim.RunVec(mutant, stim)
 		if err != nil {
 			// A mutant that cannot simulate (e.g. combinational loop) is
 			// behaviourally different by definition.
@@ -386,18 +411,18 @@ func Differ(golden, mutant *compile.Design, opts Options) (bool, string, error) 
 		return false, "", nil
 	}
 
-	var stims []sim.Stimulus
-	stims = append(stims, directedStimuli(inputs, reset, opts.Depth)...)
-	totalBits := totalWidth(inputs)
+	var stims []sim.VecStimulus
+	stims = append(stims, ds.directedStimuli(opts.Depth)...)
+	totalBits := totalWidth(ds.inputs)
 	if totalBits > 0 && totalBits <= opts.MaxConstBits {
 		space := uint64(1) << uint(totalBits)
 		for code := uint64(0); code < space; code++ {
-			stims = append(stims, constantStimulus(code, inputs, reset, opts.Depth))
+			stims = append(stims, ds.constantStimulus(code, opts.Depth))
 		}
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for i := 0; i < opts.RandomRuns; i++ {
-		stims = append(stims, randomStimulus(rng, inputs, reset, opts.Depth))
+		stims = append(stims, ds.randomStimulus(rng, opts.Depth))
 	}
 	for _, stim := range stims {
 		diff, log, err := compareOn(stim)

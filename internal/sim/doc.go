@@ -2,12 +2,47 @@
 // for elaborated designs, plus the expression evaluator shared with the SVA
 // checker and the bounded model checker.
 //
-// Semantics (documented substitutions relative to event-driven 4-state
-// simulation):
+// # Execution plan
+//
+// Simulation runs on a compile-once, slot-indexed execution plan (Plan,
+// built by PlanOf). At elaboration, internal/compile assigns every signal a
+// dense integer slot; the planner lowers continuous assignments, always
+// blocks and assertion-referenced expressions into slot-addressed
+// evaluation closures built once per *compile.Design and cached on the
+// design itself. Simulator state is a []uint64 slot array with generation-
+// counted scratch buffers for blocking overlays and nonblocking commits, so
+// the hot loop never re-walks the AST and never hashes a signal name. Trace
+// rows are slot vectors, materialised to names only at the API boundary
+// (Trace.Value, Trace.Format), and the SVA checker evaluates property terms
+// through the plan's compiled closures (Trace.CompileExpr).
+//
+// The Simulator type is the interpretive reference implementation: Run
+// falls back to it (via RunReference) for designs the planner cannot lower
+// (dynamic slice bounds, non-constant replication counts), and the
+// differential tests hold the two backends byte-identical on the corpus.
+//
+// # Semantics
+//
+// Documented substitutions relative to event-driven 4-state simulation:
 //   - two-state: x and z do not exist; registers initialise to zero unless
 //     an initial block or declaration initialiser says otherwise;
 //   - arithmetic is performed in 64 bits and masked at assignment, which
-//     matches Verilog's self-determined behaviour for the corpus subset;
+//     matches Verilog's self-determined behaviour for the corpus subset.
+//     Operators whose result width is self-determined mask eagerly: ~, -,
+//     and >>> all operate in their operand's self-determined width, with
+//     >>> sign-extending from that width's top bit;
+//   - within a sequential block, reads see pre-edge values overlaid with
+//     the block's own blocking assignments, and writes to the same signal
+//     commit in program order at the edge: the last assignment wins whether
+//     it was blocking or nonblocking. Nonblocking bit- and part-select
+//     writes read-modify-write the latest pending post-edge value, so they
+//     compose with earlier in-edge writes instead of resurrecting stale
+//     pre-edge bits; blocking select writes, like blocking reads, see only
+//     the blocking overlay (a pending nonblocking commit is invisible to
+//     them, as in event-driven simulation);
+//   - $past depths must be in [1, 2^31-1]; other depths (including
+//     negative values that wrapped around as uint64) are EvalErrors rather
+//     than undefined history accesses;
 //   - asynchronous resets are sampled once per clock cycle: a sequential
 //     block sensitive to "negedge rst_n" executes its reset branch on any
 //     cycle in which rst_n is low at the clock edge.

@@ -36,6 +36,11 @@ func evalErrf(pos verilog.Pos, format string, args ...any) error {
 	return &EvalError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
+// maxPastDepth bounds the $past history offset. Anything above it is a
+// nonsensical depth (often a negative value that wrapped around as uint64)
+// and converting it to int would be undefined on 32-bit targets.
+const maxPastDepth = 1<<31 - 1
+
 func maskFor(width int) uint64 {
 	if width <= 0 || width >= 64 {
 		return ^uint64(0)
@@ -152,7 +157,9 @@ func evalUnary(x *verilog.Unary, env Env) (uint64, error) {
 	case verilog.UnaryBitNot:
 		return ^v & maskFor(w), nil
 	case verilog.UnaryMinus:
-		return -v, nil
+		// Two's-complement negation in the operand's self-determined width,
+		// like its sibling ~: -4'd1 is 4'hF, not 64 set bits.
+		return -v & maskFor(w), nil
 	case verilog.UnaryPlus:
 		return v, nil
 	case verilog.UnaryRedAnd:
@@ -252,13 +259,37 @@ func evalBinary(x *verilog.Binary, env Env) (uint64, error) {
 			return 0, nil
 		}
 		return a << b, nil
-	case verilog.BinShr, verilog.BinAShr:
+	case verilog.BinShr:
 		if b >= 64 {
 			return 0, nil
 		}
 		return a >> b, nil
+	case verilog.BinAShr:
+		return ashr(a, b, ExprWidth(x.X, env)), nil
 	}
 	return 0, evalErrf(x.Pos, "unsupported binary operator %s", x.Op)
+}
+
+// ashr arithmetic-shifts a right by b, sign-extending from bit w-1 (the
+// left operand's self-determined width). The result stays masked to w.
+func ashr(a, b uint64, w int) uint64 {
+	if w <= 0 || w > 64 {
+		w = 64
+	}
+	m := maskFor(w)
+	a &= m
+	neg := (a>>uint(w-1))&1 == 1
+	if b >= uint64(w) {
+		if neg {
+			return m
+		}
+		return 0
+	}
+	out := a >> b
+	if neg {
+		out |= m &^ (m >> b) // fill the vacated high bits with the sign
+	}
+	return out
 }
 
 func evalCall(x *verilog.Call, env Env) (uint64, error) {
@@ -280,6 +311,9 @@ func evalCall(x *verilog.Call, env Env) (uint64, error) {
 			nv, err := Eval(x.Args[1], env)
 			if err != nil {
 				return 0, err
+			}
+			if nv == 0 || nv > maxPastDepth {
+				return 0, evalErrf(x.Pos, "$past depth %d out of range [1, %d]", nv, uint64(maxPastDepth))
 			}
 			n = int(nv)
 		}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/verilog"
+)
+
+// runBoth simulates on the compiled plan and the reference interpreter and
+// requires them to agree before returning the trace; the semantics
+// regression tests below therefore pin both execution paths at once.
+func runBoth(t *testing.T, src string, stim Stimulus) *Trace {
+	t.Helper()
+	d := mustCompile(t, src)
+	if PlanOf(d) == nil {
+		t.Fatalf("design unexpectedly unplannable")
+	}
+	tr, err := Run(d, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunReference(mustCompile(t, src), stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < tr.Len(); c++ {
+		for _, name := range d.Order {
+			got, _ := tr.Value(c, name)
+			want, _ := ref.Value(c, name)
+			if got != want {
+				t.Fatalf("plan/reference divergence: cycle %d %s: plan=%#x ref=%#x", c, name, got, want)
+			}
+		}
+	}
+	return tr
+}
+
+// >>> must sign-extend from the left operand's self-determined width; it
+// was previously evaluated identically to logical >>.
+func TestAShrSignExtends(t *testing.T) {
+	src := `
+module ashr (
+    input [7:0] a,
+    input [3:0] s,
+    output [7:0] ar,
+    output [7:0] lr
+);
+    assign ar = a >>> s;
+    assign lr = a >> s;
+endmodule
+`
+	cases := []struct {
+		a, s, ar, lr uint64
+	}{
+		{0x80, 2, 0xE0, 0x20}, // negative: high bits fill with sign
+		{0x40, 2, 0x10, 0x10}, // positive: identical to logical shift
+		{0xFF, 7, 0xFF, 0x01},
+		{0x80, 9, 0xFF, 0x00}, // shift >= width saturates to the sign
+		{0x7F, 9, 0x00, 0x00},
+		{0x00, 3, 0x00, 0x00},
+	}
+	for _, tc := range cases {
+		tr := runBoth(t, src, Stimulus{{"a": tc.a, "s": tc.s}})
+		if got, _ := tr.Value(0, "ar"); got != tc.ar {
+			t.Errorf("%#x >>> %d = %#x, want %#x", tc.a, tc.s, got, tc.ar)
+		}
+		if got, _ := tr.Value(0, "lr"); got != tc.lr {
+			t.Errorf("%#x >> %d = %#x, want %#x", tc.a, tc.s, got, tc.lr)
+		}
+	}
+}
+
+// Unary minus must be masked to its operand's self-determined width like
+// its sibling ~; it previously leaked all 64 borrow bits into wider
+// contexts.
+func TestUnaryMinusMaskedToOperandWidth(t *testing.T) {
+	src := `
+module neg (
+    input [3:0] a,
+    output [7:0] y,
+    output lt
+);
+    assign y = -a;
+    assign lt = 8'd200 < -a;
+endmodule
+`
+	tr := runBoth(t, src, Stimulus{{"a": 1}})
+	// -4'd1 is 4'hF: widening to 8 bits must not smear the sign.
+	if got, _ := tr.Value(0, "y"); got != 0x0F {
+		t.Errorf("-4'd1 widened = %#x, want 0x0f", got)
+	}
+	// 200 < 15 is false; before the fix -a evaluated as 2^64-1 so the
+	// comparison was true.
+	if got, _ := tr.Value(0, "lt"); got != 0 {
+		t.Errorf("200 < -4'd1 = %d, want 0", got)
+	}
+}
+
+// A nonblocking write that textually follows a blocking write to the same
+// signal must win at the edge (program-order commit); the blocking overlay
+// used to be folded in afterwards, clobbering it.
+func TestSeqCommitProgramOrder(t *testing.T) {
+	src := `
+module po (
+    input clk,
+    input [3:0] d,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        q = d;
+        q <= ~d;
+    end
+endmodule
+`
+	tr := runBoth(t, src, Stimulus{{"d": 5}, {"d": 5}})
+	if got, _ := tr.Value(1, "q"); got != 0xA {
+		t.Errorf("q after edge = %#x, want 0xa (nonblocking write is last in program order)", got)
+	}
+
+	// And the mirror image: a blocking write after a nonblocking one wins.
+	rev := `
+module po2 (
+    input clk,
+    input [3:0] d,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        q <= ~d;
+        q = d;
+    end
+endmodule
+`
+	tr = runBoth(t, rev, Stimulus{{"d": 5}, {"d": 5}})
+	if got, _ := tr.Value(1, "q"); got != 5 {
+		t.Errorf("q after edge = %#x, want 0x5 (blocking write is last in program order)", got)
+	}
+}
+
+// A nonblocking bit write must read-modify-write on top of the same
+// block's earlier blocking result, not the stale pre-edge value.
+func TestNBABitWriteSeesBlockingOverlay(t *testing.T) {
+	src := `
+module rmw (
+    input clk,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        q = 8'h0F;
+        q[7] <= 1'b1;
+    end
+endmodule
+`
+	tr := runBoth(t, src, Stimulus{{}, {}})
+	if got, _ := tr.Value(1, "q"); got != 0x8F {
+		t.Errorf("q after edge = %#x, want 0x8f (bit RMW over the blocking result)", got)
+	}
+
+	// Slice variant: the nonblocking slice write lands on the blocking
+	// full-write's value.
+	slice := `
+module rmws (
+    input clk,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        q = 8'hF0;
+        q[3:0] <= 4'h5;
+    end
+endmodule
+`
+	tr = runBoth(t, slice, Stimulus{{}, {}})
+	if got, _ := tr.Value(1, "q"); got != 0xF5 {
+		t.Errorf("q after edge = %#x, want 0xf5 (slice RMW over the blocking result)", got)
+	}
+}
+
+// histEnv is a minimal HistoryEnv for direct evaluator tests.
+type histEnv struct {
+	vals map[string]uint64
+	back int // how many cycles of history exist
+}
+
+func (e histEnv) Value(name string) (uint64, bool) { v, ok := e.vals[name]; return v, ok }
+func (e histEnv) Width(string) int                 { return 8 }
+func (e histEnv) At(offset int) Env {
+	if offset > e.back {
+		return nil
+	}
+	return e
+}
+
+// $past must reject depths that are zero or would overflow the int history
+// offset instead of producing undefined history accesses.
+func TestPastDepthValidated(t *testing.T) {
+	env := histEnv{vals: map[string]uint64{"x": 7}, back: 4}
+	past := func(depth uint64) verilog.Expr {
+		return &verilog.Call{Name: "$past", Args: []verilog.Expr{
+			&verilog.Ident{Name: "x"},
+			&verilog.Number{Value: depth},
+		}}
+	}
+	if _, err := Eval(past(1), env); err != nil {
+		t.Errorf("$past(x, 1): unexpected error %v", err)
+	}
+	var evalErr *EvalError
+	if _, err := Eval(past(0), env); err == nil || !errors.As(err, &evalErr) {
+		t.Errorf("$past(x, 0): want EvalError, got %v", err)
+	}
+	// A "negative" depth arrives as a huge uint64 after two's-complement
+	// wrapping; it must be rejected, not converted to int.
+	if _, err := Eval(past(^uint64(0)), env); err == nil || !errors.As(err, &evalErr) {
+		t.Errorf("$past(x, -1): want EvalError, got %v", err)
+	}
+	if _, err := Eval(past(uint64(maxPastDepth)+1), env); err == nil || !errors.As(err, &evalErr) {
+		t.Errorf("$past(x, maxPastDepth+1): want EvalError, got %v", err)
+	}
+}
+
+// The compiled plan must validate $past depths identically.
+func TestPastDepthValidatedCompiled(t *testing.T) {
+	src := `
+module pd (
+    input clk,
+    input [3:0] x,
+    output [3:0] y
+);
+    assign y = x;
+    ap: assert property (@(posedge clk) y == $past(y, 0));
+endmodule
+`
+	d := mustCompile(t, src)
+	tr, err := Run(d, Stimulus{{"x": 1}, {"x": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	term := d.Asserts[0].Seq.Consequent[0].Expr
+	fn := tr.CompileExpr(term)
+	var evalErr *EvalError
+	if _, err := fn(1); err == nil || !errors.As(err, &evalErr) {
+		t.Errorf("compiled $past(y, 0): want EvalError, got %v", err)
+	}
+}

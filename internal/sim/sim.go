@@ -11,7 +11,12 @@ import (
 // a combinational cycle.
 const maxCombIterations = 64
 
-// Simulator advances an elaborated design one clock cycle at a time.
+// Simulator advances an elaborated design one clock cycle at a time. It is
+// the reference interpreter: it re-walks the AST every cycle with name-keyed
+// state, which makes it slow but easy to audit. Run uses the compiled
+// slot-indexed plan (see plan.go) and falls back to this interpreter only
+// when a design contains a construct the planner cannot lower; the two are
+// held byte-identical by the differential tests.
 type Simulator struct {
 	design *compile.Design
 	vals   map[string]uint64
@@ -100,11 +105,16 @@ func (s *Simulator) settle() error {
 			if err != nil {
 				return err
 			}
-			ch, err := s.store(as.LHS, v, nil)
-			if err != nil {
+			if err := s.storeInto(as.LHS, v, env,
+				func(name string) uint64 { return s.vals[name] },
+				func(name string, nv uint64) {
+					if s.vals[name] != nv {
+						s.vals[name] = nv
+						changed = true
+					}
+				}); err != nil {
 				return err
 			}
-			changed = changed || ch
 		}
 		for _, al := range s.design.CombAlways {
 			updates := map[string]uint64{}
@@ -112,8 +122,6 @@ func (s *Simulator) settle() error {
 				return err
 			}
 			for name, v := range updates {
-				sig := s.design.Signals[name]
-				v &= sig.Mask()
 				if s.vals[name] != v {
 					s.vals[name] = v
 					changed = true
@@ -127,73 +135,55 @@ func (s *Simulator) settle() error {
 	return fmt.Errorf("sim: combinational logic did not settle (cycle?)")
 }
 
-// store writes v into an assignment target. When updates is non-nil the
-// write is deferred (nonblocking); otherwise it hits the value map and the
-// return value reports whether anything changed.
-func (s *Simulator) store(lhs verilog.Expr, v uint64, updates map[string]uint64) (bool, error) {
+// storeInto decomposes an assignment of v to lhs into per-signal effects,
+// masked to each signal's width. base resolves the current value of a
+// signal for read-modify-write bit/slice targets; env evaluates dynamic
+// index/bound expressions (and therefore sees the caller's blocking
+// overlay); apply receives each (signal, value) effect in program order.
+func (s *Simulator) storeInto(lhs verilog.Expr, v uint64, env simEnv, base func(string) uint64, apply func(string, uint64)) error {
 	switch x := lhs.(type) {
 	case *verilog.Ident:
 		sig := s.design.Signals[x.Name]
 		if sig == nil {
-			return false, fmt.Errorf("sim: assignment to unknown signal %q", x.Name)
+			return fmt.Errorf("sim: assignment to unknown signal %q", x.Name)
 		}
-		v &= sig.Mask()
-		if updates != nil {
-			updates[x.Name] = v
-			return true, nil
-		}
-		if s.vals[x.Name] != v {
-			s.vals[x.Name] = v
-			return true, nil
-		}
-		return false, nil
+		apply(x.Name, v&sig.Mask())
+		return nil
 	case *verilog.Index:
 		id, ok := x.X.(*verilog.Ident)
 		if !ok {
-			return false, fmt.Errorf("sim: unsupported assignment target")
+			return fmt.Errorf("sim: unsupported assignment target")
 		}
-		idx, err := Eval(x.Idx, simEnv{s: s})
+		idx, err := Eval(x.Idx, env)
 		if err != nil {
-			return false, err
+			return err
 		}
-		cur, _ := s.Get(id.Name)
-		if updates != nil {
-			if pending, ok := updates[id.Name]; ok {
-				cur = pending
-			}
-		}
+		cur := base(id.Name)
 		bit := uint64(1) << (idx & 63)
 		nv := (cur &^ bit) | ((v & 1) << (idx & 63))
-		return s.store(id, nv, updates)
+		return s.storeInto(id, nv, env, base, apply)
 	case *verilog.Slice:
 		id, ok := x.X.(*verilog.Ident)
 		if !ok {
-			return false, fmt.Errorf("sim: unsupported assignment target")
+			return fmt.Errorf("sim: unsupported assignment target")
 		}
-		env := simEnv{s: s}
 		hi, err := Eval(x.Hi, env)
 		if err != nil {
-			return false, err
+			return err
 		}
 		lo, err := Eval(x.Lo, env)
 		if err != nil {
-			return false, err
+			return err
 		}
 		if lo > hi {
-			return false, fmt.Errorf("sim: invalid slice target")
+			return fmt.Errorf("sim: invalid slice target")
 		}
-		cur, _ := s.Get(id.Name)
-		if updates != nil {
-			if pending, ok := updates[id.Name]; ok {
-				cur = pending
-			}
-		}
+		cur := base(id.Name)
 		m := maskFor(int(hi-lo)+1) << lo
 		nv := (cur &^ m) | ((v << lo) & m)
-		return s.store(id, nv, updates)
+		return s.storeInto(id, nv, env, base, apply)
 	case *verilog.Concat:
 		// {a, b} = v assigns slices of v left to right.
-		env := simEnv{s: s}
 		total := 0
 		widths := make([]int, len(x.Elems))
 		for i, el := range x.Elems {
@@ -201,19 +191,16 @@ func (s *Simulator) store(lhs verilog.Expr, v uint64, updates map[string]uint64)
 			total += widths[i]
 		}
 		shift := total
-		changed := false
 		for i, el := range x.Elems {
 			shift -= widths[i]
 			part := (v >> uint(shift)) & maskFor(widths[i])
-			ch, err := s.store(el, part, updates)
-			if err != nil {
-				return changed, err
+			if err := s.storeInto(el, part, env, base, apply); err != nil {
+				return err
 			}
-			changed = changed || ch
 		}
-		return changed, nil
+		return nil
 	}
-	return false, fmt.Errorf("sim: unsupported assignment target %T", lhs)
+	return fmt.Errorf("sim: unsupported assignment target %T", lhs)
 }
 
 // exec runs a statement with blocking semantics into the overlay map
@@ -241,8 +228,14 @@ func (s *Simulator) exec(stmt verilog.Stmt, updates map[string]uint64) error {
 		if err != nil {
 			return err
 		}
-		_, err = s.store(lhs, v, updates)
-		return err
+		return s.storeInto(lhs, v, env,
+			func(name string) uint64 {
+				if pending, ok := updates[name]; ok {
+					return pending
+				}
+				return s.vals[name]
+			},
+			func(name string, nv uint64) { updates[name] = nv })
 	case *verilog.If:
 		c, err := Eval(x.Cond, env)
 		if err != nil {
@@ -308,34 +301,36 @@ func (s *Simulator) Settle() error { return s.settle() }
 // logic settles.
 func (s *Simulator) Edge() error { return s.edge() }
 
+// edge runs every sequential block against pre-edge values and commits the
+// resulting writes. Within one block, writes to the same signal commit in
+// program order: the last assignment wins at the edge whether it was
+// blocking or nonblocking (blocking writes are additionally visible to
+// later reads in their own block).
 func (s *Simulator) edge() error {
-	nba := map[string]uint64{}
+	commit := map[string]uint64{}
 	for _, al := range s.design.SeqAlways {
 		blocking := map[string]uint64{}
-		if err := s.execSeq(al.Body, nba, blocking); err != nil {
+		if err := s.execSeq(al.Body, commit, blocking); err != nil {
 			return err
 		}
-		// Blocking assignments inside sequential blocks commit with the edge.
-		for name, v := range blocking {
-			nba[name] = v
-		}
 	}
-	for name, v := range nba {
+	for name, v := range commit {
 		if sig := s.design.Signals[name]; sig != nil {
-			s.vals[name] = v & sig.Mask()
+			s.vals[name] = v
 		}
 	}
 	return s.settle()
 }
 
 // execSeq runs a sequential block body. Reads see pre-edge values overlaid
-// with this block's blocking assignments; nonblocking writes land in nba.
-func (s *Simulator) execSeq(stmt verilog.Stmt, nba, blocking map[string]uint64) error {
+// with this block's blocking assignments; every write lands in commit in
+// program order, and blocking writes additionally update the read overlay.
+func (s *Simulator) execSeq(stmt verilog.Stmt, commit, blocking map[string]uint64) error {
 	env := simEnv{s: s, overlay: blocking}
 	switch x := stmt.(type) {
 	case *verilog.Block:
 		for _, sub := range x.Stmts {
-			if err := s.execSeq(sub, nba, blocking); err != nil {
+			if err := s.execSeq(sub, commit, blocking); err != nil {
 				return err
 			}
 		}
@@ -345,25 +340,45 @@ func (s *Simulator) execSeq(stmt verilog.Stmt, nba, blocking map[string]uint64) 
 		if err != nil {
 			return err
 		}
-		_, err = s.store(x.LHS, v, nba)
-		return err
+		// Bit/slice RMW reads the latest pending post-edge value, so an
+		// earlier blocking (or nonblocking) write in this edge is not lost.
+		return s.storeInto(x.LHS, v, env,
+			func(name string) uint64 {
+				if pending, ok := commit[name]; ok {
+					return pending
+				}
+				if pending, ok := blocking[name]; ok {
+					return pending
+				}
+				return s.vals[name]
+			},
+			func(name string, nv uint64) { commit[name] = nv })
 	case *verilog.Blocking:
 		v, err := Eval(x.RHS, env)
 		if err != nil {
 			return err
 		}
-		_, err = s.store(x.LHS, v, blocking)
-		return err
+		return s.storeInto(x.LHS, v, env,
+			func(name string) uint64 {
+				if pending, ok := blocking[name]; ok {
+					return pending
+				}
+				return s.vals[name]
+			},
+			func(name string, nv uint64) {
+				blocking[name] = nv
+				commit[name] = nv
+			})
 	case *verilog.If:
 		c, err := Eval(x.Cond, env)
 		if err != nil {
 			return err
 		}
 		if c != 0 {
-			return s.execSeq(x.Then, nba, blocking)
+			return s.execSeq(x.Then, commit, blocking)
 		}
 		if x.Else != nil {
-			return s.execSeq(x.Else, nba, blocking)
+			return s.execSeq(x.Else, commit, blocking)
 		}
 		return nil
 	case *verilog.Case:
@@ -383,12 +398,12 @@ func (s *Simulator) execSeq(stmt verilog.Stmt, nba, blocking map[string]uint64) 
 					return err
 				}
 				if lv == subj {
-					return s.execSeq(item.Body, nba, blocking)
+					return s.execSeq(item.Body, commit, blocking)
 				}
 			}
 		}
 		if deflt != nil {
-			return s.execSeq(deflt, nba, blocking)
+			return s.execSeq(deflt, commit, blocking)
 		}
 		return nil
 	}
@@ -402,4 +417,13 @@ func (s *Simulator) Snapshot() map[string]uint64 {
 		out[name] = s.vals[name]
 	}
 	return out
+}
+
+// snapshotRow copies the current values into a dense slot vector.
+func (s *Simulator) snapshotRow() []uint64 {
+	row := make([]uint64, len(s.design.Order))
+	for _, name := range s.design.Order {
+		row[s.design.Signals[name].Slot] = s.vals[name]
+	}
+	return row
 }

@@ -6,32 +6,97 @@ import (
 	"strings"
 
 	"repro/internal/compile"
+	"repro/internal/verilog"
 )
 
-// Trace is the sampled history of a simulation run. Rows[i] holds the
+// Trace is the sampled history of a simulation run. Row i holds the
 // preponed sample for clock cycle i: the value of every signal immediately
 // before the i-th rising clock edge. This matches SVA sampling semantics,
 // so the SVA checker evaluates properties directly over trace rows.
+//
+// Rows are dense slot vectors indexed by compile.Signal.Slot; names are
+// materialised only at the API boundary (Value, Format). A Trace is not
+// safe for concurrent use while compiled expressions are being evaluated.
 type Trace struct {
 	Design *compile.Design
-	Rows   []map[string]uint64
+	rows   [][]uint64
+	plan   *Plan // nil when produced by the reference interpreter
+	em     *mach // lazy shared machine for compiled evaluation
 }
 
 // Len returns the number of sampled cycles.
-func (t *Trace) Len() int { return len(t.Rows) }
+func (t *Trace) Len() int { return len(t.rows) }
 
 // Value returns signal name's sampled value at cycle.
 func (t *Trace) Value(cycle int, name string) (uint64, bool) {
-	if cycle < 0 || cycle >= len(t.Rows) {
+	if cycle < 0 || cycle >= len(t.rows) {
 		return 0, false
 	}
-	v, ok := t.Rows[cycle][name]
-	if !ok {
-		if pv, pok := t.Design.Params[name]; pok {
-			return pv, true
+	if sig := t.Design.Signals[name]; sig != nil {
+		return t.rows[cycle][sig.Slot], true
+	}
+	if pv, ok := t.Design.Params[name]; ok {
+		return pv, true
+	}
+	return 0, false
+}
+
+// Row returns the slot vector sampled at cycle (shared, read-only).
+func (t *Trace) Row(cycle int) []uint64 { return t.rows[cycle] }
+
+// CompiledExpr evaluates an expression at a sampled cycle of one trace.
+type CompiledExpr func(cycle int) (uint64, error)
+
+// CompileExpr returns an evaluator for e over this trace's sampled rows,
+// with history access for the SVA sampled-value functions. Expressions
+// reachable from the design's assertions resolve to the plan's precompiled
+// slot-addressed closures; anything else (or any trace produced by the
+// reference interpreter) falls back to the interpretive evaluator, which
+// computes identical results.
+func (t *Trace) CompileExpr(e verilog.Expr) CompiledExpr {
+	if t.plan != nil {
+		if fn, ok := t.plan.svaExpr[e]; ok {
+			if t.em == nil {
+				t.em = traceMach(t.plan, t.rows)
+			}
+			m := t.em
+			return func(cycle int) (uint64, error) {
+				m.vals, m.idx, m.err = t.rows[cycle], cycle, nil
+				v := fn(m)
+				return v, m.err
+			}
 		}
 	}
-	return v, ok
+	return func(cycle int) (uint64, error) {
+		return Eval(e, traceRowEnv{t: t, idx: cycle})
+	}
+}
+
+// traceRowEnv adapts a trace row to the evaluator environment, with history
+// access for sampled-value functions. It is the interpretive twin of the
+// plan's compiled trace evaluation.
+type traceRowEnv struct {
+	t   *Trace
+	idx int
+}
+
+// Value implements Env.
+func (e traceRowEnv) Value(name string) (uint64, bool) { return e.t.Value(e.idx, name) }
+
+// Width implements Env.
+func (e traceRowEnv) Width(name string) int {
+	if sig := e.t.Design.Signals[name]; sig != nil {
+		return sig.Width
+	}
+	return 0
+}
+
+// At implements HistoryEnv.
+func (e traceRowEnv) At(offset int) Env {
+	if e.idx-offset < 0 {
+		return nil
+	}
+	return traceRowEnv{t: e.t, idx: e.idx - offset}
 }
 
 // Format renders the trace as a compact waveform table for counterexample
@@ -48,14 +113,14 @@ func (t *Trace) Format(names []string) string {
 		}
 	}
 	fmt.Fprintf(&sb, "%*s |", width, "cycle")
-	for i := range t.Rows {
+	for i := range t.rows {
 		fmt.Fprintf(&sb, " %3d", i)
 	}
 	sb.WriteString("\n")
 	for _, n := range names {
 		fmt.Fprintf(&sb, "%*s |", width, n)
-		for i := range t.Rows {
-			v := t.Rows[i][n]
+		for i := range t.rows {
+			v, _ := t.Value(i, n)
 			fmt.Fprintf(&sb, " %3d", v)
 		}
 		sb.WriteString("\n")
@@ -85,14 +150,103 @@ func (st Stimulus) InputNames() []string {
 	return names
 }
 
+// VecStimulus drives a fixed input list with dense per-cycle vectors:
+// Rows[c][i] is the value of Inputs[i] at cycle c. It is the slot-addressed
+// form the bounded model checker's stimulus loops generate, avoiding one
+// map allocation and one name hash per input per cycle.
+type VecStimulus struct {
+	Inputs []*compile.Signal
+	Rows   [][]uint64
+}
+
 // Run simulates the design over the stimulus and returns the sampled trace.
-// Inputs not mentioned in a cycle hold their previous value.
+// Inputs not mentioned in a cycle hold their previous value. Simulation
+// executes on the design's compiled plan; designs the planner cannot lower
+// run on the reference interpreter instead (identical semantics).
 func Run(d *compile.Design, stim Stimulus) (*Trace, error) {
+	p := PlanOf(d)
+	if p == nil {
+		return RunReference(d, stim)
+	}
+	m := newMach(p)
+	if err := m.settle(); err != nil {
+		return nil, err
+	}
+	tr := &Trace{Design: d, plan: p, rows: make([][]uint64, 0, len(stim))}
+	for i, cyc := range stim {
+		for name, v := range cyc {
+			if err := m.setInput(name, v); err != nil {
+				return nil, fmt.Errorf("cycle %d: %w", i, err)
+			}
+		}
+		if err := m.settle(); err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", i, err)
+		}
+		row := make([]uint64, p.nslots)
+		copy(row, m.vals)
+		tr.rows = append(tr.rows, row)
+		if err := m.edge(); err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", i, err)
+		}
+	}
+	return tr, nil
+}
+
+// RunVec simulates the design over a vectorised stimulus, driving input
+// slots directly. Every input in stim.Inputs is set every cycle.
+func RunVec(d *compile.Design, stim VecStimulus) (*Trace, error) {
+	p := PlanOf(d)
+	if p == nil {
+		// Reference fallback: materialise the equivalent map stimulus.
+		ms := make(Stimulus, len(stim.Rows))
+		for c, row := range stim.Rows {
+			cyc := make(map[string]uint64, len(stim.Inputs))
+			for i, in := range stim.Inputs {
+				cyc[in.Name] = row[i]
+			}
+			ms[c] = cyc
+		}
+		return RunReference(d, ms)
+	}
+	slots := make([]int32, len(stim.Inputs))
+	for i, in := range stim.Inputs {
+		sig := d.Signals[in.Name]
+		if sig == nil || sig.Kind != compile.SigInput {
+			return nil, fmt.Errorf("sim: %q is not an input", in.Name)
+		}
+		slots[i] = int32(sig.Slot)
+	}
+	m := newMach(p)
+	if err := m.settle(); err != nil {
+		return nil, err
+	}
+	tr := &Trace{Design: d, plan: p, rows: make([][]uint64, 0, len(stim.Rows))}
+	for c, in := range stim.Rows {
+		for i, slot := range slots {
+			m.vals[slot] = in[i] & p.masks[slot]
+		}
+		if err := m.settle(); err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", c, err)
+		}
+		row := make([]uint64, p.nslots)
+		copy(row, m.vals)
+		tr.rows = append(tr.rows, row)
+		if err := m.edge(); err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", c, err)
+		}
+	}
+	return tr, nil
+}
+
+// RunReference simulates the design on the reference interpreter. It is the
+// semantic oracle the differential tests hold Run's compiled plan against,
+// and the fallback for designs the planner cannot lower.
+func RunReference(d *compile.Design, stim Stimulus) (*Trace, error) {
 	s, err := New(d)
 	if err != nil {
 		return nil, err
 	}
-	tr := &Trace{Design: d, Rows: make([]map[string]uint64, 0, len(stim))}
+	tr := &Trace{Design: d, rows: make([][]uint64, 0, len(stim))}
 	for i, cyc := range stim {
 		for name, v := range cyc {
 			if err := s.SetInput(name, v); err != nil {
@@ -102,7 +256,7 @@ func Run(d *compile.Design, stim Stimulus) (*Trace, error) {
 		if err := s.Settle(); err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", i, err)
 		}
-		tr.Rows = append(tr.Rows, s.Snapshot())
+		tr.rows = append(tr.rows, s.snapshotRow())
 		if err := s.Edge(); err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", i, err)
 		}

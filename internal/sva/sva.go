@@ -63,35 +63,14 @@ func (r *Result) FirstFailure() *Failure {
 	return &best
 }
 
-// traceEnv adapts a trace row to the evaluator environment, with history
-// access for sampled-value functions.
-type traceEnv struct {
-	tr  *sim.Trace
-	idx int
-}
-
-// Value implements sim.Env.
-func (e traceEnv) Value(name string) (uint64, bool) { return e.tr.Value(e.idx, name) }
-
-// Width implements sim.Env.
-func (e traceEnv) Width(name string) int {
-	if sig := e.tr.Design.Signals[name]; sig != nil {
-		return sig.Width
-	}
-	return 0
-}
-
-// At implements sim.HistoryEnv.
-func (e traceEnv) At(offset int) sim.Env {
-	if e.idx-offset < 0 {
-		return nil
-	}
-	return traceEnv{tr: e.tr, idx: e.idx - offset}
-}
-
 // Check evaluates every assertion of the trace's design over the trace.
 // Property attempts that run past the end of the trace are treated as
 // pending (bounded-check semantics), not failures.
+//
+// Each assertion's boolean terms are resolved once through the trace's
+// compiled execution plan (slot-addressed closures; see internal/sim's
+// Plan), so the per-start attempt loop evaluates terms without walking the
+// AST or hashing signal names.
 func Check(tr *sim.Trace) (*Result, error) {
 	res := &Result{Attempts: map[string]int{}}
 	for _, a := range tr.Design.Asserts {
@@ -102,10 +81,40 @@ func Check(tr *sim.Trace) (*Result, error) {
 	return res, nil
 }
 
+// compiledAssert is one assertion with its property expressions resolved to
+// trace evaluators.
+type compiledAssert struct {
+	disable sim.CompiledExpr // nil when the property has no disable iff
+	ante    []compiledTerm
+	cons    []compiledTerm
+	impl    verilog.ImplKind
+}
+
+type compiledTerm struct {
+	delay int
+	fn    sim.CompiledExpr
+	expr  verilog.Expr
+}
+
+func compileAssert(tr *sim.Trace, a compile.ResolvedAssert) compiledAssert {
+	ca := compiledAssert{impl: a.Seq.Impl}
+	if a.DisableIff != nil {
+		ca.disable = tr.CompileExpr(a.DisableIff)
+	}
+	for _, t := range a.Seq.Antecedent {
+		ca.ante = append(ca.ante, compiledTerm{delay: t.DelayFromPrev, fn: tr.CompileExpr(t.Expr), expr: t.Expr})
+	}
+	for _, t := range a.Seq.Consequent {
+		ca.cons = append(ca.cons, compiledTerm{delay: t.DelayFromPrev, fn: tr.CompileExpr(t.Expr), expr: t.Expr})
+	}
+	return ca
+}
+
 func checkAssert(tr *sim.Trace, a compile.ResolvedAssert, res *Result) error {
 	n := tr.Len()
+	ca := compileAssert(tr, a)
 	for start := 0; start < n; start++ {
-		outcome, err := evalAttempt(tr, a, start)
+		outcome, err := evalAttempt(tr, ca, start)
 		if err != nil {
 			return err
 		}
@@ -141,12 +150,12 @@ type attemptOutcome struct {
 }
 
 // evalAttempt evaluates one property attempt starting at cycle start.
-func evalAttempt(tr *sim.Trace, a compile.ResolvedAssert, start int) (attemptOutcome, error) {
+func evalAttempt(tr *sim.Trace, ca compiledAssert, start int) (attemptOutcome, error) {
 	disabled := func(cycle int) (bool, error) {
-		if a.DisableIff == nil {
+		if ca.disable == nil {
 			return false, nil
 		}
-		v, err := sim.Eval(a.DisableIff, traceEnv{tr: tr, idx: cycle})
+		v, err := ca.disable(cycle)
 		if err != nil {
 			return false, err
 		}
@@ -155,9 +164,9 @@ func evalAttempt(tr *sim.Trace, a compile.ResolvedAssert, start int) (attemptOut
 
 	cursor := start
 	// Antecedent phase.
-	if a.Seq.Impl != verilog.ImplNone {
-		for _, term := range a.Seq.Antecedent {
-			cursor += term.DelayFromPrev
+	if ca.impl != verilog.ImplNone {
+		for _, term := range ca.ante {
+			cursor += term.delay
 			if cursor >= tr.Len() {
 				return attemptOutcome{kind: attemptPending}, nil
 			}
@@ -166,7 +175,7 @@ func evalAttempt(tr *sim.Trace, a compile.ResolvedAssert, start int) (attemptOut
 			} else if dis {
 				return attemptOutcome{kind: attemptVacuous}, nil
 			}
-			v, err := sim.Eval(term.Expr, traceEnv{tr: tr, idx: cursor})
+			v, err := term.fn(cursor)
 			if err != nil {
 				return attemptOutcome{}, err
 			}
@@ -174,14 +183,14 @@ func evalAttempt(tr *sim.Trace, a compile.ResolvedAssert, start int) (attemptOut
 				return attemptOutcome{kind: attemptVacuous}, nil
 			}
 		}
-		if a.Seq.Impl == verilog.ImplNonOverlap {
+		if ca.impl == verilog.ImplNonOverlap {
 			cursor++
 		}
 	}
 
 	// Consequent phase.
-	for _, term := range a.Seq.Consequent {
-		cursor += term.DelayFromPrev
+	for _, term := range ca.cons {
+		cursor += term.delay
 		if cursor >= tr.Len() {
 			return attemptOutcome{kind: attemptPending}, nil
 		}
@@ -190,12 +199,12 @@ func evalAttempt(tr *sim.Trace, a compile.ResolvedAssert, start int) (attemptOut
 		} else if dis {
 			return attemptOutcome{kind: attemptVacuous}, nil
 		}
-		v, err := sim.Eval(term.Expr, traceEnv{tr: tr, idx: cursor})
+		v, err := term.fn(cursor)
 		if err != nil {
 			return attemptOutcome{}, err
 		}
 		if v == 0 {
-			return attemptOutcome{kind: attemptFail, failCycle: cursor, failTerm: term.Expr}, nil
+			return attemptOutcome{kind: attemptFail, failCycle: cursor, failTerm: term.expr}, nil
 		}
 	}
 	return attemptOutcome{kind: attemptPass}, nil

@@ -24,7 +24,10 @@
 //
 // Verdicts carry the elaborated design and the formal result so callers
 // that need more than pass/fail (counterexample logs, vacuity sets, the
-// design for behavioural diffing) pay nothing extra. Cached verdicts are
+// design for behavioural diffing) pay nothing extra. Designs in verdicts
+// also carry internal/sim's compiled slot-indexed execution plan, warmed
+// here under the worker slot: a cache hit hands back a design that is
+// ready to simulate without re-walking the AST. Cached verdicts are
 // shared between callers and must be treated as read-only.
 package verify
 
@@ -37,6 +40,7 @@ import (
 
 	"repro/internal/compile"
 	"repro/internal/formal"
+	"repro/internal/sim"
 	"repro/internal/verilog"
 )
 
@@ -292,6 +296,11 @@ func run(src string, assertions []verilog.Item, opts Options) (Verdict, error) {
 	if compile.HasErrors(diags) || d == nil {
 		return Verdict{Status: StatusCompileError, Diags: diags, Log: compile.FormatDiags(diags)}, nil
 	}
+	// Warm the simulator's compiled execution plan while we hold a worker
+	// slot. The plan lives on the design, so cached verdicts (including
+	// compile-only goldens later fed to formal.Differ) carry a ready-to-run
+	// plan with them instead of rebuilding it on first simulation.
+	sim.PlanOf(d)
 	if opts.CompileOnly {
 		return Verdict{Status: StatusPass, Design: d, Diags: diags}, nil
 	}
