@@ -412,6 +412,72 @@ func writeSimBenchJSON() {
 	_ = os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
+// BenchmarkAugmentPipeline measures end-to-end corpus generation: the
+// procedural generator feeding the streaming Stage 1-3 pipeline, at
+// reduced scale. Each completed run rewrites BENCH_augment.json so the
+// repo carries a machine-readable generation-throughput trajectory
+// alongside the simulator one.
+func BenchmarkAugmentPipeline(b *testing.B) {
+	const gen = 16
+	var designs, samples int
+	for i := 0; i < b.N; i++ {
+		out, err := augment.Run(augment.Config{
+			Seed:               211,
+			Generate:           gen,
+			MutationsPerDesign: 4,
+			RandomRuns:         6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		designs = out.Stats.Compiled
+		samples = len(out.SVABug) + len(out.SVAEvalMachine)
+	}
+	elapsed := b.Elapsed().Seconds()
+	designsPerSec := float64(designs*b.N) / elapsed
+	samplesPerSec := float64(samples*b.N) / elapsed
+	b.ReportMetric(float64(designs), "designs")
+	b.ReportMetric(designsPerSec, "designs/s")
+	b.ReportMetric(samplesPerSec, "samples/s")
+	writeAugmentBenchJSON(map[string]float64{
+		"designs":       float64(designs),
+		"sva_samples":   float64(samples),
+		"designs_per_s": math.Round(designsPerSec*100) / 100,
+		"samples_per_s": math.Round(samplesPerSec*100) / 100,
+	})
+}
+
+// writeAugmentBenchJSON merges the session's generation-throughput figures
+// into BENCH_augment.json, mirroring the BENCH_sim.json convention.
+func writeAugmentBenchJSON(cur map[string]float64) {
+	const path = "BENCH_augment.json"
+	doc := struct {
+		Note    string             `json:"note"`
+		Current map[string]float64 `json:"current"`
+	}{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if json.Unmarshal(raw, &doc) != nil {
+			return // unrecognised file; leave it alone
+		}
+	}
+	if doc.Note == "" {
+		doc.Note = "end-to-end augmentation throughput of BenchmarkAugmentPipeline " +
+			"(catalog + 16 generated designs, 4 mutations/design, 6 random runs); " +
+			"regenerate with: go test -run NONE -bench BenchmarkAugmentPipeline -benchtime 1x ."
+	}
+	if doc.Current == nil {
+		doc.Current = map[string]float64{}
+	}
+	for k, v := range cur {
+		doc.Current[k] = v
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 // BenchmarkCompile measures front-end throughput on the largest design.
 func BenchmarkCompile(b *testing.B) {
 	src := corpus.Mux(32, 2).Source()

@@ -1,11 +1,17 @@
 // Command augment runs the three-stage data-augmentation pipeline
-// (Fig. 2-I) over the synthetic corpus and writes the resulting datasets:
+// (Fig. 2-I) over the golden-design corpus — the fixed catalog plus, with
+// -n, procedurally generated designs — and writes the resulting datasets:
 //
 //	verilog_pt.json    - Verilog-PT pretraining entries (dataset (a))
 //	verilog_bug.json   - Verilog-Bug auxiliary entries (dataset (b))
 //	sva_bug.json       - SVA-Bug training samples (dataset (c))
 //	sva_eval_machine.json - held-out machine benchmark
 //	sva_eval_human.json   - the 38 hand-crafted human cases
+//
+// With -jsonl each dataset is written as -shards streaming JSONL shard
+// files (<name>-00000.jsonl, ...) instead of one monolithic JSON array;
+// the pipeline then streams straight to disk and memory stays flat no
+// matter how large -n gets. cmd/train reads either format.
 //
 // It prints pipeline statistics and the Table II distribution.
 package main
@@ -25,15 +31,41 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("augment: ")
 	var (
-		outDir    = flag.String("out", "data", "output directory for dataset JSON files")
+		outDir    = flag.String("out", "data", "output directory for dataset files")
 		seed      = flag.Int64("seed", 1, "pipeline seed")
 		runs      = flag.Int("runs", 16, "random runs per bounded check")
 		mutCap    = flag.Int("mutations", 0, "cap mutations per design (0 = per-bin defaults)")
+		genN      = flag.Int("n", 0, "procedurally generated designs added to the fixed catalog")
+		workers   = flag.Int("workers", 0, "concurrent stage-2/3 designs (0 = GOMAXPROCS; output is identical for any value)")
+		jsonl     = flag.Bool("jsonl", false, "write streaming JSONL shards instead of monolithic JSON")
+		shards    = flag.Int("shards", 4, "shard files per dataset with -jsonl")
 		statsOnly = flag.Bool("stats", false, "print statistics only, write nothing")
 	)
 	flag.Parse()
 
-	cfg := augment.Config{Seed: *seed, RandomRuns: *runs, MutationsPerDesign: *mutCap}
+	cfg := augment.Config{
+		Seed:               *seed,
+		RandomRuns:         *runs,
+		MutationsPerDesign: *mutCap,
+		Generate:           *genN,
+		Workers:            *workers,
+	}
+
+	if *statsOnly {
+		// Stats never need the datasets in memory: stream through a
+		// counting sink whatever the requested output format was.
+		if err := runStatsOnly(cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *jsonl {
+		if err := runJSONL(cfg, *outDir, *shards); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	out, err := augment.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -43,23 +75,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	st := out.Stats
-	fmt.Printf("Stage 1: %d raw entries; filtered %d incomplete, %d trivial, %d duplicate\n",
-		st.RawEntries, st.FilteredIncomplete, st.FilteredTrivial, st.FilteredDuplicate)
-	fmt.Printf("         %d compiled, %d failed compilation (both -> Verilog-PT: %d entries)\n",
-		st.Compiled, st.CompileFailed, len(out.VerilogPT))
-	fmt.Printf("Stage 2: %d mutants tried: %d assertion failures, %d functional-only, %d no-ops, %d non-compiling, %d sim errors\n",
-		st.MutantsTried, st.MutantsAssertFail, st.MutantsFuncOnly, st.MutantsNoop, st.MutantsNoncompile, st.MutantsSimError)
-	fmt.Printf("Stage 3: %d CoTs generated, %d valid (%.2f%%; paper reports 74.55%%)\n",
-		st.CoTGenerated, st.CoTValid, 100*st.CoTValidity())
-	fmt.Printf("Datasets: Verilog-PT=%d Verilog-Bug=%d SVA-Bug=%d SVA-Eval-Machine=%d SVA-Eval-Human=%d\n\n",
-		len(out.VerilogPT), len(out.VerilogBug), len(out.SVABug), len(out.SVAEvalMachine), len(human))
+	printStats(out.Stats, len(out.VerilogPT), len(out.VerilogBug), len(out.SVABug), len(out.SVAEvalMachine), len(human))
 	fmt.Println("Table II distribution:")
 	fmt.Println(dataset.FormatTableII(out.SVABug, append(out.SVAEvalMachine, human...)))
 
-	if *statsOnly {
-		return
-	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
 	}
@@ -68,9 +87,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		if err := dataset.WriteJSON(f, v); err != nil {
+			f.Close()
 			log.Fatal(err)
+		}
+		// A failed close loses buffered writes (e.g. on a full disk);
+		// it must not be reported as success.
+		if err := f.Close(); err != nil {
+			log.Fatalf("%s: close: %v", name, err)
 		}
 	}
 	write("verilog_pt.json", out.VerilogPT)
@@ -79,4 +103,226 @@ func main() {
 	write("sva_eval_machine.json", out.SVAEvalMachine)
 	write("sva_eval_human.json", human)
 	fmt.Printf("datasets written to %s/\n", *outDir)
+}
+
+func printStats(st augment.Stats, pt, vbug, svabug, evalMachine, evalHuman int) {
+	fmt.Printf("Stage 1: %d raw entries; filtered %d incomplete, %d trivial, %d duplicate\n",
+		st.RawEntries, st.FilteredIncomplete, st.FilteredTrivial, st.FilteredDuplicate)
+	fmt.Printf("         %d compiled, %d failed compilation (both -> Verilog-PT: %d entries)\n",
+		st.Compiled, st.CompileFailed, pt)
+	fmt.Printf("Stage 2: %d mutants tried: %d assertion failures, %d functional-only, %d no-ops, %d non-compiling, %d sim errors\n",
+		st.MutantsTried, st.MutantsAssertFail, st.MutantsFuncOnly, st.MutantsNoop, st.MutantsNoncompile, st.MutantsSimError)
+	fmt.Printf("Stage 3: %d CoTs generated, %d valid (%.2f%%; paper reports 74.55%%)\n",
+		st.CoTGenerated, st.CoTValid, 100*st.CoTValidity())
+	fmt.Printf("Datasets: Verilog-PT=%d Verilog-Bug=%d SVA-Bug=%d SVA-Eval-Machine=%d SVA-Eval-Human=%d\n\n",
+		pt, vbug, svabug, evalMachine, evalHuman)
+}
+
+// statsSink counts pipeline products and keeps only the lightweight
+// per-sample (module, bin, labels) meta needed to reproduce the split and
+// Table II — orders of magnitude smaller than the datasets themselves.
+type statsSink struct {
+	ptCount, bugCount int
+	namesByBin        map[int][]string
+	seenName          map[string]bool
+	meta              []sampleMeta
+}
+
+type sampleMeta struct {
+	module string
+	bin    int
+	labels []string
+}
+
+func (s *statsSink) PT(dataset.PTEntry) error { s.ptCount++; return nil }
+
+func (s *statsSink) Bug(dataset.BugEntry) error { s.bugCount++; return nil }
+
+func (s *statsSink) Sample(sm dataset.SVASample) error {
+	bin := sm.BinIndex()
+	if !s.seenName[sm.Module] {
+		s.seenName[sm.Module] = true
+		s.namesByBin[bin] = append(s.namesByBin[bin], sm.Module)
+	}
+	s.meta = append(s.meta, sampleMeta{module: sm.Module, bin: bin, labels: sm.TypeLabels()})
+	return nil
+}
+
+// runStatsOnly streams the pipeline through a counting sink and prints the
+// same report the writing modes do.
+func runStatsOnly(cfg augment.Config) error {
+	sink := &statsSink{namesByBin: map[int][]string{}, seenName: map[string]bool{}}
+	st, err := augment.RunStream(cfg, sink)
+	if err != nil {
+		return err
+	}
+	eff := cfg.Defaults()
+	trainNames := dataset.TrainNames(sink.namesByBin, eff.TrainFrac, eff.Seed*17+3)
+	dt, de := dataset.NewDistribution(), dataset.NewDistribution()
+	trainCount, evalCount := 0, 0
+	for _, m := range sink.meta {
+		if trainNames[m.module] {
+			dt.Add(m.bin, m.labels)
+			trainCount++
+		} else {
+			de.Add(m.bin, m.labels)
+			evalCount++
+		}
+	}
+	human, err := augment.BuildHumanEval(cfg)
+	if err != nil {
+		return err
+	}
+	for i := range human {
+		de.Add(human[i].BinIndex(), human[i].TypeLabels())
+	}
+	printStats(st, sink.ptCount, sink.bugCount, trainCount, evalCount, len(human))
+	fmt.Println("Table II distribution:")
+	fmt.Println(dataset.FormatTableIIDist(dt, de))
+	return nil
+}
+
+// shardSink streams pipeline products straight into shard writers while
+// collecting only the per-module name/bin pairs the split needs.
+type shardSink struct {
+	pt, bug, all *dataset.ShardedWriter
+
+	namesByBin map[int][]string
+	seenName   map[string]bool
+}
+
+func (s *shardSink) PT(e dataset.PTEntry) error { return s.pt.Write(&e) }
+
+func (s *shardSink) Bug(e dataset.BugEntry) error { return s.bug.Write(&e) }
+
+func (s *shardSink) Sample(sm dataset.SVASample) error {
+	if !s.seenName[sm.Module] {
+		s.seenName[sm.Module] = true
+		s.namesByBin[sm.BinIndex()] = append(s.namesByBin[sm.BinIndex()], sm.Module)
+	}
+	return s.all.Write(&sm)
+}
+
+// runJSONL is the streaming path: Stage 1-3 products go straight to JSONL
+// shards; the train/test split then re-streams the combined sample shards
+// into sva_bug and sva_eval_machine, so no dataset is ever materialised in
+// memory. On any error every shard written so far is removed — a partial
+// shard set is indistinguishable from a complete one to dataset.Load, so
+// it must not survive.
+func runJSONL(cfg augment.Config, outDir string, shards int) (err error) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	var created []string
+	defer func() {
+		if err == nil {
+			return
+		}
+		for _, path := range created {
+			os.Remove(path)
+		}
+	}()
+	newWriter := func(base string) (*dataset.ShardedWriter, error) {
+		// Remove shards left by a previous run with a different -shards
+		// count: dataset.Load globs <base>-*.jsonl, so survivors would
+		// silently merge a stale build into this one.
+		stale, gerr := dataset.ShardPaths(outDir, base)
+		if gerr != nil {
+			return nil, gerr
+		}
+		for _, path := range stale {
+			if rerr := os.Remove(path); rerr != nil {
+				return nil, rerr
+			}
+		}
+		w, werr := dataset.NewShardedWriter(outDir, base, shards)
+		if werr != nil {
+			return nil, werr
+		}
+		created = append(created, w.Paths()...)
+		return w, nil
+	}
+	sink := &shardSink{
+		namesByBin: map[int][]string{},
+		seenName:   map[string]bool{},
+	}
+	if sink.pt, err = newWriter("verilog_pt"); err != nil {
+		return err
+	}
+	if sink.bug, err = newWriter("verilog_bug"); err != nil {
+		return err
+	}
+	if sink.all, err = newWriter("sva_samples"); err != nil {
+		return err
+	}
+	st, err := augment.RunStream(cfg, sink)
+	if err != nil {
+		return err
+	}
+	ptCount, bugCount := sink.pt.Count(), sink.bug.Count()
+	for _, w := range []*dataset.ShardedWriter{sink.pt, sink.bug, sink.all} {
+		if cerr := w.Close(); cerr != nil {
+			return cerr
+		}
+	}
+
+	// Split pass: route the combined sample stream by module name.
+	eff := cfg.Defaults()
+	trainNames := dataset.TrainNames(sink.namesByBin, eff.TrainFrac, eff.Seed*17+3)
+	samplePaths := sink.all.Paths()
+	trainW, err := newWriter("sva_bug")
+	if err != nil {
+		return err
+	}
+	evalW, err := newWriter("sva_eval_machine")
+	if err != nil {
+		return err
+	}
+	dt, de := dataset.NewDistribution(), dataset.NewDistribution()
+	// The sample shards are re-streamed interleaved, restoring production
+	// order: for a fixed seed the routed datasets come out identical to
+	// the monolithic JSON mode's, entry for entry, at any -shards count.
+	route := func(s dataset.SVASample) error {
+		if trainNames[s.Module] {
+			dt.Add(s.BinIndex(), s.TypeLabels())
+			return trainW.Write(&s)
+		}
+		de.Add(s.BinIndex(), s.TypeLabels())
+		return evalW.Write(&s)
+	}
+	if err := dataset.ForEachShard(samplePaths, route); err != nil {
+		return err
+	}
+
+	human, err := augment.BuildHumanEval(cfg)
+	if err != nil {
+		return err
+	}
+	humanW, err := newWriter("sva_eval_human")
+	if err != nil {
+		return err
+	}
+	for i := range human {
+		de.Add(human[i].BinIndex(), human[i].TypeLabels())
+		if werr := humanW.Write(&human[i]); werr != nil {
+			return werr
+		}
+	}
+	trainCount, evalCount := trainW.Count(), evalW.Count()
+	for _, w := range []*dataset.ShardedWriter{trainW, evalW, humanW} {
+		if cerr := w.Close(); cerr != nil {
+			return cerr
+		}
+	}
+	for _, path := range samplePaths {
+		if rerr := os.Remove(path); rerr != nil {
+			return rerr
+		}
+	}
+
+	printStats(st, ptCount, bugCount, trainCount, evalCount, len(human))
+	fmt.Println("Table II distribution:")
+	fmt.Println(dataset.FormatTableIIDist(dt, de))
+	fmt.Printf("JSONL datasets written to %s/ (%d shards each)\n", outDir, shards)
+	return nil
 }

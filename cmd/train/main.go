@@ -1,7 +1,8 @@
 // Command train runs the paper's training recipe (Fig. 2-II) over datasets
-// produced by cmd/augment: continual pretraining on Verilog-PT, supervised
-// fine-tuning on SVA-Bug + Verilog-Bug, and DPO on challenging cases. It
-// saves the resulting models:
+// produced by cmd/augment — either the monolithic *.json files or the
+// sharded *-NNNNN.jsonl streams of its -jsonl mode: continual pretraining
+// on Verilog-PT, supervised fine-tuning on SVA-Bug + Verilog-Bug, and DPO
+// on challenging cases. It saves the resulting models:
 //
 //	base.model  - untrained baseline
 //	sft.model   - after PT + SFT
@@ -9,7 +10,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -34,12 +34,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var pt []dataset.PTEntry
-	var vbug []dataset.BugEntry
-	var svabug []dataset.SVASample
-	mustRead(filepath.Join(*dataDir, "verilog_pt.json"), &pt)
-	mustRead(filepath.Join(*dataDir, "verilog_bug.json"), &vbug)
-	mustRead(filepath.Join(*dataDir, "sva_bug.json"), &svabug)
+	pt := mustLoad[dataset.PTEntry](*dataDir, "verilog_pt")
+	vbug := mustLoad[dataset.BugEntry](*dataDir, "verilog_bug")
+	svabug := mustLoad[dataset.SVASample](*dataDir, "sva_bug")
 	fmt.Printf("loaded: PT=%d Verilog-Bug=%d SVA-Bug=%d\n", len(pt), len(vbug), len(svabug))
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -69,15 +66,14 @@ func main() {
 	save(solver, filepath.Join(*outDir, "assertsolver.model"))
 }
 
-func mustRead(path string, v any) {
-	f, err := os.Open(path)
+// mustLoad reads a dataset in whichever format cmd/augment produced:
+// <base>.json or <base>-*.jsonl shards.
+func mustLoad[T any](dir, base string) []T {
+	out, err := dataset.Load[T](dir, base)
 	if err != nil {
 		log.Fatalf("%v (run cmd/augment first)", err)
 	}
-	defer f.Close()
-	if err := json.NewDecoder(f).Decode(v); err != nil {
-		log.Fatalf("%s: %v", path, err)
-	}
+	return out
 }
 
 func save(m *model.Model, path string) {

@@ -17,6 +17,19 @@
 //
 // Finally the SVA samples are split 90/10 by module name within each code-
 // length bin into SVA-Bug (train) and SVA-Eval-Machine (test).
+//
+// # Streaming execution
+//
+// The pipeline runs as a bounded-channel stream: a producer performs
+// Stage 1 and feeds golden blueprints (from the fixed catalog and, when
+// Config.Generate is set, the procedural generator) to a pool of Stage-2/3
+// design workers, whose results a single writer goroutine re-establishes
+// in production order before handing them to a Sink. Nothing is
+// materialised beyond the channel buffers and the in-flight designs, so
+// corpus size is bounded by disk, not memory, and the emitted stream is
+// byte-identical for a fixed seed regardless of the worker count. Run
+// collects the stream into an Output; RunStream hands it to a caller
+// Sink (cmd/augment streams it into sharded JSONL files).
 package augment
 
 import (
@@ -54,6 +67,17 @@ type Config struct {
 	TrainFrac float64
 	// RandomRuns bounds the random phase of each formal check.
 	RandomRuns int
+	// Generate is the number of procedurally generated golden designs
+	// added to the fixed catalog (0 = catalog only). Every generated
+	// design is verified — it must compile and pass its own assertions
+	// non-vacuously — before it enters the corpus.
+	Generate int
+	// Workers bounds how many designs run Stage 2/3 concurrently
+	// (0 = GOMAXPROCS). The output is identical for any worker count.
+	Workers int
+	// Source overrides where golden designs come from (nil = the fixed
+	// catalog plus Generate procedural designs).
+	Source corpus.Source
 }
 
 // withDefaults fills unset fields with the paper's settings.
@@ -76,6 +100,44 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Defaults returns the config with unset fields filled in — the form Run
+// actually executes. Callers that reproduce parts of the pipeline (e.g.
+// cmd/augment's streaming split) use it to agree on the effective
+// TrainFrac and seeds.
+func (c Config) Defaults() Config { return c.withDefaults() }
+
+// source resolves the golden-design source for this config. Generated
+// candidates are accepted only when the verification service proves they
+// compile and pass their own assertions, with no assertion left vacuous;
+// the catalog's content hashes are excluded so the generator only ever
+// adds designs.
+func (c Config) source(svc *verify.Service) corpus.Source {
+	if c.Source != nil {
+		return c.Source
+	}
+	if c.Generate <= 0 {
+		return corpus.CatalogSource{}
+	}
+	var exclude [][32]byte
+	for _, b := range corpus.Catalog() {
+		exclude = append(exclude, b.ContentHash())
+	}
+	gen := corpus.NewGenerator(corpus.GenConfig{
+		Seed:    c.Seed,
+		N:       c.Generate,
+		Exclude: exclude,
+		Accept: func(b *corpus.Blueprint) bool {
+			v, err := svc.Check(b.Source(), nil, verify.Options{
+				Seed:       designSeed(c.Seed, b.Name()),
+				Depth:      b.CheckDepth(16),
+				RandomRuns: c.RandomRuns,
+			})
+			return err == nil && v.Passed() && len(v.Vacuous()) == 0
+		},
+	})
+	return corpus.Multi(corpus.CatalogSource{}, gen)
+}
+
 // Stats counts what happened at each stage.
 type Stats struct {
 	RawEntries         int
@@ -96,6 +158,24 @@ type Stats struct {
 	CoTValid     int
 }
 
+// add merges another stats delta into s.
+func (s *Stats) add(d Stats) {
+	s.RawEntries += d.RawEntries
+	s.FilteredIncomplete += d.FilteredIncomplete
+	s.FilteredTrivial += d.FilteredTrivial
+	s.FilteredDuplicate += d.FilteredDuplicate
+	s.CompileFailed += d.CompileFailed
+	s.Compiled += d.Compiled
+	s.MutantsTried += d.MutantsTried
+	s.MutantsNoncompile += d.MutantsNoncompile
+	s.MutantsNoop += d.MutantsNoop
+	s.MutantsAssertFail += d.MutantsAssertFail
+	s.MutantsFuncOnly += d.MutantsFuncOnly
+	s.MutantsSimError += d.MutantsSimError
+	s.CoTGenerated += d.CoTGenerated
+	s.CoTValid += d.CoTValid
+}
+
 // CoTValidity returns the fraction of valid CoTs (paper: 0.7455).
 func (s Stats) CoTValidity() float64 {
 	if s.CoTGenerated == 0 {
@@ -113,79 +193,327 @@ type Output struct {
 	Stats          Stats
 }
 
-// Run executes the full pipeline over the synthetic corpus.
+// Sink receives the pipeline's products as they are finalised. All calls
+// come from one goroutine; within each product stream the order is
+// deterministic for a fixed Config (independent of Workers and
+// GOMAXPROCS), while calls across different streams may interleave. SVA
+// samples arrive pre-split — the train/test separation needs the full
+// module-name population and is applied afterwards (Run does it in
+// memory; cmd/augment re-streams the sample shards).
+type Sink interface {
+	PT(dataset.PTEntry) error
+	Bug(dataset.BugEntry) error
+	Sample(dataset.SVASample) error
+}
+
+// collector materialises the stream for Run.
+type collector struct {
+	out     *Output
+	samples []dataset.SVASample
+}
+
+func (c *collector) PT(e dataset.PTEntry) error {
+	c.out.VerilogPT = append(c.out.VerilogPT, e)
+	return nil
+}
+
+func (c *collector) Bug(e dataset.BugEntry) error {
+	c.out.VerilogBug = append(c.out.VerilogBug, e)
+	return nil
+}
+
+func (c *collector) Sample(s dataset.SVASample) error {
+	c.samples = append(c.samples, s)
+	return nil
+}
+
+// Run executes the full pipeline and collects the streamed products into
+// an Output, applying the length-binned 90/10 module split at the end.
 func Run(cfg Config) (*Output, error) {
 	cfg = cfg.withDefaults()
 	out := &Output{}
-	raw := corpus.RawCorpus()
-	out.Stats.RawEntries = len(raw)
+	sink := &collector{out: out}
+	st, err := RunStream(cfg, sink)
+	if err != nil {
+		return nil, err
+	}
+	out.Stats = st
+	out.SVABug, out.SVAEvalMachine = dataset.SplitByModule(sink.samples, cfg.TrainFrac, cfg.Seed*17+3)
+	return out, nil
+}
 
-	// --- Stage 1: filtering and syntax checking ---
-	seenSource := map[string]bool{}
-	var compiled []*corpus.Blueprint
-	for _, e := range raw {
+// pipeBuf bounds every pipeline channel: at most this many designs (or
+// dataset entries) are in flight between stages, so memory stays flat no
+// matter how large the corpus grows.
+const pipeBuf = 64
+
+// inflightCap bounds how many designs may be past the producer but not
+// yet flushed to the sink. It caps the writer's reorder buffer: when one
+// slow design stalls the in-order flush, the producer pauses instead of
+// letting completed later designs pile up in memory.
+const inflightCap = 2 * pipeBuf
+
+// designJob is one golden design queued for Stage 2/3, tagged with its
+// production index so the writer can restore order.
+type designJob struct {
+	seq int
+	bp  *corpus.Blueprint
+}
+
+// designResult is the finished Stage-2/3 product of one design.
+type designResult struct {
+	seq     int
+	samples []dataset.SVASample
+	bugs    []dataset.BugEntry
+	stats   Stats
+	err     error
+}
+
+// RunStream executes the pipeline as a bounded-channel stream:
+//
+//	producer (Stage 1 + generation) -> jobs -> Stage-2/3 workers
+//	    -> results -> writer (reorders) -> sink
+//
+// The returned stats aggregate all stages. On the first error the stream
+// stops early and the error is returned; the sink never sees products
+// past it.
+func RunStream(cfg Config, sink Sink) (Stats, error) {
+	cfg = cfg.withDefaults()
+	svc := verify.Default()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	jobs := make(chan designJob, pipeBuf)
+	results := make(chan designResult, pipeBuf)
+	ptCh := make(chan dataset.PTEntry, pipeBuf)
+	tokens := make(chan struct{}, inflightCap)
+	stop := make(chan struct{})
+	type prodSummary struct {
+		stats Stats
+		err   error
+	}
+	prodC := make(chan prodSummary, 1)
+
+	go func() {
+		st, err := produce(cfg, svc, jobs, ptCh, tokens, stop)
+		close(jobs)
+		close(ptCh)
+		prodC <- prodSummary{st, err}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				res := processDesign(cfg, job)
+				select {
+				case results <- res:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Writer: the calling goroutine. Results are flushed to the sink in
+	// seq order; PT entries already arrive in production order.
+	var stats Stats
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+			close(stop)
+		}
+	}
+	pending := map[int]designResult{}
+	next := 0
+	flush := func() {
+		for firstErr == nil {
+			r, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			next++
+			<-tokens // this design left the pipeline; unblock the producer
+			if r.err != nil {
+				fail(r.err)
+				return
+			}
+			stats.add(r.stats)
+			for _, s := range r.samples {
+				if err := sink.Sample(s); err != nil {
+					fail(err)
+					return
+				}
+			}
+			for _, e := range r.bugs {
+				if err := sink.Bug(e); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}
+	}
+	for ptCh != nil || results != nil {
+		select {
+		case e, ok := <-ptCh:
+			if !ok {
+				ptCh = nil
+				continue
+			}
+			if firstErr == nil {
+				fail(sink.PT(e))
+			}
+		case r, ok := <-results:
+			if !ok {
+				results = nil
+				continue
+			}
+			if firstErr == nil {
+				pending[r.seq] = r
+				flush()
+			}
+		}
+	}
+	prod := <-prodC
+	stats.add(prod.stats)
+	if firstErr == nil {
+		firstErr = prod.err
+	}
+	return stats, firstErr
+}
+
+// produce is Stage 1: it streams golden blueprints from the source into
+// Stage-2 jobs (each with a Verilog-PT entry) and filters the defective
+// population into Verilog-PT. Each job first claims an in-flight token
+// (returned by the writer once the design is flushed), bounding the
+// reorder buffer. Sends abort when stop closes.
+func produce(cfg Config, svc *verify.Service, jobs chan<- designJob, ptCh chan<- dataset.PTEntry, tokens chan<- struct{}, stop <-chan struct{}) (Stats, error) {
+	var st Stats
+	seen := map[string]bool{}
+	seq := 0
+	sendPT := func(e dataset.PTEntry) bool {
+		select {
+		case ptCh <- e:
+			return true
+		case <-stop:
+			return false
+		}
+	}
+
+	src := cfg.source(svc)
+	wantGoldens := -1
+	if cfg.Source == nil {
+		// The built-in source has a known size: the catalog plus exactly
+		// Generate procedural designs (the generator excludes catalog
+		// hashes, so the union has no duplicates).
+		wantGoldens = len(corpus.Catalog()) + cfg.Generate
+	}
+	goldens := 0
+	for b := range src.Blueprints() {
+		goldens++
+		st.RawEntries++
+		bSrc := b.Source()
+		if seen[bSrc] {
+			st.FilteredDuplicate++
+			continue
+		}
+		seen[bSrc] = true
+		v, err := svc.Check(bSrc, nil, verify.Options{CompileOnly: true})
+		if err != nil || !v.Passed() {
+			// Sources promise valid designs; a non-compiling golden is a
+			// corpus bug, not a filterable input.
+			return st, fmt.Errorf("augment: golden %s does not compile: %v %s",
+				b.Name(), v.CompileErr, compile.FormatDiags(v.Diags))
+		}
+		st.Compiled++
+		if !sendPT(dataset.PTEntry{Name: b.Name(), Code: bSrc, Spec: spec.Generate(b), Compiles: true}) {
+			return st, nil
+		}
+		select {
+		case tokens <- struct{}{}:
+		case <-stop:
+			return st, nil
+		}
+		select {
+		case jobs <- designJob{seq: seq, bp: b}:
+			seq++
+		case <-stop:
+			return st, nil
+		}
+	}
+	if wantGoldens >= 0 && goldens < wantGoldens {
+		return st, fmt.Errorf(
+			"augment: corpus source yielded %d golden designs, expected %d: the procedural generator exhausted its attempt budget before reaching Generate=%d (lower it or widen the parameter space)",
+			goldens, wantGoldens, cfg.Generate)
+	}
+
+	for _, e := range corpus.DefectiveCorpus() {
+		st.RawEntries++
 		if !hasModuleStructure(e.Source) {
-			out.Stats.FilteredIncomplete++
+			st.FilteredIncomplete++
 			continue
 		}
-		if seenSource[e.Source] {
-			out.Stats.FilteredDuplicate++
+		if seen[e.Source] {
+			st.FilteredDuplicate++
 			continue
 		}
-		seenSource[e.Source] = true
+		seen[e.Source] = true
 
 		m, perr := verilog.Parse(e.Source)
 		if perr == nil && isTrivial(m) {
-			out.Stats.FilteredTrivial++
+			st.FilteredTrivial++
 			continue
 		}
-
-		v, cerr := verify.Default().Check(e.Source, nil, verify.Options{CompileOnly: true})
+		v, cerr := svc.Check(e.Source, nil, verify.Options{CompileOnly: true})
 		if cerr != nil || !v.Passed() {
-			out.Stats.CompileFailed++
-			analysis := v.Log
+			st.CompileFailed++
 			specText := "Function: unavailable (code failed to compile).\n"
 			if m != nil {
 				specText = spec.GenerateBare(m)
 			}
-			out.VerilogPT = append(out.VerilogPT, dataset.PTEntry{
+			if !sendPT(dataset.PTEntry{
 				Name: e.Name, Code: e.Source, Spec: specText,
-				Compiles: false, Analysis: analysis,
-			})
+				Compiles: false, Analysis: v.Log,
+			}) {
+				return st, nil
+			}
 			continue
 		}
-		out.Stats.Compiled++
-		b := corpus.ByName(v.Design.Module.Name)
-		specText := spec.GenerateBare(v.Design.Module)
-		if b != nil {
-			specText = spec.Generate(b)
-		}
-		out.VerilogPT = append(out.VerilogPT, dataset.PTEntry{
-			Name: e.Name, Code: e.Source, Spec: specText, Compiles: true,
-		})
-		if b != nil {
-			compiled = append(compiled, b)
+		// Still-compiling defectives are corpus text only: they carry no
+		// blueprint metadata, so they feed Verilog-PT but not Stage 2.
+		st.Compiled++
+		if !sendPT(dataset.PTEntry{Name: e.Name, Code: e.Source, Spec: spec.GenerateBare(m), Compiles: true}) {
+			return st, nil
 		}
 	}
-
-	// --- Stage 2: bug injection and validation ---
-	cotGen := cot.NewGenerator(cfg.CoTCorruptRate, cfg.Seed*31+7)
-	var allSVA []dataset.SVASample
-	for _, b := range compiled {
-		samples, bugEntries, err := InjectAndValidate(b, cfg, &out.Stats, cotGen)
-		if err != nil {
-			return nil, fmt.Errorf("augment: %s: %w", b.Name(), err)
-		}
-		allSVA = append(allSVA, samples...)
-		out.VerilogBug = append(out.VerilogBug, bugEntries...)
-	}
-
-	// --- Split: 90/10 by module name within length bins ---
-	out.SVABug, out.SVAEvalMachine = dataset.SplitByModule(allSVA, cfg.TrainFrac, cfg.Seed*17+3)
-	return out, nil
+	return st, nil
 }
 
-// designSeed derives a deterministic per-design formal seed.
+// processDesign runs Stage 2 and 3 for one design with a design-local CoT
+// generator, so results do not depend on which worker ran it or in what
+// order designs complete.
+func processDesign(cfg Config, job designJob) designResult {
+	res := designResult{seq: job.seq}
+	cotGen := cot.NewGenerator(cfg.CoTCorruptRate, designSeed(cfg.Seed*31+7, job.bp.Name()))
+	res.samples, res.bugs, res.err = InjectAndValidate(job.bp, cfg, &res.stats, cotGen)
+	if res.err != nil {
+		res.err = fmt.Errorf("augment: %s: %w", job.bp.Name(), res.err)
+	}
+	return res
+}
+
+// designSeed derives a deterministic per-design seed from a base seed and
+// the design name.
 func designSeed(base int64, name string) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(name))

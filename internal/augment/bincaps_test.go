@@ -7,6 +7,14 @@ import (
 	"repro/internal/cot"
 )
 
+// TestBinCapsCoverEveryBin guards the Config.BinCaps array against the bin
+// definition drifting: one cap per Table II length interval.
+func TestBinCapsCoverEveryBin(t *testing.T) {
+	if got, want := len(Config{}.BinCaps), len(corpus.BinLabels()); got != want {
+		t.Fatalf("Config.BinCaps has %d entries, corpus defines %d length bins", got, want)
+	}
+}
+
 // TestBinCapsLimitInjection verifies the Table II shaping knob: a design's
 // mutation budget follows its length bin.
 func TestBinCapsLimitInjection(t *testing.T) {

@@ -1,0 +1,163 @@
+package augment
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+)
+
+// tinySource is a small deterministic blueprint source shared by the
+// streaming tests: a handful of catalog designs plus a few procedurally
+// generated ones.
+func tinySource() corpus.Source {
+	return corpus.Multi(
+		corpus.FuncSource("tiny", func() []*corpus.Blueprint {
+			return []*corpus.Blueprint{
+				corpus.Counter(4, 9),
+				corpus.ShiftReg(3),
+				corpus.Accu(4, 2),
+				corpus.Handshake(2),
+				corpus.Parity(8),
+			}
+		}),
+		corpus.NewGenerator(corpus.GenConfig{Seed: 21, N: 5}),
+	)
+}
+
+// TestRunDeterministicAcrossWorkers is the pipeline's core contract: for a
+// fixed seed the output is byte-identical no matter how many workers run
+// Stage 2/3.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	marshal := func(workers int) []byte {
+		out, err := Run(Config{
+			Seed:               3,
+			MutationsPerDesign: 3,
+			RandomRuns:         6,
+			Workers:            workers,
+			Source:             tinySource(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	serial := marshal(1)
+	parallel := marshal(8)
+	if string(serial) != string(parallel) {
+		t.Fatal("pipeline output differs between 1 and 8 workers")
+	}
+	if string(serial) != string(marshal(3)) {
+		t.Fatal("pipeline output differs between 1 and 3 workers")
+	}
+}
+
+// TestRunStreamOrderAndContent: the streamed products match the collected
+// Output exactly, stream order included.
+func TestRunStreamOrderAndContent(t *testing.T) {
+	cfg := Config{Seed: 5, MutationsPerDesign: 2, RandomRuns: 6, Source: tinySource()}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got collector
+	got.out = &Output{}
+	st, err := RunStream(cfg, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != out.Stats {
+		t.Errorf("stats differ:\nstream: %+v\nrun:    %+v", st, out.Stats)
+	}
+	if len(got.out.VerilogPT) != len(out.VerilogPT) {
+		t.Fatalf("PT stream %d entries, run %d", len(got.out.VerilogPT), len(out.VerilogPT))
+	}
+	for i := range got.out.VerilogPT {
+		if got.out.VerilogPT[i] != out.VerilogPT[i] {
+			t.Fatalf("PT entry %d differs", i)
+		}
+	}
+	if len(got.samples) != len(out.SVABug)+len(out.SVAEvalMachine) {
+		t.Errorf("sample stream %d, run %d+%d", len(got.samples), len(out.SVABug), len(out.SVAEvalMachine))
+	}
+}
+
+// TestRunWithGenerator: Config.Generate grows the corpus by exactly N
+// verified, content-distinct designs on top of the catalog.
+func TestRunWithGenerator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run in -short mode")
+	}
+	const gen = 6
+	out, err := Run(Config{Seed: 11, Generate: gen, MutationsPerDesign: 2, RandomRuns: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := map[string]bool{}
+	for _, b := range corpus.Catalog() {
+		catalog[b.Name()] = true
+	}
+	goldens := 0
+	generated := 0
+	seen := map[string]bool{}
+	for _, e := range out.VerilogPT {
+		if !e.Compiles {
+			continue
+		}
+		if seen[e.Code] {
+			t.Errorf("duplicate PT code for %s", e.Name)
+		}
+		seen[e.Code] = true
+		goldens++
+		if !catalog[e.Name] {
+			generated++
+		}
+	}
+	if generated < gen {
+		t.Errorf("found %d generated designs in Verilog-PT, want >= %d", generated, gen)
+	}
+	if goldens < len(catalog)+gen {
+		t.Errorf("%d compiling PT entries, want >= %d", goldens, len(catalog)+gen)
+	}
+	if out.Stats.Compiled != goldens {
+		t.Errorf("stats.Compiled = %d, PT says %d", out.Stats.Compiled, goldens)
+	}
+}
+
+// TestRunStreamSinkError: a failing sink aborts the stream with its error.
+func TestRunStreamSinkError(t *testing.T) {
+	boom := errors.New("disk full")
+	_, err := RunStream(
+		Config{Seed: 3, MutationsPerDesign: 2, RandomRuns: 6, Source: tinySource()},
+		&failingSink{after: 3, err: boom},
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want sink error", err)
+	}
+}
+
+type failingSink struct {
+	n     int
+	after int
+	err   error
+}
+
+func (f *failingSink) PT(dataset.PTEntry) error { return f.count() }
+
+func (f *failingSink) Bug(dataset.BugEntry) error { return f.count() }
+
+func (f *failingSink) Sample(dataset.SVASample) error { return f.count() }
+
+func (f *failingSink) count() error {
+	f.n++
+	if f.n > f.after {
+		return f.err
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"strings"
 
@@ -40,6 +41,12 @@ func (b *Blueprint) Name() string { return b.Module.Name }
 
 // Source returns the canonical printed source.
 func (b *Blueprint) Source() string { return verilog.Print(b.Module) }
+
+// ContentHash returns the SHA-256 of the printed source, the identity
+// under which the corpus is deduplicated.
+func (b *Blueprint) ContentHash() [sha256.Size]byte {
+	return sha256.Sum256([]byte(b.Source()))
+}
 
 // LineCount returns the printed source length in lines, the binning variable
 // of Table II.

@@ -246,14 +246,24 @@ func IncompleteFragments() []RawEntry {
 }
 
 // RawCorpus assembles the full unfiltered population: every golden
-// blueprint, syntax/semantic breakages of a subset, trivial modules,
-// incomplete fragments and duplicates. This is what Stage 1 consumes.
+// blueprint of the catalog plus the defective population. This is the
+// fixed-catalog form of what Stage 1 consumes; the streaming pipeline
+// instead takes goldens from a Source and defectives from
+// DefectiveCorpus.
 func RawCorpus() []RawEntry {
 	var out []RawEntry
-	blueprints := Catalog()
-	for _, b := range blueprints {
+	for _, b := range Catalog() {
 		out = append(out, RawEntry{Name: b.Name(), Source: b.Source(), Truth: DefectNone})
 	}
+	return append(out, DefectiveCorpus()...)
+}
+
+// DefectiveCorpus returns the deliberately defective population Stage 1
+// must filter: syntax/semantic breakages of a catalog subset, trivial
+// modules, incomplete fragments and duplicates of catalog sources.
+func DefectiveCorpus() []RawEntry {
+	var out []RawEntry
+	blueprints := Catalog()
 	// Break roughly every third blueprint to populate Verilog-PT.
 	for i, b := range blueprints {
 		if i%3 == 0 {

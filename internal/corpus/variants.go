@@ -1,0 +1,221 @@
+package corpus
+
+import (
+	"strings"
+
+	"repro/internal/verilog"
+)
+
+// This file rewrites the canonical reset idiom the family builders emit
+// (active-low asynchronous rst_n) into the other common encodings, giving
+// the procedural generator a reset polarity/encoding axis on top of each
+// family's numeric parameter space.
+
+// applyResetVariant rewrites a blueprint in place into the requested reset
+// encoding and tags the module name so variants never collide with the
+// canonical design. activeHigh renames rst_n to an active-high rst and
+// rewrites every reference; sync drops the reset from the sensitivity
+// lists so it is sampled at the clock edge. It reports false (leaving the
+// blueprint untouched) when the design has no rst_n port or neither
+// variation was requested.
+func applyResetVariant(b *Blueprint, activeHigh, sync bool) bool {
+	if !activeHigh && !sync {
+		return false
+	}
+	if b.Module.FindPort("rst_n") == nil {
+		return false
+	}
+	if activeHigh {
+		flipResetPolarity(b)
+	}
+	if sync {
+		makeResetSync(b, resetName(activeHigh))
+	}
+	switch {
+	case activeHigh && sync:
+		b.Module.Name += "_rhs"
+	case activeHigh:
+		b.Module.Name += "_rh"
+	default:
+		b.Module.Name += "_rs"
+	}
+	return true
+}
+
+func resetName(activeHigh bool) string {
+	if activeHigh {
+		return "rst"
+	}
+	return "rst_n"
+}
+
+// flipResetPolarity renames rst_n to rst and rewrites every reference so
+// the reset is active high: !rst_n becomes rst, a bare rst_n becomes !rst,
+// and negedge rst_n events become posedge rst.
+func flipResetPolarity(b *Blueprint) {
+	m := b.Module
+	for _, p := range m.Ports {
+		if p.Name == "rst_n" {
+			p.Name = "rst"
+		}
+	}
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *verilog.Port:
+			if x.Name == "rst_n" {
+				x.Name = "rst"
+			}
+		case *verilog.NetDecl:
+			x.Init = flipRstExpr(x.Init)
+		case *verilog.ParamDecl:
+			x.Value = flipRstExpr(x.Value)
+		case *verilog.AssignItem:
+			x.LHS = flipRstExpr(x.LHS)
+			x.RHS = flipRstExpr(x.RHS)
+		case *verilog.Always:
+			for i := range x.Events {
+				if x.Events[i].Signal == "rst_n" {
+					x.Events[i] = verilog.Event{Edge: verilog.EdgePos, Signal: "rst"}
+				}
+			}
+			x.Body = flipRstStmt(x.Body)
+		case *verilog.Initial:
+			x.Body = flipRstStmt(x.Body)
+		case *verilog.PropertyDecl:
+			x.DisableIff = flipRstExpr(x.DisableIff)
+			flipRstSeq(x.Seq)
+		case *verilog.AssertItem:
+			x.DisableIff = flipRstExpr(x.DisableIff)
+			flipRstSeq(x.Seq)
+		}
+	}
+	b.Description = replaceWords(b.Description, "active-low", "active-high")
+	for i := range b.PortDocs {
+		if b.PortDocs[i].Name == "rst_n" {
+			b.PortDocs[i].Name = "rst"
+			b.PortDocs[i].Role = replaceWords(b.PortDocs[i].Role, "active low", "active high")
+		}
+	}
+}
+
+// makeResetSync removes the reset edge from every sensitivity list, so the
+// reset condition (still present in the block body) is evaluated only at
+// the clock edge.
+func makeResetSync(b *Blueprint, rst string) {
+	for _, it := range b.Module.Items {
+		a, ok := it.(*verilog.Always)
+		if !ok || len(a.Events) < 2 {
+			continue
+		}
+		kept := a.Events[:0]
+		for _, ev := range a.Events {
+			if ev.Signal != rst {
+				kept = append(kept, ev)
+			}
+		}
+		a.Events = kept
+	}
+	b.Description = replaceWords(b.Description, "asynchronous", "synchronous")
+	for i := range b.PortDocs {
+		if b.PortDocs[i].Name == rst {
+			b.PortDocs[i].Role = replaceWords(b.PortDocs[i].Role, "asynchronous", "synchronous")
+		}
+	}
+}
+
+// replaceWords substitutes old with new in both lower-case and
+// capitalised spelling, keeping rewritten descriptions readable.
+func replaceWords(s, old, new string) string {
+	s = strings.ReplaceAll(s, old, new)
+	capitalize := func(w string) string { return strings.ToUpper(w[:1]) + w[1:] }
+	return strings.ReplaceAll(s, capitalize(old), capitalize(new))
+}
+
+// flipRstSeq rewrites all expressions of a property body.
+func flipRstSeq(seq *verilog.SeqExpr) {
+	if seq == nil {
+		return
+	}
+	for i := range seq.Antecedent {
+		seq.Antecedent[i].Expr = flipRstExpr(seq.Antecedent[i].Expr)
+	}
+	for i := range seq.Consequent {
+		seq.Consequent[i].Expr = flipRstExpr(seq.Consequent[i].Expr)
+	}
+}
+
+// flipRstStmt rewrites every expression under a statement.
+func flipRstStmt(s verilog.Stmt) verilog.Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *verilog.Block:
+		for i := range x.Stmts {
+			x.Stmts[i] = flipRstStmt(x.Stmts[i])
+		}
+	case *verilog.NonBlocking:
+		x.LHS = flipRstExpr(x.LHS)
+		x.RHS = flipRstExpr(x.RHS)
+	case *verilog.Blocking:
+		x.LHS = flipRstExpr(x.LHS)
+		x.RHS = flipRstExpr(x.RHS)
+	case *verilog.If:
+		x.Cond = flipRstExpr(x.Cond)
+		x.Then = flipRstStmt(x.Then)
+		x.Else = flipRstStmt(x.Else)
+	case *verilog.Case:
+		x.Subject = flipRstExpr(x.Subject)
+		for i := range x.Items {
+			for j := range x.Items[i].Exprs {
+				x.Items[i].Exprs[j] = flipRstExpr(x.Items[i].Exprs[j])
+			}
+			x.Items[i].Body = flipRstStmt(x.Items[i].Body)
+		}
+	}
+	return s
+}
+
+// flipRstExpr rewrites one expression tree: !rst_n -> rst, rst_n -> !rst.
+func flipRstExpr(e verilog.Expr) verilog.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *verilog.Ident:
+		if x.Name == "rst_n" {
+			return &verilog.Unary{Op: verilog.UnaryLogicalNot, X: &verilog.Ident{Name: "rst"}}
+		}
+	case *verilog.Unary:
+		if x.Op == verilog.UnaryLogicalNot {
+			if inner, ok := x.X.(*verilog.Ident); ok && inner.Name == "rst_n" {
+				return &verilog.Ident{Name: "rst"}
+			}
+		}
+		x.X = flipRstExpr(x.X)
+	case *verilog.Binary:
+		x.X = flipRstExpr(x.X)
+		x.Y = flipRstExpr(x.Y)
+	case *verilog.Ternary:
+		x.Cond = flipRstExpr(x.Cond)
+		x.X = flipRstExpr(x.X)
+		x.Y = flipRstExpr(x.Y)
+	case *verilog.Index:
+		x.X = flipRstExpr(x.X)
+		x.Idx = flipRstExpr(x.Idx)
+	case *verilog.Slice:
+		x.X = flipRstExpr(x.X)
+		x.Hi = flipRstExpr(x.Hi)
+		x.Lo = flipRstExpr(x.Lo)
+	case *verilog.Concat:
+		for i := range x.Elems {
+			x.Elems[i] = flipRstExpr(x.Elems[i])
+		}
+	case *verilog.Repl:
+		x.Count = flipRstExpr(x.Count)
+		x.Elem = flipRstExpr(x.Elem)
+	case *verilog.Call:
+		for i := range x.Args {
+			x.Args[i] = flipRstExpr(x.Args[i])
+		}
+	}
+	return e
+}

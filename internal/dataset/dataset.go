@@ -152,8 +152,6 @@ func AllTypeLabels() []string {
 // go to the training set with all their samples. Samples from the remaining
 // names form the test set, keeping train and test module-disjoint.
 func SplitByModule(samples []SVASample, trainFrac float64, seed int64) (train, test []SVASample) {
-	rng := rand.New(rand.NewSource(seed))
-	trainNames := map[string]bool{}
 	byBin := map[int][]string{}
 	seen := map[string]bool{}
 	for _, s := range samples {
@@ -164,13 +162,34 @@ func SplitByModule(samples []SVASample, trainFrac float64, seed int64) (train, t
 			byBin[b] = append(byBin[b], key)
 		}
 	}
+	trainNames := TrainNames(byBin, trainFrac, seed)
+	for _, s := range samples {
+		if trainNames[s.Module] {
+			train = append(train, s)
+		} else {
+			test = append(test, s)
+		}
+	}
+	return train, test
+}
+
+// TrainNames picks the train side of the module-name split: within each
+// length bin, trainFrac of the unique names (uniformly, seeded), always
+// leaving at least one test name in any bin with more than one module.
+// This is the name-level core of SplitByModule, exposed so streaming
+// pipelines — which cannot hold every sample in memory — can split by
+// collecting only (module, bin) pairs and routing samples in a second
+// pass.
+func TrainNames(namesByBin map[int][]string, trainFrac float64, seed int64) map[string]bool {
+	rng := rand.New(rand.NewSource(seed))
+	trainNames := map[string]bool{}
 	var bins []int
-	for b := range byBin {
+	for b := range namesByBin {
 		bins = append(bins, b)
 	}
 	sort.Ints(bins)
 	for _, b := range bins {
-		names := byBin[b]
+		names := append([]string(nil), namesByBin[b]...)
 		sort.Strings(names)
 		rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
 		nTrain := int(float64(len(names))*trainFrac + 0.5)
@@ -183,14 +202,7 @@ func SplitByModule(samples []SVASample, trainFrac float64, seed int64) (train, t
 			}
 		}
 	}
-	for _, s := range samples {
-		if trainNames[s.Module] {
-			train = append(train, s)
-		} else {
-			test = append(test, s)
-		}
-	}
-	return train, test
+	return trainNames
 }
 
 // ---------------------------------------------------------------------------
@@ -204,26 +216,42 @@ type Distribution struct {
 	Total  int
 }
 
-// Distribute computes the Table II distribution of a sample set.
-func Distribute(samples []SVASample) Distribution {
-	d := Distribution{
+// NewDistribution returns an empty distribution ready for streaming Adds.
+func NewDistribution() Distribution {
+	return Distribution{
 		ByBin:  make([]int, len(corpus.LengthBins)+1),
 		ByType: map[string]int{},
 	}
+}
+
+// Add counts one sample by bin index and type labels — the streaming form
+// of Distribute for pipelines that never hold the sample set in memory.
+func (d *Distribution) Add(bin int, labels []string) {
+	d.ByBin[bin]++
+	for _, lbl := range labels {
+		d.ByType[lbl]++
+	}
+	d.Total++
+}
+
+// Distribute computes the Table II distribution of a sample set.
+func Distribute(samples []SVASample) Distribution {
+	d := NewDistribution()
 	for i := range samples {
 		s := &samples[i]
-		d.ByBin[s.BinIndex()]++
-		for _, lbl := range s.TypeLabels() {
-			d.ByType[lbl]++
-		}
-		d.Total++
+		d.Add(s.BinIndex(), s.TypeLabels())
 	}
 	return d
 }
 
 // FormatTableII renders the Table II layout for two sample sets.
 func FormatTableII(train, eval []SVASample) string {
-	dt, de := Distribute(train), Distribute(eval)
+	return FormatTableIIDist(Distribute(train), Distribute(eval))
+}
+
+// FormatTableIIDist renders the Table II layout from precomputed
+// distributions (the streaming pipeline accumulates them with Add).
+func FormatTableIIDist(dt, de Distribution) string {
 	var sb strings.Builder
 	sb.WriteString("Length Interval ")
 	for _, l := range corpus.BinLabels() {

@@ -1,0 +1,204 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file is the streaming serialisation layer: datasets written as
+// sharded JSONL (one JSON object per line, entries distributed round-robin
+// over numbered shard files) instead of one monolithic indented JSON
+// array. Shard files append-stream with O(1) memory, shard assignment is a
+// pure function of the entry index — so a fixed entry stream always
+// produces byte-identical shards — and readers can reassemble the original
+// stream order by interleaving.
+
+// shardFile formats the path of shard i for a dataset base name.
+func shardFile(dir, base string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%05d.jsonl", base, i))
+}
+
+// ShardPaths lists the existing shard files for a dataset base name in
+// dir, in shard order.
+func ShardPaths(dir, base string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, base+"-*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// ShardedWriter streams dataset entries into a fixed set of JSONL shard
+// files named <base>-00000.jsonl, <base>-00001.jsonl, ... Entries are
+// assigned round-robin, so shard contents depend only on the entry stream,
+// never on timing. Not safe for concurrent use; the augmentation
+// pipeline's writer stage is single-goroutine by design.
+type ShardedWriter struct {
+	paths []string
+	files []*os.File
+	bufs  []*bufio.Writer
+	next  int
+	count int
+}
+
+// NewShardedWriter creates (truncating) the shard files. shards <= 0 means
+// a single shard.
+func NewShardedWriter(dir, base string, shards int) (*ShardedWriter, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	w := &ShardedWriter{}
+	for i := 0; i < shards; i++ {
+		path := shardFile(dir, base, i)
+		f, err := os.Create(path)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.paths = append(w.paths, path)
+		w.files = append(w.files, f)
+		w.bufs = append(w.bufs, bufio.NewWriterSize(f, 1<<16))
+	}
+	return w, nil
+}
+
+// Write appends one entry as a JSON line to the next shard.
+func (w *ShardedWriter) Write(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	buf := w.bufs[w.next]
+	if _, err := buf.Write(line); err != nil {
+		return err
+	}
+	if err := buf.WriteByte('\n'); err != nil {
+		return err
+	}
+	w.next = (w.next + 1) % len(w.bufs)
+	w.count++
+	return nil
+}
+
+// Count returns the number of entries written so far.
+func (w *ShardedWriter) Count() int { return w.count }
+
+// Paths returns the shard file paths in shard order.
+func (w *ShardedWriter) Paths() []string { return w.paths }
+
+// Close flushes and closes every shard, reporting the first error — a
+// failed flush (e.g. a full disk) must not be mistaken for success.
+func (w *ShardedWriter) Close() error {
+	var first error
+	for i, f := range w.files {
+		if w.bufs[i] != nil {
+			if err := w.bufs[i].Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	w.files = nil
+	w.bufs = nil
+	return first
+}
+
+// ForEachShard streams a sharded dataset entry by entry in the round-robin
+// order the entries were written in (shard 0 first, then one from each
+// shard in turn), holding only one decoded entry per shard in memory. It
+// stops at the first callback error.
+func ForEachShard[T any](paths []string, fn func(T) error) error {
+	files := make([]*os.File, 0, len(paths))
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	decs := make([]*json.Decoder, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		decs = append(decs, json.NewDecoder(bufio.NewReaderSize(f, 1<<16)))
+	}
+	live := len(decs)
+	for live > 0 {
+		for i, dec := range decs {
+			if dec == nil {
+				continue
+			}
+			var v T
+			if err := dec.Decode(&v); err == io.EOF {
+				decs[i] = nil
+				live--
+				continue
+			} else if err != nil {
+				return fmt.Errorf("%s: %w", paths[i], err)
+			}
+			if err := fn(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadShards loads shard files, interleaved back into the order the
+// entries were written in.
+func ReadShards[T any](paths []string) ([]T, error) {
+	var out []T
+	err := ForEachShard(paths, func(v T) error {
+		out = append(out, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Load reads the dataset <base> from dir in whichever format is present:
+// the monolithic <base>.json array written by the default cmd/augment
+// mode, or the <base>-*.jsonl shards written by its -jsonl mode. When
+// both formats exist the call fails — silently picking one risks training
+// on a stale build from the other mode.
+func Load[T any](dir, base string) ([]T, error) {
+	mono := filepath.Join(dir, base+".json")
+	f, monoErr := os.Open(mono)
+	if monoErr != nil && !os.IsNotExist(monoErr) {
+		return nil, monoErr
+	}
+	paths, err := ShardPaths(dir, base)
+	if err != nil {
+		if f != nil {
+			f.Close()
+		}
+		return nil, err
+	}
+	if f != nil && len(paths) > 0 {
+		f.Close()
+		return nil, fmt.Errorf("dataset %s is ambiguous in %s: both %s.json and %d %s-*.jsonl shards exist; remove the stale format", base, dir, base, len(paths), base)
+	}
+	if f != nil {
+		defer f.Close()
+		var out []T
+		if err := json.NewDecoder(bufio.NewReaderSize(f, 1<<16)).Decode(&out); err != nil {
+			return nil, fmt.Errorf("%s: %w", mono, err)
+		}
+		return out, nil
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("dataset %s not found in %s (neither %s.json nor %s-*.jsonl)", base, dir, base, base)
+	}
+	return ReadShards[T](paths)
+}

@@ -313,7 +313,7 @@ func (ds *driveSet) directedStimuli(depth int) []sim.VecStimulus {
 		i := i
 		out = append(out, constant(func(in *compile.Signal, c int) uint64 {
 			if in.Name == inputs[i].Name {
-				return uint64(1) << uint(c%maxInt(in.Width, 1))
+				return uint64(1) << uint(c%max(in.Width, 1))
 			}
 			return 0
 		}))
@@ -321,7 +321,7 @@ func (ds *driveSet) directedStimuli(depth int) []sim.VecStimulus {
 	// One-hot per cycle across inputs (pulse each input in turn).
 	out = append(out, constant(func(in *compile.Signal, c int) uint64 {
 		for j, cand := range inputs {
-			if cand.Name == in.Name && c%maxInt(len(inputs), 1) == j {
+			if cand.Name == in.Name && c%max(len(inputs), 1) == j {
 				return cand.Mask()
 			}
 		}
@@ -351,13 +351,6 @@ func (ds *driveSet) directedStimuli(depth int) []sim.VecStimulus {
 		}),
 	)
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func (ds *driveSet) randomStimulus(rng *rand.Rand, depth int) sim.VecStimulus {
