@@ -20,16 +20,25 @@ import (
 	"repro/internal/sva"
 )
 
+// NoRandom disables the random stimulus phase entirely (RandomRuns
+// sentinel): the check runs only the exhaustive, directed and constant
+// strategies. A zero RandomRuns keeps the default, so turning the phase
+// off needs an explicit sentinel rather than an unreachable zero value.
+const NoRandom = -1
+
 // Options configures a bounded check.
 type Options struct {
 	// Depth is the number of clock cycles per run (bound). Default 16.
 	Depth int
 	// RandomRuns is the number of random stimulus runs after the directed
-	// ones. Default 48.
+	// ones. Default 48; NoRandom (any negative value) disables the random
+	// phase for pure-exhaustive/directed checks.
 	RandomRuns int
 	// MaxExhaustiveBits caps full sequence enumeration: if the non-reset
-	// input bits times the free cycles is at most this, every input
-	// sequence is tried. Default 14.
+	// input bits times the bound (every cycle is enumerated, reset window
+	// included) is at most this, every input sequence is tried. Default
+	// 16, so a single 1-bit input stays exhaustively checkable at the
+	// default depth of 16.
 	MaxExhaustiveBits int
 	// MaxConstBits caps constant-input enumeration (each run holds inputs
 	// constant). Default 10.
@@ -48,11 +57,18 @@ func (o Options) withDefaults() Options {
 	if o.Depth <= 0 {
 		o.Depth = 16
 	}
-	if o.RandomRuns <= 0 {
+	if o.RandomRuns == 0 {
 		o.RandomRuns = 48
 	}
+	if o.RandomRuns < 0 {
+		o.RandomRuns = 0 // NoRandom: the phase is disabled, not defaulted
+	}
 	if o.MaxExhaustiveBits <= 0 {
-		o.MaxExhaustiveBits = 14
+		// 16 = one input bit times the default depth: now that exhaustive
+		// enumeration covers the reset window too (totalBits*Depth bits
+		// rather than totalBits*(Depth-2)), a 14-bit cap would leave the
+		// complete strategy unreachable at default options.
+		o.MaxExhaustiveBits = 16
 	}
 	if o.MaxConstBits <= 0 {
 		o.MaxConstBits = 10
@@ -86,7 +102,6 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 	ds := newDriveSet(d)
 	inputs := ds.inputs
 	totalBits := totalWidth(inputs)
-	reset := ds.reset
 
 	res := &Result{Pass: true}
 	attempted := map[string]bool{}
@@ -128,7 +143,13 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 		return res
 	}
 
-	freeCycles := opts.Depth - resetCycles(reset)
+	// Every cycle's inputs are enumerated independently — including the
+	// reset window. Assertions without a disable-iff sample during reset,
+	// so pinning reset-cycle inputs to the first free cycle's values (as an
+	// earlier version did) made "exhaustive" miss counterexamples inside
+	// its own bound; the cross-engine fuzzer's strategy-agreement oracle
+	// caught directed+random finding failures exhaustive had missed.
+	freeCycles := opts.Depth
 	if freeCycles < 1 {
 		freeCycles = 1
 	}
@@ -181,13 +202,6 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 	return finish(), nil
 }
 
-func resetCycles(reset compile.ResetInfo) int {
-	if reset.Present {
-		return 2
-	}
-	return 0
-}
-
 // driveSet is the precomputed drive list for one design: the non-clock/reset
 // inputs plus the reset input (when present) as the last column. Stimulus
 // generators fill dense per-cycle vectors parallel to this list, and
@@ -231,17 +245,14 @@ func (ds *driveSet) newRow(cycle int) []uint64 {
 }
 
 // decodeSequence expands an integer code into a full per-cycle stimulus for
-// exhaustive sequence enumeration.
+// exhaustive sequence enumeration. Cycle c draws its input bits from the
+// c-th bit group of the code, reset cycles included.
 func (ds *driveSet) decodeSequence(code uint64, depth, freeCycles int) sim.VecStimulus {
 	rows := make([][]uint64, depth)
-	rc := resetCycles(ds.reset)
 	tw := totalWidth(ds.inputs)
 	for c := 0; c < depth; c++ {
 		row := ds.newRow(c)
-		free := c - rc
-		if free < 0 {
-			free = 0
-		}
+		free := c
 		if free >= freeCycles {
 			free = freeCycles - 1
 		}

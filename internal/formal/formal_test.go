@@ -221,3 +221,47 @@ func TestCheckDeterministic(t *testing.T) {
 		t.Error("Check is not deterministic for a fixed seed")
 	}
 }
+
+// TestNoRandomDisablesRandomPhase pins the zero-value Options fix: zero
+// RandomRuns keeps the 48-run default, while the NoRandom sentinel —
+// previously unrequestable, since non-positive values were silently
+// rewritten — turns the random phase off entirely. The run counts of two
+// otherwise identical directed+random checks must differ by exactly the
+// random budget.
+func TestNoRandomDisablesRandomPhase(t *testing.T) {
+	if got := (Options{}).withDefaults().RandomRuns; got != 48 {
+		t.Errorf("default RandomRuns = %d, want 48", got)
+	}
+	if got := (Options{RandomRuns: NoRandom}).Normalized().RandomRuns; got != 0 {
+		t.Errorf("NoRandom normalized to %d, want 0", got)
+	}
+	// Cache-key stability: the zero-value mapping is untouched, so verify
+	// entries cached under the old defaulting still resolve identically.
+	if (Options{}).Normalized() != (Options{RandomRuns: 48}).Normalized() {
+		t.Error("zero-value normalization changed; cached keys would be orphaned")
+	}
+
+	// counterGood has a 1-bit enable: force the directed+random strategy by
+	// shrinking the exhaustive/const budgets, then compare run counts.
+	d := mustCompile(t, counterGood)
+	base := Options{Seed: 1, Depth: 10, MaxExhaustiveBits: 1, MaxConstBits: 1}
+
+	withRandom := base
+	withRandom.RandomRuns = 5
+	r1, err := Check(d, withRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noRandom := base
+	noRandom.RandomRuns = NoRandom
+	r2, err := Check(d, noRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Pass || !r2.Pass {
+		t.Fatalf("good design failed: random=%v norandom=%v", r1.Pass, r2.Pass)
+	}
+	if r1.Runs-r2.Runs != 5 {
+		t.Errorf("run counts %d vs %d: want exactly the 5 random runs apart", r1.Runs, r2.Runs)
+	}
+}

@@ -1,0 +1,195 @@
+package fuzz
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/verilog"
+)
+
+// EqualModule reports whether two modules are structurally equal, ignoring
+// source positions. It is the deep compare behind the round-trip oracle:
+// the parse of a printed module must reproduce the original tree exactly,
+// modulo the Pos fields the printer cannot preserve.
+func EqualModule(a, b *verilog.Module) bool {
+	return reflect.DeepEqual(stripModule(a), stripModule(b))
+}
+
+// stripModule returns a deep copy of m with every Pos field zeroed and
+// statements put in parser-canonical form (a dangling if under an else is
+// wrapped in begin/end, exactly as the printer must emit it), so that
+// reflect.DeepEqual compares structure only.
+func stripModule(m *verilog.Module) *verilog.Module {
+	cp := verilog.CloneModule(m)
+	cp.Pos = verilog.Pos{}
+	for _, p := range cp.Ports {
+		p.Pos = verilog.Pos{}
+		stripRange(p.Range)
+	}
+	for _, it := range cp.Items {
+		switch x := it.(type) {
+		case *verilog.Always:
+			x.Body = normStmt(x.Body)
+		case *verilog.Initial:
+			x.Body = normStmt(x.Body)
+		}
+		stripItem(it)
+	}
+	return cp
+}
+
+// normStmt rewrites a statement tree into the only form the parser can
+// produce: an if-with-else whose then-branch ends in an else-less if gets
+// that branch wrapped in a begin/end block (the parser would otherwise
+// have attached the else to the inner if).
+func normStmt(s verilog.Stmt) verilog.Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *verilog.Block:
+		for i := range x.Stmts {
+			x.Stmts[i] = normStmt(x.Stmts[i])
+		}
+	case *verilog.If:
+		x.Then = normStmt(x.Then)
+		x.Else = normStmt(x.Else)
+		if x.Else != nil && danglingIf(x.Then) {
+			x.Then = &verilog.Block{Stmts: []verilog.Stmt{x.Then}}
+		}
+	case *verilog.Case:
+		for i := range x.Items {
+			x.Items[i].Body = normStmt(x.Items[i].Body)
+		}
+	}
+	return s
+}
+
+func stripRange(r *verilog.Range) {
+	if r == nil {
+		return
+	}
+	stripExpr(r.Hi)
+	stripExpr(r.Lo)
+}
+
+func stripItem(it verilog.Item) {
+	switch x := it.(type) {
+	case *verilog.Port:
+		x.Pos = verilog.Pos{}
+		stripRange(x.Range)
+	case *verilog.NetDecl:
+		x.Pos = verilog.Pos{}
+		stripRange(x.Range)
+		stripExpr(x.Init)
+	case *verilog.ParamDecl:
+		x.Pos = verilog.Pos{}
+		stripExpr(x.Value)
+	case *verilog.AssignItem:
+		x.Pos = verilog.Pos{}
+		stripExpr(x.LHS)
+		stripExpr(x.RHS)
+	case *verilog.Always:
+		x.Pos = verilog.Pos{}
+		stripStmt(x.Body)
+	case *verilog.Initial:
+		x.Pos = verilog.Pos{}
+		stripStmt(x.Body)
+	case *verilog.PropertyDecl:
+		x.Pos = verilog.Pos{}
+		stripExpr(x.DisableIff)
+		stripSeq(x.Seq)
+	case *verilog.AssertItem:
+		x.Pos = verilog.Pos{}
+		stripExpr(x.DisableIff)
+		stripSeq(x.Seq)
+	case *verilog.CommentItem:
+		x.Pos = verilog.Pos{}
+	}
+}
+
+func stripSeq(s *verilog.SeqExpr) {
+	if s == nil {
+		return
+	}
+	for i := range s.Antecedent {
+		stripExpr(s.Antecedent[i].Expr)
+	}
+	for i := range s.Consequent {
+		stripExpr(s.Consequent[i].Expr)
+	}
+}
+
+func stripStmt(s verilog.Stmt) {
+	if s == nil {
+		return
+	}
+	verilog.WalkStmt(s, func(sub verilog.Stmt) {
+		switch x := sub.(type) {
+		case *verilog.Block:
+			x.Pos = verilog.Pos{}
+		case *verilog.NonBlocking:
+			x.Pos = verilog.Pos{}
+			stripExpr(x.LHS)
+			stripExpr(x.RHS)
+		case *verilog.Blocking:
+			x.Pos = verilog.Pos{}
+			stripExpr(x.LHS)
+			stripExpr(x.RHS)
+		case *verilog.If:
+			x.Pos = verilog.Pos{}
+			stripExpr(x.Cond)
+		case *verilog.Case:
+			x.Pos = verilog.Pos{}
+			stripExpr(x.Subject)
+			for i := range x.Items {
+				x.Items[i].Pos = verilog.Pos{}
+				for _, e := range x.Items[i].Exprs {
+					stripExpr(e)
+				}
+			}
+		}
+	})
+}
+
+func stripExpr(e verilog.Expr) {
+	if e == nil {
+		return
+	}
+	verilog.WalkExpr(e, func(sub verilog.Expr) {
+		switch x := sub.(type) {
+		case *verilog.Ident:
+			x.Pos = verilog.Pos{}
+		case *verilog.Number:
+			x.Pos = verilog.Pos{}
+		case *verilog.StringLit:
+			x.Pos = verilog.Pos{}
+		case *verilog.Unary:
+			x.Pos = verilog.Pos{}
+		case *verilog.Binary:
+			x.Pos = verilog.Pos{}
+		case *verilog.Ternary:
+			x.Pos = verilog.Pos{}
+		case *verilog.Index:
+			x.Pos = verilog.Pos{}
+		case *verilog.Slice:
+			x.Pos = verilog.Pos{}
+		case *verilog.Concat:
+			x.Pos = verilog.Pos{}
+		case *verilog.Repl:
+			x.Pos = verilog.Pos{}
+		case *verilog.Call:
+			x.Pos = verilog.Pos{}
+		}
+	})
+}
+
+// firstDiff renders a short structural description of the first difference
+// between two modules, for violation reports. It falls back to printed text
+// when the trees print differently.
+func firstDiff(a, b *verilog.Module) string {
+	pa, pb := verilog.Print(a), verilog.Print(b)
+	if pa != pb {
+		return fmt.Sprintf("printed text differs:\n--- first ---\n%s\n--- second ---\n%s", pa, pb)
+	}
+	return "trees differ structurally but print identically (information lost in printing)"
+}

@@ -1,0 +1,363 @@
+package fuzz
+
+import (
+	"repro/internal/verilog"
+)
+
+// Minimize greedily shrinks a failing program while the predicate keeps
+// failing. Reductions remove module items, ports, statements and sequence
+// terms, hoist subexpressions and collapse leaves to literals; each
+// reduction strictly simplifies the tree, so the loop terminates. The
+// predicate receives a candidate module and must report whether the
+// original failure still reproduces (candidates that no longer compile
+// simply make the engine oracles pass, so they are rejected naturally).
+func Minimize(m *verilog.Module, fails func(*verilog.Module) bool) *verilog.Module {
+	cur := verilog.CloneModule(m)
+	for i := 0; ; i++ {
+		cand := verilog.CloneModule(cur)
+		rd := &reducer{target: i}
+		rd.module(cand)
+		if !rd.applied {
+			// Every reduction site of the current program has been tried
+			// and rejected since the last successful step: fixpoint.
+			return cur
+		}
+		if fails(cand) {
+			cur = cand
+			i = -1 // restart the scan on the smaller program
+		}
+	}
+}
+
+// reducer applies the target-th reduction site encountered during a
+// deterministic walk of the module. Each call to hit() claims one site.
+type reducer struct {
+	target  int
+	count   int
+	applied bool
+}
+
+func (rd *reducer) hit() bool {
+	rd.count++
+	if rd.count-1 == rd.target {
+		rd.applied = true
+		return true
+	}
+	return false
+}
+
+func (rd *reducer) module(m *verilog.Module) {
+	// Item removal, one site per item.
+	for i := range m.Items {
+		if rd.hit() {
+			m.Items = append(m.Items[:i], m.Items[i+1:]...)
+			return
+		}
+	}
+	// Port removal (never the clock, port 0 by construction).
+	for i := 1; i < len(m.Ports); i++ {
+		if rd.hit() {
+			m.Ports = append(m.Ports[:i], m.Ports[i+1:]...)
+			return
+		}
+	}
+	for _, it := range m.Items {
+		rd.item(it)
+		if rd.applied {
+			return
+		}
+	}
+}
+
+func (rd *reducer) item(it verilog.Item) {
+	switch x := it.(type) {
+	case *verilog.NetDecl:
+		x.Init = rd.optExpr(x.Init)
+	case *verilog.ParamDecl:
+		x.Value = rd.expr(x.Value)
+	case *verilog.AssignItem:
+		x.RHS = rd.expr(x.RHS)
+		if !rd.applied {
+			x.LHS = rd.expr(x.LHS)
+		}
+	case *verilog.Always:
+		x.Body = rd.stmt(x.Body)
+	case *verilog.Initial:
+		x.Body = rd.stmt(x.Body)
+	case *verilog.PropertyDecl:
+		x.DisableIff = rd.optExpr(x.DisableIff)
+		if !rd.applied {
+			rd.seq(x.Seq)
+		}
+	case *verilog.AssertItem:
+		if x.ErrMsg != "" && rd.hit() {
+			x.ErrMsg = ""
+			return
+		}
+		if x.Label != "" && rd.hit() {
+			x.Label = ""
+			return
+		}
+		x.DisableIff = rd.optExpr(x.DisableIff)
+		if !rd.applied && x.Seq != nil {
+			rd.seq(x.Seq)
+		}
+	}
+}
+
+func (rd *reducer) seq(s *verilog.SeqExpr) {
+	if s == nil {
+		return
+	}
+	// Drop the implication (keep the consequent as a plain sequence).
+	if s.Impl != verilog.ImplNone && rd.hit() {
+		s.Impl = verilog.ImplNone
+		s.Antecedent = nil
+		return
+	}
+	// Term removal (a sequence must keep at least one consequent term).
+	for i := range s.Antecedent {
+		if len(s.Antecedent) > 1 && rd.hit() {
+			s.Antecedent = append(s.Antecedent[:i], s.Antecedent[i+1:]...)
+			return
+		}
+	}
+	for i := range s.Consequent {
+		if len(s.Consequent) > 1 && rd.hit() {
+			s.Consequent = append(s.Consequent[:i], s.Consequent[i+1:]...)
+			return
+		}
+	}
+	for i := range s.Antecedent {
+		s.Antecedent[i].Expr = rd.expr(s.Antecedent[i].Expr)
+		if rd.applied {
+			return
+		}
+	}
+	for i := range s.Consequent {
+		s.Consequent[i].Expr = rd.expr(s.Consequent[i].Expr)
+		if rd.applied {
+			return
+		}
+	}
+}
+
+func (rd *reducer) stmt(s verilog.Stmt) verilog.Stmt {
+	if s == nil || rd.applied {
+		return s
+	}
+	switch x := s.(type) {
+	case *verilog.Block:
+		for i := range x.Stmts {
+			if len(x.Stmts) > 1 && rd.hit() {
+				x.Stmts = append(x.Stmts[:i], x.Stmts[i+1:]...)
+				return x
+			}
+		}
+		if len(x.Stmts) == 1 && rd.hit() {
+			return x.Stmts[0]
+		}
+		for i := range x.Stmts {
+			x.Stmts[i] = rd.stmt(x.Stmts[i])
+			if rd.applied {
+				return x
+			}
+		}
+		return x
+	case *verilog.NonBlocking:
+		x.RHS = rd.expr(x.RHS)
+		if !rd.applied {
+			x.LHS = rd.expr(x.LHS)
+		}
+		return x
+	case *verilog.Blocking:
+		x.RHS = rd.expr(x.RHS)
+		if !rd.applied {
+			x.LHS = rd.expr(x.LHS)
+		}
+		return x
+	case *verilog.If:
+		if rd.hit() {
+			return x.Then
+		}
+		if x.Else != nil {
+			if rd.hit() {
+				return x.Else
+			}
+			if rd.hit() {
+				x.Else = nil
+				return x
+			}
+		}
+		x.Cond = rd.expr(x.Cond)
+		if rd.applied {
+			return x
+		}
+		x.Then = rd.stmt(x.Then)
+		if rd.applied {
+			return x
+		}
+		x.Else = rd.stmt(x.Else)
+		return x
+	case *verilog.Case:
+		for i := range x.Items {
+			if rd.hit() {
+				return x.Items[i].Body
+			}
+		}
+		for i := range x.Items {
+			if len(x.Items) > 1 && rd.hit() {
+				x.Items = append(x.Items[:i], x.Items[i+1:]...)
+				return x
+			}
+		}
+		x.Subject = rd.expr(x.Subject)
+		if rd.applied {
+			return x
+		}
+		for i := range x.Items {
+			x.Items[i].Body = rd.stmt(x.Items[i].Body)
+			if rd.applied {
+				return x
+			}
+		}
+		return x
+	}
+	return s
+}
+
+func (rd *reducer) optExpr(e verilog.Expr) verilog.Expr {
+	if e == nil {
+		return nil
+	}
+	if rd.hit() {
+		return nil
+	}
+	return rd.expr(e)
+}
+
+// expr offers, in order: hoisting each child in place of the node, then
+// collapsing the node to a literal zero, then recursing into children.
+func (rd *reducer) expr(e verilog.Expr) verilog.Expr {
+	if e == nil || rd.applied {
+		return e
+	}
+	zero := func() verilog.Expr { return &verilog.Number{} }
+	switch x := e.(type) {
+	case *verilog.Number:
+		if (x.Value != 0 || x.Width != 0 || x.Base != 0) && rd.hit() {
+			return zero()
+		}
+		return x
+	case *verilog.Ident:
+		if rd.hit() {
+			return zero()
+		}
+		return x
+	case *verilog.StringLit:
+		return x
+	case *verilog.Unary:
+		if rd.hit() {
+			return x.X
+		}
+		x.X = rd.expr(x.X)
+		return x
+	case *verilog.Binary:
+		if rd.hit() {
+			return x.X
+		}
+		if rd.hit() {
+			return x.Y
+		}
+		x.X = rd.expr(x.X)
+		if rd.applied {
+			return x
+		}
+		x.Y = rd.expr(x.Y)
+		return x
+	case *verilog.Ternary:
+		if rd.hit() {
+			return x.X
+		}
+		if rd.hit() {
+			return x.Y
+		}
+		x.Cond = rd.expr(x.Cond)
+		if rd.applied {
+			return x
+		}
+		x.X = rd.expr(x.X)
+		if rd.applied {
+			return x
+		}
+		x.Y = rd.expr(x.Y)
+		return x
+	case *verilog.Index:
+		if rd.hit() {
+			return x.X
+		}
+		x.X = rd.expr(x.X)
+		if rd.applied {
+			return x
+		}
+		x.Idx = rd.expr(x.Idx)
+		return x
+	case *verilog.Slice:
+		if rd.hit() {
+			return x.X
+		}
+		x.X = rd.expr(x.X)
+		if rd.applied {
+			return x
+		}
+		x.Hi = rd.expr(x.Hi)
+		if rd.applied {
+			return x
+		}
+		x.Lo = rd.expr(x.Lo)
+		return x
+	case *verilog.Concat:
+		for i := range x.Elems {
+			if rd.hit() {
+				return x.Elems[i]
+			}
+		}
+		for i := range x.Elems {
+			if len(x.Elems) > 1 && rd.hit() {
+				x.Elems = append(x.Elems[:i], x.Elems[i+1:]...)
+				return x
+			}
+		}
+		for i := range x.Elems {
+			x.Elems[i] = rd.expr(x.Elems[i])
+			if rd.applied {
+				return x
+			}
+		}
+		return x
+	case *verilog.Repl:
+		if rd.hit() {
+			return x.Elem
+		}
+		x.Count = rd.expr(x.Count)
+		if rd.applied {
+			return x
+		}
+		x.Elem = rd.expr(x.Elem)
+		return x
+	case *verilog.Call:
+		for i := range x.Args {
+			if rd.hit() {
+				return x.Args[i]
+			}
+		}
+		for i := range x.Args {
+			x.Args[i] = rd.expr(x.Args[i])
+			if rd.applied {
+				return x
+			}
+		}
+		return x
+	}
+	return e
+}

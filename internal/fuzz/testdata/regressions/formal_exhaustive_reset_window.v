@@ -1,0 +1,19 @@
+// Fuzz-found (formal-consistency, strategy disagreement): the
+// exhaustive-sequences strategy pinned the input values of the two reset
+// cycles to the first free cycle's values, so an assertion that samples
+// during reset (no disable iff) could only fail on input sequences the
+// "complete" enumeration never drove — here the antecedent needs in0=1
+// at cycle 0 and in0=0 at cycle 1, while $past(..., 2) still reads the
+// pre-time default. directed+random found the counterexample that
+// exhaustive missed inside its own bound. Exhaustive enumeration now
+// assigns every cycle, reset window included, its own input bits.
+module fz (
+    input clk,
+    input rst_n,
+    input in0
+);
+    reg [1:0] c0;
+    always @(*)
+        c0 = in0;
+    assert property (@(posedge clk) c0 ##1 c0 == $past(7'b0001111, 2) |-> 0);
+endmodule

@@ -1,0 +1,13 @@
+// Fuzz-found (round-trip): the lexer accepted x/z/? and hex letters as
+// digits of any base, so after tight() space removal the decimal literal
+// in "in0[8'd1 ? 2 : 0]" swallowed the ternary operator and its branch:
+// "8'd1?2" lexed as one malformed literal and the index reparsed as a
+// part select. Decimal literals admit an unknown digit only as their
+// sole leading digit.
+module fz (
+    input clk,
+    input [3:0] in0,
+    output [3:0] out0
+);
+    assign out0 = in0[8'd1 ? 2 : 0];
+endmodule

@@ -1,0 +1,14 @@
+// Fuzz-found (round-trip): '?' is a legal z-digit in hex literals, so
+// removing the space in "in0[4'h1 ? in1 : 1'b0]" let the literal swallow
+// the ternary's question mark ("4'h1?in1" lexed as the literal 4'h1?
+// followed by in1), reparsing the bit select as a part select with a
+// different value. The printer must keep a space between a numeric
+// literal and a following '?'.
+module fz (
+    input clk,
+    input [3:0] in0,
+    input [3:0] in1,
+    output out0
+);
+    assign out0 = in0[4'h1 ? in1 : 1'b0];
+endmodule

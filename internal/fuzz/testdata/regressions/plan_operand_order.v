@@ -1,0 +1,16 @@
+// Inspection-found, fuzzer-pinned (engine-equivalence): the compiled
+// plan evaluated the divisor/shift amount first and skipped the left
+// operand entirely when the result short-circuited to zero, while the
+// reference interpreter always evaluates left then right. With a failing
+// construct in the left operand ($past outside a sampled context) and a
+// zero divisor, the plan produced a trace where the reference refused to
+// simulate. Both backends must apply identical evaluation order so error
+// effects agree.
+module fz (
+    input clk,
+    output out0
+);
+    wire w0;
+    assign w0 = $past(clk) / 0;
+    assign out0 = w0;
+endmodule

@@ -1,0 +1,11 @@
+// Fuzz-found (round-trip): the printer dropped the ##0 separator between
+// SVA sequence terms, printing "in0 ##0 out0" as the unparseable
+// "in0 out0". Same-cycle fusion is still a term boundary.
+module fz (
+    input clk,
+    input in0,
+    output out0
+);
+    assign out0 = in0;
+    assert property (@(posedge clk) in0 ##0 out0);
+endmodule

@@ -1,0 +1,12 @@
+// Fuzz-found (round-trip): tight() removed every space inside index
+// brackets, fusing adjacent operators into different tokens: the bitwise
+// "in1 & &in1" became the logical "in1&&in1", and "in1 ^ ~in1" became
+// the xnor "in1^~in1" — silently changing semantics on reparse.
+module fz (
+    input clk,
+    input [3:0] in0,
+    input [3:0] in1,
+    output [1:0] out0
+);
+    assign out0 = {in0[in1 & &in1], in0[in1 ^ ~in1]};
+endmodule

@@ -22,15 +22,23 @@ type Solver interface {
 	Solve(p model.Problem, n int, temp float64, rng *rand.Rand) []model.Response
 }
 
+// Greedy requests greedy decoding (Temp sentinel): the solver samples at
+// temperature zero. A zero Temp keeps the 0.2 default, so greedy decoding
+// needs an explicit sentinel rather than an unreachable zero value.
+const Greedy = -1.0
+
 // Options configure the loop.
 type Options struct {
 	// MaxRounds bounds the propose-verify iterations. Default 4.
 	MaxRounds int
 	// PerRound is the number of responses sampled each round. Default 5.
 	PerRound int
-	// Temp is the sampling temperature. Default 0.2.
+	// Temp is the sampling temperature. Default 0.2; Greedy (any negative
+	// value) requests greedy decoding at temperature zero.
 	Temp float64
-	// Depth/RandomRuns configure the verifying checks.
+	// Depth/RandomRuns configure the verifying checks. RandomRuns defaults
+	// to 12; formal.NoRandom (any negative value) disables the random
+	// phase of each verifying check.
 	Depth      int
 	RandomRuns int
 	// Seed makes the loop deterministic.
@@ -47,12 +55,17 @@ func (o Options) withDefaults() Options {
 	if o.Temp == 0 {
 		o.Temp = 0.2
 	}
+	if o.Temp < 0 {
+		o.Temp = 0 // Greedy: decode at temperature zero, not the default
+	}
 	if o.Depth <= 0 {
 		o.Depth = 16
 	}
-	if o.RandomRuns <= 0 {
+	if o.RandomRuns == 0 {
 		o.RandomRuns = 12
 	}
+	// Negative RandomRuns (formal.NoRandom) passes through to the
+	// verification service, whose formal layer maps it to zero runs.
 	return o
 }
 

@@ -135,6 +135,57 @@ func TestFeedbackEvolvesLogs(t *testing.T) {
 	}
 }
 
+// tempSpySolver records the temperature of every Solve call.
+type tempSpySolver struct{ temps *[]float64 }
+
+func (s *tempSpySolver) Name() string { return "temp-spy" }
+
+func (s *tempSpySolver) Solve(_ model.Problem, n int, temp float64, _ *rand.Rand) []model.Response {
+	*s.temps = append(*s.temps, temp)
+	return make([]model.Response, n) // FormatOK false: nothing is verified
+}
+
+// TestGreedyTempRequestable pins the zero-value Options fix: Temp 0 keeps
+// the 0.2 default, and the Greedy sentinel — previously unrequestable,
+// since 0 was silently rewritten — decodes at temperature zero.
+func TestGreedyTempRequestable(t *testing.T) {
+	cases := []struct {
+		name string
+		temp float64
+		want float64
+	}{
+		{"default", 0, 0.2},
+		{"greedy", Greedy, 0},
+		{"explicit", 0.7, 0.7},
+	}
+	for _, tc := range cases {
+		var temps []float64
+		_, err := Run(&tempSpySolver{temps: &temps}, "", "module m (\n);\nendmodule\n", "",
+			Options{MaxRounds: 1, PerRound: 1, Temp: tc.temp, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(temps) != 1 || temps[0] != tc.want {
+			t.Errorf("%s: solver saw temps %v, want [%v]", tc.name, temps, tc.want)
+		}
+	}
+}
+
+// TestNoRandomRunsPassThrough: a negative RandomRuns (formal.NoRandom)
+// must survive withDefaults so the verification service can disable the
+// random phase; zero still takes the default.
+func TestNoRandomRunsPassThrough(t *testing.T) {
+	if got := (Options{}).withDefaults().RandomRuns; got != 12 {
+		t.Errorf("default RandomRuns = %d, want 12", got)
+	}
+	if got := (Options{RandomRuns: formal.NoRandom}).withDefaults().RandomRuns; got >= 0 {
+		t.Errorf("NoRandom was rewritten to %d; it must pass through negative", got)
+	}
+	if got := (Options{RandomRuns: 7}).withDefaults().RandomRuns; got != 7 {
+		t.Errorf("explicit RandomRuns = %d, want 7", got)
+	}
+}
+
 type spySolver struct {
 	logs      *[]string
 	wrongLine int

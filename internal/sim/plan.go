@@ -875,19 +875,22 @@ func (c *planCompiler) compileBinary(x *verilog.Binary) (evalFn, error) {
 		return func(m *mach) uint64 { return af(m) * bf(m) }, nil
 	case verilog.BinDiv:
 		return func(m *mach) uint64 {
-			b := bf(m)
+			// Evaluate both operands in the interpreter's order before the
+			// zero check, so error effects (a failing $past in either
+			// operand) are identical on both backends.
+			a, b := af(m), bf(m)
 			if b == 0 {
 				return 0 // x in 4-state Verilog; 0 under two-state
 			}
-			return af(m) / b
+			return a / b
 		}, nil
 	case verilog.BinMod:
 		return func(m *mach) uint64 {
-			b := bf(m)
+			a, b := af(m), bf(m)
 			if b == 0 {
 				return 0
 			}
-			return af(m) % b
+			return a % b
 		}, nil
 	case verilog.BinAnd:
 		return func(m *mach) uint64 { return af(m) & bf(m) }, nil
@@ -917,19 +920,19 @@ func (c *planCompiler) compileBinary(x *verilog.Binary) (evalFn, error) {
 		return func(m *mach) uint64 { return boolVal(af(m) >= bf(m)) }, nil
 	case verilog.BinShl:
 		return func(m *mach) uint64 {
-			b := bf(m)
+			a, b := af(m), bf(m)
 			if b >= 64 {
 				return 0
 			}
-			return af(m) << b
+			return a << b
 		}, nil
 	case verilog.BinShr:
 		return func(m *mach) uint64 {
-			b := bf(m)
+			a, b := af(m), bf(m)
 			if b >= 64 {
 				return 0
 			}
-			return af(m) >> b
+			return a >> b
 		}, nil
 	case verilog.BinAShr:
 		w, ok := c.staticWidth(x.X)

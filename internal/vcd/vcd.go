@@ -107,7 +107,10 @@ func writeValue(sb *strings.Builder, v uint64, width int, id string) {
 		fmt.Fprintf(sb, "%d%s\n", v&1, id)
 		return
 	}
-	fmt.Fprintf(sb, "b%b %s\n", v, id)
+	// Zero-pad to the declared $var width: strict viewers left-align
+	// unpadded vector values against the MSB, misreading b101 in an 8-bit
+	// variable as 0xA0 rather than 0x05.
+	fmt.Fprintf(sb, "b%0*b %s\n", width, v, id)
 }
 
 // identifiers generates n distinct short VCD identifier codes from the

@@ -1,6 +1,7 @@
 package vcd
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestWriteStructure(t *testing.T) {
 		"$enddefinitions $end",
 		"$dumpvars",
 		"#0",
-		"b101 ", // d = 5
+		"b0101 ", // d = 5, zero-padded to the declared 4-bit width
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("VCD missing %q:\n%s", want, out)
@@ -67,10 +68,10 @@ func TestChangeOnlySemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// d is 5,5,9,9: the value line b101 must appear exactly once (initial
+	// d is 5,5,9,9: the value line b0101 must appear exactly once (initial
 	// dump) and b1001 exactly once (the change), not once per cycle.
-	if got := strings.Count(out, "b101 "); got != 1 {
-		t.Errorf("b101 appears %d times, want 1", got)
+	if got := strings.Count(out, "b0101 "); got != 1 {
+		t.Errorf("b0101 appears %d times, want 1", got)
 	}
 	if got := strings.Count(out, "b1001 "); got != 1 {
 		t.Errorf("b1001 appears %d times, want 1", got)
@@ -114,5 +115,77 @@ func TestDeterministic(t *testing.T) {
 	b, _ := Strings(tr, Options{})
 	if a != b {
 		t.Error("VCD output not deterministic")
+	}
+}
+
+// TestVectorValuesPaddedToDeclaredWidth round-trips the dump: every b-value
+// line must carry exactly as many binary digits as its $var declares.
+// Strict viewers left-align unpadded values against the MSB, so b101 in a
+// 4-bit variable would display as 10 instead of 5.
+func TestVectorValuesPaddedToDeclaredWidth(t *testing.T) {
+	tr := traceFixture(t)
+	out, err := Strings(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect declared widths per identifier code from the $var lines.
+	widths := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 5 && f[0] == "$var" {
+			w, err := strconv.Atoi(f[2])
+			if err != nil {
+				t.Fatalf("bad $var width in %q", line)
+			}
+			widths[f[3]] = w
+		}
+	}
+	if len(widths) == 0 {
+		t.Fatal("no $var declarations found")
+	}
+	checked := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "b") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("malformed vector value line %q", line)
+		}
+		digits := strings.TrimPrefix(f[0], "b")
+		w, ok := widths[f[1]]
+		if !ok {
+			t.Fatalf("value for undeclared identifier in %q", line)
+		}
+		if len(digits) != w {
+			t.Errorf("value %q has %d digits, $var declares %d", line, len(digits), w)
+		}
+		if v, err := strconv.ParseUint(digits, 2, 64); err != nil {
+			t.Errorf("unparseable binary value %q", line)
+		} else if v > (uint64(1)<<uint(w))-1 {
+			t.Errorf("value %q exceeds its declared width", line)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no vector value lines found")
+	}
+}
+
+// TestWriteUnknownSignal covers the error path cmd/solve hits when asked
+// to dump a signal the design does not declare: Write must reject the
+// request by name and produce no partial output.
+func TestWriteUnknownSignal(t *testing.T) {
+	tr := traceFixture(t)
+	var sb strings.Builder
+	err := Write(&sb, tr, Options{Signals: []string{"q", "ghost"}})
+	if err == nil {
+		t.Fatal("unknown signal accepted")
+	}
+	if !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("error %q does not name the unknown signal", err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("partial VCD written despite error: %q", sb.String())
 	}
 }

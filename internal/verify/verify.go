@@ -53,9 +53,10 @@ type Options struct {
 	Seed int64
 	// Depth is the bound in clock cycles (default 16).
 	Depth int
-	// RandomRuns bounds the random stimulus phase (default 48).
+	// RandomRuns bounds the random stimulus phase (default 48; negative —
+	// formal.NoRandom — disables the phase).
 	RandomRuns int
-	// MaxExhaustiveBits caps full input-sequence enumeration (default 14).
+	// MaxExhaustiveBits caps full input-sequence enumeration (default 16).
 	MaxExhaustiveBits int
 	// MaxConstBits caps constant-input enumeration (default 10).
 	MaxConstBits int

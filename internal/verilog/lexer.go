@@ -123,16 +123,31 @@ func isIdentPart(c byte) bool {
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
-func isBaseDigit(c byte) bool {
-	switch {
-	case isDigit(c):
-		return true
-	case c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
-		return true
-	case c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?' || c == '_':
-		return true
+// isBaseDigit reports whether c is a valid digit at position idx of the
+// digit run for the given base letter ('b', 'o', 'd' or 'h', already
+// lower-cased). Each base admits only its own digit set plus '_'
+// separators and the x/z/? unknown digits — which a decimal literal
+// allows only as its sole leading digit ('dx), per IEEE 1364 §2.5.1.
+// Accepting any hex digit in any base made decimal literals swallow
+// following tokens: 8'd1?0 must lex as the literal 8'd1, then '?',
+// then 0 — not as one malformed literal.
+func isBaseDigit(c, base byte, idx int) bool {
+	if c == '_' {
+		return idx > 0 // a literal's digit run cannot start with '_'
 	}
-	return false
+	if c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?' {
+		return base != 'd' || idx == 0
+	}
+	switch base {
+	case 'b':
+		return c == '0' || c == '1'
+	case 'o':
+		return c >= '0' && c <= '7'
+	case 'd':
+		return isDigit(c)
+	default: // 'h'
+		return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	}
 }
 
 // Next returns the next token.
@@ -197,11 +212,12 @@ func (lx *Lexer) lexNumber(start Pos) (Token, error) {
 		if lx.off >= len(lx.src) || !strings.ContainsRune("bBoOdDhH", rune(lx.peek())) {
 			return Token{}, &LexError{Pos: start, Msg: "invalid base specifier in numeric literal"}
 		}
-		lx.advance() // base letter
-		if lx.off >= len(lx.src) || !isBaseDigit(lx.peek()) {
+		base := lx.peek() | 0x20 // lower-case the base letter
+		lx.advance()
+		if lx.off >= len(lx.src) || !isBaseDigit(lx.peek(), base, 0) {
 			return Token{}, &LexError{Pos: start, Msg: "missing digits in based numeric literal"}
 		}
-		for lx.off < len(lx.src) && isBaseDigit(lx.peek()) {
+		for i := 0; lx.off < len(lx.src) && isBaseDigit(lx.peek(), base, i); i++ {
 			lx.advance()
 		}
 	}

@@ -152,13 +152,13 @@ func (pr *printer) seqExpr(s *SeqExpr) string {
 	var sb strings.Builder
 	writeSeq := func(terms []SeqTerm) {
 		for i, t := range terms {
-			if i > 0 || t.DelayFromPrev > 0 {
-				if i > 0 {
-					sb.WriteString(" ")
-				}
-				if t.DelayFromPrev > 0 {
-					fmt.Fprintf(&sb, "##%d ", t.DelayFromPrev)
-				}
+			// Later terms always carry their ##N separator — including
+			// ##0 (same-cycle fusion), which is still a term boundary and
+			// must survive reparsing.
+			if i > 0 {
+				fmt.Fprintf(&sb, " ##%d ", t.DelayFromPrev)
+			} else if t.DelayFromPrev > 0 {
+				fmt.Fprintf(&sb, "##%d ", t.DelayFromPrev)
 			}
 			sb.WriteString(pr.expr(t.Expr, 0))
 		}
@@ -290,7 +290,15 @@ func (pr *printer) ifChain(x *If, level int, cont bool) {
 		pr.indent(level)
 	}
 	pr.writef("if (%s) ", pr.expr(x.Cond, 0))
-	pr.branchBody(x.Then, level)
+	then := x.Then
+	if x.Else != nil && swallowsElse(then) {
+		// Dangling else: printed inline, the then-branch's trailing
+		// else-less if would capture this if's else on reparse. Wrap it in
+		// an explicit begin/end so the printed text keeps the AST's
+		// association.
+		then = &Block{Stmts: []Stmt{then}, Pos: then.Span()}
+	}
+	pr.branchBody(then, level)
 	if x.Else == nil {
 		return
 	}
@@ -301,6 +309,21 @@ func (pr *printer) ifChain(x *If, level int, cont bool) {
 		return
 	}
 	pr.branchBody(x.Else, level)
+}
+
+// swallowsElse reports whether s, printed inline right before an "else",
+// would capture that else on reparse: its trailing if/else-if chain ends in
+// an if with no else branch. Blocks and case statements are closed by their
+// end/endcase keyword and never capture.
+func swallowsElse(s Stmt) bool {
+	x, ok := s.(*If)
+	if !ok {
+		return false
+	}
+	if x.Else == nil {
+		return true
+	}
+	return swallowsElse(x.Else)
 }
 
 func (pr *printer) branchBody(s Stmt, level int) {
@@ -323,9 +346,44 @@ func (pr *printer) branchBody(s Stmt, level int) {
 }
 
 // tight removes the spaces of an already-rendered expression, the style
-// used inside bit- and part-select brackets: req[(ptr+1)%3], a[3:0].
+// used inside bit- and part-select brackets: req[(ptr+1)%3], a[3:0]. A
+// space is kept when deleting it would fuse its neighbours into a
+// different token: operator pairs ("a & &b" must not become "a&&b", nor
+// "a ^ ~b" the xnor "a^~b"), and a ternary '?' after a numeric literal
+// ('?' is a valid z-digit, so "4'h1 ? a : b" must not become the
+// literal-swallowing "4'h1?a:b").
 func tight(s string) string {
-	return strings.ReplaceAll(s, " ", "")
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			if i > 0 && i+1 < len(s) {
+				l, r := s[i-1], s[i+1]
+				if (opChar(l) && opChar(r)) || (r == '?' && literalChar(l)) {
+					b.WriteByte(' ')
+				}
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// opChar reports whether c can begin or end a multi-character operator.
+func opChar(c byte) bool {
+	switch c {
+	case '&', '|', '^', '~', '!', '<', '>', '=', '+', '-', '*', '/', '%':
+		return true
+	}
+	return false
+}
+
+// literalChar reports whether c can end a numeric literal, whose digit run
+// could otherwise extend over a following '?'.
+func literalChar(c byte) bool {
+	return c == '_' || c == '\'' ||
+		(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 }
 
 // exprPrec returns the printing precedence of an expression node; larger
