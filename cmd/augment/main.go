@@ -129,9 +129,10 @@ type statsSink struct {
 }
 
 type sampleMeta struct {
-	module string
-	bin    int
-	labels []string
+	module    string
+	bin       int
+	labels    []string
+	trainOnly bool
 }
 
 func (s *statsSink) PT(dataset.PTEntry) error { s.ptCount++; return nil }
@@ -144,7 +145,7 @@ func (s *statsSink) Sample(sm dataset.SVASample) error {
 		s.seenName[sm.Module] = true
 		s.namesByBin[bin] = append(s.namesByBin[bin], sm.Module)
 	}
-	s.meta = append(s.meta, sampleMeta{module: sm.Module, bin: bin, labels: sm.TypeLabels()})
+	s.meta = append(s.meta, sampleMeta{module: sm.Module, bin: bin, labels: sm.TypeLabels(), trainOnly: sm.TrainOnly()})
 	return nil
 }
 
@@ -161,10 +162,11 @@ func runStatsOnly(cfg augment.Config) error {
 	dt, de := dataset.NewDistribution(), dataset.NewDistribution()
 	trainCount, evalCount := 0, 0
 	for _, m := range sink.meta {
-		if trainNames[m.module] {
+		switch {
+		case trainNames[m.module]:
 			dt.Add(m.bin, m.labels)
 			trainCount++
-		} else {
+		case !m.trainOnly:
 			de.Add(m.bin, m.labels)
 			evalCount++
 		}
@@ -286,6 +288,9 @@ func runJSONL(cfg augment.Config, outDir string, shards int) (err error) {
 		if trainNames[s.Module] {
 			dt.Add(s.BinIndex(), s.TypeLabels())
 			return trainW.Write(&s)
+		}
+		if s.TrainOnly() {
+			return nil // train-only class on a test module: dropped, not moved
 		}
 		de.Add(s.BinIndex(), s.TypeLabels())
 		return evalW.Write(&s)

@@ -259,14 +259,14 @@ func (st *benchState) fig4(w io.Writer) {
 	names := []string{"AssertSolver", "o1-preview", "Claude-3.5", "GPT-4"}
 	for _, k := range []int{1, 5} {
 		fmt.Fprintf(w, "\n(a) pass@%d by bug type:\n%-14s", k, "")
-		for _, l := range dataset.AllTypeLabels() {
+		for _, l := range dataset.EvalTypeLabels() {
 			fmt.Fprintf(w, "%10s", l)
 		}
 		fmt.Fprintln(w)
 		for _, name := range names {
 			bd := eval.BreakdownOf(st.all(name))
 			fmt.Fprintf(w, "%-14s", name)
-			for _, l := range dataset.AllTypeLabels() {
+			for _, l := range dataset.EvalTypeLabels() {
 				fmt.Fprintf(w, "%9.1f%%", 100*bd.ByType[l][k/5])
 			}
 			fmt.Fprintln(w)
@@ -291,14 +291,14 @@ func (st *benchState) fig5(w io.Writer) {
 	header(w, "Fig. 5: SFT Model vs AssertSolver across scenarios (DPO ablation)")
 	for _, k := range []int{1, 5} {
 		fmt.Fprintf(w, "\npass@%d by bug type:\n%-14s", k, "")
-		for _, l := range dataset.AllTypeLabels() {
+		for _, l := range dataset.EvalTypeLabels() {
 			fmt.Fprintf(w, "%10s", l)
 		}
 		fmt.Fprintln(w)
 		for _, name := range []string{"SFT Model", "AssertSolver"} {
 			bd := eval.BreakdownOf(st.all(name))
 			fmt.Fprintf(w, "%-14s", name)
-			for _, l := range dataset.AllTypeLabels() {
+			for _, l := range dataset.EvalTypeLabels() {
 				fmt.Fprintf(w, "%9.1f%%", 100*bd.ByType[l][k/5])
 			}
 			fmt.Fprintln(w)

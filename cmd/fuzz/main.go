@@ -1,10 +1,13 @@
 // Command fuzz drives the cross-engine differential fuzzer: it generates
-// -n random programs from -seed and holds each one to the three oracles
-// (print/parse round-trip, compiled-plan vs reference-interpreter
-// equivalence, formal counterexample/strategy consistency). Violations are
-// minimized (-minimize) and printed; the exit status is non-zero when any
-// oracle was violated. Programs are checked in parallel across
-// GOMAXPROCS workers; results are reported in seed order.
+// -n random programs from -seed — including x/z-bearing literals and
+// deliberately unreset registers — and holds each one to the three
+// oracles (print/parse round-trip, compiled-plan vs reference-interpreter
+// equivalence in both the two-state and the four-state value domain with
+// both planes compared on every trace row, formal counterexample/strategy
+// consistency). Violations are minimized (-minimize) and printed; the
+// exit status is non-zero when any oracle was violated. Programs are
+// checked in parallel across GOMAXPROCS workers; results are reported in
+// seed order.
 package main
 
 import (

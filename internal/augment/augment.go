@@ -127,12 +127,22 @@ func (c Config) source(svc *verify.Service) corpus.Source {
 		N:       c.Generate,
 		Exclude: exclude,
 		Accept: func(b *corpus.Blueprint) bool {
-			v, err := svc.Check(b.Source(), nil, verify.Options{
+			opts := verify.Options{
 				Seed:       designSeed(c.Seed, b.Name()),
 				Depth:      b.CheckDepth(16),
 				RandomRuns: c.RandomRuns,
-			})
-			return err == nil && v.Passed() && len(v.Vacuous()) == 0
+			}
+			v, err := svc.Check(b.Source(), nil, opts)
+			if err != nil || !v.Passed() || len(v.Vacuous()) != 0 {
+				return false
+			}
+			// Generated goldens must also be clean under four-state
+			// checking (every register reset or initialised before any
+			// assertion depends on it), so they are valid targets for the
+			// reset-removal bug class.
+			opts.FourState = true
+			v4, err := svc.Check(b.Source(), nil, opts)
+			return err == nil && v4.Passed()
 		},
 	})
 	return corpus.Multi(corpus.CatalogSource{}, gen)
@@ -148,6 +158,7 @@ type Stats struct {
 	Compiled           int
 
 	MutantsTried      int
+	MutantsReset      int // reset-removal mutants among MutantsTried (uncapped, four-state-checked)
 	MutantsNoncompile int
 	MutantsNoop       int
 	MutantsAssertFail int
@@ -167,6 +178,7 @@ func (s *Stats) add(d Stats) {
 	s.CompileFailed += d.CompileFailed
 	s.Compiled += d.Compiled
 	s.MutantsTried += d.MutantsTried
+	s.MutantsReset += d.MutantsReset
 	s.MutantsNoncompile += d.MutantsNoncompile
 	s.MutantsNoop += d.MutantsNoop
 	s.MutantsAssertFail += d.MutantsAssertFail
@@ -560,6 +572,21 @@ func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *co
 	}
 	muts := bugs.Enumerate(b.Module, limit)
 
+	// Reset-removal / initialisation-deletion class: validated under
+	// four-state checking (the bug is invisible two-state — registers
+	// silently initialise to zero). Only injected when the golden itself is
+	// clean four-state, otherwise every reset mutant would "fail" for the
+	// golden's own x-propagation rather than the injected bug. The class is
+	// appended after the capped classic enumeration so it is never squeezed
+	// out by the per-bin caps and classic sample IDs stay stable.
+	opts4 := opts
+	opts4.FourState = true
+	if resetMuts := bugs.EnumerateResets(b.Module); len(resetMuts) > 0 {
+		if gv4, err := svc.Check(goldenSrc, nil, opts4); err == nil && gv4.Passed() {
+			muts = append(muts, resetMuts...)
+		}
+	}
+
 	// Parallel phase: verify (and diff) every mutant.
 	outcomes := make([]mutOutcome, len(muts))
 	workers := runtime.GOMAXPROCS(0)
@@ -575,7 +602,11 @@ func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *co
 			for i := range idxCh {
 				o := &outcomes[i]
 				o.src = verilog.Print(muts[i].Mutant)
-				o.verdict, o.err = svc.Check(o.src, nil, opts)
+				checkOpts := opts
+				if muts[i].Syn == bugs.SynReset {
+					checkOpts = opts4
+				}
+				o.verdict, o.err = svc.Check(o.src, nil, checkOpts)
 				if o.err == nil && o.verdict.Passed() {
 					o.diff, o.diffLog, o.diffErr = formal.Differ(goldenDesign, o.verdict.Design, diffOpts)
 				}
@@ -595,6 +626,9 @@ func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *co
 	for i, mu := range muts {
 		o := outcomes[i]
 		stats.MutantsTried++
+		if mu.Syn == bugs.SynReset {
+			stats.MutantsReset++
+		}
 		if o.verdict.Status == verify.StatusCompileError {
 			stats.MutantsNoncompile++
 			continue

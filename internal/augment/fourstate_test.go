@@ -1,0 +1,95 @@
+package augment
+
+import (
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/corpus"
+	"repro/internal/cot"
+	"repro/internal/verify"
+	"repro/internal/verilog"
+)
+
+// TestResetRemovalCaughtFourStateOnly is the end-to-end validation of the
+// reset-removal bug class: a mutant whose reset branch no longer
+// establishes a value passes the two-state bounded check (registers
+// silently initialise to zero, which equals the reset value) but fails the
+// four-state check, where the register reads x until reset actually
+// assigns it.
+func TestResetRemovalCaughtFourStateOnly(t *testing.T) {
+	golden := corpus.Counter(4, 9)
+	goldenSrc := golden.Source()
+	svc := verify.New(2)
+	opts := verify.Options{Seed: 7, Depth: golden.CheckDepth(16), RandomRuns: 8}
+	opts4 := opts
+	opts4.FourState = true
+
+	// The golden itself is clean in both domains.
+	for _, o := range []verify.Options{opts, opts4} {
+		v, err := svc.Check(goldenSrc, nil, o)
+		if err != nil || !v.Passed() {
+			t.Fatalf("golden does not pass (FourState=%v): %v %s", o.FourState, err, v.Log)
+		}
+	}
+
+	muts := bugs.EnumerateResets(golden.Module)
+	if len(muts) == 0 {
+		t.Fatal("no reset-removal mutations enumerated for the counter")
+	}
+	caught := false
+	for _, mu := range muts {
+		if mu.Syn != bugs.SynReset {
+			t.Fatalf("mutation %q has class %s, want Reset", mu.Description, mu.Syn)
+		}
+		src := verilog.Print(mu.Mutant)
+		v2, err := svc.Check(src, nil, opts)
+		if err != nil {
+			t.Fatalf("two-state check: %v", err)
+		}
+		v4, err := svc.Check(src, nil, opts4)
+		if err != nil {
+			t.Fatalf("four-state check: %v", err)
+		}
+		if v2.Passed() && !v4.Passed() {
+			caught = true
+			// The four-state counterexample log must mark the x samples so
+			// the repair model sees why the assertion failed.
+			if v4.Log == "" {
+				t.Errorf("four-state failure carries no log for %q", mu.Description)
+			}
+		}
+		if !v2.Passed() {
+			t.Logf("note: %q visible two-state too (reset value differs from zero)", mu.Description)
+		}
+	}
+	if !caught {
+		t.Fatal("no reset-removal mutant was invisible two-state yet caught four-state")
+	}
+}
+
+// TestInjectAndValidateEmitsResetSamples: the pipeline produces Reset-class
+// SVA samples for a golden with a reset, on top of the classic classes.
+func TestInjectAndValidateEmitsResetSamples(t *testing.T) {
+	cfg := Config{Seed: 3, RandomRuns: 8}
+	gen := cot.NewGenerator(0, 1)
+	var stats Stats
+	samples, _, err := InjectAndValidate(corpus.Counter(4, 9), cfg, &stats, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MutantsReset == 0 {
+		t.Fatal("no reset mutants were tried")
+	}
+	found := false
+	for _, s := range samples {
+		if s.Syn == "Reset" {
+			found = true
+			if s.Logs == "" {
+				t.Errorf("Reset sample %s has no failure log", s.ID)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no Reset-class sample produced")
+	}
+}

@@ -17,20 +17,26 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/compile"
 	"repro/internal/verilog"
 )
 
 // SynClass is the syntactic mutation class of Table I.
 type SynClass int
 
-// Syntactic classes.
+// Syntactic classes. SynReset is the reset-removal / initialisation-
+// deletion class: it neutralises one reset-branch assignment (or one
+// initial-block initialisation) by making the register keep its own value,
+// a bug that is invisible to two-state checking (registers silently
+// initialise to zero) and only a four-state checker can validate.
 const (
 	SynVar SynClass = iota
 	SynValue
 	SynOp
+	SynReset
 )
 
-var synNames = [...]string{"Var", "Value", "Op"}
+var synNames = [...]string{"Var", "Value", "Op", "Reset"}
 
 // String names the class as in Table I.
 func (c SynClass) String() string { return synNames[c] }
@@ -111,11 +117,30 @@ type mutator struct {
 // whose printed source equals the golden source (no-ops) are dropped, as
 // are mutations that change more than one printed line.
 func Enumerate(golden *verilog.Module, limit int) []Mutation {
-	goldenSrc := verilog.Print(golden)
 	widths := signalWidths(golden)
+	return enumerate(golden, limit, func(m *verilog.Module) []mutator {
+		return collect(m, widths)
+	})
+}
+
+// EnumerateResets returns the SynReset mutations of the module: every
+// reset-branch assignment and every initial-block initialisation rewritten
+// to keep the register's own value (cnt <= 0 becomes cnt <= cnt), which in
+// four-state semantics leaves the register x. It is a separate enumeration
+// so the per-design caps applied to the classic classes never squeeze the
+// reset class out, and existing mutation indices (and therefore dataset
+// sample IDs) stay stable.
+func EnumerateResets(golden *verilog.Module) []Mutation {
+	return enumerate(golden, 0, collectResets)
+}
+
+// enumerate runs a mutator collector through the clone/apply/single-line-
+// diff pipeline shared by every bug class.
+func enumerate(golden *verilog.Module, limit int, collect func(*verilog.Module) []mutator) []Mutation {
+	goldenSrc := verilog.Print(golden)
 
 	// First pass: count sites by running the collector on a throwaway clone.
-	probe := collect(verilog.CloneModule(golden), widths)
+	probe := collect(verilog.CloneModule(golden))
 	n := len(probe)
 	if limit > 0 && n > limit {
 		n = limit
@@ -124,7 +149,7 @@ func Enumerate(golden *verilog.Module, limit int) []Mutation {
 	var out []Mutation
 	for i := 0; i < n; i++ {
 		clone := verilog.CloneModule(golden)
-		muts := collect(clone, widths)
+		muts := collect(clone)
 		if i >= len(muts) {
 			break
 		}
@@ -512,6 +537,126 @@ func (c *collector) binarySite(x *verilog.Binary, cx ctx) {
 			},
 		})
 	}
+}
+
+// collectResets walks the module (clone) and returns SynReset mutators:
+// one per whole-register assignment inside a reset branch of an
+// edge-sensitive always block, and one per constant initialisation inside
+// an initial block. Each rewrites the right-hand side to the register
+// itself, so the reset (or initialisation) no longer establishes a value —
+// under four-state semantics the register stays x.
+func collectResets(m *verilog.Module) []mutator {
+	var muts []mutator
+	keepSelf := func(what string, lhs verilog.Expr, rhs *verilog.Expr) {
+		id, ok := lhs.(*verilog.Ident)
+		if !ok {
+			return // only whole-register resets; bit/slice resets are rare
+		}
+		if r, ok := (*rhs).(*verilog.Ident); ok && r.Name == id.Name {
+			return // already a self-assignment: mutation would be a no-op
+		}
+		name := id.Name
+		target := rhs
+		muts = append(muts, mutator{
+			syn:  SynReset,
+			cond: false,
+			desc: fmt.Sprintf("removed %s of %s (register keeps its value)", what, name),
+			aff:  []string{name},
+			apply: func() {
+				*target = &verilog.Ident{Name: name}
+			},
+		})
+	}
+	branchResets := func(branch verilog.Stmt) {
+		verilog.WalkStmt(branch, func(sub verilog.Stmt) {
+			switch x := sub.(type) {
+			case *verilog.NonBlocking:
+				keepSelf("reset", x.LHS, &x.RHS)
+			case *verilog.Blocking:
+				keepSelf("reset", x.LHS, &x.RHS)
+			}
+		})
+	}
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *verilog.Always:
+			seq := false
+			for _, ev := range x.Events {
+				if ev.Edge != verilog.EdgeAny {
+					seq = true
+				}
+			}
+			if !seq {
+				continue
+			}
+			verilog.WalkStmt(x.Body, func(sub verilog.Stmt) {
+				ifs, ok := sub.(*verilog.If)
+				if !ok {
+					return
+				}
+				if branch := resetBranchOf(ifs); branch != nil {
+					branchResets(branch)
+				}
+			})
+		case *verilog.Initial:
+			verilog.WalkStmt(x.Body, func(sub verilog.Stmt) {
+				if b, ok := sub.(*verilog.Blocking); ok {
+					keepSelf("initialisation", b.LHS, &b.RHS)
+				}
+			})
+		}
+	}
+	return muts
+}
+
+// resetBranchOf returns the branch of an if statement executed while reset
+// is active, or nil when the condition is not a recognisable reset test
+// (the bare reset signal, its !/~ negation, or a ==/!= 0/1 comparison).
+func resetBranchOf(ifs *verilog.If) verilog.Stmt {
+	name, trueWhenZero, ok := resetCondOf(ifs.Cond)
+	if !ok {
+		return nil
+	}
+	if resetActiveLow(name) == trueWhenZero {
+		return ifs.Then
+	}
+	return ifs.Else // may be nil: no reset branch to neutralise
+}
+
+func resetCondOf(e verilog.Expr) (name string, trueWhenZero bool, ok bool) {
+	switch x := e.(type) {
+	case *verilog.Ident:
+		return x.Name, false, isResetName(x.Name)
+	case *verilog.Unary:
+		if x.Op != verilog.UnaryLogicalNot && x.Op != verilog.UnaryBitNot {
+			return "", false, false
+		}
+		n, z, ok := resetCondOf(x.X)
+		return n, !z, ok
+	case *verilog.Binary:
+		id, iok := x.X.(*verilog.Ident)
+		num, nok := x.Y.(*verilog.Number)
+		if !iok || !nok || !isResetName(id.Name) {
+			return "", false, false
+		}
+		switch x.Op {
+		case verilog.BinEq, verilog.BinCaseEq:
+			return id.Name, num.Value == 0, true
+		case verilog.BinNe, verilog.BinCaseNe:
+			return id.Name, num.Value != 0, true
+		}
+	}
+	return "", false, false
+}
+
+func isResetName(name string) bool {
+	isReset, _ := compile.ResetNameInfo(name)
+	return isReset
+}
+
+func resetActiveLow(name string) bool {
+	_, activeLow := compile.ResetNameInfo(name)
+	return activeLow
 }
 
 // lhsSignals extracts the base signal names of an assignment target.

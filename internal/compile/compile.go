@@ -126,6 +126,12 @@ type Design struct {
 	Initials   []*verilog.Initial
 	Asserts    []ResolvedAssert
 	RegInit    map[string]uint64 // constant initials from initial blocks / decls
+	// RegInitX holds the unknown-bit plane of RegInit entries whose
+	// initialiser was an x/z-bearing literal (the bits read as 0 in RegInit,
+	// preserving two-state behaviour; the four-state simulator starts them
+	// as x). Only direct Number literals carry unknown bits — an x inside a
+	// larger constant expression folds to 0, a documented simplification.
+	RegInitX map[string]uint64
 
 	// planMu/plan hold a lazily-built execution artifact (internal/sim's
 	// compiled plan). Storing it on the design ties its lifetime to the
@@ -209,19 +215,25 @@ type ResetInfo struct {
 	Present   bool
 }
 
+// ResetNameInfo is the single definition of the corpus reset-naming
+// convention: whether a name denotes a reset, and whether that reset is
+// active low (any rst/reset name ending in n). Design.Reset and the
+// bug-injection engine's reset-branch detection both resolve through it,
+// so the two can never disagree about which branch a reset guards.
+func ResetNameInfo(name string) (isReset, activeLow bool) {
+	ln := strings.ToLower(name)
+	isReset = strings.HasPrefix(ln, "rst") || strings.HasPrefix(ln, "reset") || ln == "arst_n"
+	activeLow = strings.HasSuffix(ln, "_n") || strings.HasSuffix(ln, "_ni") || strings.HasSuffix(ln, "rstn")
+	return isReset, activeLow
+}
+
 // Reset returns the design's reset input description.
 func (d *Design) Reset() ResetInfo {
 	for _, p := range d.Module.Ports {
 		if p.Dir != verilog.DirInput {
 			continue
 		}
-		ln := strings.ToLower(p.Name)
-		if strings.HasPrefix(ln, "rst") || strings.HasPrefix(ln, "reset") || ln == "arst_n" {
-			activeLow := strings.HasSuffix(ln, "_n") || strings.HasSuffix(ln, "n") && strings.Contains(ln, "_n") || strings.HasSuffix(ln, "_ni")
-			// Common convention: any name ending in n after rst/reset is active low.
-			if strings.HasSuffix(ln, "rstn") || strings.HasSuffix(ln, "_n") || strings.HasSuffix(ln, "_ni") {
-				activeLow = true
-			}
+		if isReset, activeLow := ResetNameInfo(p.Name); isReset {
 			return ResetInfo{Name: p.Name, ActiveLow: activeLow, Present: true}
 		}
 	}
@@ -249,10 +261,11 @@ func Compile(src string) (*Design, []Diagnostic, error) {
 func Elaborate(m *verilog.Module) (*Design, []Diagnostic) {
 	e := &elaborator{
 		design: &Design{
-			Module:  m,
-			Signals: map[string]*Signal{},
-			Params:  map[string]uint64{},
-			RegInit: map[string]uint64{},
+			Module:   m,
+			Signals:  map[string]*Signal{},
+			Params:   map[string]uint64{},
+			RegInit:  map[string]uint64{},
+			RegInitX: map[string]uint64{},
 		},
 	}
 	e.run()
@@ -352,6 +365,7 @@ func (e *elaborator) run() {
 		if nd.Init != nil {
 			if v, ok := e.constEval(nd.Init); ok && nd.Kind != verilog.NetWire {
 				d.RegInit[nd.Names[0]] = v
+				d.RegInitX[nd.Names[0]] = literalUnknown(nd.Init)
 			} else if nd.Kind == verilog.NetWire {
 				// wire w = expr is a continuous assignment.
 				d.Assigns = append(d.Assigns, &verilog.AssignItem{
@@ -444,6 +458,15 @@ func (e *elaborator) rangeWidth(r *verilog.Range, pos verilog.Pos) int {
 	return w
 }
 
+// literalUnknown returns the unknown-bit mask of a direct literal
+// initialiser (0 for anything else).
+func literalUnknown(e verilog.Expr) uint64 {
+	if n, ok := e.(*verilog.Number); ok {
+		return n.Unknown()
+	}
+	return 0
+}
+
 // constEval evaluates a constant expression using resolved parameters.
 func (e *elaborator) constEval(expr verilog.Expr) (uint64, bool) {
 	switch x := expr.(type) {
@@ -532,7 +555,7 @@ func (e *elaborator) checkExpr(expr verilog.Expr, pos verilog.Pos) {
 			e.checkName(x.Name, x.Pos)
 		case *verilog.Call:
 			switch x.Name {
-			case "$past", "$rose", "$fell", "$stable", "$changed", "$countones", "$onehot", "$onehot0", "$signed", "$unsigned":
+			case "$past", "$rose", "$fell", "$stable", "$changed", "$countones", "$onehot", "$onehot0", "$signed", "$unsigned", "$isunknown":
 				if len(x.Args) == 0 {
 					e.errorf(x.Pos, "%s requires at least one argument", x.Name)
 				}
@@ -622,6 +645,7 @@ func (e *elaborator) elabInitial(ini *verilog.Initial) {
 				if v, cok := e.constEval(x.RHS); cok {
 					if sig := e.design.Signals[id.Name]; sig != nil && sig.IsReg {
 						e.design.RegInit[id.Name] = v & sig.Mask()
+						e.design.RegInitX[id.Name] = literalUnknown(x.RHS) & sig.Mask()
 					}
 				}
 			}

@@ -137,8 +137,19 @@ func (s *SVASample) TypeLabels() []string {
 	return labels
 }
 
-// AllTypeLabels lists the seven Fig. 4a categories in presentation order.
+// AllTypeLabels lists the seven Fig. 4a categories in presentation order,
+// plus the Reset class (reset-removal / initialisation-deletion bugs, the
+// four-state-only extension of Table I). Use it for training-distribution
+// displays; evaluation tables iterate EvalTypeLabels, since Reset samples
+// are train-only and would render a permanently-empty eval column.
 func AllTypeLabels() []string {
+	return []string{"Direct", "Indirect", "Var", "Value", "Op", "Reset", "Cond", "Non_cond"}
+}
+
+// EvalTypeLabels lists the paper's own seven Fig. 4a categories — the
+// label set the evaluation benchmarks are defined over (TrainOnly classes
+// excluded).
+func EvalTypeLabels() []string {
 	return []string{"Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond"}
 }
 
@@ -146,11 +157,22 @@ func AllTypeLabels() []string {
 // Split
 // ---------------------------------------------------------------------------
 
+// TrainOnly reports whether the sample is excluded from the evaluation
+// benchmarks. Reset-class samples (the four-state-only extension of
+// Table I) are train-only: the paper's RQ2/RQ3 benchmarks are defined over
+// the paper's bug taxonomy, so the extension class feeds the model without
+// shifting the replication metrics. A TrainOnly sample whose module lands
+// on the test side of the split is dropped entirely — never moved — so
+// train and test stay module-disjoint.
+func (s *SVASample) TrainOnly() bool { return s.Syn == "Reset" }
+
 // SplitByModule performs the paper's train/test separation: samples are
 // organised into the five code-length bins, the unique module names within
 // each bin are enumerated, and trainFrac of the names (uniformly, seeded)
 // go to the training set with all their samples. Samples from the remaining
 // names form the test set, keeping train and test module-disjoint.
+// TrainOnly samples never enter the test set (dropped when their module is
+// a test module).
 func SplitByModule(samples []SVASample, trainFrac float64, seed int64) (train, test []SVASample) {
 	byBin := map[int][]string{}
 	seen := map[string]bool{}
@@ -164,9 +186,10 @@ func SplitByModule(samples []SVASample, trainFrac float64, seed int64) (train, t
 	}
 	trainNames := TrainNames(byBin, trainFrac, seed)
 	for _, s := range samples {
-		if trainNames[s.Module] {
+		switch {
+		case trainNames[s.Module]:
 			train = append(train, s)
-		} else {
+		case !s.TrainOnly():
 			test = append(test, s)
 		}
 	}

@@ -78,7 +78,22 @@ func ApplyFix(src string, lineNo int, lineText, fix string) (string, bool) {
 
 // PassAtK is the unbiased estimator of the paper (Section IV-D):
 // 1 - C(n-c, k) / C(n, k).
+//
+// k is clamped to n: drawing more samples than exist is the same draw as
+// taking all n. Without the clamp, k > n made the n-c < k guard fire
+// vacuously and report pass@k = 1 even with zero correct responses (the
+// estimator is only defined for k <= n; every k-subset of n < k responses
+// is the full set). Degenerate inputs (n <= 0, k <= 0, c <= 0) report 0.
 func PassAtK(n, c, k int) float64 {
+	if n <= 0 || k <= 0 || c <= 0 {
+		return 0
+	}
+	if c > n {
+		c = n
+	}
+	if k > n {
+		k = n
+	}
 	if n-c < k {
 		return 1
 	}
@@ -198,10 +213,12 @@ type Breakdown struct {
 	ByBin  [][2]float64          // bin index -> {pass@1, pass@5}
 }
 
-// BreakdownOf computes the full breakdown for a result set.
+// BreakdownOf computes the full breakdown for a result set. It iterates
+// the paper's evaluation label set (EvalTypeLabels): train-only classes
+// never appear in benchmark results.
 func BreakdownOf(results []CaseResult) Breakdown {
 	b := Breakdown{ByType: map[string][2]float64{}}
-	for _, label := range dataset.AllTypeLabels() {
+	for _, label := range dataset.EvalTypeLabels() {
 		sub := FilterByType(results, label)
 		b.ByType[label] = [2]float64{MeanPassAtK(sub, 1), MeanPassAtK(sub, 5)}
 	}

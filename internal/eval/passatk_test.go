@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// bruteForcePassAtK enumerates every k-subset of n responses (the first c
+// marked correct) and returns the exact fraction of subsets containing at
+// least one correct response — the quantity the estimator computes in
+// closed form.
+func bruteForcePassAtK(n, c, k int) float64 {
+	if k > n {
+		k = n
+	}
+	if k <= 0 || n <= 0 {
+		return 0
+	}
+	total, hit := 0, 0
+	for m := 0; m < 1<<uint(n); m++ {
+		if bits.OnesCount(uint(m)) != k {
+			continue
+		}
+		total++
+		if m&((1<<uint(c))-1) != 0 {
+			hit++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// TestPassAtKAgainstBruteForce: the estimator must match exhaustive subset
+// enumeration for every small (n, c, k), including k > n.
+func TestPassAtKAgainstBruteForce(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		for c := 0; c <= n; c++ {
+			for k := 1; k <= n+3; k++ {
+				got := PassAtK(n, c, k)
+				want := bruteForcePassAtK(n, c, k)
+				if math.Abs(got-want) > 1e-12 {
+					t.Errorf("PassAtK(%d,%d,%d) = %v, want %v", n, c, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPassAtKProperties: 0 <= pass@k <= 1, monotone in both c and k, and
+// exact at the endpoints.
+func TestPassAtKProperties(t *testing.T) {
+	for n := 1; n <= 25; n++ {
+		for c := 0; c <= n; c++ {
+			for k := 1; k <= n+5; k++ {
+				p := PassAtK(n, c, k)
+				if p < 0 || p > 1 {
+					t.Fatalf("PassAtK(%d,%d,%d) = %v out of [0,1]", n, c, k, p)
+				}
+				if c > 0 && PassAtK(n, c-1, k) > p+1e-12 {
+					t.Fatalf("PassAtK not monotone in c at (%d,%d,%d)", n, c, k)
+				}
+				if k > 1 && PassAtK(n, c, k-1) > p+1e-12 {
+					t.Fatalf("PassAtK not monotone in k at (%d,%d,%d)", n, c, k)
+				}
+			}
+		}
+		if PassAtK(n, 0, n) != 0 {
+			t.Errorf("PassAtK(%d,0,%d) = %v, want 0", n, n, PassAtK(n, 0, n))
+		}
+		if PassAtK(n, n, 1) != 1 {
+			t.Errorf("PassAtK(%d,%d,1) = %v, want 1", n, n, PassAtK(n, n, 1))
+		}
+	}
+}
+
+// TestPassAtKOverdrawRegression pins the fixed bug: k greater than n with
+// zero correct responses must be 0, not 1 (the n-c < k guard used to fire
+// vacuously). MeanPassAtK inherits the fix for pass@5 over n < 5 runs.
+func TestPassAtKOverdrawRegression(t *testing.T) {
+	if got := PassAtK(3, 0, 5); got != 0 {
+		t.Errorf("PassAtK(3,0,5) = %v, want 0", got)
+	}
+	if got := PassAtK(3, 1, 5); got != 1 {
+		t.Errorf("PassAtK(3,1,5) = %v, want 1 (one correct is always drawn)", got)
+	}
+	results := []CaseResult{{N: 3, C: 0}, {N: 3, C: 3}}
+	if got := MeanPassAtK(results, 5); got != 0.5 {
+		t.Errorf("MeanPassAtK(n=3 cases, k=5) = %v, want 0.5", got)
+	}
+	// Degenerate inputs.
+	for _, tc := range [][3]int{{0, 0, 1}, {-1, 0, 1}, {5, -1, 1}, {5, 2, 0}} {
+		if got := PassAtK(tc[0], tc[1], tc[2]); got != 0 {
+			t.Errorf("PassAtK(%v) = %v, want 0", tc, got)
+		}
+	}
+}

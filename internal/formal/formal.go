@@ -46,6 +46,13 @@ type Options struct {
 	// Seed makes the random phase deterministic. The same seed always
 	// explores the same traces.
 	Seed int64
+	// FourState runs every simulation in the four-state value domain:
+	// registers start x until reset or first assignment, and x propagating
+	// into an assertion fails it (the not-true rule). The *stimulus* space
+	// stays known-bits-only — strategies enumerate exactly the same input
+	// sequences as the default two-state check, which remains the compiled
+	// fast path.
+	FourState bool
 }
 
 // Normalized returns the options with defaults applied, the canonical form
@@ -106,9 +113,13 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 	res := &Result{Pass: true}
 	attempted := map[string]bool{}
 
+	mode := sim.TwoState
+	if opts.FourState {
+		mode = sim.FourState
+	}
 	runOne := func(stim sim.VecStimulus) (bool, error) {
 		res.Runs++
-		tr, err := sim.RunVec(d, stim)
+		tr, err := sim.RunVecMode(d, stim, mode)
 		if err != nil {
 			return false, err
 		}

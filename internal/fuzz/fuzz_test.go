@@ -25,11 +25,29 @@ func TestGeneratedSmoke(t *testing.T) {
 	}
 }
 
+// TestGeneratedSmokeXZ drives the x-saturated generator (the FuzzFourState
+// distribution) through all three oracles under plain `go test`.
+func TestGeneratedSmokeXZ(t *testing.T) {
+	n := 80
+	if testing.Short() {
+		n = 20
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		m := GenerateModuleXZ(rand.New(rand.NewSource(seed)))
+		if err := Check(m, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
 // TestGeneratorDeterminism: the same seed must yield the same source.
 func TestGeneratorDeterminism(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		if GenerateSource(seed) != GenerateSource(seed) {
 			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+		if GenerateSourceXZ(seed) != GenerateSourceXZ(seed) {
+			t.Fatalf("seed %d: x-saturated generator is not deterministic", seed)
 		}
 	}
 }
@@ -179,6 +197,21 @@ func FuzzFormalConsistency(f *testing.F) {
 	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if err := FormalConsistency(GenerateSource(seed), seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzFourState: the full oracle battery over the x-saturated generator
+// stream (GenerateSourceXZ re-spells ~1/3 of all non-structural literals
+// with x/z digits, far above the base generator's ~1-in-6 rate), so both
+// value planes of the four-state lowering are driven hard against the
+// reference interpreter — a different input distribution from the other
+// three targets, not a re-run of their seeds.
+func FuzzFourState(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckSource(GenerateSourceXZ(seed), seed); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -136,8 +136,18 @@ func GenerateModule(rng *rand.Rand) *verilog.Module {
 	for _, grp := range groups {
 		body := g.stmt(grp, 3, true)
 		if g.hasReset {
+			// Occasionally leave one register out of the reset branch, so
+			// four-state runs exercise genuinely uninitialised state (the
+			// reset-bug class) under the differential oracles.
+			skip := -1
+			if len(grp) > 1 && g.rng.Intn(4) == 0 {
+				skip = g.rng.Intn(len(grp))
+			}
 			var resets []verilog.Stmt
-			for _, r := range grp {
+			for i, r := range grp {
+				if i == skip {
+					continue
+				}
 				resets = append(resets, &verilog.NonBlocking{LHS: ident(r.name), RHS: g.number(r.width)})
 			}
 			body = &verilog.If{
@@ -178,6 +188,177 @@ func GenerateModule(rng *rand.Rand) *verilog.Module {
 // always yields the same text.
 func GenerateSource(seed int64) string {
 	return verilog.Print(GenerateModule(rand.New(rand.NewSource(seed))))
+}
+
+// GenerateModuleXZ synthesises a module and then re-spells roughly a third
+// of its literals with x/z digits — the x-saturated distribution behind
+// the FuzzFourState target, distinct from the base generator's ~1-in-6
+// rate. Structural literals (parameter values, slice bounds, replication
+// counts, plain-decimal $past depths) keep their known spelling so the
+// module still elaborates and the compiled four-state lowering stays
+// exercised rather than falling back to the reference interpreter.
+func GenerateModuleXZ(rng *rand.Rand) *verilog.Module {
+	m := GenerateModule(rng)
+	injectXZ(m, rng)
+	return m
+}
+
+// GenerateSourceXZ prints the x-saturated module generated from seed.
+func GenerateSourceXZ(seed int64) string {
+	return verilog.Print(GenerateModuleXZ(rand.New(rand.NewSource(seed))))
+}
+
+// injectXZ walks the module's value positions and re-spells literals with
+// x/z digits in place, preserving width and base (group-aligned, so the
+// spelling round-trips in its own base).
+func injectXZ(m *verilog.Module, rng *rand.Rand) {
+	var expr func(e verilog.Expr)
+	expr = func(e verilog.Expr) {
+		switch x := e.(type) {
+		case *verilog.Number:
+			xzify(x, rng)
+		case *verilog.Unary:
+			expr(x.X)
+		case *verilog.Binary:
+			expr(x.X)
+			expr(x.Y)
+		case *verilog.Ternary:
+			expr(x.Cond)
+			expr(x.X)
+			expr(x.Y)
+		case *verilog.Index:
+			expr(x.X)
+			expr(x.Idx) // x index selects/stores are defined (x / no-op)
+		case *verilog.Slice:
+			expr(x.X) // bounds stay known: structural
+		case *verilog.Concat:
+			for _, el := range x.Elems {
+				expr(el)
+			}
+		case *verilog.Repl:
+			expr(x.Elem) // count stays known: structural
+		case *verilog.Call:
+			for _, a := range x.Args {
+				expr(a)
+			}
+		}
+	}
+	var stmt func(s verilog.Stmt)
+	stmt = func(s verilog.Stmt) {
+		switch x := s.(type) {
+		case *verilog.Block:
+			for _, sub := range x.Stmts {
+				stmt(sub)
+			}
+		case *verilog.Blocking:
+			expr(x.LHS)
+			expr(x.RHS)
+		case *verilog.NonBlocking:
+			expr(x.LHS)
+			expr(x.RHS)
+		case *verilog.If:
+			expr(x.Cond)
+			stmt(x.Then)
+			if x.Else != nil {
+				stmt(x.Else)
+			}
+		case *verilog.Case:
+			expr(x.Subject)
+			for i := range x.Items {
+				for _, le := range x.Items[i].Exprs {
+					expr(le)
+				}
+				stmt(x.Items[i].Body)
+			}
+		}
+	}
+	seq := func(s *verilog.SeqExpr) {
+		if s == nil {
+			return
+		}
+		for _, t := range s.Antecedent {
+			expr(t.Expr)
+		}
+		for _, t := range s.Consequent {
+			expr(t.Expr)
+		}
+	}
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *verilog.NetDecl:
+			if x.Init != nil {
+				expr(x.Init)
+			}
+		case *verilog.AssignItem:
+			expr(x.LHS)
+			expr(x.RHS)
+		case *verilog.Always:
+			stmt(x.Body)
+		case *verilog.Initial:
+			stmt(x.Body)
+		case *verilog.PropertyDecl:
+			expr(x.DisableIff)
+			seq(x.Seq)
+		case *verilog.AssertItem:
+			expr(x.DisableIff)
+			seq(x.Seq)
+		}
+		// ParamDecl values and declaration ranges stay known: structural.
+	}
+}
+
+// xzify re-spells one literal with x/z digits in place (probability 1/3),
+// aligned to its base's digit groups. Unsized and plain-decimal literals
+// are left alone.
+func xzify(n *verilog.Number, r *rand.Rand) {
+	if n == nil || n.Width == 0 || r.Intn(3) != 0 {
+		return
+	}
+	m := maskOf(n.Width)
+	var x, z uint64
+	switch n.Base {
+	case 'b':
+		x = r.Uint64() & m
+		z = r.Uint64() & m &^ x
+	case 'h':
+		if n.Width%4 != 0 {
+			return
+		}
+		for i := 0; i < n.Width/4; i++ {
+			switch r.Intn(3) {
+			case 0:
+				x |= 0xF << uint(4*i)
+			case 1:
+				z |= 0xF << uint(4*i)
+			}
+		}
+	case 'o':
+		if n.Width%3 != 0 {
+			return
+		}
+		for i := 0; i < n.Width/3; i++ {
+			switch r.Intn(3) {
+			case 0:
+				x |= 0x7 << uint(3*i)
+			case 1:
+				z |= 0x7 << uint(3*i)
+			}
+		}
+	case 'd':
+		// Decimal can only be whole-literal x or z.
+		if r.Intn(2) == 0 {
+			x = m
+		} else {
+			z = m
+		}
+	default:
+		return
+	}
+	if x|z == 0 {
+		return
+	}
+	n.XMask, n.ZMask = x, z
+	n.Value &^= x | z
 }
 
 func ident(name string) *verilog.Ident { return &verilog.Ident{Name: name} }
@@ -223,7 +404,9 @@ func maskOf(w int) uint64 {
 	return (uint64(1) << uint(w)) - 1
 }
 
-// number emits a literal masked to width w, in a random spelling.
+// number emits a literal masked to width w, in a random spelling. About
+// one literal in six carries x/z digits, so the four-state value planes
+// stay under continuous differential test.
 func (g *genCtx) number(w int) *verilog.Number {
 	v := g.rng.Uint64()
 	switch g.rng.Intn(4) {
@@ -231,6 +414,9 @@ func (g *genCtx) number(w int) *verilog.Number {
 		v &= 1
 	case 1:
 		v &= 0xF
+	}
+	if g.rng.Intn(6) == 0 {
+		return g.unknownNumber(v)
 	}
 	switch g.rng.Intn(5) {
 	case 0: // plain decimal (unsized): keep small and positive
@@ -246,6 +432,52 @@ func (g *genCtx) number(w int) *verilog.Number {
 		return &verilog.Number{Width: lw, Base: 'd', Value: v & maskOf(lw)}
 	default: // unsized based literal
 		return &verilog.Number{Base: 'h', Value: v & 0xFF}
+	}
+}
+
+// unknownNumber emits an x/z-bearing literal. Unknown digit groups are
+// kept aligned to the base's digit size (any bit mix in binary, whole
+// nibbles in hex, the whole literal in decimal) so the printed spelling
+// stays in the literal's own base and round-trips exactly.
+func (g *genCtx) unknownNumber(v uint64) *verilog.Number {
+	r := g.rng
+	switch r.Intn(4) {
+	case 0: // binary: arbitrary x/z bit masks
+		lw := 1 + r.Intn(8)
+		m := maskOf(lw)
+		x := r.Uint64() & m
+		z := r.Uint64() & m &^ x
+		if x|z == 0 {
+			x = 1
+		}
+		return &verilog.Number{Width: lw, Base: 'b', Value: v & m &^ (x | z), XMask: x, ZMask: z}
+	case 1: // hex: nibble-aligned unknown digits
+		nibbles := 1 + r.Intn(2)
+		lw := 4 * nibbles
+		var x, z uint64
+		for i := 0; i < nibbles; i++ {
+			switch r.Intn(3) {
+			case 0:
+				x |= 0xF << uint(4*i)
+			case 1:
+				z |= 0xF << uint(4*i)
+			}
+		}
+		if x|z == 0 {
+			x = 0xF
+		}
+		return &verilog.Number{Width: lw, Base: 'h', Value: v & maskOf(lw) &^ (x | z), XMask: x, ZMask: z}
+	case 2: // whole-literal decimal x/z
+		lw := 1 + r.Intn(8)
+		if r.Intn(2) == 0 {
+			return &verilog.Number{Width: lw, Base: 'd', XMask: maskOf(lw)}
+		}
+		return &verilog.Number{Width: lw, Base: 'd', ZMask: maskOf(lw)}
+	default: // single unknown bit
+		if r.Intn(2) == 0 {
+			return &verilog.Number{Width: 1, Base: 'b', XMask: 1}
+		}
+		return &verilog.Number{Width: 1, Base: 'b', ZMask: 1}
 	}
 }
 
@@ -336,7 +568,7 @@ func (g *genCtx) expr(depth int) verilog.Expr {
 			Elem:  g.expr(depth - 1),
 		}
 	default:
-		name := [...]string{"$countones", "$onehot", "$onehot0", "$signed", "$unsigned"}[r.Intn(5)]
+		name := [...]string{"$countones", "$onehot", "$onehot0", "$signed", "$unsigned", "$isunknown"}[r.Intn(6)]
 		return &verilog.Call{Name: name, Args: []verilog.Expr{g.expr(depth - 1)}}
 	}
 }

@@ -78,8 +78,10 @@ func RoundTripSource(src string) error {
 // EngineEquivalence simulates the program on the compiled slot-indexed plan
 // (sim.RunVec) and the reference interpreter (sim.RunReference) under the
 // same random stimulus and requires byte-identical traces, identical SVA
-// verdicts and identical failure logs. Programs that do not compile are
-// out of scope and pass vacuously.
+// verdicts and identical failure logs — first in the two-state domain, then
+// in the four-state domain, where both value planes (Val and Unk) are
+// compared on every trace row. Programs that do not compile are out of
+// scope and pass vacuously.
 func EngineEquivalence(src string, seed int64) error {
 	d1, diags, err := compile.Compile(src)
 	if err != nil || compile.HasErrors(diags) || d1 == nil {
@@ -96,19 +98,41 @@ func EngineEquivalence(src string, seed int64) error {
 	if (err1 == nil) != (err2 == nil) {
 		return violation("engine-equivalence", "sim-error", src, "plan err=%v, reference err=%v", err1, err2)
 	}
-	if err1 != nil {
-		return nil // both engines reject the program identically
+	if err1 == nil {
+		if v := compareTraces(src, d1, tr1, tr2, ""); v != nil {
+			return v
+		}
 	}
+
+	// Four-state pass: same stimulus over x-initialised state.
+	tr3, err3 := sim.RunMode(d1, maps, sim.FourState)
+	tr4, err4 := sim.RunReferenceMode(d2, maps, sim.FourState)
+	if (err3 == nil) != (err4 == nil) {
+		return violation("engine-equivalence", "sim-error-4state", src, "plan err=%v, reference err=%v", err3, err4)
+	}
+	if err3 == nil {
+		if v := compareTraces(src, d1, tr3, tr4, "-4state"); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// compareTraces holds a plan trace and a reference trace to bitwise
+// equality — both value planes on every row — then compares SVA verdicts
+// and formatted failure logs. suffix tags the violation class with the
+// value domain.
+func compareTraces(src string, d *compile.Design, tr1, tr2 *sim.Trace, suffix string) error {
 	if tr1.Len() != tr2.Len() {
-		return violation("engine-equivalence", "trace-len", src, "trace length %d vs %d", tr1.Len(), tr2.Len())
+		return violation("engine-equivalence", "trace-len"+suffix, src, "trace length %d vs %d", tr1.Len(), tr2.Len())
 	}
 	for c := 0; c < tr1.Len(); c++ {
-		for _, name := range d1.Order {
-			a, _ := tr1.Value(c, name)
-			b, _ := tr2.Value(c, name)
+		for _, name := range d.Order {
+			a, _ := tr1.Value4(c, name)
+			b, _ := tr2.Value4(c, name)
 			if a != b {
-				return violation("engine-equivalence", "trace", src,
-					"cycle %d signal %s: plan=%#x reference=%#x", c, name, a, b)
+				return violation("engine-equivalence", "trace"+suffix, src,
+					"cycle %d signal %s: plan=%#x/unk %#x reference=%#x/unk %#x", c, name, a.Val, a.Unk, b.Val, b.Unk)
 			}
 		}
 	}
@@ -116,18 +140,18 @@ func EngineEquivalence(src string, seed int64) error {
 	res1, errS1 := sva.Check(tr1)
 	res2, errS2 := sva.Check(tr2)
 	if (errS1 == nil) != (errS2 == nil) {
-		return violation("engine-equivalence", "sva-error", src, "sva: plan err=%v, reference err=%v", errS1, errS2)
+		return violation("engine-equivalence", "sva-error"+suffix, src, "sva: plan err=%v, reference err=%v", errS1, errS2)
 	}
 	if errS1 != nil {
 		return nil
 	}
 	if msg := diffSVAResults(res1, res2); msg != "" {
-		return violation("engine-equivalence", "sva", src, "sva verdicts differ: %s", msg)
+		return violation("engine-equivalence", "sva"+suffix, src, "sva verdicts differ: %s", msg)
 	}
-	log1 := sva.FormatLog(d1.Module.Name, tr1, res1.Failures)
-	log2 := sva.FormatLog(d2.Module.Name, tr2, res2.Failures)
+	log1 := sva.FormatLog(d.Module.Name, tr1, res1.Failures)
+	log2 := sva.FormatLog(d.Module.Name, tr2, res2.Failures)
 	if log1 != log2 {
-		return violation("engine-equivalence", "log", src, "failure logs differ:\n--- plan ---\n%s--- reference ---\n%s", log1, log2)
+		return violation("engine-equivalence", "log"+suffix, src, "failure logs differ:\n--- plan ---\n%s--- reference ---\n%s", log1, log2)
 	}
 	return nil
 }
@@ -175,7 +199,7 @@ func diffSVAResults(a, b *sva.Result) string {
 	for i := range a.Failures {
 		fa, fb := a.Failures[i], b.Failures[i]
 		if fa.Assert.Name != fb.Assert.Name || fa.StartCycle != fb.StartCycle ||
-			fa.FailCycle != fb.FailCycle ||
+			fa.FailCycle != fb.FailCycle || fa.Unknown != fb.Unknown ||
 			verilog.ExprString(fa.Term) != verilog.ExprString(fb.Term) {
 			return fmt.Sprintf("failure %d: %s vs %s", i, fa, fb)
 		}

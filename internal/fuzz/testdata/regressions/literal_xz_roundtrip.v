@@ -1,0 +1,26 @@
+// x/z digits in based literals survive lex -> parse -> print -> parse with
+// all three planes intact (they used to decode to 0 and be destroyed by
+// the round trip), and evaluate with LRM absorption on both engines. Also
+// covers the four-state-only operators: ===/!== stay known on x operands
+// and $isunknown reads the unknown plane; an unreset register feeds them x
+// until the first load.
+module fz (
+    input clk,
+    input in0,
+    output [7:0] q,
+    output ceq,
+    output unk
+);
+    reg [7:0] r0;
+    wire [7:0] w0 = 8'bxxxx_zz01;
+    wire [7:0] w1 = 8'hx1;
+    wire [3:0] w2 = 4'dz;
+    always @(posedge clk) begin
+        if (in0)
+            r0 <= w0 & 8'h0F;
+    end
+    assign q = (w0 | 8'hF0) ^ {4'b0000, w2};
+    assign ceq = r0 === 8'bxxxxxxxx;
+    assign unk = $isunknown(w1);
+    a0: assert property (@(posedge clk) unk == 1'b1);
+endmodule

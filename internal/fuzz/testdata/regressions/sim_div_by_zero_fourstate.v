@@ -1,0 +1,17 @@
+// Division and modulus by zero are all-x in the four-state domain (and 0
+// in the historical two-state domain). Pins the rule on both engines and
+// both operator positions: the sequential plan path (r0) and the
+// continuous-assign path (q), each exercised by Run and RunReference
+// through the engine-equivalence oracle's two-state and four-state passes.
+module fz (
+    input clk,
+    input [1:0] in0,
+    output [3:0] q
+);
+    reg [3:0] r0;
+    always @(posedge clk) begin
+        r0 <= 4'd8 / in0;
+    end
+    assign q = r0 % in0;
+    a0: assert property (@(posedge clk) r0 <= 4'd8);
+endmodule

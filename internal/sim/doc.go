@@ -1,5 +1,6 @@
-// Package sim provides a deterministic, cycle-based, two-state simulator
-// for elaborated designs, plus the expression evaluator shared with the SVA
+// Package sim provides a deterministic, cycle-based simulator for
+// elaborated designs — with a two-state and a four-state (x-propagating)
+// value domain — plus the expression evaluators shared with the SVA
 // checker and the bounded model checker.
 //
 // # Execution plan
@@ -14,23 +15,65 @@
 // the hot loop never re-walks the AST and never hashes a signal name. Trace
 // rows are slot vectors, materialised to names only at the API boundary
 // (Trace.Value, Trace.Format), and the SVA checker evaluates property terms
-// through the plan's compiled closures (Trace.CompileExpr).
+// through the plan's compiled closures (Trace.CompileExpr/CompileExpr4).
 //
-// The Simulator type is the interpretive reference implementation: Run
-// falls back to it (via RunReference) for designs the planner cannot lower
-// (dynamic slice bounds, non-constant replication counts), and the
-// differential tests hold the two backends byte-identical on the corpus.
+// The four-state domain has its own lowering (plan4.go) over two parallel
+// planes — Val (known bit values) and Unk (unknown-bit masks) — built
+// lazily on the first four-state run, so the two-state plan, which is the
+// formal checker's hot path, pays nothing for it. Both domains share one
+// definition of the operator semantics (v4.go), and the interpretive
+// Simulator remains the reference implementation for each: Run/RunMode
+// fall back to it (via RunReferenceMode) for designs the planner cannot
+// lower (dynamic slice bounds, non-constant replication counts), and the
+// differential tests plus the cross-engine fuzzer hold the two backends
+// identical plane-for-plane.
 //
-// # Semantics
+// # Value domains
 //
-// Documented substitutions relative to event-driven 4-state simulation:
-//   - two-state: x and z do not exist; registers initialise to zero unless
-//     an initial block or declaration initialiser says otherwise;
+// Mode selects the semantics; TwoState is the zero value and the default
+// for every pre-existing entry point (Run, RunVec, RunReference, New), so
+// corpora, goldens and benchmark trajectories remain comparable across
+// versions.
+//
+// TwoState is the historical documented substitution: x and z do not
+// exist; x/z literal bits read as 0; registers initialise to zero unless a
+// declaration initialiser or initial block says otherwise; division and
+// modulus by zero yield 0.
+//
+// FourState (RunMode/RunVecMode/RunReferenceMode/NewMode) models unknowns
+// as a value plane plus an unknown-bit mask (V4); z folds into x — there
+// is no drive-strength model, so a floating bit and an unknown bit are
+// both just "unknown". Its rules, IEEE 1364-faithful on the supported
+// subset:
+//   - registers initialise to x until reset or first assignment;
+//     declaration/initial-block initialisers apply, with x/z literal bits
+//     staying unknown (an x inside a larger constant expression folds to
+//     0, a documented simplification);
+//   - bitwise operators propagate x per bit with absorption (0 & x = 0,
+//     1 | x = 1); arithmetic and relational operators are all-x when any
+//     input bit is unknown; division and modulus by zero are all-x;
+//   - ===/!== compare both planes and are always known; ==/!= with any
+//     unknown input are x; $isunknown reads the unknown plane and is
+//     always known;
+//   - an x if-condition takes the else branch (§9.4); an x-selected
+//     ternary merges its arms bitwise (§5.1.13); case labels match by
+//     case equality over both planes; writes through an unknown index or
+//     part-select bound have no effect (§9.2.2);
+//   - x/z digits in literals are positional over the bits each digit
+//     spans; the IEEE left-extension of a leading x/z digit is not
+//     applied (documented substitution);
+//   - the SVA checker (internal/sva) treats an x antecedent term as
+//     undetermined (no match, never a failure) and an x consequent term
+//     as a failure flagged Unknown — the sampled expression is not true;
+//     an x disable-iff does not disable.
+//
+// Semantics shared by both domains:
 //   - arithmetic is performed in 64 bits and masked at assignment, which
 //     matches Verilog's self-determined behaviour for the corpus subset.
 //     Operators whose result width is self-determined mask eagerly: ~, -,
 //     and >>> all operate in their operand's self-determined width, with
-//     >>> sign-extending from that width's top bit;
+//     >>> sign-extending from that width's top bit (an unknown top bit
+//     fills with x in the four-state domain);
 //   - within a sequential block, reads see pre-edge values overlaid with
 //     the block's own blocking assignments, and writes to the same signal
 //     commit in program order at the edge: the last assignment wins whether

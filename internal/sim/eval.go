@@ -384,6 +384,17 @@ func evalCall(x *verilog.Call, env Env) (uint64, error) {
 			return 0, err
 		}
 		return boolVal(popcount(v&maskFor(ExprWidth(arg, env))) <= 1), nil
+	case "$isunknown":
+		arg, err := needArg()
+		if err != nil {
+			return 0, err
+		}
+		// Two-state: no bit is ever unknown. The argument is still
+		// evaluated so error effects match the four-state domain.
+		if _, err := Eval(arg, env); err != nil {
+			return 0, err
+		}
+		return 0, nil
 	case "$signed", "$unsigned":
 		arg, err := needArg()
 		if err != nil {
@@ -459,7 +470,7 @@ func ExprWidth(e verilog.Expr, env Env) int {
 		return int(n) * ExprWidth(x.Elem, env)
 	case *verilog.Call:
 		switch x.Name {
-		case "$rose", "$fell", "$stable", "$changed", "$onehot", "$onehot0":
+		case "$rose", "$fell", "$stable", "$changed", "$onehot", "$onehot0", "$isunknown":
 			return 1
 		case "$countones":
 			return 32

@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"repro/internal/verilog"
+)
+
+// Env4 extends Env with four-state reads. Environments that do not
+// implement it are treated as fully known (Unk = 0 everywhere), so the
+// four-state evaluator can run over any two-state environment.
+type Env4 interface {
+	Env
+	// Value4 returns the current four-state value of a signal.
+	Value4(name string) (V4, bool)
+}
+
+// value4 reads a name through Env4 when available.
+func value4(env Env, name string) (V4, bool) {
+	if e4, ok := env.(Env4); ok {
+		return e4.Value4(name)
+	}
+	v, ok := env.Value(name)
+	return known(v), ok
+}
+
+// v4LogAnd combines already-evaluated logical-AND operands (the caller
+// short-circuits when the left operand is known false).
+func v4LogAnd(a, b V4) V4 {
+	if a.IsFalse() || b.IsFalse() {
+		return V4{}
+	}
+	if a.IsTrue() && b.IsTrue() {
+		return V4{Val: 1}
+	}
+	return xBool
+}
+
+// v4LogOr combines already-evaluated logical-OR operands (the caller
+// short-circuits when the left operand is known true).
+func v4LogOr(a, b V4) V4 {
+	if a.IsTrue() || b.IsTrue() {
+		return V4{Val: 1}
+	}
+	if a.IsFalse() && b.IsFalse() {
+		return V4{}
+	}
+	return xBool
+}
+
+// Eval4 evaluates an expression in the four-state domain. It is the
+// interpretive twin of Eval with IEEE 1364 x-propagation: per-bit x for
+// bitwise operators with 0&x / 1|x absorption, all-x for arithmetic and
+// relational operators with any unknown input, division by zero producing
+// all-x, and x-selected conditionals merging their arms pessimistically.
+// Like Eval, results are raw 64-bit (two-plane) values; callers mask to
+// the destination width on assignment.
+func Eval4(e verilog.Expr, env Env) (V4, error) {
+	switch x := e.(type) {
+	case *verilog.Number:
+		return V4{Val: x.Value, Unk: x.Unknown()}.norm(), nil
+	case *verilog.Ident:
+		if v, ok := value4(env, x.Name); ok {
+			return v, nil
+		}
+		return V4{}, evalErrf(x.Pos, "unknown signal %q", x.Name)
+	case *verilog.Unary:
+		return evalUnary4(x, env)
+	case *verilog.Binary:
+		return evalBinary4(x, env)
+	case *verilog.Ternary:
+		c, err := Eval4(x.Cond, env)
+		if err != nil {
+			return V4{}, err
+		}
+		if c.IsTrue() {
+			return Eval4(x.X, env)
+		}
+		if c.IsFalse() {
+			return Eval4(x.Y, env)
+		}
+		// X-select: evaluate both arms and merge bitwise.
+		a, err := Eval4(x.X, env)
+		if err != nil {
+			return V4{}, err
+		}
+		b, err := Eval4(x.Y, env)
+		if err != nil {
+			return V4{}, err
+		}
+		return v4Merge(a, b), nil
+	case *verilog.Index:
+		v, err := Eval4(x.X, env)
+		if err != nil {
+			return V4{}, err
+		}
+		idx, err := Eval4(x.Idx, env)
+		if err != nil {
+			return V4{}, err
+		}
+		if idx.Unk != 0 {
+			return xBool, nil // select at an unknown index is x
+		}
+		if idx.Val >= 64 {
+			return V4{}, nil
+		}
+		return V4{Val: (v.Val >> idx.Val) & 1, Unk: (v.Unk >> idx.Val) & 1}, nil
+	case *verilog.Slice:
+		v, err := Eval4(x.X, env)
+		if err != nil {
+			return V4{}, err
+		}
+		hi, err := Eval4(x.Hi, env)
+		if err != nil {
+			return V4{}, err
+		}
+		lo, err := Eval4(x.Lo, env)
+		if err != nil {
+			return V4{}, err
+		}
+		if hi.Unk|lo.Unk != 0 {
+			return allX, nil // unknown part-select bounds: whole result x
+		}
+		if lo.Val > hi.Val || lo.Val >= 64 {
+			return V4{}, evalErrf(x.Pos, "invalid slice [%d:%d]", hi.Val, lo.Val)
+		}
+		m := maskFor(int(hi.Val-lo.Val) + 1)
+		return V4{Val: (v.Val >> lo.Val) & m, Unk: (v.Unk >> lo.Val) & m}, nil
+	case *verilog.Concat:
+		var out V4
+		for _, el := range x.Elems {
+			w := ExprWidth(el, env)
+			v, err := Eval4(el, env)
+			if err != nil {
+				return V4{}, err
+			}
+			v = v.maskV(maskFor(w))
+			out.Val = (out.Val << uint(w)) | v.Val
+			out.Unk = (out.Unk << uint(w)) | v.Unk
+		}
+		return out, nil
+	case *verilog.Repl:
+		n, err := Eval4(x.Count, env)
+		if err != nil {
+			return V4{}, err
+		}
+		if n.Unk != 0 {
+			return allX, nil
+		}
+		w := ExprWidth(x.Elem, env)
+		v, err := Eval4(x.Elem, env)
+		if err != nil {
+			return V4{}, err
+		}
+		v = v.maskV(maskFor(w))
+		var out V4
+		for i := uint64(0); i < n.Val && i < 64; i++ {
+			out.Val = (out.Val << uint(w)) | v.Val
+			out.Unk = (out.Unk << uint(w)) | v.Unk
+		}
+		return out, nil
+	case *verilog.Call:
+		return evalCall4(x, env)
+	case *verilog.StringLit:
+		return V4{}, evalErrf(x.Pos, "string literal in expression context")
+	}
+	return V4{}, evalErrf(e.Span(), "unsupported expression %T", e)
+}
+
+func evalUnary4(x *verilog.Unary, env Env) (V4, error) {
+	v, err := Eval4(x.X, env)
+	if err != nil {
+		return V4{}, err
+	}
+	w := ExprWidth(x.X, env)
+	m := maskFor(w)
+	v = v.maskV(m)
+	switch x.Op {
+	case verilog.UnaryLogicalNot:
+		return v4LogNot(v), nil
+	case verilog.UnaryBitNot:
+		return v4Not(v, m), nil
+	case verilog.UnaryMinus:
+		if v.Unk != 0 {
+			return V4{Unk: m}, nil
+		}
+		return known(-v.Val & m), nil
+	case verilog.UnaryPlus:
+		return v, nil
+	case verilog.UnaryRedAnd:
+		return v4RedAnd(v, m), nil
+	case verilog.UnaryRedOr:
+		return v4RedOr(v, m), nil
+	case verilog.UnaryRedXor:
+		return v4RedXor(v, m), nil
+	case verilog.UnaryRedXnor:
+		return v4Not(v4RedXor(v, m), 1), nil
+	}
+	return V4{}, evalErrf(x.Pos, "unsupported unary operator %s", x.Op)
+}
+
+func evalBinary4(x *verilog.Binary, env Env) (V4, error) {
+	a, err := Eval4(x.X, env)
+	if err != nil {
+		return V4{}, err
+	}
+	// Short-circuit logical operators exactly where the two-state evaluator
+	// does (left operand definitely decides), so error effects agree.
+	switch x.Op {
+	case verilog.BinLogAnd:
+		if a.IsFalse() {
+			return V4{}, nil
+		}
+		b, err := Eval4(x.Y, env)
+		if err != nil {
+			return V4{}, err
+		}
+		return v4LogAnd(a, b), nil
+	case verilog.BinLogOr:
+		if a.IsTrue() {
+			return V4{Val: 1}, nil
+		}
+		b, err := Eval4(x.Y, env)
+		if err != nil {
+			return V4{}, err
+		}
+		return v4LogOr(a, b), nil
+	}
+	b, err := Eval4(x.Y, env)
+	if err != nil {
+		return V4{}, err
+	}
+	switch x.Op {
+	case verilog.BinAdd:
+		return v4Arith(a, b, func(p, q uint64) uint64 { return p + q }), nil
+	case verilog.BinSub:
+		return v4Arith(a, b, func(p, q uint64) uint64 { return p - q }), nil
+	case verilog.BinMul:
+		return v4Arith(a, b, func(p, q uint64) uint64 { return p * q }), nil
+	case verilog.BinDiv:
+		return v4Div(a, b), nil
+	case verilog.BinMod:
+		return v4Mod(a, b), nil
+	case verilog.BinAnd:
+		return v4And(a, b), nil
+	case verilog.BinOr:
+		return v4Or(a, b), nil
+	case verilog.BinXor:
+		return v4Xor(a, b), nil
+	case verilog.BinXnor:
+		w := ExprWidth(x.X, env)
+		if yw := ExprWidth(x.Y, env); yw > w {
+			w = yw
+		}
+		return v4Not(v4Xor(a, b), maskFor(w)), nil
+	case verilog.BinEq:
+		return v4Eq(a, b), nil
+	case verilog.BinNe:
+		return v4LogNot(v4Eq(a, b)), nil
+	case verilog.BinCaseEq:
+		return v4CaseEq(a, b), nil
+	case verilog.BinCaseNe:
+		return v4LogNot(v4CaseEq(a, b)), nil
+	case verilog.BinLt:
+		return v4RelArith(a, b, func(p, q uint64) bool { return p < q }), nil
+	case verilog.BinLe:
+		return v4RelArith(a, b, func(p, q uint64) bool { return p <= q }), nil
+	case verilog.BinGt:
+		return v4RelArith(a, b, func(p, q uint64) bool { return p > q }), nil
+	case verilog.BinGe:
+		return v4RelArith(a, b, func(p, q uint64) bool { return p >= q }), nil
+	case verilog.BinShl:
+		return v4Shl(a, b), nil
+	case verilog.BinShr:
+		return v4Shr(a, b), nil
+	case verilog.BinAShr:
+		return v4AShr(a, b, ExprWidth(x.X, env)), nil
+	}
+	return V4{}, evalErrf(x.Pos, "unsupported binary operator %s", x.Op)
+}
+
+func evalCall4(x *verilog.Call, env Env) (V4, error) {
+	hist, hasHist := env.(HistoryEnv)
+	needArg := func() (verilog.Expr, error) {
+		if len(x.Args) == 0 {
+			return nil, evalErrf(x.Pos, "%s requires an argument", x.Name)
+		}
+		return x.Args[0], nil
+	}
+	switch x.Name {
+	case "$past":
+		arg, err := needArg()
+		if err != nil {
+			return V4{}, err
+		}
+		n := 1
+		if len(x.Args) > 1 {
+			nv, err := Eval4(x.Args[1], env)
+			if err != nil {
+				return V4{}, err
+			}
+			if nv.Unk != 0 || nv.Val == 0 || nv.Val > maxPastDepth {
+				return V4{}, evalErrf(x.Pos, "$past depth %d out of range [1, %d]", nv.Val, uint64(maxPastDepth))
+			}
+			n = int(nv.Val)
+		}
+		if !hasHist {
+			return V4{}, evalErrf(x.Pos, "$past outside sampled context")
+		}
+		prev := hist.At(n)
+		if prev == nil {
+			return V4{}, nil // before start of time: sampled default (0)
+		}
+		return Eval4(arg, prev)
+	case "$rose", "$fell", "$stable", "$changed":
+		arg, err := needArg()
+		if err != nil {
+			return V4{}, err
+		}
+		if !hasHist {
+			return V4{}, evalErrf(x.Pos, "%s outside sampled context", x.Name)
+		}
+		now, err := Eval4(arg, env)
+		if err != nil {
+			return V4{}, err
+		}
+		var before V4
+		if prev := hist.At(1); prev != nil {
+			before, err = Eval4(arg, prev)
+			if err != nil {
+				return V4{}, err
+			}
+		}
+		return v4Sampled(x.Name, before, now), nil
+	case "$countones":
+		arg, err := needArg()
+		if err != nil {
+			return V4{}, err
+		}
+		v, err := Eval4(arg, env)
+		if err != nil {
+			return V4{}, err
+		}
+		v = v.maskV(maskFor(ExprWidth(arg, env)))
+		if v.Unk != 0 {
+			return allX, nil
+		}
+		return known(uint64(popcount(v.Val))), nil
+	case "$onehot", "$onehot0":
+		arg, err := needArg()
+		if err != nil {
+			return V4{}, err
+		}
+		v, err := Eval4(arg, env)
+		if err != nil {
+			return V4{}, err
+		}
+		v = v.maskV(maskFor(ExprWidth(arg, env)))
+		if v.Unk != 0 {
+			return xBool, nil
+		}
+		if x.Name == "$onehot" {
+			return boolV4(popcount(v.Val) == 1), nil
+		}
+		return boolV4(popcount(v.Val) <= 1), nil
+	case "$isunknown":
+		arg, err := needArg()
+		if err != nil {
+			return V4{}, err
+		}
+		v, err := Eval4(arg, env)
+		if err != nil {
+			return V4{}, err
+		}
+		return boolV4(v.Unk&maskFor(ExprWidth(arg, env)) != 0), nil
+	case "$signed", "$unsigned":
+		arg, err := needArg()
+		if err != nil {
+			return V4{}, err
+		}
+		return Eval4(arg, env)
+	}
+	return V4{}, evalErrf(x.Pos, "unsupported system function %s", x.Name)
+}
+
+// v4Sampled implements the sampled-value comparisons over four-state LSBs
+// ($rose/$fell) or whole values ($stable/$changed): an unknown sampled bit
+// makes the result x.
+func v4Sampled(name string, before, now V4) V4 {
+	switch name {
+	case "$rose":
+		if (before.Unk|now.Unk)&1 != 0 {
+			return xBool
+		}
+		return boolV4(before.Val&1 == 0 && now.Val&1 == 1)
+	case "$fell":
+		if (before.Unk|now.Unk)&1 != 0 {
+			return xBool
+		}
+		return boolV4(before.Val&1 == 1 && now.Val&1 == 0)
+	case "$stable":
+		if before.Unk|now.Unk != 0 {
+			return xBool
+		}
+		return boolV4(before.Val == now.Val)
+	default: // $changed
+		if before.Unk|now.Unk != 0 {
+			return xBool
+		}
+		return boolV4(before.Val != now.Val)
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/compile"
 	"repro/internal/verilog"
@@ -31,6 +32,12 @@ type Plan struct {
 	// (terms, disable-iff) to its compiled form, keyed by AST node identity.
 	// Trace.CompileExpr resolves through this map at the API boundary.
 	svaExpr map[verilog.Expr]evalFn
+
+	// once4/p4 hold the lazily-built four-state lowering (plan4.go). It is
+	// built on the first four-state run so two-state plan construction and
+	// execution pay nothing for it.
+	once4 sync.Once
+	p4    *plan4
 }
 
 // evalFn evaluates a compiled expression against the machine state.
@@ -83,10 +90,19 @@ type mach struct {
 
 	changed bool
 
+	// Four-state planes, allocated only for four-state runs (nil otherwise).
+	// They share the generation counters above: a four-state write always
+	// touches both planes under one generation bump.
+	unks   []uint64
+	ovlUnk []uint64
+	nbaUnk []uint64
+
 	// Trace-evaluation state for sampled-value functions: rows is the full
-	// sampled history and idx the cycle under evaluation.
-	rows [][]uint64
-	idx  int
+	// sampled history and idx the cycle under evaluation. rows4 is the
+	// unknown-bit plane of a four-state trace.
+	rows  [][]uint64
+	rows4 [][]uint64
+	idx   int
 
 	err error
 }
@@ -396,7 +412,7 @@ func (c *planCompiler) staticWidth(e verilog.Expr) (int, bool) {
 		return int(n) * ew, ok2
 	case *verilog.Call:
 		switch x.Name {
-		case "$rose", "$fell", "$stable", "$changed", "$onehot", "$onehot0":
+		case "$rose", "$fell", "$stable", "$changed", "$onehot", "$onehot0", "$isunknown":
 			return 1, true
 		case "$countones":
 			return 32, true
@@ -968,6 +984,13 @@ func (c *planCompiler) compileCall(x *verilog.Call) (evalFn, error) {
 		default:
 			return func(m *mach) uint64 { return boolVal(bits.OnesCount64(fn(m)&mask) <= 1) }, nil
 		}
+	case "$isunknown":
+		fn, err := c.compileExpr(arg)
+		if err != nil {
+			return nil, err
+		}
+		// Two-state: never unknown; evaluate the argument for error effects.
+		return func(m *mach) uint64 { fn(m); return 0 }, nil
 	case "$signed", "$unsigned":
 		return c.compileExpr(arg)
 	case "$past":

@@ -17,25 +17,48 @@ const maxCombIterations = 64
 // slot-indexed plan (see plan.go) and falls back to this interpreter only
 // when a design contains a construct the planner cannot lower; the two are
 // held byte-identical by the differential tests.
+//
+// State is kept as two planes: vals (the known bit values) and unks (the
+// unknown-bit masks, always empty in TwoState mode). Expressions evaluate
+// through Eval in TwoState mode and Eval4 in FourState mode.
 type Simulator struct {
 	design *compile.Design
+	mode   Mode
 	vals   map[string]uint64
+	unks   map[string]uint64 // nil in TwoState mode
 	clock  string
 	reset  compile.ResetInfo
 }
 
-// New creates a simulator with registers at their declared initial values
-// (zero by default) and combinational logic settled.
-func New(d *compile.Design) (*Simulator, error) {
+// New creates a two-state simulator with registers at their declared
+// initial values (zero by default) and combinational logic settled.
+func New(d *compile.Design) (*Simulator, error) { return NewMode(d, TwoState) }
+
+// NewMode creates a simulator in the given value domain. In FourState mode
+// every signal starts unknown except registers with declared initialisers
+// (whose x/z literal bits stay unknown); combinational logic is settled
+// against that state, so an undriven or unreset register reads as x until
+// its first assignment.
+func NewMode(d *compile.Design, mode Mode) (*Simulator, error) {
 	s := &Simulator{
 		design: d,
+		mode:   mode,
 		vals:   make(map[string]uint64, len(d.Signals)),
 		clock:  d.ClockName(),
 		reset:  d.Reset(),
 	}
+	if mode == FourState {
+		s.unks = make(map[string]uint64, len(d.Signals))
+		for _, name := range d.Order {
+			s.unks[name] = d.Signals[name].Mask()
+		}
+	}
 	for name, init := range d.RegInit {
 		if sig := d.Signals[name]; sig != nil {
 			s.vals[name] = init & sig.Mask()
+			if s.unks != nil {
+				s.unks[name] = d.RegInitX[name] & sig.Mask()
+			}
 		}
 	}
 	if err := s.settle(); err != nil {
@@ -47,43 +70,82 @@ func New(d *compile.Design) (*Simulator, error) {
 // Design returns the simulated design.
 func (s *Simulator) Design() *compile.Design { return s.design }
 
-// SetInput drives an input port for the upcoming cycle.
+// Mode returns the simulator's value domain.
+func (s *Simulator) Mode() Mode { return s.mode }
+
+// SetInput drives an input port for the upcoming cycle. Driven values are
+// fully known.
 func (s *Simulator) SetInput(name string, v uint64) error {
 	sig := s.design.Signals[name]
 	if sig == nil || sig.Kind != compile.SigInput {
 		return fmt.Errorf("sim: %q is not an input", name)
 	}
-	s.vals[name] = v & sig.Mask()
+	s.setVal(name, known(v&sig.Mask()))
 	return nil
 }
 
-// Get returns the current value of any signal.
+// Get returns the current value of any signal (the known-bit plane; unknown
+// bits read as 0).
 func (s *Simulator) Get(name string) (uint64, bool) {
+	v, ok := s.get4(name)
+	return v.Val, ok
+}
+
+// Get4 returns the current four-state value of any signal.
+func (s *Simulator) Get4(name string) (V4, bool) { return s.get4(name) }
+
+func (s *Simulator) get4(name string) (V4, bool) {
 	sig := s.design.Signals[name]
 	if sig == nil {
 		if v, ok := s.design.Params[name]; ok {
-			return v, true
+			return known(v), true
 		}
-		return 0, false
+		return V4{}, false
 	}
-	return s.vals[name], true
+	v := V4{Val: s.vals[name]}
+	if s.unks != nil {
+		v.Unk = s.unks[name]
+	}
+	return v, true
 }
 
-// simEnv adapts the simulator's value map (with an optional overlay for
-// blocking assignments) to the evaluator's Env interface.
+func (s *Simulator) setVal(name string, v V4) {
+	s.vals[name] = v.Val
+	if s.unks != nil {
+		s.unks[name] = v.Unk
+	}
+}
+
+// eval evaluates an expression in the simulator's value domain.
+func (s *Simulator) eval(e verilog.Expr, env simEnv) (V4, error) {
+	if s.mode == FourState {
+		return Eval4(e, env)
+	}
+	v, err := Eval(e, env)
+	return known(v), err
+}
+
+// simEnv adapts the simulator's value planes (with an optional overlay for
+// blocking assignments) to the evaluator's Env/Env4 interfaces.
 type simEnv struct {
 	s       *Simulator
-	overlay map[string]uint64
+	overlay map[string]V4
 }
 
 // Value implements Env.
 func (e simEnv) Value(name string) (uint64, bool) {
+	v, ok := e.Value4(name)
+	return v.Val, ok
+}
+
+// Value4 implements Env4.
+func (e simEnv) Value4(name string) (V4, bool) {
 	if e.overlay != nil {
 		if v, ok := e.overlay[name]; ok {
 			return v, true
 		}
 	}
-	return e.s.Get(name)
+	return e.s.get4(name)
 }
 
 // Width implements Env.
@@ -101,15 +163,15 @@ func (s *Simulator) settle() error {
 	for iter := 0; iter < maxCombIterations; iter++ {
 		changed := false
 		for _, as := range s.design.Assigns {
-			v, err := Eval(as.RHS, env)
+			v, err := s.eval(as.RHS, env)
 			if err != nil {
 				return err
 			}
 			if err := s.storeInto(as.LHS, v, env,
-				func(name string) uint64 { return s.vals[name] },
-				func(name string, nv uint64) {
-					if s.vals[name] != nv {
-						s.vals[name] = nv
+				func(name string) V4 { cur, _ := s.get4(name); return cur },
+				func(name string, nv V4) {
+					if cur, _ := s.get4(name); cur != nv {
+						s.setVal(name, nv)
 						changed = true
 					}
 				}); err != nil {
@@ -117,13 +179,13 @@ func (s *Simulator) settle() error {
 			}
 		}
 		for _, al := range s.design.CombAlways {
-			updates := map[string]uint64{}
+			updates := map[string]V4{}
 			if err := s.exec(al.Body, updates); err != nil {
 				return err
 			}
 			for name, v := range updates {
-				if s.vals[name] != v {
-					s.vals[name] = v
+				if cur, _ := s.get4(name); cur != v {
+					s.setVal(name, v)
 					changed = true
 				}
 			}
@@ -140,47 +202,62 @@ func (s *Simulator) settle() error {
 // signal for read-modify-write bit/slice targets; env evaluates dynamic
 // index/bound expressions (and therefore sees the caller's blocking
 // overlay); apply receives each (signal, value) effect in program order.
-func (s *Simulator) storeInto(lhs verilog.Expr, v uint64, env simEnv, base func(string) uint64, apply func(string, uint64)) error {
+// In FourState mode a write through an unknown index or bound is a no-op
+// (IEEE 1364 §9.2.2: the assignment has no effect).
+func (s *Simulator) storeInto(lhs verilog.Expr, v V4, env simEnv, base func(string) V4, apply func(string, V4)) error {
 	switch x := lhs.(type) {
 	case *verilog.Ident:
 		sig := s.design.Signals[x.Name]
 		if sig == nil {
 			return fmt.Errorf("sim: assignment to unknown signal %q", x.Name)
 		}
-		apply(x.Name, v&sig.Mask())
+		apply(x.Name, v.maskV(sig.Mask()).norm())
 		return nil
 	case *verilog.Index:
 		id, ok := x.X.(*verilog.Ident)
 		if !ok {
 			return fmt.Errorf("sim: unsupported assignment target")
 		}
-		idx, err := Eval(x.Idx, env)
+		idx, err := s.eval(x.Idx, env)
 		if err != nil {
 			return err
 		}
+		if idx.Unk != 0 {
+			return nil // write at an unknown index: no effect
+		}
 		cur := base(id.Name)
-		bit := uint64(1) << (idx & 63)
-		nv := (cur &^ bit) | ((v & 1) << (idx & 63))
+		sh := idx.Val & 63
+		bit := uint64(1) << sh
+		nv := V4{
+			Val: (cur.Val &^ bit) | ((v.Val & 1) << sh),
+			Unk: (cur.Unk &^ bit) | ((v.Unk & 1) << sh),
+		}
 		return s.storeInto(id, nv, env, base, apply)
 	case *verilog.Slice:
 		id, ok := x.X.(*verilog.Ident)
 		if !ok {
 			return fmt.Errorf("sim: unsupported assignment target")
 		}
-		hi, err := Eval(x.Hi, env)
+		hi, err := s.eval(x.Hi, env)
 		if err != nil {
 			return err
 		}
-		lo, err := Eval(x.Lo, env)
+		lo, err := s.eval(x.Lo, env)
 		if err != nil {
 			return err
 		}
-		if lo > hi {
+		if hi.Unk|lo.Unk != 0 {
+			return nil // write at unknown bounds: no effect
+		}
+		if lo.Val > hi.Val {
 			return fmt.Errorf("sim: invalid slice target")
 		}
 		cur := base(id.Name)
-		m := maskFor(int(hi-lo)+1) << lo
-		nv := (cur &^ m) | ((v << lo) & m)
+		m := maskFor(int(hi.Val-lo.Val)+1) << lo.Val
+		nv := V4{
+			Val: (cur.Val &^ m) | ((v.Val << lo.Val) & m),
+			Unk: (cur.Unk &^ m) | ((v.Unk << lo.Val) & m),
+		}
 		return s.storeInto(id, nv, env, base, apply)
 	case *verilog.Concat:
 		// {a, b} = v assigns slices of v left to right.
@@ -193,7 +270,10 @@ func (s *Simulator) storeInto(lhs verilog.Expr, v uint64, env simEnv, base func(
 		shift := total
 		for i, el := range x.Elems {
 			shift -= widths[i]
-			part := (v >> uint(shift)) & maskFor(widths[i])
+			part := V4{
+				Val: (v.Val >> uint(shift)) & maskFor(widths[i]),
+				Unk: (v.Unk >> uint(shift)) & maskFor(widths[i]),
+			}
 			if err := s.storeInto(el, part, env, base, apply); err != nil {
 				return err
 			}
@@ -206,7 +286,7 @@ func (s *Simulator) storeInto(lhs verilog.Expr, v uint64, env simEnv, base func(
 // exec runs a statement with blocking semantics into the overlay map
 // `updates` acting as both blocking overlay and result set. Used for
 // combinational always blocks.
-func (s *Simulator) exec(stmt verilog.Stmt, updates map[string]uint64) error {
+func (s *Simulator) exec(stmt verilog.Stmt, updates map[string]V4) error {
 	env := simEnv{s: s, overlay: updates}
 	switch x := stmt.(type) {
 	case *verilog.Block:
@@ -224,24 +304,26 @@ func (s *Simulator) exec(stmt verilog.Stmt, updates map[string]uint64) error {
 			nb := x.(*verilog.NonBlocking)
 			lhs, rhs = nb.LHS, nb.RHS
 		}
-		v, err := Eval(rhs, env)
+		v, err := s.eval(rhs, env)
 		if err != nil {
 			return err
 		}
 		return s.storeInto(lhs, v, env,
-			func(name string) uint64 {
+			func(name string) V4 {
 				if pending, ok := updates[name]; ok {
 					return pending
 				}
-				return s.vals[name]
+				cur, _ := s.get4(name)
+				return cur
 			},
-			func(name string, nv uint64) { updates[name] = nv })
+			func(name string, nv V4) { updates[name] = nv })
 	case *verilog.If:
-		c, err := Eval(x.Cond, env)
+		c, err := s.eval(x.Cond, env)
 		if err != nil {
 			return err
 		}
-		if c != 0 {
+		// An x condition is treated as false (IEEE 1364 §9.4).
+		if c.IsTrue() {
 			return s.exec(x.Then, updates)
 		}
 		if x.Else != nil {
@@ -254,8 +336,19 @@ func (s *Simulator) exec(stmt verilog.Stmt, updates map[string]uint64) error {
 	return nil
 }
 
-func (s *Simulator) execCase(x *verilog.Case, updates map[string]uint64, env simEnv) error {
-	subj, err := Eval(x.Subject, env)
+// caseMatches reports whether a case label selects the subject. TwoState
+// compares the known planes (the historical behaviour, where x/z label
+// bits decoded to 0); FourState uses case equality over both planes, so an
+// x label matches exactly an x subject bit.
+func (s *Simulator) caseMatches(label, subj V4) bool {
+	if s.mode == FourState {
+		return label == subj
+	}
+	return label.Val == subj.Val
+}
+
+func (s *Simulator) execCase(x *verilog.Case, updates map[string]V4, env simEnv) error {
+	subj, err := s.eval(x.Subject, env)
 	if err != nil {
 		return err
 	}
@@ -266,11 +359,11 @@ func (s *Simulator) execCase(x *verilog.Case, updates map[string]uint64, env sim
 			continue
 		}
 		for _, le := range item.Exprs {
-			lv, err := Eval(le, env)
+			lv, err := s.eval(le, env)
 			if err != nil {
 				return err
 			}
-			if lv == subj {
+			if s.caseMatches(lv, subj) {
 				return s.exec(item.Body, updates)
 			}
 		}
@@ -307,16 +400,16 @@ func (s *Simulator) Edge() error { return s.edge() }
 // blocking or nonblocking (blocking writes are additionally visible to
 // later reads in their own block).
 func (s *Simulator) edge() error {
-	commit := map[string]uint64{}
+	commit := map[string]V4{}
 	for _, al := range s.design.SeqAlways {
-		blocking := map[string]uint64{}
+		blocking := map[string]V4{}
 		if err := s.execSeq(al.Body, commit, blocking); err != nil {
 			return err
 		}
 	}
 	for name, v := range commit {
 		if sig := s.design.Signals[name]; sig != nil {
-			s.vals[name] = v
+			s.setVal(name, v)
 		}
 	}
 	return s.settle()
@@ -325,7 +418,7 @@ func (s *Simulator) edge() error {
 // execSeq runs a sequential block body. Reads see pre-edge values overlaid
 // with this block's blocking assignments; every write lands in commit in
 // program order, and blocking writes additionally update the read overlay.
-func (s *Simulator) execSeq(stmt verilog.Stmt, commit, blocking map[string]uint64) error {
+func (s *Simulator) execSeq(stmt verilog.Stmt, commit, blocking map[string]V4) error {
 	env := simEnv{s: s, overlay: blocking}
 	switch x := stmt.(type) {
 	case *verilog.Block:
@@ -336,45 +429,47 @@ func (s *Simulator) execSeq(stmt verilog.Stmt, commit, blocking map[string]uint6
 		}
 		return nil
 	case *verilog.NonBlocking:
-		v, err := Eval(x.RHS, env)
+		v, err := s.eval(x.RHS, env)
 		if err != nil {
 			return err
 		}
 		// Bit/slice RMW reads the latest pending post-edge value, so an
 		// earlier blocking (or nonblocking) write in this edge is not lost.
 		return s.storeInto(x.LHS, v, env,
-			func(name string) uint64 {
+			func(name string) V4 {
 				if pending, ok := commit[name]; ok {
 					return pending
 				}
 				if pending, ok := blocking[name]; ok {
 					return pending
 				}
-				return s.vals[name]
+				cur, _ := s.get4(name)
+				return cur
 			},
-			func(name string, nv uint64) { commit[name] = nv })
+			func(name string, nv V4) { commit[name] = nv })
 	case *verilog.Blocking:
-		v, err := Eval(x.RHS, env)
+		v, err := s.eval(x.RHS, env)
 		if err != nil {
 			return err
 		}
 		return s.storeInto(x.LHS, v, env,
-			func(name string) uint64 {
+			func(name string) V4 {
 				if pending, ok := blocking[name]; ok {
 					return pending
 				}
-				return s.vals[name]
+				cur, _ := s.get4(name)
+				return cur
 			},
-			func(name string, nv uint64) {
+			func(name string, nv V4) {
 				blocking[name] = nv
 				commit[name] = nv
 			})
 	case *verilog.If:
-		c, err := Eval(x.Cond, env)
+		c, err := s.eval(x.Cond, env)
 		if err != nil {
 			return err
 		}
-		if c != 0 {
+		if c.IsTrue() {
 			return s.execSeq(x.Then, commit, blocking)
 		}
 		if x.Else != nil {
@@ -382,7 +477,7 @@ func (s *Simulator) execSeq(stmt verilog.Stmt, commit, blocking map[string]uint6
 		}
 		return nil
 	case *verilog.Case:
-		subj, err := Eval(x.Subject, env)
+		subj, err := s.eval(x.Subject, env)
 		if err != nil {
 			return err
 		}
@@ -393,11 +488,11 @@ func (s *Simulator) execSeq(stmt verilog.Stmt, commit, blocking map[string]uint6
 				continue
 			}
 			for _, le := range item.Exprs {
-				lv, err := Eval(le, env)
+				lv, err := s.eval(le, env)
 				if err != nil {
 					return err
 				}
-				if lv == subj {
+				if s.caseMatches(lv, subj) {
 					return s.execSeq(item.Body, commit, blocking)
 				}
 			}
@@ -410,7 +505,8 @@ func (s *Simulator) execSeq(stmt verilog.Stmt, commit, blocking map[string]uint6
 	return nil
 }
 
-// Snapshot copies the current value of every signal, keyed by name.
+// Snapshot copies the current value of every signal, keyed by name (known
+// plane only; unknown bits read as 0).
 func (s *Simulator) Snapshot() map[string]uint64 {
 	out := make(map[string]uint64, len(s.design.Order))
 	for _, name := range s.design.Order {
@@ -419,11 +515,24 @@ func (s *Simulator) Snapshot() map[string]uint64 {
 	return out
 }
 
-// snapshotRow copies the current values into a dense slot vector.
+// snapshotRow copies the current known-bit values into a dense slot vector.
 func (s *Simulator) snapshotRow() []uint64 {
 	row := make([]uint64, len(s.design.Order))
 	for _, name := range s.design.Order {
 		row[s.design.Signals[name].Slot] = s.vals[name]
+	}
+	return row
+}
+
+// snapshotUnkRow copies the current unknown-bit masks into a dense slot
+// vector (nil when the simulator is two-state).
+func (s *Simulator) snapshotUnkRow() []uint64 {
+	if s.unks == nil {
+		return nil
+	}
+	row := make([]uint64, len(s.design.Order))
+	for _, name := range s.design.Order {
+		row[s.design.Signals[name].Slot] = s.unks[name]
 	}
 	return row
 }

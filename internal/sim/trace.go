@@ -20,29 +20,61 @@ import (
 type Trace struct {
 	Design *compile.Design
 	rows   [][]uint64
-	plan   *Plan // nil when produced by the reference interpreter
-	em     *mach // lazy shared machine for compiled evaluation
+	// unks is the unknown-bit plane of a four-state trace, row-parallel to
+	// rows; nil for two-state traces (everything known).
+	unks [][]uint64
+	plan *Plan // nil when produced by the reference interpreter
+	em   *mach // lazy shared machine for compiled evaluation
+	em4  *mach // lazy shared machine for compiled four-state evaluation
 }
 
 // Len returns the number of sampled cycles.
 func (t *Trace) Len() int { return len(t.rows) }
 
-// Value returns signal name's sampled value at cycle.
+// Mode returns the value domain the trace was sampled in.
+func (t *Trace) Mode() Mode {
+	if t.unks != nil {
+		return FourState
+	}
+	return TwoState
+}
+
+// Value returns signal name's sampled value at cycle (the known-bit plane;
+// unknown bits read as 0).
 func (t *Trace) Value(cycle int, name string) (uint64, bool) {
+	v, ok := t.Value4(cycle, name)
+	return v.Val, ok
+}
+
+// Value4 returns signal name's sampled four-state value at cycle.
+func (t *Trace) Value4(cycle int, name string) (V4, bool) {
 	if cycle < 0 || cycle >= len(t.rows) {
-		return 0, false
+		return V4{}, false
 	}
 	if sig := t.Design.Signals[name]; sig != nil {
-		return t.rows[cycle][sig.Slot], true
+		v := V4{Val: t.rows[cycle][sig.Slot]}
+		if t.unks != nil {
+			v.Unk = t.unks[cycle][sig.Slot]
+		}
+		return v, true
 	}
 	if pv, ok := t.Design.Params[name]; ok {
-		return pv, true
+		return known(pv), true
 	}
-	return 0, false
+	return V4{}, false
 }
 
 // Row returns the slot vector sampled at cycle (shared, read-only).
 func (t *Trace) Row(cycle int) []uint64 { return t.rows[cycle] }
+
+// UnkRow returns the unknown-bit slot vector sampled at cycle, or nil for a
+// two-state trace (shared, read-only).
+func (t *Trace) UnkRow(cycle int) []uint64 {
+	if t.unks == nil {
+		return nil
+	}
+	return t.unks[cycle]
+}
 
 // CompiledExpr evaluates an expression at a sampled cycle of one trace.
 type CompiledExpr func(cycle int) (uint64, error)
@@ -72,6 +104,57 @@ func (t *Trace) CompileExpr(e verilog.Expr) CompiledExpr {
 	}
 }
 
+// CompiledExpr4 evaluates an expression in the four-state domain at a
+// sampled cycle of one trace.
+type CompiledExpr4 func(cycle int) (V4, error)
+
+// CompileExpr4 returns a four-state evaluator for e over this trace's
+// sampled rows. On a two-state trace everything is known and the result is
+// the two-state evaluation lifted into the Val plane — built directly over
+// the plan's compiled closure so the formal checker's hot loop pays no
+// extra indirection. On a four-state trace, assertion-reachable
+// expressions resolve to the plan's compiled four-state closures with the
+// interpretive Eval4 as the fallback.
+func (t *Trace) CompileExpr4(e verilog.Expr) CompiledExpr4 {
+	if t.unks == nil {
+		if t.plan != nil {
+			if fn, ok := t.plan.svaExpr[e]; ok {
+				if t.em == nil {
+					t.em = traceMach(t.plan, t.rows)
+				}
+				m := t.em
+				return func(cycle int) (V4, error) {
+					m.vals, m.idx, m.err = t.rows[cycle], cycle, nil
+					v := fn(m)
+					return V4{Val: v}, m.err
+				}
+			}
+		}
+		return func(cycle int) (V4, error) {
+			v, err := Eval(e, traceRowEnv{t: t, idx: cycle})
+			return known(v), err
+		}
+	}
+	if t.plan != nil {
+		if p4 := t.plan.fourState(); p4 != nil {
+			if fn, ok := p4.svaExpr4[e]; ok {
+				if t.em4 == nil {
+					t.em4 = traceMach4(t.plan, t.rows, t.unks)
+				}
+				m := t.em4
+				return func(cycle int) (V4, error) {
+					m.vals, m.unks, m.idx, m.err = t.rows[cycle], t.unks[cycle], cycle, nil
+					v := fn(m)
+					return v, m.err
+				}
+			}
+		}
+	}
+	return func(cycle int) (V4, error) {
+		return Eval4(e, traceRowEnv{t: t, idx: cycle})
+	}
+}
+
 // traceRowEnv adapts a trace row to the evaluator environment, with history
 // access for sampled-value functions. It is the interpretive twin of the
 // plan's compiled trace evaluation.
@@ -82,6 +165,9 @@ type traceRowEnv struct {
 
 // Value implements Env.
 func (e traceRowEnv) Value(name string) (uint64, bool) { return e.t.Value(e.idx, name) }
+
+// Value4 implements Env4.
+func (e traceRowEnv) Value4(name string) (V4, bool) { return e.t.Value4(e.idx, name) }
 
 // Width implements Env.
 func (e traceRowEnv) Width(name string) int {
@@ -101,27 +187,45 @@ func (e traceRowEnv) At(offset int) Env {
 
 // Format renders the trace as a compact waveform table for counterexample
 // logs, limited to the named signals (or all signals when names is nil).
+// Cells are sized to the widest rendered value, so partially-unknown
+// vectors (rendered per-bit, e.g. b0000001x) keep the cycle columns
+// aligned.
 func (t *Trace) Format(names []string) string {
 	if names == nil {
 		names = t.Design.Order
 	}
-	var sb strings.Builder
 	width := 0
 	for _, n := range names {
 		if len(n) > width {
 			width = len(n)
 		}
 	}
+	cells := make([][]string, len(names))
+	cell := 3
+	for ni, n := range names {
+		w := 0
+		if sig := t.Design.Signals[n]; sig != nil {
+			w = sig.Width
+		}
+		cells[ni] = make([]string, len(t.rows))
+		for i := range t.rows {
+			v, _ := t.Value4(i, n)
+			cells[ni][i] = FormatV4(v, w)
+			if len(cells[ni][i]) > cell {
+				cell = len(cells[ni][i])
+			}
+		}
+	}
+	var sb strings.Builder
 	fmt.Fprintf(&sb, "%*s |", width, "cycle")
 	for i := range t.rows {
-		fmt.Fprintf(&sb, " %3d", i)
+		fmt.Fprintf(&sb, " %*d", cell, i)
 	}
 	sb.WriteString("\n")
-	for _, n := range names {
+	for ni, n := range names {
 		fmt.Fprintf(&sb, "%*s |", width, n)
 		for i := range t.rows {
-			v, _ := t.Value(i, n)
-			fmt.Fprintf(&sb, " %3d", v)
+			fmt.Fprintf(&sb, " %*s", cell, cells[ni][i])
 		}
 		sb.WriteString("\n")
 	}
@@ -162,11 +266,53 @@ type VecStimulus struct {
 // Run simulates the design over the stimulus and returns the sampled trace.
 // Inputs not mentioned in a cycle hold their previous value. Simulation
 // executes on the design's compiled plan; designs the planner cannot lower
-// run on the reference interpreter instead (identical semantics).
+// run on the reference interpreter instead (identical semantics). Run is
+// two-state; RunMode selects the value domain.
 func Run(d *compile.Design, stim Stimulus) (*Trace, error) {
+	return RunMode(d, stim, TwoState)
+}
+
+// RunMode simulates the design over the stimulus in the given value domain.
+// In FourState mode every signal starts x (except declared initials) and
+// the compiled four-state lowering executes; designs it cannot lower fall
+// back to the four-state reference interpreter.
+func RunMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
 	p := PlanOf(d)
 	if p == nil {
-		return RunReference(d, stim)
+		return RunReferenceMode(d, stim, mode)
+	}
+	if mode == FourState {
+		p4 := p.fourState()
+		if p4 == nil {
+			return RunReferenceMode(d, stim, mode)
+		}
+		m := newMach4(p, p4)
+		if err := m.settle4(p4); err != nil {
+			return nil, err
+		}
+		tr := &Trace{Design: d, plan: p,
+			rows: make([][]uint64, 0, len(stim)),
+			unks: make([][]uint64, 0, len(stim))}
+		for i, cyc := range stim {
+			for name, v := range cyc {
+				if err := m.setInput4(name, v); err != nil {
+					return nil, fmt.Errorf("cycle %d: %w", i, err)
+				}
+			}
+			if err := m.settle4(p4); err != nil {
+				return nil, fmt.Errorf("cycle %d: %w", i, err)
+			}
+			row := make([]uint64, p.nslots)
+			copy(row, m.vals)
+			unk := make([]uint64, p.nslots)
+			copy(unk, m.unks)
+			tr.rows = append(tr.rows, row)
+			tr.unks = append(tr.unks, unk)
+			if err := m.edge4(p4); err != nil {
+				return nil, fmt.Errorf("cycle %d: %w", i, err)
+			}
+		}
+		return tr, nil
 	}
 	m := newMach(p)
 	if err := m.settle(); err != nil {
@@ -193,20 +339,13 @@ func Run(d *compile.Design, stim Stimulus) (*Trace, error) {
 }
 
 // RunVec simulates the design over a vectorised stimulus, driving input
-// slots directly. Every input in stim.Inputs is set every cycle.
+// slots directly. Every input in stim.Inputs is set every cycle. RunVec is
+// two-state — it is the bounded model checker's hot path; RunVecMode
+// selects the value domain.
 func RunVec(d *compile.Design, stim VecStimulus) (*Trace, error) {
 	p := PlanOf(d)
 	if p == nil {
-		// Reference fallback: materialise the equivalent map stimulus.
-		ms := make(Stimulus, len(stim.Rows))
-		for c, row := range stim.Rows {
-			cyc := make(map[string]uint64, len(stim.Inputs))
-			for i, in := range stim.Inputs {
-				cyc[in.Name] = row[i]
-			}
-			ms[c] = cyc
-		}
-		return RunReference(d, ms)
+		return RunReference(d, stim.maps())
 	}
 	slots := make([]int32, len(stim.Inputs))
 	for i, in := range stim.Inputs {
@@ -238,15 +377,89 @@ func RunVec(d *compile.Design, stim VecStimulus) (*Trace, error) {
 	return tr, nil
 }
 
-// RunReference simulates the design on the reference interpreter. It is the
-// semantic oracle the differential tests hold Run's compiled plan against,
-// and the fallback for designs the planner cannot lower.
+// maps materialises the equivalent map stimulus for reference fallbacks.
+func (st VecStimulus) maps() Stimulus {
+	ms := make(Stimulus, len(st.Rows))
+	for c, row := range st.Rows {
+		cyc := make(map[string]uint64, len(st.Inputs))
+		for i, in := range st.Inputs {
+			cyc[in.Name] = row[i]
+		}
+		ms[c] = cyc
+	}
+	return ms
+}
+
+// RunVecMode is RunVec in an explicit value domain. FourState runs execute
+// on the plan's four-state lowering (falling back to the reference
+// interpreter when it is unavailable), so the formal checker can drive the
+// same known-value stimulus enumeration over x-initialised state.
+func RunVecMode(d *compile.Design, stim VecStimulus, mode Mode) (*Trace, error) {
+	if mode != FourState {
+		return RunVec(d, stim)
+	}
+	p := PlanOf(d)
+	var p4 *plan4
+	if p != nil {
+		p4 = p.fourState()
+	}
+	if p == nil || p4 == nil {
+		return RunReferenceMode(d, stim.maps(), FourState)
+	}
+	slots := make([]int32, len(stim.Inputs))
+	for i, in := range stim.Inputs {
+		sig := d.Signals[in.Name]
+		if sig == nil || sig.Kind != compile.SigInput {
+			return nil, fmt.Errorf("sim: %q is not an input", in.Name)
+		}
+		slots[i] = int32(sig.Slot)
+	}
+	m := newMach4(p, p4)
+	if err := m.settle4(p4); err != nil {
+		return nil, err
+	}
+	tr := &Trace{Design: d, plan: p,
+		rows: make([][]uint64, 0, len(stim.Rows)),
+		unks: make([][]uint64, 0, len(stim.Rows))}
+	for c, in := range stim.Rows {
+		for i, slot := range slots {
+			m.vals[slot] = in[i] & p.masks[slot]
+			m.unks[slot] = 0
+		}
+		if err := m.settle4(p4); err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", c, err)
+		}
+		row := make([]uint64, p.nslots)
+		copy(row, m.vals)
+		unk := make([]uint64, p.nslots)
+		copy(unk, m.unks)
+		tr.rows = append(tr.rows, row)
+		tr.unks = append(tr.unks, unk)
+		if err := m.edge4(p4); err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", c, err)
+		}
+	}
+	return tr, nil
+}
+
+// RunReference simulates the design on the two-state reference interpreter.
+// It is the semantic oracle the differential tests hold Run's compiled plan
+// against, and the fallback for designs the planner cannot lower.
 func RunReference(d *compile.Design, stim Stimulus) (*Trace, error) {
-	s, err := New(d)
+	return RunReferenceMode(d, stim, TwoState)
+}
+
+// RunReferenceMode simulates the design on the reference interpreter in the
+// given value domain.
+func RunReferenceMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
+	s, err := NewMode(d, mode)
 	if err != nil {
 		return nil, err
 	}
 	tr := &Trace{Design: d, rows: make([][]uint64, 0, len(stim))}
+	if mode == FourState {
+		tr.unks = make([][]uint64, 0, len(stim))
+	}
 	for i, cyc := range stim {
 		for name, v := range cyc {
 			if err := s.SetInput(name, v); err != nil {
@@ -257,6 +470,9 @@ func RunReference(d *compile.Design, stim Stimulus) (*Trace, error) {
 			return nil, fmt.Errorf("cycle %d: %w", i, err)
 		}
 		tr.rows = append(tr.rows, s.snapshotRow())
+		if tr.unks != nil {
+			tr.unks = append(tr.unks, s.snapshotUnkRow())
+		}
 		if err := s.Edge(); err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", i, err)
 		}

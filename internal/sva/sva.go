@@ -27,12 +27,20 @@ type Failure struct {
 	StartCycle int // cycle at which the property attempt began
 	FailCycle  int // cycle at which the failing term was evaluated
 	Term       verilog.Expr
+	// Unknown reports that the failing term sampled x rather than a known
+	// 0 (four-state traces only): the assertion fails because its
+	// expression is not true, the LRM's not-true rule for assertions.
+	Unknown bool
 }
 
 // String renders a single failure line.
 func (f Failure) String() string {
-	return fmt.Sprintf("failed assertion %s at cycle %d (attempt started at cycle %d): %s is false",
-		f.Assert.Name, f.FailCycle, f.StartCycle, verilog.ExprString(f.Term))
+	how := "false"
+	if f.Unknown {
+		how = "x"
+	}
+	return fmt.Sprintf("failed assertion %s at cycle %d (attempt started at cycle %d): %s is %s",
+		f.Assert.Name, f.FailCycle, f.StartCycle, verilog.ExprString(f.Term), how)
 }
 
 // Result summarises checking all assertions against one trace.
@@ -82,9 +90,14 @@ func Check(tr *sim.Trace) (*Result, error) {
 }
 
 // compiledAssert is one assertion with its property expressions resolved to
-// trace evaluators.
+// trace evaluators. Terms evaluate in the trace's value domain: on a
+// two-state trace every sampled value is known and the checker behaves
+// exactly as before; on a four-state trace an x antecedent term makes the
+// attempt undetermined (no match, counted as vacuous) and an x consequent
+// term fails the attempt — the sampled expression is not true — with the
+// failure marked Unknown. An x disable-iff condition does not disable.
 type compiledAssert struct {
-	disable sim.CompiledExpr // nil when the property has no disable iff
+	disable sim.CompiledExpr4 // nil when the property has no disable iff
 	ante    []compiledTerm
 	cons    []compiledTerm
 	impl    verilog.ImplKind
@@ -92,20 +105,20 @@ type compiledAssert struct {
 
 type compiledTerm struct {
 	delay int
-	fn    sim.CompiledExpr
+	fn    sim.CompiledExpr4
 	expr  verilog.Expr
 }
 
 func compileAssert(tr *sim.Trace, a compile.ResolvedAssert) compiledAssert {
 	ca := compiledAssert{impl: a.Seq.Impl}
 	if a.DisableIff != nil {
-		ca.disable = tr.CompileExpr(a.DisableIff)
+		ca.disable = tr.CompileExpr4(a.DisableIff)
 	}
 	for _, t := range a.Seq.Antecedent {
-		ca.ante = append(ca.ante, compiledTerm{delay: t.DelayFromPrev, fn: tr.CompileExpr(t.Expr), expr: t.Expr})
+		ca.ante = append(ca.ante, compiledTerm{delay: t.DelayFromPrev, fn: tr.CompileExpr4(t.Expr), expr: t.Expr})
 	}
 	for _, t := range a.Seq.Consequent {
-		ca.cons = append(ca.cons, compiledTerm{delay: t.DelayFromPrev, fn: tr.CompileExpr(t.Expr), expr: t.Expr})
+		ca.cons = append(ca.cons, compiledTerm{delay: t.DelayFromPrev, fn: tr.CompileExpr4(t.Expr), expr: t.Expr})
 	}
 	return ca
 }
@@ -126,6 +139,7 @@ func checkAssert(tr *sim.Trace, a compile.ResolvedAssert, res *Result) error {
 				StartCycle: start,
 				FailCycle:  outcome.failCycle,
 				Term:       outcome.failTerm,
+				Unknown:    outcome.failUnknown,
 			})
 		case attemptPass:
 			res.Attempts[a.Name]++
@@ -144,9 +158,10 @@ const (
 )
 
 type attemptOutcome struct {
-	kind      attemptKind
-	failCycle int
-	failTerm  verilog.Expr
+	kind        attemptKind
+	failCycle   int
+	failTerm    verilog.Expr
+	failUnknown bool
 }
 
 // evalAttempt evaluates one property attempt starting at cycle start.
@@ -159,7 +174,8 @@ func evalAttempt(tr *sim.Trace, ca compiledAssert, start int) (attemptOutcome, e
 		if err != nil {
 			return false, err
 		}
-		return v != 0, nil
+		// An x disable condition is not true, so it does not disable.
+		return v.IsTrue(), nil
 	}
 
 	cursor := start
@@ -179,7 +195,9 @@ func evalAttempt(tr *sim.Trace, ca compiledAssert, start int) (attemptOutcome, e
 			if err != nil {
 				return attemptOutcome{}, err
 			}
-			if v == 0 {
+			// A false or x antecedent term does not match: the attempt is
+			// undetermined/vacuous, never a failure.
+			if !v.IsTrue() {
 				return attemptOutcome{kind: attemptVacuous}, nil
 			}
 		}
@@ -203,8 +221,10 @@ func evalAttempt(tr *sim.Trace, ca compiledAssert, start int) (attemptOutcome, e
 		if err != nil {
 			return attemptOutcome{}, err
 		}
-		if v == 0 {
-			return attemptOutcome{kind: attemptFail, failCycle: cursor, failTerm: term.expr}, nil
+		// A consequent term that is not true fails the attempt; sampling x
+		// is recorded as an unknown failure (the not-true rule).
+		if !v.IsTrue() {
+			return attemptOutcome{kind: attemptFail, failCycle: cursor, failTerm: term.expr, failUnknown: v.IsXBool()}, nil
 		}
 	}
 	return attemptOutcome{kind: attemptPass}, nil
@@ -248,8 +268,12 @@ func FormatLog(moduleName string, tr *sim.Trace, failures []Failure) string {
 		ids := signalsOf(first.Assert)
 		fmt.Fprintf(&sb, "  sampled values at cycle %d:", first.FailCycle)
 		for _, id := range ids {
-			if v, ok := tr.Value(first.FailCycle, id); ok {
-				fmt.Fprintf(&sb, " %s=%d", id, v)
+			if v, ok := tr.Value4(first.FailCycle, id); ok {
+				w := 0
+				if sig := tr.Design.Signals[id]; sig != nil {
+					w = sig.Width
+				}
+				fmt.Fprintf(&sb, " %s=%s", id, sim.FormatV4(v, w))
 			}
 		}
 		sb.WriteString("\n")

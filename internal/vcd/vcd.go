@@ -76,7 +76,7 @@ func Write(w io.Writer, tr *sim.Trace, opts Options) error {
 
 	// Initial dump plus per-cycle changes. Each cycle spans two timesteps
 	// so the synthetic clock shows a rising edge at the sample point.
-	prev := make([]uint64, len(names))
+	prev := make([]sim.V4, len(names))
 	first := true
 	for c := 0; c < tr.Len(); c++ {
 		fmt.Fprintf(&sb, "#%d\n", 2*c)
@@ -84,7 +84,7 @@ func Write(w io.Writer, tr *sim.Trace, opts Options) error {
 			sb.WriteString("$dumpvars\n")
 		}
 		for i, n := range names {
-			v, _ := tr.Value(c, n)
+			v, _ := tr.Value4(c, n)
 			if first || v != prev[i] {
 				writeValue(&sb, v, widths[i], ids[i])
 			}
@@ -102,15 +102,37 @@ func Write(w io.Writer, tr *sim.Trace, opts Options) error {
 	return err
 }
 
-func writeValue(sb *strings.Builder, v uint64, width int, id string) {
+func writeValue(sb *strings.Builder, v sim.V4, width int, id string) {
 	if width == 1 {
-		fmt.Fprintf(sb, "%d%s\n", v&1, id)
+		if v.Unk&1 != 0 {
+			fmt.Fprintf(sb, "x%s\n", id)
+			return
+		}
+		fmt.Fprintf(sb, "%d%s\n", v.Val&1, id)
 		return
 	}
-	// Zero-pad to the declared $var width: strict viewers left-align
-	// unpadded vector values against the MSB, misreading b101 in an 8-bit
-	// variable as 0xA0 rather than 0x05.
-	fmt.Fprintf(sb, "b%0*b %s\n", width, v, id)
+	if v.Unk == 0 {
+		// Zero-pad to the declared $var width: strict viewers left-align
+		// unpadded vector values against the MSB, misreading b101 in an
+		// 8-bit variable as 0xA0 rather than 0x05.
+		fmt.Fprintf(sb, "b%0*b %s\n", width, v.Val, id)
+		return
+	}
+	// Unknown bits emit the 'x' value character, still padded to the
+	// declared width.
+	sb.WriteByte('b')
+	for i := width - 1; i >= 0; i-- {
+		bit := uint64(1) << uint(i)
+		switch {
+		case v.Unk&bit != 0:
+			sb.WriteByte('x')
+		case v.Val&bit != 0:
+			sb.WriteByte('1')
+		default:
+			sb.WriteByte('0')
+		}
+	}
+	fmt.Fprintf(sb, " %s\n", id)
 }
 
 // identifiers generates n distinct short VCD identifier codes from the

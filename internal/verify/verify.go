@@ -60,6 +60,12 @@ type Options struct {
 	MaxExhaustiveBits int
 	// MaxConstBits caps constant-input enumeration (default 10).
 	MaxConstBits int
+	// FourState checks in the four-state value domain (formal.Options.
+	// FourState): uninitialised/unreset registers read x, and x reaching an
+	// assertion fails it. Required to catch the reset-removal and
+	// initialisation-deletion bug classes, which are invisible to the
+	// two-state default.
+	FourState bool
 	// CompileOnly stops after elaboration: the verdict carries the design
 	// but no formal result. Used where a caller needs a compiled design
 	// (e.g. as the golden side of a behavioural diff) without checking it.
@@ -73,6 +79,7 @@ func (o Options) formal() formal.Options {
 		RandomRuns:        o.RandomRuns,
 		MaxExhaustiveBits: o.MaxExhaustiveBits,
 		MaxConstBits:      o.MaxConstBits,
+		FourState:         o.FourState,
 	}
 }
 
@@ -332,6 +339,9 @@ func cacheKey(src string, assertions []verilog.Item, opts Options) [sha256.Size]
 	binary.LittleEndian.PutUint64(meta[32:], uint64(f.MaxConstBits))
 	if opts.CompileOnly {
 		meta[40] = 1
+	}
+	if f.FourState {
+		meta[41] = 1
 	}
 	h := sha256.New()
 	h.Write(meta[:])

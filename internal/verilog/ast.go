@@ -2,6 +2,7 @@ package verilog
 
 import (
 	"fmt"
+	"math/bits"
 	"strconv"
 	"strings"
 )
@@ -26,12 +27,27 @@ type Ident struct {
 // Number is a numeric literal. Width 0 means unsized (treated as 32-bit in
 // self-determined contexts). Base is 'b', 'o', 'd' or 'h'; 0 means a plain
 // decimal literal without a base specifier.
+//
+// XMask and ZMask record which bits were written as x and z digits (a '?'
+// digit is a z). Value always holds 0 at those bit positions, so two-state
+// consumers that read Value alone see the historical "x/z decode as 0"
+// behaviour, while the four-state simulator folds XMask|ZMask into the
+// unknown plane. The masks are positional: digits cover exactly the bits
+// they are written over (1 bit in base b, 3 in o, 4 in h, the whole literal
+// for 'dx/'dz); the IEEE left-extension of a leading x/z digit is not
+// applied, a documented substitution.
 type Number struct {
 	Width int
 	Base  byte
 	Value uint64
+	XMask uint64
+	ZMask uint64
 	Pos   Pos
 }
+
+// Unknown returns the combined unknown-bit mask (x and z fold together in
+// the simulator's two-plane value domain).
+func (n *Number) Unknown() uint64 { return n.XMask | n.ZMask }
 
 // UnaryOp enumerates unary operators, including reduction operators.
 type UnaryOp int
@@ -621,27 +637,126 @@ func StmtExprs(s Stmt, visit func(Expr)) {
 	}
 }
 
-// NumberText renders a Number in canonical Verilog syntax.
+// NumberText renders a Number in canonical Verilog syntax, including x and
+// z digits. A literal whose unknown bits do not align with its base's digit
+// groups (possible only for programmatically built nodes; parsed literals
+// are always aligned) is rendered in binary, which can express any bit mix.
 func NumberText(n *Number) string {
 	if n.Base == 0 {
 		return strconv.FormatUint(n.Value, 10)
 	}
-	var digits string
-	switch n.Base {
-	case 'b':
-		digits = strconv.FormatUint(n.Value, 2)
-		if n.Width > 0 && len(digits) < n.Width {
-			digits = strings.Repeat("0", n.Width-len(digits)) + digits
-		}
-	case 'o':
-		digits = strconv.FormatUint(n.Value, 8)
-	case 'h':
-		digits = strconv.FormatUint(n.Value, 16)
-	default: // 'd'
-		digits = strconv.FormatUint(n.Value, 10)
-	}
+	base, digits := numberDigits(n)
 	if n.Width > 0 {
-		return fmt.Sprintf("%d'%c%s", n.Width, n.Base, digits)
+		return fmt.Sprintf("%d'%c%s", n.Width, base, digits)
 	}
-	return fmt.Sprintf("'%c%s", n.Base, digits)
+	return fmt.Sprintf("'%c%s", base, digits)
+}
+
+// numberDigits renders the digit run of a based literal, returning the base
+// letter actually used (the literal's own base, or 'b' when unknown bits
+// cannot be expressed in it).
+func numberDigits(n *Number) (byte, string) {
+	unk := n.XMask | n.ZMask
+	if unk == 0 {
+		switch n.Base {
+		case 'b':
+			digits := strconv.FormatUint(n.Value, 2)
+			if n.Width > 0 && len(digits) < n.Width {
+				digits = strings.Repeat("0", n.Width-len(digits)) + digits
+			}
+			return 'b', digits
+		case 'o':
+			return 'o', strconv.FormatUint(n.Value, 8)
+		case 'h':
+			return 'h', strconv.FormatUint(n.Value, 16)
+		default: // 'd'
+			return 'd', strconv.FormatUint(n.Value, 10)
+		}
+	}
+	dom := ^uint64(0)
+	if n.Width > 0 && n.Width < 64 {
+		dom = (uint64(1) << uint(n.Width)) - 1
+	}
+	switch n.Base {
+	case 'd':
+		// Decimal can express unknowns only as a whole-literal x or z.
+		if n.XMask&dom == dom && n.ZMask&dom == 0 && n.Value&dom == 0 {
+			return 'd', "x"
+		}
+		if n.ZMask&dom == dom && n.XMask&dom == 0 && n.Value&dom == 0 {
+			return 'd', "z"
+		}
+		return 'b', bitDigits(n)
+	case 'o', 'h':
+		g := 3
+		if n.Base == 'h' {
+			g = 4
+		}
+		if s, ok := groupDigits(n, g, dom); ok {
+			return n.Base, s
+		}
+		return 'b', bitDigits(n)
+	default: // 'b'
+		return 'b', bitDigits(n)
+	}
+}
+
+// bitDigits renders a literal bit by bit (binary), the representation every
+// unknown-bit pattern fits in.
+func bitDigits(n *Number) string {
+	nd := n.Width
+	if nd == 0 {
+		nd = bits.Len64(n.Value | n.Unknown())
+		if nd == 0 {
+			nd = 1
+		}
+	}
+	var sb strings.Builder
+	for i := nd - 1; i >= 0; i-- {
+		bit := uint64(1) << uint(i)
+		switch {
+		case n.XMask&bit != 0:
+			sb.WriteByte('x')
+		case n.ZMask&bit != 0:
+			sb.WriteByte('z')
+		case n.Value&bit != 0:
+			sb.WriteByte('1')
+		default:
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// groupDigits renders an octal/hex digit run when every digit group is
+// either fully known, fully x, or fully z within the literal's width.
+func groupDigits(n *Number, g int, dom uint64) (string, bool) {
+	sig := n.Value | n.Unknown()
+	nd := (bits.Len64(sig) + g - 1) / g
+	if nd == 0 {
+		nd = 1
+	}
+	var sb strings.Builder
+	for i := nd - 1; i >= 0; i-- {
+		shift := uint(i * g)
+		gmask := ((uint64(1) << uint(g)) - 1) << shift
+		live := gmask & dom
+		x, z := n.XMask&gmask, n.ZMask&gmask
+		switch {
+		case x == 0 && z == 0:
+			d := (n.Value & gmask) >> shift
+			if d < 10 {
+				sb.WriteByte(byte('0' + d))
+			} else {
+				sb.WriteByte(byte('a' + d - 10))
+			}
+		case live != 0 && x == live && z == 0:
+			sb.WriteByte('x')
+		case live != 0 && z == live && x == 0:
+			sb.WriteByte('z')
+		default:
+			return "", false
+		}
+	}
+	return sb.String(), true
 }

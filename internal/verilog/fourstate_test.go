@@ -1,0 +1,104 @@
+package verilog
+
+import "testing"
+
+// TestParseUnknownLiterals pins the x/z digit decoding: Value keeps 0 at
+// unknown positions (two-state view) while XMask/ZMask record which bits
+// were written x and z ('?' is a z).
+func TestParseUnknownLiterals(t *testing.T) {
+	tests := []struct {
+		src   string
+		width int
+		value uint64
+		xmask uint64
+		zmask uint64
+	}{
+		{"8'bxxxx_zz01", 8, 0b01, 0b11110000, 0b00001100},
+		{"'bx1z0", 0, 0b0100, 0b1000, 0b0010},
+		{"'hx?", 0, 0, 0xF0, 0x0F},
+		{"4'b1x0z", 4, 0b1000, 0b0100, 0b0001},
+		{"8'hx1", 8, 0x01, 0xF0, 0},
+		{"8'hz?", 8, 0, 0, 0xFF},
+		{"6'hxF", 6, 0x0F, 0x30, 0},
+		{"9'o1x7", 9, 0o107, 0o070, 0},
+		{"8'dx", 8, 0, 0xFF, 0},
+		{"8'dz", 8, 0, 0, 0xFF},
+		{"8'd?", 8, 0, 0, 0xFF},
+		{"8'b1_x_z_0", 8, 0b1000, 0b0100, 0b0010},
+		{"4'b1010", 4, 10, 0, 0},
+	}
+	for _, tt := range tests {
+		e, err := ParseExpr(tt.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", tt.src, err)
+			continue
+		}
+		n, ok := e.(*Number)
+		if !ok {
+			t.Errorf("ParseExpr(%q) = %T, want *Number", tt.src, e)
+			continue
+		}
+		if n.Width != tt.width || n.Value != tt.value || n.XMask != tt.xmask || n.ZMask != tt.zmask {
+			t.Errorf("ParseExpr(%q) = width %d value %#x x %#x z %#x, want width %d value %#x x %#x z %#x",
+				tt.src, n.Width, n.Value, n.XMask, n.ZMask, tt.width, tt.value, tt.xmask, tt.zmask)
+		}
+	}
+}
+
+// TestUnknownLiteralRoundTrip: print -> parse must reproduce all three
+// planes of a literal. '?' digits normalise to 'z' and underscores are
+// dropped, so the second print is the fixpoint the oracle requires.
+func TestUnknownLiteralRoundTrip(t *testing.T) {
+	srcs := []string{
+		"8'bxxxx_zz01", "'bx1z0", "'hx?", "4'b1x0z", "8'hx1", "8'hz?",
+		"6'hxF", "9'o1x7", "8'dx", "8'dz", "8'd?", "16'hxz0f",
+		"8'b1_x_z_0", "12'o1x_z7", "4'd5", "8'hff",
+	}
+	for _, src := range srcs {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		n := e.(*Number)
+		printed := NumberText(n)
+		back, err := ParseExpr(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (printed %q): %v", src, printed, err)
+		}
+		bn := back.(*Number)
+		if bn.Width != n.Width || bn.Base != n.Base || bn.Value != n.Value ||
+			bn.XMask != n.XMask || bn.ZMask != n.ZMask {
+			t.Errorf("%q: printed %q reparses to %+v, want %+v", src, printed, bn, n)
+		}
+		if again := NumberText(bn); again != printed {
+			t.Errorf("%q: print is not a fixpoint: %q then %q", src, printed, again)
+		}
+	}
+}
+
+// TestUnknownLiteralBinaryFallback: programmatically built literals whose
+// unknown bits do not align with their base's digit groups render in
+// binary, which preserves every bit exactly.
+func TestUnknownLiteralBinaryFallback(t *testing.T) {
+	n := &Number{Width: 8, Base: 'h', Value: 0x21, XMask: 0x02}
+	got := NumberText(n)
+	if got != "8'b001000x1" {
+		t.Errorf("NumberText = %q, want 8'b001000x1", got)
+	}
+	back, err := ParseExpr(got)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	bn := back.(*Number)
+	if bn.Value != n.Value || bn.XMask != n.XMask || bn.ZMask != n.ZMask {
+		t.Errorf("fallback loses bits: %+v vs %+v", bn, n)
+	}
+}
+
+// TestDecimalUnknownDigitRejected: x/z may only be the sole digit of a
+// decimal literal (IEEE 1364 §2.5.1).
+func TestDecimalUnknownDigitRejected(t *testing.T) {
+	if _, err := ParseExpr("8'dx5"); err == nil {
+		t.Error("8'dx5 parsed; want error")
+	}
+}

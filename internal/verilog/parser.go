@@ -1063,9 +1063,11 @@ func (p *Parser) parseConcat() (Expr, error) {
 	return cc, nil
 }
 
-// parseNumberToken decodes a numeric literal token into a Number. Two-state
-// semantics: x, z and ? digits decode as 0 (documented substitution — the
-// simulator is two-valued).
+// parseNumberToken decodes a numeric literal token into a Number. x, z and
+// ? digits decode to 0 in Value and set the corresponding bits of XMask
+// (x) or ZMask (z and ?), positionally over the bits each digit spans; the
+// IEEE left-extension of a leading x/z digit is not applied (documented
+// substitution). Two-state consumers keep reading Value alone.
 func parseNumberToken(tok Token) (Expr, error) {
 	text := strings.ReplaceAll(tok.Text, "_", "")
 	quote := strings.IndexByte(text, '\'')
@@ -1093,33 +1095,64 @@ func parseNumberToken(tok Token) (Expr, error) {
 	}
 	base := byte(strings.ToLower(rest[:1])[0])
 	digits := rest[1:]
-	var radix int
+	var v, xm, zm uint64
 	switch base {
-	case 'b':
-		radix = 2
-	case 'o':
-		radix = 8
 	case 'd':
-		radix = 10
-	case 'h':
-		radix = 16
+		switch {
+		case digits == "x" || digits == "X":
+			xm = ^uint64(0)
+		case digits == "z" || digits == "Z" || digits == "?":
+			zm = ^uint64(0)
+		default:
+			for i := 0; i < len(digits); i++ {
+				if c := digits[i]; c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?' {
+					return nil, &ParseError{Pos: tok.Pos, Msg: "x/z must be the only digit of a decimal literal"}
+				}
+			}
+			var err error
+			v, err = strconv.ParseUint(digits, 10, 64)
+			if err != nil {
+				return nil, &ParseError{Pos: tok.Pos, Msg: "invalid digits in literal"}
+			}
+		}
+	case 'b', 'o', 'h':
+		g := uint(1)
+		if base == 'o' {
+			g = 3
+		} else if base == 'h' {
+			g = 4
+		}
+		gm := (uint64(1) << g) - 1
+		for i := 0; i < len(digits); i++ {
+			if (v|xm|zm)>>(64-g) != 0 {
+				return nil, &ParseError{Pos: tok.Pos, Msg: "invalid digits in literal"}
+			}
+			v <<= g
+			xm <<= g
+			zm <<= g
+			switch c := digits[i]; {
+			case c == 'x' || c == 'X':
+				xm |= gm
+			case c == 'z' || c == 'Z' || c == '?':
+				zm |= gm
+			case c >= '0' && c <= '9':
+				v |= uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				v |= uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				v |= uint64(c-'A') + 10
+			default:
+				return nil, &ParseError{Pos: tok.Pos, Msg: "invalid digits in literal"}
+			}
+		}
 	default:
 		return nil, &ParseError{Pos: tok.Pos, Msg: "invalid base in literal"}
 	}
-	cleaned := make([]byte, 0, len(digits))
-	for i := 0; i < len(digits); i++ {
-		c := digits[i]
-		if c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?' {
-			c = '0'
-		}
-		cleaned = append(cleaned, c)
-	}
-	v, err := strconv.ParseUint(string(cleaned), radix, 64)
-	if err != nil {
-		return nil, &ParseError{Pos: tok.Pos, Msg: "invalid digits in literal"}
-	}
 	if width > 0 && width < 64 {
-		v &= (1 << uint(width)) - 1
+		m := (uint64(1) << uint(width)) - 1
+		v &= m
+		xm &= m
+		zm &= m
 	}
-	return &Number{Width: width, Base: base, Value: v, Pos: tok.Pos}, nil
+	return &Number{Width: width, Base: base, Value: v, XMask: xm, ZMask: zm, Pos: tok.Pos}, nil
 }
