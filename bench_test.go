@@ -289,10 +289,12 @@ func BenchmarkFormalStrategies(b *testing.B) {
 	tiny := corpus.EdgeDetect()  // 1-bit input: exhaustive sequences
 	big := corpus.Counter(8, 23) // wide input space: directed+random
 	for _, tc := range []struct {
-		name string
-		bp   *corpus.Blueprint
+		name  string
+		bp    *corpus.Blueprint
+		lanes int
 	}{
-		{"exhaustive", tiny}, {"directed_random", big},
+		{"exhaustive", tiny, 0}, {"directed_random", big, 0},
+		{"exhaustive_lanes", tiny, 64}, {"directed_random_lanes", big, 64},
 	} {
 		d, diags, err := compile.Compile(tc.bp.Source())
 		if err != nil || compile.HasErrors(diags) {
@@ -303,7 +305,7 @@ func BenchmarkFormalStrategies(b *testing.B) {
 			var res *formal.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				res, err = formal.Check(d, formal.Options{Seed: 1, Depth: tc.bp.CheckDepth(12), RandomRuns: 12})
+				res, err = formal.Check(d, formal.Options{Seed: 1, Depth: tc.bp.CheckDepth(12), RandomRuns: 12, Lanes: tc.lanes})
 				if err != nil || !res.Pass {
 					b.Fatal("golden failed")
 				}

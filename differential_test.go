@@ -96,6 +96,80 @@ func assertDifferential(t *testing.T, name, src string, seed int64) {
 			t.Fatalf("%s: attempts[%s]: plan=%d reference=%d", name, k, v, resRef.Attempts[k])
 		}
 	}
+
+	assertLaneLeg(t, name, d, stim, tr, resPlan)
+}
+
+// assertLaneLeg adds the third engine: the same stimulus packed into a
+// two-lane batch (both lanes identical, so predication follows exactly the
+// scalar branch structure and the lane engine must accept whatever the plan
+// accepted) and demuxed back, byte-compared against the plan trace and its
+// SVA verdicts.
+func assertLaneLeg(t *testing.T, name string, d *compile.Design, stim sim.Stimulus, tr *sim.Trace, resPlan *sva.Result) {
+	t.Helper()
+	inputs := d.Inputs(true)
+	reset := d.Reset()
+	cols := append([]*compile.Signal(nil), inputs...)
+	if reset.Present {
+		if sig := d.Signals[reset.Name]; sig != nil {
+			cols = append(cols, sig)
+		}
+	}
+	rows := make([][]uint64, len(stim))
+	for c, cyc := range stim {
+		row := make([]uint64, len(cols))
+		for i, in := range cols {
+			row[i] = cyc[in.Name] & in.Mask()
+		}
+		rows[c] = row
+	}
+	vec := sim.VecStimulus{Inputs: cols, Rows: rows}
+	ls, err := sim.PackStimuli([]sim.VecStimulus{vec, vec})
+	if err != nil {
+		t.Fatalf("%s: pack: %v", name, err)
+	}
+	lt, err := sim.RunLanes(d, ls, sim.TwoState)
+	if err != nil {
+		// No lane plan at all is a legitimate fallback; a runtime error on a
+		// uniform batch the plan simulated fine is a divergence.
+		if !sim.LanesOK(d, sim.TwoState) {
+			return
+		}
+		t.Fatalf("%s: lane run failed where plan passed: %v", name, err)
+	}
+	for l := 0; l < 2; l++ {
+		dm := lt.Demux(l)
+		if dm.Len() != tr.Len() {
+			t.Fatalf("%s: lane %d trace len %d vs plan %d", name, l, dm.Len(), tr.Len())
+		}
+		for c := 0; c < tr.Len(); c++ {
+			for _, sigName := range d.Order {
+				got, _ := dm.Value(c, sigName)
+				want, _ := tr.Value(c, sigName)
+				if got != want {
+					t.Fatalf("%s: lane %d cycle %d signal %s: lane=%#x plan=%#x", name, l, c, sigName, got, want)
+				}
+			}
+		}
+		resLane, err := sva.Check(dm)
+		if err != nil {
+			t.Fatalf("%s: lane %d sva: %v", name, l, err)
+		}
+		if len(resLane.Failures) != len(resPlan.Failures) {
+			t.Fatalf("%s: lane %d: %d failures vs plan %d", name, l, len(resLane.Failures), len(resPlan.Failures))
+		}
+		for i := range resLane.Failures {
+			p, r := resLane.Failures[i], resPlan.Failures[i]
+			if p.Assert.Name != r.Assert.Name || p.StartCycle != r.StartCycle || p.FailCycle != r.FailCycle {
+				t.Fatalf("%s: lane %d failure %d differs: lane=%+v plan=%+v", name, l, i, p, r)
+			}
+		}
+		for k, v := range resPlan.Attempts {
+			if resLane.Attempts[k] != v {
+				t.Fatalf("%s: lane %d attempts[%s]: lane=%d plan=%d", name, l, k, resLane.Attempts[k], v)
+			}
+		}
+	}
 }
 
 // TestDifferentialPlanVsReference drives every corpus golden design — and a

@@ -31,7 +31,7 @@ func BuildHumanEval(cfg Config) ([]dataset.SVASample, error) {
 func buildHumanSample(hc corpus.HumanCase, cfg Config) (dataset.SVASample, error) {
 	var zero dataset.SVASample
 	seed := designSeed(cfg.Seed, hc.Name)
-	opts := verify.Options{Seed: seed, Depth: hc.CheckDepth, RandomRuns: cfg.RandomRuns}
+	opts := verify.Options{Seed: seed, Depth: hc.CheckDepth, RandomRuns: cfg.RandomRuns, Lanes: cfg.Lanes}
 	svc := verify.Default()
 
 	gv, err := svc.Check(hc.Golden, nil, opts)

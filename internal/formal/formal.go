@@ -53,6 +53,14 @@ type Options struct {
 	// sequences as the default two-state check, which remains the compiled
 	// fast path.
 	FourState bool
+	// Lanes batches stimuli through the lane-parallel engine (sim.RunLanes),
+	// up to Lanes at a time (max 64). Zero and one both mean scalar mode —
+	// the zero value must stay a safe default, like the NoRandom sentinel —
+	// and designs the lane compiler cannot lower fall back to scalar runs
+	// automatically. Results are byte-identical to scalar mode: failing
+	// lanes are demuxed and replayed on the scalar engine, and run counts
+	// and attempt bookkeeping follow the same enumeration order.
+	Lanes int
 }
 
 // Normalized returns the options with defaults applied, the canonical form
@@ -79,6 +87,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxConstBits <= 0 {
 		o.MaxConstBits = 10
+	}
+	if o.Lanes <= 1 {
+		o.Lanes = 0 // scalar mode: 0, 1 and negatives are the same check
+	}
+	if o.Lanes > 64 {
+		o.Lanes = 64
 	}
 	return o
 }
@@ -141,6 +155,75 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 		return false, nil
 	}
 
+	// Lane batching: strategies submit stimuli in enumeration order; full
+	// batches run 64-wide through the lane engine, and sva.CheckLanes
+	// decides all lanes from packed truth words. Passing lanes only touch
+	// the run/attempt bookkeeping; the first failing lane (in submission
+	// order) is replayed on the scalar engine so Failure/Trace/Log — and
+	// Runs — come out byte-identical to a scalar check. Any lane-engine
+	// error demotes the batch to scalar runs, which *is* the reference
+	// behaviour, so correctness never depends on the lane compiler covering
+	// a construct.
+	useLanes := opts.Lanes > 1 && sim.LanesOK(d, mode)
+	var batch []sim.VecStimulus
+
+	runScalarBatch := func(stims []sim.VecStimulus) (bool, error) {
+		for _, st := range stims {
+			if stop, err := runOne(st); err != nil || stop {
+				return stop, err
+			}
+		}
+		return false, nil
+	}
+
+	flush := func() (bool, error) {
+		stims := batch
+		batch = nil
+		if len(stims) == 0 {
+			return false, nil
+		}
+		ls, err := sim.PackStimuli(stims)
+		if err != nil {
+			return runScalarBatch(stims)
+		}
+		lt, err := sim.RunLanes(d, ls, mode)
+		if err != nil {
+			return runScalarBatch(stims)
+		}
+		lres, err := sva.CheckLanes(lt)
+		if err != nil {
+			return runScalarBatch(stims)
+		}
+		for l, st := range stims {
+			if lres.Failed>>uint(l)&1 == 1 {
+				// Scalar replay of the failing lane; earlier lanes passed and
+				// are already counted, so the stop point matches scalar runs.
+				if stop, err := runOne(st); err != nil || stop {
+					return stop, err
+				}
+				continue // lane engine over-reported; trust the scalar verdict
+			}
+			res.Runs++
+			for name, w := range lres.Attempted {
+				if w>>uint(l)&1 == 1 {
+					attempted[name] = true
+				}
+			}
+		}
+		return false, nil
+	}
+
+	submit := func(stim sim.VecStimulus) (bool, error) {
+		if !useLanes {
+			return runOne(stim)
+		}
+		batch = append(batch, stim)
+		if len(batch) >= opts.Lanes {
+			return flush()
+		}
+		return false, nil
+	}
+
 	finish := func() *Result {
 		for _, a := range d.Asserts {
 			if !attempted[a.Name] {
@@ -171,11 +254,16 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 		seqSpace := uint64(1) << uint(totalBits*freeCycles)
 		for code := uint64(0); code < seqSpace; code++ {
 			stim := ds.decodeSequence(code, opts.Depth, freeCycles)
-			if stop, err := runOne(stim); err != nil {
+			if stop, err := submit(stim); err != nil {
 				return nil, err
 			} else if stop {
 				return finish(), nil
 			}
+		}
+		if stop, err := flush(); err != nil {
+			return nil, err
+		} else if stop {
+			return finish(), nil
 		}
 		return finish(), nil
 	}
@@ -183,18 +271,25 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 	// Strategy 2: directed patterns, constant enumeration, then random.
 	res.Strategy = "directed+random"
 	for _, stim := range ds.directedStimuli(opts.Depth) {
-		if stop, err := runOne(stim); err != nil {
+		if stop, err := submit(stim); err != nil {
 			return nil, err
 		} else if stop {
 			return finish(), nil
 		}
 	}
 	if totalBits > 0 && totalBits <= opts.MaxConstBits {
+		// Drain pending directed stimuli before the strategy label changes:
+		// a failure in them must report "directed+random", as scalar runs do.
+		if stop, err := flush(); err != nil {
+			return nil, err
+		} else if stop {
+			return finish(), nil
+		}
 		res.Strategy = "directed+const+random"
 		space := uint64(1) << uint(totalBits)
 		for code := uint64(0); code < space; code++ {
 			stim := ds.constantStimulus(code, opts.Depth)
-			if stop, err := runOne(stim); err != nil {
+			if stop, err := submit(stim); err != nil {
 				return nil, err
 			} else if stop {
 				return finish(), nil
@@ -204,11 +299,16 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for i := 0; i < opts.RandomRuns; i++ {
 		stim := ds.randomStimulus(rng, opts.Depth)
-		if stop, err := runOne(stim); err != nil {
+		if stop, err := submit(stim); err != nil {
 			return nil, err
 		} else if stop {
 			return finish(), nil
 		}
+	}
+	if stop, err := flush(); err != nil {
+		return nil, err
+	} else if stop {
+		return finish(), nil
 	}
 	return finish(), nil
 }

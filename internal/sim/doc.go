@@ -28,6 +28,33 @@
 // differential tests plus the cross-engine fuzzer hold the two backends
 // identical plane-for-plane.
 //
+// # Lane-parallel execution
+//
+// PlanLanes/RunLanes add a third backend: a bit-sliced,
+// structure-of-arrays engine that advances up to 64 independent stimuli
+// (lanes) per pass. Signals that are one bit wide are packed one lane per
+// bit of a uint64, so a single bitwise word operation evaluates all lanes
+// at once; wider signals and operators with carry or comparison chains
+// fall back to a 64-entry per-lane array evaluated with the same scalar
+// helpers the plan uses. Control flow is predicated: both branches of an
+// if execute under complementary write masks, so a packed batch never
+// branches on data. The four-state domain has its own lane lowering
+// (lanes4.go) applying the shared v4.go per-bit formulas word-wide over
+// paired Val/Unk planes.
+//
+// The contract is byte-identity, not best-effort: LaneTrace.Demux(l) must
+// equal the scalar plan trace of LaneStimulusAt(l) for every lane, and
+// sva.CheckLanes must reproduce the per-lane scalar verdicts. Anything
+// the lane lowering cannot express exactly — and any runtime evaluation
+// error, since predication evaluates a superset of each lane's
+// expressions — is reported as an error for the whole batch, and callers
+// (internal/formal, internal/verify) rerun the batch lane-by-lane on the
+// scalar engine. LanesOK reports lowering support up front; PackStimuli
+// accepts 1..64 stimuli of equal depth and replicates the last lane to
+// fill the word, with ActiveMask masking the padding back out at the API
+// boundary. Results are therefore identical with lanes on or off; only
+// throughput changes.
+//
 // # Value domains
 //
 // Mode selects the semantics; TwoState is the zero value and the default

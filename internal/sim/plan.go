@@ -38,6 +38,14 @@ type Plan struct {
 	// execution pay nothing for it.
 	once4 sync.Once
 	p4    *plan4
+
+	// onceL/pl and onceL4/pl4 hold the lazily-built lane-parallel lowerings
+	// (lanes.go / lanes4.go), cached with the same once-per-plan discipline
+	// so concurrent lane batches share one compiled artifact.
+	onceL  sync.Once
+	pl     *LanePlan
+	onceL4 sync.Once
+	pl4    *lanePlan4
 }
 
 // evalFn evaluates a compiled expression against the machine state.

@@ -1,0 +1,144 @@
+package sva
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/verilog"
+)
+
+// LaneResult summarises checking all assertions against one lane batch.
+// It deliberately carries only what the formal driver needs to stay
+// byte-equivalent with scalar runs: which lanes failed (those are demuxed
+// and replayed on the scalar engine for the full Failure/log detail) and,
+// per assertion, which lanes logged at least one counted (non-vacuous)
+// attempt — formal.Check only records attempted-ness, not counts.
+type LaneResult struct {
+	// Failed has bit l set when lane l failed at least one assertion.
+	Failed uint64
+	// Attempted maps assertion name to the mask of lanes with at least one
+	// counted (pass or fail) attempt.
+	Attempted map[string]uint64
+}
+
+// CheckLanes evaluates every assertion of the batch's design across all
+// lanes at once, running the same bounded attempt automaton as Check but on
+// packed truth words: one word op decides a term for 64 lanes. It returns
+// an error when any property expression was not lane-compiled (or fails to
+// evaluate); callers fall back to demuxing and checking per lane, which
+// reproduces scalar semantics exactly.
+func CheckLanes(lt *sim.LaneTrace) (*LaneResult, error) {
+	n := lt.Len()
+	active := lt.ActiveMask()
+	res := &LaneResult{Attempted: map[string]uint64{}}
+	for _, a := range lt.Design.Asserts {
+		// Resolve each property expression to per-cycle truth words up
+		// front; every start position reuses them.
+		evalAll := func(e verilog.Expr) ([]uint64, error) {
+			fn := lt.CompileLaneBool(e)
+			if fn == nil {
+				return nil, fmt.Errorf("sva: %s is not lane-compiled", verilog.ExprString(e))
+			}
+			tw := make([]uint64, n)
+			for c := 0; c < n; c++ {
+				t, _, err := fn(c)
+				if err != nil {
+					return nil, err
+				}
+				tw[c] = t
+			}
+			return tw, nil
+		}
+		// An x disable condition is not true, so the true-mask alone decides
+		// disabling, matching the scalar checker.
+		var disW []uint64
+		if a.DisableIff != nil {
+			w, err := evalAll(a.DisableIff)
+			if err != nil {
+				return nil, err
+			}
+			disW = w
+		}
+		terms := func(ts []verilog.SeqTerm) ([][]uint64, error) {
+			out := make([][]uint64, len(ts))
+			for i, t := range ts {
+				w, err := evalAll(t.Expr)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = w
+			}
+			return out, nil
+		}
+		anteW, err := terms(a.Seq.Antecedent)
+		if err != nil {
+			return nil, err
+		}
+		consW, err := terms(a.Seq.Consequent)
+		if err != nil {
+			return nil, err
+		}
+
+		var attempted uint64
+		for start := 0; start < n; start++ {
+			// alive tracks lanes whose attempt is still matching; lanes leave
+			// it by being disabled or by a non-matching antecedent term
+			// (vacuous, uncounted) or by failing/passing the consequent.
+			alive := ^uint64(0)
+			cursor := start
+			if a.Seq.Impl != verilog.ImplNone {
+				for i, t := range a.Seq.Antecedent {
+					cursor += t.DelayFromPrev
+					if cursor >= n {
+						alive = 0 // pending: uncounted in every lane
+						break
+					}
+					if disW != nil {
+						alive &^= disW[cursor]
+					}
+					// A false or x antecedent term does not match.
+					alive &= anteW[i][cursor]
+					if alive == 0 {
+						break
+					}
+				}
+				if alive == 0 {
+					continue
+				}
+				if a.Seq.Impl == verilog.ImplNonOverlap {
+					cursor++
+				}
+			}
+			pending := false
+			for i, t := range a.Seq.Consequent {
+				cursor += t.DelayFromPrev
+				if cursor >= n {
+					pending = true
+					break
+				}
+				if disW != nil {
+					alive &^= disW[cursor]
+				}
+				if alive == 0 {
+					break
+				}
+				// A consequent term that is not true (false or x) fails the
+				// attempt in that lane.
+				fail := alive &^ consW[i][cursor]
+				res.Failed |= fail & active
+				attempted |= fail
+				alive &= consW[i][cursor]
+				if alive == 0 {
+					break
+				}
+			}
+			if !pending {
+				attempted |= alive // surviving lanes complete a passing attempt
+			}
+		}
+		if attempted&active != 0 {
+			res.Attempted[a.Name] = attempted & active
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package verify
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/sim"
+)
+
+// TestConcurrentLaneChecks drives lane-mode formal checks through the
+// worker pool from many goroutines (run under -race in CI): the lazily
+// built lane plan must be constructed once per design and shared safely,
+// and lane-mode verdicts must agree with scalar-mode ones for the same
+// source. Mirrors TestConcurrentSingleflight, plus a direct PlanLanes
+// once-per-Design assertion.
+func TestConcurrentLaneChecks(t *testing.T) {
+	// Direct plan-cache check: one Design, many PlanLanes callers, one plan.
+	d, diags, err := compile.Compile(corpus.EdgeDetect().Source())
+	if err != nil || compile.HasErrors(diags) {
+		t.Fatal("fixture broken")
+	}
+	plans := make([]*sim.LanePlan, 32)
+	var wg sync.WaitGroup
+	for i := range plans {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			plans[i] = sim.PlanLanes(d)
+		}()
+	}
+	wg.Wait()
+	if plans[0] == nil {
+		t.Fatal("EdgeDetect has no lane plan")
+	}
+	for i, p := range plans {
+		if p != plans[0] {
+			t.Fatalf("goroutine %d built a different lane plan: %p vs %p", i, p, plans[0])
+		}
+	}
+
+	// Pool check: concurrent lane-mode checks across the corpus, compared
+	// against scalar-mode verdicts of the same sources.
+	svc := New(4)
+	var sources []string
+	for _, bp := range corpus.Catalog() {
+		sources = append(sources, bp.Source())
+		if len(sources) == 6 {
+			break
+		}
+	}
+	scalar := make([]Status, len(sources))
+	for i, src := range sources {
+		v, err := svc.Check(src, nil, Options{Depth: 8, RandomRuns: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar[i] = v.Status
+	}
+	const loops = 8
+	for g := 0; g < loops; g++ {
+		for si := range sources {
+			si := si
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, err := svc.Check(sources[si], nil, Options{Depth: 8, RandomRuns: 4, Lanes: 64})
+				if err != nil {
+					t.Errorf("lane check: %v", err)
+					return
+				}
+				if v.Status != scalar[si] {
+					t.Errorf("source %d: lane status %v, scalar %v", si, v.Status, scalar[si])
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}

@@ -66,6 +66,13 @@ type Options struct {
 	// initialisation-deletion bug classes, which are invisible to the
 	// two-state default.
 	FourState bool
+	// Lanes batches formal stimuli through the lane-parallel simulator
+	// (formal.Options.Lanes): up to Lanes stimuli per run, max 64. Zero (the
+	// default) and one mean scalar mode. Because lane checks are
+	// byte-identical to scalar ones by construction, Lanes still
+	// participates in the cache key — a divergence bug must never let a
+	// lane-mode result satisfy a scalar-mode request, or vice versa.
+	Lanes int
 	// CompileOnly stops after elaboration: the verdict carries the design
 	// but no formal result. Used where a caller needs a compiled design
 	// (e.g. as the golden side of a behavioural diff) without checking it.
@@ -80,6 +87,7 @@ func (o Options) formal() formal.Options {
 		MaxExhaustiveBits: o.MaxExhaustiveBits,
 		MaxConstBits:      o.MaxConstBits,
 		FourState:         o.FourState,
+		Lanes:             o.Lanes,
 	}
 }
 
@@ -331,7 +339,7 @@ func run(src string, assertions []verilog.Item, opts Options) (Verdict, error) {
 // re-parsing the full design, which happens only on a miss).
 func cacheKey(src string, assertions []verilog.Item, opts Options) [sha256.Size]byte {
 	f := opts.formal().Normalized()
-	var meta [8 * 6]byte
+	var meta [8 * 7]byte
 	binary.LittleEndian.PutUint64(meta[0:], uint64(f.Seed))
 	binary.LittleEndian.PutUint64(meta[8:], uint64(f.Depth))
 	binary.LittleEndian.PutUint64(meta[16:], uint64(f.RandomRuns))
@@ -343,6 +351,7 @@ func cacheKey(src string, assertions []verilog.Item, opts Options) [sha256.Size]
 	if f.FourState {
 		meta[41] = 1
 	}
+	binary.LittleEndian.PutUint64(meta[48:], uint64(f.Lanes))
 	h := sha256.New()
 	h.Write(meta[:])
 	h.Write([]byte(src))
