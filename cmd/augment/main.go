@@ -112,6 +112,7 @@ func printStats(st augment.Stats, pt, vbug, svabug, evalMachine, evalHuman int) 
 		st.Compiled, st.CompileFailed, pt)
 	fmt.Printf("Stage 2: %d mutants tried: %d assertion failures, %d functional-only, %d no-ops, %d non-compiling, %d sim errors\n",
 		st.MutantsTried, st.MutantsAssertFail, st.MutantsFuncOnly, st.MutantsNoop, st.MutantsNoncompile, st.MutantsSimError)
+	fmt.Printf("         %d compiling mutants flagged by static analysis\n", st.MutantsLintFlagged)
 	fmt.Printf("Stage 3: %d CoTs generated, %d valid (%.2f%%; paper reports 74.55%%)\n",
 		st.CoTGenerated, st.CoTValid, 100*st.CoTValidity())
 	fmt.Printf("Datasets: Verilog-PT=%d Verilog-Bug=%d SVA-Bug=%d SVA-Eval-Machine=%d SVA-Eval-Human=%d\n\n",

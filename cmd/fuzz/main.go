@@ -1,13 +1,14 @@
 // Command fuzz drives the cross-engine differential fuzzer: it generates
 // -n random programs from -seed — including x/z-bearing literals and
-// deliberately unreset registers — and holds each one to the three
+// deliberately unreset registers — and holds each one to the four
 // oracles (print/parse round-trip, compiled-plan vs reference-interpreter
 // equivalence in both the two-state and the four-state value domain with
 // both planes compared on every trace row, formal counterexample/strategy
-// consistency). Violations are minimized (-minimize) and printed; the
-// exit status is non-zero when any oracle was violated. Programs are
-// checked in parallel across GOMAXPROCS workers; results are reported in
-// seed order.
+// consistency, and lint-vs-sim consistency — static constant/dead-branch/
+// never-reset claims checked against reference traces). Violations are
+// minimized (-minimize) and printed; the exit status is non-zero when any
+// oracle was violated. Programs are checked in parallel across GOMAXPROCS
+// workers; results are reported in seed order.
 package main
 
 import (

@@ -1,0 +1,90 @@
+// Command lint runs the static analyzer over Verilog source files (or,
+// with -corpus, over every golden design in the built-in catalog) and
+// prints the findings. Exit status: 0 when every analyzed design is
+// lint-clean (no finding at warning or above), 1 when any design has a
+// warning-level finding, 2 on usage, read or compile errors. -json emits
+// one JSON object per design instead of compiler-style diagnostics; -info
+// includes info-level findings in the text output (they never affect the
+// exit status).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/lint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lint: ")
+	var (
+		jsonOut   = flag.Bool("json", false, "emit findings as JSON, one object per design")
+		useCorpus = flag.Bool("corpus", false, "lint every golden design in the built-in catalog")
+		showInfo  = flag.Bool("info", false, "print info-level findings too")
+	)
+	flag.Parse()
+
+	if *useCorpus == (flag.NArg() > 0) {
+		fmt.Fprintln(os.Stderr, "usage: lint [-json] [-info] file.v... | lint [-json] [-info] -corpus")
+		os.Exit(2)
+	}
+
+	type unit struct {
+		name string
+		src  string
+	}
+	var units []unit
+	if *useCorpus {
+		for _, b := range corpus.Catalog() {
+			units = append(units, unit{b.Name(), b.Source()})
+		}
+	} else {
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				log.Print(err)
+				os.Exit(2)
+			}
+			units = append(units, unit{path, string(data)})
+		}
+	}
+
+	exit := 0
+	for _, u := range units {
+		res, err := lint.AnalyzeSource(u.src)
+		if err != nil {
+			log.Printf("%s: %v", u.name, err)
+			exit = 2
+			continue
+		}
+		if !lint.Clean(res.Findings) && exit == 0 {
+			exit = 1
+		}
+		if *jsonOut {
+			out := struct {
+				Name     string         `json:"name"`
+				Clean    bool           `json:"clean"`
+				Findings []lint.Finding `json:"findings"`
+			}{u.name, lint.Clean(res.Findings), res.Findings}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				log.Print(err)
+				os.Exit(2)
+			}
+			continue
+		}
+		for _, f := range res.Findings {
+			if f.Severity < lint.Warning && !*showInfo {
+				continue
+			}
+			fmt.Printf("%s: %s\n", u.name, f)
+		}
+	}
+	os.Exit(exit)
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/cot"
 	"repro/internal/dataset"
 	"repro/internal/formal"
+	"repro/internal/lint"
 	"repro/internal/spec"
 	"repro/internal/sva"
 	"repro/internal/verify"
@@ -142,6 +143,13 @@ func (c Config) source(svc *verify.Service) corpus.Source {
 			if err != nil || !v.Passed() || len(v.Vacuous()) != 0 {
 				return false
 			}
+			// Generated goldens must be statically clean too: a golden
+			// with a latent multi-driver, latch or width hazard would
+			// poison every sample derived from it, and the lint-vs-sim
+			// differential suite asserts the whole corpus lints clean.
+			if !lint.Clean(lint.Analyze(v.Design).Findings) {
+				return false
+			}
 			// Generated goldens must also be clean under four-state
 			// checking (every register reset or initialised before any
 			// assertion depends on it), so they are valid targets for the
@@ -170,6 +178,10 @@ type Stats struct {
 	MutantsAssertFail int
 	MutantsFuncOnly   int
 	MutantsSimError   int
+	// MutantsLintFlagged counts compiling mutants the static analyzer
+	// flags at warning level or above — the statically-detectable share of
+	// the injected-bug population (see bugs.SynClass.StaticallyDetectable).
+	MutantsLintFlagged int
 
 	CoTGenerated int
 	CoTValid     int
@@ -190,6 +202,7 @@ func (s *Stats) add(d Stats) {
 	s.MutantsAssertFail += d.MutantsAssertFail
 	s.MutantsFuncOnly += d.MutantsFuncOnly
 	s.MutantsSimError += d.MutantsSimError
+	s.MutantsLintFlagged += d.MutantsLintFlagged
 	s.CoTGenerated += d.CoTGenerated
 	s.CoTValid += d.CoTValid
 }
@@ -548,6 +561,11 @@ type mutOutcome struct {
 	diff    bool
 	diffLog string
 	diffErr error
+	// lintFlagged records whether the static analyzer flags the compiled
+	// mutant at warning level or above. Computed in the parallel phase
+	// (the verdict already carries the compiled design, so lint costs no
+	// extra compile), counted in the sequential phase.
+	lintFlagged bool
 }
 
 // InjectAndValidate runs Stage 2 and Stage 3 for one golden blueprint,
@@ -613,6 +631,9 @@ func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *co
 					checkOpts = opts4
 				}
 				o.verdict, o.err = svc.Check(o.src, nil, checkOpts)
+				if o.verdict.Design != nil {
+					o.lintFlagged = !lint.Clean(lint.Analyze(o.verdict.Design).Findings)
+				}
 				if o.err == nil && o.verdict.Passed() {
 					o.diff, o.diffLog, o.diffErr = formal.Differ(goldenDesign, o.verdict.Design, diffOpts)
 				}
@@ -638,6 +659,9 @@ func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *co
 		if o.verdict.Status == verify.StatusCompileError {
 			stats.MutantsNoncompile++
 			continue
+		}
+		if o.lintFlagged {
+			stats.MutantsLintFlagged++
 		}
 		if o.err != nil {
 			stats.MutantsSimError++

@@ -51,6 +51,32 @@ func ParseSynClass(s string) (SynClass, error) {
 	return 0, fmt.Errorf("bugs: unknown syntactic class %q", s)
 }
 
+// staticallyDetectable records, per class, whether the static analyzer
+// (internal/lint) flags EVERY compiling mutant of that class across the
+// golden corpus at warning severity or above. The corpus goldens are
+// lint-clean, so any such finding is attributable to the injected bug.
+// Reset mutations rewrite a reset-branch assignment to a self-assignment,
+// which no longer establishes a reset — a structural fingerprint the
+// never-reset rule catches unconditionally. Var, Value and Op mutations
+// perturb identifiers, constants and operators inside otherwise
+// well-formed expressions; a minority incidentally trip width or
+// dependency rules (measured 2-7% over the corpus), but the classes as a
+// whole are only caught dynamically, by simulation or formal checking.
+// TestStaticallyDetectable recomputes this table from the corpus, so it
+// cannot silently go stale as rules or families evolve.
+var staticallyDetectable = [...]bool{
+	SynVar:   false,
+	SynValue: false,
+	SynOp:    false,
+	SynReset: true,
+}
+
+// StaticallyDetectable reports whether lint alone suffices to catch every
+// mutant of this class (see staticallyDetectable for the derivation). A
+// repair loop can use this to decide whether a clean lint run rules a
+// suspected bug class out without ever simulating.
+func (c SynClass) StaticallyDetectable() bool { return staticallyDetectable[c] }
+
 // Mutation is one injected bug: the mutated module plus full labelling and
 // the golden/buggy line pair that later forms the dataset "answer".
 type Mutation struct {
@@ -610,53 +636,15 @@ func collectResets(m *verilog.Module) []mutator {
 }
 
 // resetBranchOf returns the branch of an if statement executed while reset
-// is active, or nil when the condition is not a recognisable reset test
-// (the bare reset signal, its !/~ negation, or a ==/!= 0/1 comparison).
+// is active, or nil when the condition is not a recognisable reset test.
+// Reset-branch recognition is shared with the lint never-reset rule through
+// compile.ResetBranch, so the two can never disagree.
 func resetBranchOf(ifs *verilog.If) verilog.Stmt {
-	name, trueWhenZero, ok := resetCondOf(ifs.Cond)
+	branch, ok := compile.ResetBranch(ifs)
 	if !ok {
 		return nil
 	}
-	if resetActiveLow(name) == trueWhenZero {
-		return ifs.Then
-	}
-	return ifs.Else // may be nil: no reset branch to neutralise
-}
-
-func resetCondOf(e verilog.Expr) (name string, trueWhenZero bool, ok bool) {
-	switch x := e.(type) {
-	case *verilog.Ident:
-		return x.Name, false, isResetName(x.Name)
-	case *verilog.Unary:
-		if x.Op != verilog.UnaryLogicalNot && x.Op != verilog.UnaryBitNot {
-			return "", false, false
-		}
-		n, z, ok := resetCondOf(x.X)
-		return n, !z, ok
-	case *verilog.Binary:
-		id, iok := x.X.(*verilog.Ident)
-		num, nok := x.Y.(*verilog.Number)
-		if !iok || !nok || !isResetName(id.Name) {
-			return "", false, false
-		}
-		switch x.Op {
-		case verilog.BinEq, verilog.BinCaseEq:
-			return id.Name, num.Value == 0, true
-		case verilog.BinNe, verilog.BinCaseNe:
-			return id.Name, num.Value != 0, true
-		}
-	}
-	return "", false, false
-}
-
-func isResetName(name string) bool {
-	isReset, _ := compile.ResetNameInfo(name)
-	return isReset
-}
-
-func resetActiveLow(name string) bool {
-	_, activeLow := compile.ResetNameInfo(name)
-	return activeLow
+	return branch
 }
 
 // lhsSignals extracts the base signal names of an assignment target.

@@ -1,0 +1,51 @@
+package bugs_test
+
+import (
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/corpus"
+	"repro/internal/lint"
+	"repro/internal/verilog"
+)
+
+// TestStaticallyDetectable recomputes the staticallyDetectable table from
+// the corpus: a class is statically detectable exactly when lint flags
+// every compiling mutant of the class at warning severity or above. The
+// test is the table's derivation — if a new rule starts catching all Op
+// mutants, or a new family produces a Reset mutant lint misses, this
+// fails and the table (or the rule) must change.
+func TestStaticallyDetectable(t *testing.T) {
+	catalog := corpus.Catalog()
+	if testing.Short() {
+		catalog = catalog[:8]
+	}
+	flagged := map[bugs.SynClass]int{}
+	total := map[bugs.SynClass]int{}
+	for _, b := range catalog {
+		muts := bugs.Enumerate(b.Module, 12)
+		muts = append(muts, bugs.EnumerateResets(b.Module)...)
+		for _, mu := range muts {
+			res, err := lint.AnalyzeSource(verilog.Print(mu.Mutant))
+			if err != nil {
+				continue // non-compiling mutants have no lint verdict
+			}
+			total[mu.Syn]++
+			if !lint.Clean(res.Findings) {
+				flagged[mu.Syn]++
+			}
+		}
+	}
+	for c := bugs.SynVar; c <= bugs.SynReset; c++ {
+		if total[c] == 0 {
+			t.Errorf("%v: no compiling mutants in the corpus sample", c)
+			continue
+		}
+		derived := flagged[c] == total[c]
+		if got := c.StaticallyDetectable(); got != derived {
+			t.Errorf("%v: StaticallyDetectable()=%v but corpus says %v (%d/%d mutants flagged)",
+				c, got, derived, flagged[c], total[c])
+		}
+		t.Logf("%v: %d/%d mutants flagged, detectable=%v", c, flagged[c], total[c], c.StaticallyDetectable())
+	}
+}

@@ -1,0 +1,251 @@
+package compile
+
+import (
+	"repro/internal/verilog"
+)
+
+// DriverKind classifies one driver unit of a signal.
+type DriverKind int
+
+// Driver kinds.
+const (
+	// DriverAssign is a continuous assignment (including wire-decl inits,
+	// which elaborate into continuous assignments).
+	DriverAssign DriverKind = iota
+	// DriverComb is a level-sensitive (combinational) always block.
+	DriverComb
+	// DriverSeq is an edge-sensitive (sequential) always block.
+	DriverSeq
+)
+
+var driverKindNames = [...]string{"assign", "comb always", "seq always"}
+
+// String names the driver kind for diagnostics.
+func (k DriverKind) String() string { return driverKindNames[k] }
+
+// Driver describes one driver unit of a signal. The driver granularity is
+// the one multi-driver analysis cares about: each continuous assignment is
+// its own unit, and each always block is one unit no matter how many
+// statements inside it write the signal.
+type Driver struct {
+	Kind DriverKind
+	// Pos is the driving item's source position.
+	Pos verilog.Pos
+	// Assign is the driving item when Kind is DriverAssign, nil otherwise.
+	Assign *verilog.AssignItem
+	// Always is the driving block when Kind is DriverComb or DriverSeq.
+	Always *verilog.Always
+	// Partial reports that at least one write to the signal in this driver
+	// targets a bit select, part select or concat element rather than the
+	// whole signal.
+	Partial bool
+	// Deps is the set of signal names the driven value depends on through
+	// this driver: identifiers read in any right-hand side assigning the
+	// signal, in any enclosing if condition, case subject or case label on
+	// the path to such an assignment, and in any index or bound expression.
+	// Parameters are excluded.
+	Deps map[string]bool
+}
+
+// Drivers returns the driver units of every driven signal. The map is keyed
+// by signal name; each slice is ordered by the driving item's position in
+// the module (continuous assignments first, then combinational always
+// blocks, then sequential ones), so the result is deterministic for a given
+// design. Initial blocks are not drivers: the simulator honours only their
+// constant register initialisations, which Design.RegInit records.
+func (d *Design) Drivers() map[string][]Driver {
+	out := map[string][]Driver{}
+	for _, as := range d.Assigns {
+		dr := Driver{Kind: DriverAssign, Pos: as.Pos, Assign: as}
+		deps := map[string]bool{}
+		d.exprDeps(as.RHS, deps)
+		d.lhsIndexDeps(as.LHS, deps)
+		dr.Deps = deps
+		for _, t := range lhsTargets(as.LHS) {
+			u := dr
+			u.Partial = t.partial
+			out[t.name] = append(out[t.name], u)
+		}
+	}
+	d.alwaysDrivers(d.CombAlways, DriverComb, out)
+	d.alwaysDrivers(d.SeqAlways, DriverSeq, out)
+	return out
+}
+
+// alwaysDrivers appends one driver unit per (block, driven signal) pair,
+// with dependency sets accumulated per signal across all its write sites in
+// the block.
+func (d *Design) alwaysDrivers(blocks []*verilog.Always, kind DriverKind, out map[string][]Driver) {
+	for _, al := range blocks {
+		type sigAcc struct {
+			partial bool
+			deps    map[string]bool
+		}
+		acc := map[string]*sigAcc{}
+		var order []string
+		record := func(lhs, rhs verilog.Expr, conds []verilog.Expr) {
+			deps := map[string]bool{}
+			d.exprDeps(rhs, deps)
+			d.lhsIndexDeps(lhs, deps)
+			for _, c := range conds {
+				d.exprDeps(c, deps)
+			}
+			for _, t := range lhsTargets(lhs) {
+				a := acc[t.name]
+				if a == nil {
+					a = &sigAcc{deps: map[string]bool{}}
+					acc[t.name] = a
+					order = append(order, t.name)
+				}
+				a.partial = a.partial || t.partial
+				for dep := range deps {
+					a.deps[dep] = true
+				}
+			}
+		}
+		var walk func(s verilog.Stmt, conds []verilog.Expr)
+		walk = func(s verilog.Stmt, conds []verilog.Expr) {
+			switch x := s.(type) {
+			case *verilog.Block:
+				for _, sub := range x.Stmts {
+					walk(sub, conds)
+				}
+			case *verilog.Blocking:
+				record(x.LHS, x.RHS, conds)
+			case *verilog.NonBlocking:
+				record(x.LHS, x.RHS, conds)
+			case *verilog.If:
+				inner := append(conds, x.Cond)
+				walk(x.Then, inner)
+				walk(x.Else, inner)
+			case *verilog.Case:
+				inner := append(conds, x.Subject)
+				for _, item := range x.Items {
+					armConds := inner
+					for _, le := range item.Exprs {
+						armConds = append(armConds, le)
+					}
+					walk(item.Body, armConds)
+				}
+			}
+		}
+		walk(al.Body, nil)
+		for _, name := range order {
+			a := acc[name]
+			out[name] = append(out[name], Driver{
+				Kind: kind, Pos: al.Pos, Always: al,
+				Partial: a.partial, Deps: a.deps,
+			})
+		}
+	}
+}
+
+// exprDeps adds every signal identifier in e to deps (parameters excluded).
+func (d *Design) exprDeps(e verilog.Expr, deps map[string]bool) {
+	verilog.WalkExpr(e, func(sub verilog.Expr) {
+		if id, ok := sub.(*verilog.Ident); ok {
+			if _, isSig := d.Signals[id.Name]; isSig {
+				deps[id.Name] = true
+			}
+		}
+	})
+}
+
+// lhsIndexDeps adds the signals read by an assignment target's index and
+// bound expressions (not the written base signals themselves).
+func (d *Design) lhsIndexDeps(lhs verilog.Expr, deps map[string]bool) {
+	switch x := lhs.(type) {
+	case *verilog.Index:
+		d.exprDeps(x.Idx, deps)
+		d.lhsIndexDeps(x.X, deps)
+	case *verilog.Slice:
+		d.exprDeps(x.Hi, deps)
+		d.exprDeps(x.Lo, deps)
+		d.lhsIndexDeps(x.X, deps)
+	case *verilog.Concat:
+		for _, el := range x.Elems {
+			d.lhsIndexDeps(el, deps)
+		}
+	}
+}
+
+// lhsTarget is one base signal written by an assignment target.
+type lhsTarget struct {
+	name    string
+	partial bool
+}
+
+// lhsTargets resolves an assignment target to its written base signals.
+// Concat elements and bit/part selects are partial writes.
+func lhsTargets(lhs verilog.Expr) []lhsTarget {
+	var out []lhsTarget
+	var walk func(e verilog.Expr, partial bool)
+	walk = func(e verilog.Expr, partial bool) {
+		switch x := e.(type) {
+		case *verilog.Ident:
+			out = append(out, lhsTarget{name: x.Name, partial: partial})
+		case *verilog.Index:
+			walk(x.X, true)
+		case *verilog.Slice:
+			walk(x.X, true)
+		case *verilog.Concat:
+			for _, el := range x.Elems {
+				walk(el, true)
+			}
+		}
+	}
+	walk(lhs, false)
+	return out
+}
+
+// ResetBranch returns the branch of an if statement executed while the reset
+// named in its condition is active, and whether the condition is a
+// recognisable reset test at all (the bare reset signal, its !/~ negation,
+// or a ==/!= 0/1 comparison against it). The returned branch may be nil:
+// a reset test with no else has no branch on the matched polarity. The
+// bug-injection engine and the lint never-reset rule both resolve reset
+// branches through this function, so their notions of "the reset branch"
+// can never disagree.
+func ResetBranch(ifs *verilog.If) (verilog.Stmt, bool) {
+	name, trueWhenZero, ok := resetCond(ifs.Cond)
+	if !ok {
+		return nil, false
+	}
+	_, activeLow := ResetNameInfo(name)
+	if activeLow == trueWhenZero {
+		return ifs.Then, true
+	}
+	return ifs.Else, true
+}
+
+// resetCond decides whether an if condition is a reset test, returning the
+// reset name and whether the condition is true when the signal is zero.
+func resetCond(e verilog.Expr) (name string, trueWhenZero bool, ok bool) {
+	switch x := e.(type) {
+	case *verilog.Ident:
+		isReset, _ := ResetNameInfo(x.Name)
+		return x.Name, false, isReset
+	case *verilog.Unary:
+		if x.Op != verilog.UnaryLogicalNot && x.Op != verilog.UnaryBitNot {
+			return "", false, false
+		}
+		n, z, ok := resetCond(x.X)
+		return n, !z, ok
+	case *verilog.Binary:
+		id, iok := x.X.(*verilog.Ident)
+		num, nok := x.Y.(*verilog.Number)
+		if !iok || !nok {
+			return "", false, false
+		}
+		if isReset, _ := ResetNameInfo(id.Name); !isReset {
+			return "", false, false
+		}
+		switch x.Op {
+		case verilog.BinEq, verilog.BinCaseEq:
+			return id.Name, num.Value == 0, true
+		case verilog.BinNe, verilog.BinCaseNe:
+			return id.Name, num.Value != 0, true
+		}
+	}
+	return "", false, false
+}

@@ -1,5 +1,5 @@
 // Package fuzz is the cross-engine differential fuzzing subsystem: a
-// seeded random-Verilog program generator driven through three oracles
+// seeded random-Verilog program generator driven through four oracles
 // that hold the whole verification stack — parser, printer, compiled
 // simulation plan, reference interpreter, SVA checker and bounded model
 // checker — to account for every program it can express, not just the
@@ -49,6 +49,15 @@
 // assertion at the reported cycle on the reference interpreter, and a
 // Pass from the complete exhaustive-sequences strategy must not be
 // contradicted by any other strategy at the same bound.
+//
+// Lint consistency (LintConsistency): the static analyzer's claims about
+// a compiling program must agree with its simulated behaviour — a
+// lint-proved constant signal holds exactly its proved value on every
+// reference-trace row in both value domains, a proved-dead branch
+// polarity never appears in the recorded branch coverage, a never-reset
+// register starts fully x in four-state runs, and the canonical lint
+// verdict survives a print→parse round trip byte-identically. The
+// analyzer panicking on a valid program is itself a violation.
 //
 // # The minimizer
 //

@@ -74,7 +74,7 @@ func regressionSources(t testing.TB) map[string]string {
 }
 
 // TestRegressionCorpus pins every bug cluster the fuzzer has found: each
-// committed minimized program must pass all three oracles forever.
+// committed minimized program must pass all four oracles forever.
 func TestRegressionCorpus(t *testing.T) {
 	for name, src := range regressionSources(t) {
 		t.Run(strings.TrimSuffix(name, ".v"), func(t *testing.T) {
@@ -197,6 +197,24 @@ func FuzzFormalConsistency(f *testing.F) {
 	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if err := FormalConsistency(GenerateSource(seed), seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzLintConsistency: every static claim the analyzer makes about a
+// generated program (constants, dead branches, never-reset registers,
+// verdict round-trip stability) must agree with its simulated behaviour.
+// The x-saturated stream is the interesting distribution here: x/z
+// literals are exactly where the two value domains fold differently, and
+// lint claims must hold in both.
+func FuzzLintConsistency(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := LintConsistency(GenerateSource(seed), seed); err != nil {
+			t.Fatal(err)
+		}
+		if err := LintConsistency(GenerateSourceXZ(seed), seed); err != nil {
 			t.Fatal(err)
 		}
 	})

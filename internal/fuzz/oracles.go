@@ -16,7 +16,7 @@ import (
 // disagrees with itself.
 type Violation struct {
 	// Oracle names the property that failed: "round-trip",
-	// "engine-equivalence" or "formal-consistency".
+	// "engine-equivalence", "formal-consistency" or "lint".
 	Oracle string
 	// Class is the failure kind within the oracle (e.g. "ast-diff",
 	// "trace", "replay-miss"); the minimizer shrinks while preserving
@@ -391,7 +391,7 @@ func replayCounterexample(src string, res *formal.Result) error {
 // Combined driver entry
 // ---------------------------------------------------------------------------
 
-// Check runs all three oracles over one generated module and returns the
+// Check runs all four oracles over one generated module and returns the
 // first violation, or nil. The seed drives stimulus and formal search.
 func Check(m *verilog.Module, seed int64) error {
 	if err := RoundTrip(m); err != nil {
@@ -401,10 +401,13 @@ func Check(m *verilog.Module, seed int64) error {
 	if err := EngineEquivalence(src, seed); err != nil {
 		return err
 	}
-	return FormalConsistency(src, seed)
+	if err := FormalConsistency(src, seed); err != nil {
+		return err
+	}
+	return LintConsistency(src, seed)
 }
 
-// CheckSource runs all three oracles over program text (parse first). It
+// CheckSource runs all four oracles over program text (parse first). It
 // is the entry the regression corpus and the native fuzz targets share.
 func CheckSource(src string, seed int64) error {
 	if err := RoundTripSource(src); err != nil {
@@ -413,5 +416,8 @@ func CheckSource(src string, seed int64) error {
 	if err := EngineEquivalence(src, seed); err != nil {
 		return err
 	}
-	return FormalConsistency(src, seed)
+	if err := FormalConsistency(src, seed); err != nil {
+		return err
+	}
+	return LintConsistency(src, seed)
 }

@@ -1,0 +1,16 @@
+// Fuzz-found (lint, dead-branch + constant): the analyzer folded
+// conditions and constant sites with the four-state evaluator alone, so
+// expressions whose value genuinely differs between the value domains —
+// $isunknown(1'bx) is 1 four-state but 0 two-state, where x/z digits
+// decode as 0 — produced dead-branch and constant claims the two-state
+// reference run then contradicted. Static folds now require both
+// evaluators to agree on a fully-known value before any claim is made.
+module fz (
+    input clk,
+    output w2
+);
+    reg [30:0] r2;
+    always @(posedge clk)
+        if ($isunknown(1'bx)) r2 <= 0;
+    assign w2 = $isunknown(6'dz);
+endmodule

@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compile"
+	"repro/internal/verilog"
+)
+
+// Severity ranks a finding. A design is "lint-clean" when it has no finding
+// at Warning or above; Info findings are stylistic observations that the
+// corpus quality gate ignores.
+type Severity int
+
+// Severities.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+var severityNames = [...]string{"info", "warning", "error"}
+
+// String names the severity.
+func (s Severity) String() string { return severityNames[s] }
+
+// MarshalJSON renders the severity as its name, so cmd/lint -json output is
+// stable against enum reordering.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Rule identifies which analysis produced a finding.
+type Rule string
+
+// Rules.
+const (
+	// RuleMultiDriver: a signal with more than one driver unit (continuous
+	// assignment or always block).
+	RuleMultiDriver Rule = "multi-driver"
+	// RuleCombLoop: a cycle in the combinational dependency graph.
+	RuleCombLoop Rule = "comb-loop"
+	// RuleLatch: a combinational always block that does not assign a signal
+	// on every path, inferring state the author probably did not want.
+	RuleLatch Rule = "inferred-latch"
+	// RuleNeverReset: a sequential register with no reset assignment and no
+	// initialiser — it starts x in four-state simulation.
+	RuleNeverReset Rule = "never-reset"
+	// RuleWidth: an assignment whose right-hand side cannot fit the target
+	// (truncation, warning) or is narrower than it (extension, info).
+	RuleWidth Rule = "width-mismatch"
+	// RuleConstSignal: a non-parameter signal proved to hold one constant
+	// value in every reachable state.
+	RuleConstSignal Rule = "const-signal"
+	// RuleDeadBranch: an if statement whose condition constant-folds, so one
+	// branch can never execute.
+	RuleDeadBranch Rule = "dead-branch"
+)
+
+// Finding is one lint diagnosis.
+type Finding struct {
+	Rule     Rule
+	Severity Severity
+	// Pos locates the finding (the driving item, block or assignment).
+	// Programmatically built ASTs carry zero positions; parsed sources have
+	// real ones.
+	Pos verilog.Pos
+	// Signal names the affected signal, when the rule is signal-scoped.
+	Signal string
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+// String renders the finding in compiler-diagnostic form.
+func (f Finding) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s: %s", f.Pos, f.Severity, f.Rule)
+	if f.Signal != "" {
+		fmt.Fprintf(&sb, ": %s", f.Signal)
+	}
+	fmt.Fprintf(&sb, ": %s", f.Detail)
+	return sb.String()
+}
+
+// DeadBranch is one structured dead-branch claim: the position of the if
+// statement and which side of it can never execute.
+type DeadBranch struct {
+	Pos verilog.Pos
+	// Then is true when the then-branch is dead (condition constant false),
+	// false when the else-branch is dead (condition constant true).
+	Then bool
+}
+
+// Result carries the findings plus the structured claims the lint-vs-sim
+// differential harness checks dynamically.
+type Result struct {
+	Findings []Finding
+	// Consts maps each lint-proved constant signal to its value (masked to
+	// the signal's width). The differential contract: the signal holds
+	// exactly this value, fully known, on every row of every reference
+	// trace in both value domains.
+	Consts map[string]uint64
+	// Dead lists the proved-dead branches. The differential contract: the
+	// dead polarity's coverage bit stays clear in every instrumented run.
+	Dead []DeadBranch
+	// NeverReset lists the registers flagged by RuleNeverReset. The
+	// differential contract: each starts fully x at cycle 0 of every
+	// four-state reference trace.
+	NeverReset []string
+}
+
+// Clean reports whether the findings contain nothing at Warning or above.
+func Clean(findings []Finding) bool {
+	for _, f := range findings {
+		if f.Severity >= Warning {
+			return false
+		}
+	}
+	return true
+}
+
+// Verdict renders findings in a canonical, position-independent form: one
+// line per finding (rule, severity, signal, detail) in emission order.
+// Positions are excluded deliberately — the verdict must be byte-identical
+// across the print→parse round trip, where positions shift but structure
+// does not. Rules emit in a fixed order and iterate the design
+// deterministically, so emission order is itself structural.
+func Verdict(findings []Finding) string {
+	var sb strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&sb, "%s %s %s: %s\n", f.Severity, f.Rule, f.Signal, f.Detail)
+	}
+	return sb.String()
+}
+
+// analysis is the shared state of one Analyze run.
+type analysis struct {
+	d       *compile.Design
+	drivers map[string][]compile.Driver
+	res     Result
+}
+
+func (a *analysis) addf(rule Rule, sev Severity, pos verilog.Pos, signal, format string, args ...any) {
+	a.res.Findings = append(a.res.Findings, Finding{
+		Rule: rule, Severity: sev, Pos: pos, Signal: signal,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyze runs every rule over an elaborated design. The result is
+// deterministic: rules run in a fixed order and iterate signals in
+// Design.Order and items in module order.
+func Analyze(d *compile.Design) Result {
+	a := &analysis{d: d, drivers: d.Drivers()}
+	a.multiDriver()
+	a.combLoops()
+	a.latches()
+	a.neverReset()
+	a.widths()
+	a.constants() // const signals, then dead branches over the const set
+	return a.res
+}
+
+// AnalyzeSource compiles source text and analyzes the design. Parse and
+// elaboration failures are returned as an error — lint has no verdict on a
+// program the compiler rejects.
+func AnalyzeSource(src string) (Result, error) {
+	d, diags, err := compile.Compile(src)
+	if err != nil {
+		return Result{}, err
+	}
+	if d == nil || compile.HasErrors(diags) {
+		return Result{}, fmt.Errorf("lint: source does not elaborate: %s",
+			strings.TrimSpace(compile.FormatDiags(diags)))
+	}
+	return Analyze(d), nil
+}
+
+// multiDriver flags every signal with more than one driver unit.
+func (a *analysis) multiDriver() {
+	for _, name := range a.d.Order {
+		ds := a.drivers[name]
+		if len(ds) < 2 {
+			continue
+		}
+		kinds := make([]string, len(ds))
+		for i, dr := range ds {
+			kinds[i] = dr.Kind.String()
+		}
+		a.addf(RuleMultiDriver, Warning, ds[1].Pos, name,
+			"driven %d times (%s); last writer wins each settle pass", len(ds), strings.Join(kinds, ", "))
+	}
+}
+
+// combLoops finds strongly connected components of the combinational
+// dependency graph. Sequential drivers break cycles (a register's output is
+// the previous cycle's value), so only assign/comb-always edges count.
+func (a *analysis) combLoops() {
+	// Edges: signal -> each dependency reachable through a combinational
+	// driver. Restricting edges to comb drivers automatically restricts
+	// cycles to comb-driven signals.
+	adj := map[string][]string{}
+	for _, name := range a.d.Order {
+		seen := map[string]bool{}
+		for _, dr := range a.drivers[name] {
+			if dr.Kind == compile.DriverSeq {
+				continue
+			}
+			for _, dep := range a.d.Order { // deterministic dep order
+				if dr.Deps[dep] && !seen[dep] {
+					seen[dep] = true
+					adj[name] = append(adj[name], dep)
+				}
+			}
+		}
+	}
+	for _, scc := range tarjanSCCs(a.d.Order, adj) {
+		if len(scc) == 1 {
+			self := false
+			for _, dep := range adj[scc[0]] {
+				if dep == scc[0] {
+					self = true
+				}
+			}
+			if !self {
+				continue
+			}
+		}
+		pos := verilog.Pos{}
+		if ds := a.drivers[scc[0]]; len(ds) > 0 {
+			pos = ds[0].Pos
+		}
+		a.addf(RuleCombLoop, Warning, pos, scc[0],
+			"combinational loop through %s", strings.Join(scc, " -> "))
+	}
+}
+
+// tarjanSCCs returns the strongly connected components of the graph in a
+// deterministic order (by lowest Design.Order index of the component's
+// members), each component's members listed in Design.Order.
+func tarjanSCCs(order []string, adj map[string][]string) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	orderIdx := map[string]int{}
+	for i, n := range order {
+		orderIdx[n] = i
+	}
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sortByIndex(comp, orderIdx)
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	sortSCCs(sccs, orderIdx)
+	return sccs
+}
+
+func sortByIndex(names []string, idx map[string]int) {
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && idx[names[j]] < idx[names[j-1]]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+}
+
+func sortSCCs(sccs [][]string, idx map[string]int) {
+	for i := 1; i < len(sccs); i++ {
+		for j := i; j > 0 && idx[sccs[j][0]] < idx[sccs[j-1][0]]; j-- {
+			sccs[j], sccs[j-1] = sccs[j-1], sccs[j]
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// testdata holds one positive and one negative design per rule; the
+// positive must trigger the rule (on the expected signal, when the rule is
+// signal-scoped) and the negative must not.
+func TestRulesOnTestdata(t *testing.T) {
+	cases := []struct {
+		file   string
+		rule   lint.Rule
+		want   bool
+		signal string // expected Finding.Signal on positives ("" = don't care)
+	}{
+		{"multi_driver_pos.v", lint.RuleMultiDriver, true, "y"},
+		{"multi_driver_neg.v", lint.RuleMultiDriver, false, ""},
+		{"comb_loop_pos.v", lint.RuleCombLoop, true, ""},
+		{"comb_loop_neg.v", lint.RuleCombLoop, false, ""},
+		{"latch_pos.v", lint.RuleLatch, true, "q"},
+		{"latch_neg.v", lint.RuleLatch, false, ""},
+		{"never_reset_pos.v", lint.RuleNeverReset, true, "q"},
+		{"never_reset_neg.v", lint.RuleNeverReset, false, ""},
+		{"width_pos.v", lint.RuleWidth, true, "y"},
+		{"width_neg.v", lint.RuleWidth, false, ""},
+		{"const_signal_pos.v", lint.RuleConstSignal, true, "sel"},
+		{"const_signal_neg.v", lint.RuleConstSignal, false, ""},
+		{"dead_branch_pos.v", lint.RuleDeadBranch, true, ""},
+		{"dead_branch_neg.v", lint.RuleDeadBranch, false, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := lint.AnalyzeSource(string(data))
+			if err != nil {
+				t.Fatalf("AnalyzeSource: %v", err)
+			}
+			var hits []lint.Finding
+			for _, f := range res.Findings {
+				if f.Rule == tc.rule {
+					hits = append(hits, f)
+				}
+			}
+			if tc.want && len(hits) == 0 {
+				t.Fatalf("rule %s did not fire; findings:\n%s", tc.rule, lint.Verdict(res.Findings))
+			}
+			if !tc.want && len(hits) > 0 {
+				t.Fatalf("rule %s fired on the negative: %v", tc.rule, hits)
+			}
+			if tc.want && tc.signal != "" {
+				found := false
+				for _, f := range hits {
+					if f.Signal == tc.signal {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("rule %s fired but not on %s: %v", tc.rule, tc.signal, hits)
+				}
+			}
+		})
+	}
+}
+
+// The positive fixtures also pin the structured claims the differential
+// harness consumes.
+func TestStructuredClaims(t *testing.T) {
+	src := func(name string) string {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	res, err := lint.AnalyzeSource(src("const_signal_pos.v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Consts["sel"]; got != 3 {
+		t.Errorf("Consts[sel] = %d, want 3 (MODE+1)", got)
+	}
+	if got := res.Consts["limit"]; got != 0x30 {
+		t.Errorf("Consts[limit] = %#x, want 0x30 ({sel, 4'd0})", got)
+	}
+
+	res, err = lint.AnalyzeSource(src("dead_branch_pos.v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dead) != 1 || !res.Dead[0].Then {
+		t.Errorf("Dead = %+v, want exactly one dead then-branch", res.Dead)
+	}
+
+	res, err = lint.AnalyzeSource(src("never_reset_pos.v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NeverReset) != 1 || res.NeverReset[0] != "q" {
+		t.Errorf("NeverReset = %v, want [q]", res.NeverReset)
+	}
+}
+
+// Severity policy: a never-reset register is a warning only when the
+// design actually has a reset input to use; const-signal and extension
+// notes are informational and must not break cleanliness.
+func TestSeverityPolicy(t *testing.T) {
+	noReset := `module m (
+    input clk,
+    input d,
+    output reg q
+);
+    always @(posedge clk)
+        q <= d;
+endmodule
+`
+	res, err := lint.AnalyzeSource(noReset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lint.Clean(res.Findings) {
+		t.Errorf("reset-less design should be lint-clean, got:\n%s", lint.Verdict(res.Findings))
+	}
+	found := false
+	for _, f := range res.Findings {
+		if f.Rule == lint.RuleNeverReset && f.Severity == lint.Info {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want an info-level never-reset note, got:\n%s", lint.Verdict(res.Findings))
+	}
+}
+
+// Verdict must exclude positions (it is compared across reprints, where
+// positions shift) and render one line per finding.
+func TestVerdictShape(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "width_pos.v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lint.AnalyzeSource(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := lint.Verdict(res.Findings)
+	if strings.Count(v, "\n") != len(res.Findings) {
+		t.Errorf("verdict line count %d != %d findings:\n%s", strings.Count(v, "\n"), len(res.Findings), v)
+	}
+	if strings.Contains(v, ":7:") || strings.Contains(v, "7:5") {
+		t.Errorf("verdict leaks positions:\n%s", v)
+	}
+}

@@ -1,0 +1,15 @@
+// negative: the feedback path crosses a register, which breaks the cycle
+module comb_loop_neg (
+    input clk,
+    input rst_n,
+    input a,
+    output y
+);
+    reg q;
+    wire d;
+    assign d = q ^ a;
+    assign y = q;
+    always @(posedge clk or negedge rst_n)
+        if (!rst_n) q <= 1'b0;
+        else q <= d;
+endmodule

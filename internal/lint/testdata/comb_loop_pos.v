@@ -1,0 +1,9 @@
+// positive: b -> y -> b combinational cycle
+module comb_loop_pos (
+    input a,
+    output y
+);
+    wire b;
+    assign b = y ^ a;
+    assign y = b;
+endmodule

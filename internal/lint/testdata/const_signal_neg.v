@@ -1,0 +1,9 @@
+// negative: everything depends on an input
+module const_signal_neg (
+    input [7:0] a,
+    output [7:0] y
+);
+    wire [7:0] t;
+    assign t = a + 8'd1;
+    assign y = t;
+endmodule

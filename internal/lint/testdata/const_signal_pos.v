@@ -1,0 +1,12 @@
+// positive: sel folds to a parameter constant and limit propagates from it
+module const_signal_pos (
+    input [7:0] a,
+    output [7:0] y
+);
+    parameter MODE = 2;
+    wire [3:0] sel;
+    wire [7:0] limit;
+    assign sel = MODE + 4'd1;
+    assign limit = {sel, 4'd0};
+    assign y = a & limit;
+endmodule

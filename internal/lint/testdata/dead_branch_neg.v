@@ -1,0 +1,11 @@
+// negative: the branch depends on a live input
+module dead_branch_neg (
+    input clk,
+    input en,
+    input [3:0] d,
+    output reg [3:0] q
+);
+    always @(posedge clk)
+        if (en) q <= d;
+        else q <= 4'd0;
+endmodule

@@ -1,0 +1,11 @@
+// positive: WIDE is 0, so the wide branch can never execute
+module dead_branch_pos (
+    input clk,
+    input [3:0] d,
+    output reg [3:0] q
+);
+    parameter WIDE = 0;
+    always @(posedge clk)
+        if (WIDE) q <= d + 4'd2;
+        else q <= d;
+endmodule

@@ -1,0 +1,10 @@
+// negative: q is assigned on both branches, purely combinational
+module latch_neg (
+    input en,
+    input d,
+    output reg q
+);
+    always @(*)
+        if (en) q = d;
+        else q = 1'b0;
+endmodule

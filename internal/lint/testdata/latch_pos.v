@@ -1,0 +1,9 @@
+// positive: q keeps its old value when en is low — an inferred latch
+module latch_pos (
+    input en,
+    input d,
+    output reg q
+);
+    always @(*)
+        if (en) q = d;
+endmodule

@@ -1,0 +1,9 @@
+// negative: every signal has exactly one driver
+module multi_driver_neg (
+    input a,
+    output y
+);
+    wire t;
+    assign t = ~a;
+    assign y = t;
+endmodule

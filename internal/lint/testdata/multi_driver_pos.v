@@ -1,0 +1,8 @@
+// positive: y has two continuous-assignment drivers
+module multi_driver_pos (
+    input a,
+    output y
+);
+    assign y = a;
+    assign y = ~a;
+endmodule

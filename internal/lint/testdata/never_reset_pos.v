@@ -1,0 +1,11 @@
+// positive: the design has a reset input, but q ignores it and has no
+// initialiser — it starts x in four-state simulation
+module never_reset_pos (
+    input clk,
+    input rst_n,
+    input d,
+    output reg q
+);
+    always @(posedge clk)
+        q <= d;
+endmodule

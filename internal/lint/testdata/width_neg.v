@@ -1,0 +1,8 @@
+// negative: widths line up (the modulo bounds the sum back into range)
+module width_neg (
+    input [3:0] a,
+    input [3:0] b,
+    output [3:0] y
+);
+    assign y = (a + b) % 4'd13;
+endmodule

@@ -1,0 +1,8 @@
+// positive: an 8-bit sum is squeezed into a 4-bit target
+module width_pos (
+    input [7:0] a,
+    input [7:0] b,
+    output [3:0] y
+);
+    assign y = a + b;
+endmodule

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"math/bits"
+
+	"repro/internal/compile"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+)
+
+// widths checks every assignment (continuous and procedural) for a
+// right-hand side wider than its target (truncation, Warning) or narrower
+// (implicit zero-extension, Info). Unsized literals are measured by their
+// minimum bit count rather than the 32 bits self-determination assigns
+// them, and narrow unsized literals never trigger the extension note —
+// `x <= 0` is idiomatic, not a mismatch.
+func (a *analysis) widths() {
+	env := paramEnv{a.d}
+	check := func(pos verilog.Pos, lhs, rhs verilog.Expr) {
+		lw, ok := a.lhsWidth(lhs)
+		if !ok {
+			return
+		}
+		rw, exact := effWidth(rhs, env)
+		if rw <= 0 {
+			return
+		}
+		name := ""
+		if id, isIdent := lhs.(*verilog.Ident); isIdent {
+			name = id.Name
+		}
+		if rw > lw {
+			a.addf(RuleWidth, Warning, pos, name,
+				"%d-bit expression assigned to %d-bit target (truncated)", rw, lw)
+			return
+		}
+		if _, isNum := rhs.(*verilog.Number); isNum {
+			return // literals size themselves to the target
+		}
+		if exact && rw < lw {
+			a.addf(RuleWidth, Info, pos, name,
+				"%d-bit expression assigned to %d-bit target (zero-extended)", rw, lw)
+		}
+	}
+	for _, as := range a.d.Assigns {
+		check(as.Pos, as.LHS, as.RHS)
+	}
+	procs := append(append([]*verilog.Always{}, a.d.CombAlways...), a.d.SeqAlways...)
+	for _, al := range procs {
+		verilog.WalkStmt(al.Body, func(s verilog.Stmt) {
+			switch x := s.(type) {
+			case *verilog.Blocking:
+				check(x.Pos, x.LHS, x.RHS)
+			case *verilog.NonBlocking:
+				check(x.Pos, x.LHS, x.RHS)
+			}
+		})
+	}
+}
+
+// lhsWidth computes the bit width of an assignment target.
+func (a *analysis) lhsWidth(lhs verilog.Expr) (int, bool) {
+	switch x := lhs.(type) {
+	case *verilog.Ident:
+		if sig, ok := a.d.Signals[x.Name]; ok {
+			return sig.Width, true
+		}
+	case *verilog.Index:
+		return 1, true
+	case *verilog.Slice:
+		hi, okH := a.constInt(x.Hi)
+		lo, okL := a.constInt(x.Lo)
+		if okH && okL && hi >= lo {
+			return int(hi-lo) + 1, true
+		}
+	case *verilog.Concat:
+		total := 0
+		for _, el := range x.Elems {
+			w, ok := a.lhsWidth(el)
+			if !ok {
+				return 0, false
+			}
+			total += w
+		}
+		return total, true
+	}
+	return 0, false
+}
+
+// constInt folds a parameter-level constant expression.
+func (a *analysis) constInt(e verilog.Expr) (uint64, bool) {
+	v, err := sim.Eval(e, paramEnv{a.d})
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// paramEnv resolves parameter values and signal widths but no signal
+// values — the environment for fold-time constants such as slice bounds
+// and replication counts, and for effWidth.
+type paramEnv struct{ d *compile.Design }
+
+func (e paramEnv) Value(name string) (uint64, bool) {
+	v, ok := e.d.Params[name]
+	return v, ok
+}
+
+func (e paramEnv) Width(name string) int {
+	if sig, ok := e.d.Signals[name]; ok {
+		return sig.Width
+	}
+	return 0
+}
+
+// minBits is the minimum width that can represent v (at least 1).
+func minBits(v uint64) int {
+	if n := bits.Len64(v); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// effWidth estimates the effective width of an expression for mismatch
+// checking. It differs from sim.ExprWidth in two ways: unsized literals
+// count their minimum bits instead of 32, and the second return value
+// reports whether the estimate is exact (false for shifts and other
+// shapes whose true width depends on runtime values, which suppresses the
+// low-signal extension note but still allows the truncation warning — a
+// shift can only widen the uncertainty upward from its operand).
+func effWidth(e verilog.Expr, env sim.Env) (int, bool) {
+	switch x := e.(type) {
+	case *verilog.Number:
+		if x.Width > 0 {
+			return x.Width, true
+		}
+		return minBits(x.Value | x.Unknown()), true
+	case *verilog.Ident:
+		if w := env.Width(x.Name); w > 0 {
+			return w, true
+		}
+		if v, ok := env.Value(x.Name); ok {
+			return minBits(v), true
+		}
+		return 0, false
+	case *verilog.Unary:
+		switch x.Op {
+		case verilog.UnaryLogicalNot, verilog.UnaryRedAnd, verilog.UnaryRedOr,
+			verilog.UnaryRedXor, verilog.UnaryRedXnor:
+			return 1, true
+		}
+		return effWidth(x.X, env)
+	case *verilog.Binary:
+		switch x.Op {
+		case verilog.BinLogAnd, verilog.BinLogOr,
+			verilog.BinEq, verilog.BinNe, verilog.BinCaseEq, verilog.BinCaseNe,
+			verilog.BinLt, verilog.BinLe, verilog.BinGt, verilog.BinGe:
+			return 1, true
+		case verilog.BinShl, verilog.BinShr, verilog.BinAShr:
+			w, _ := effWidth(x.X, env)
+			return w, false
+		case verilog.BinMod:
+			// a % b with constant b is bounded below b, whatever a's width;
+			// `(ptr + d) % N` into a ceil(log2 N)-bit pointer is idiomatic.
+			if m, err := sim.Eval(x.Y, env); err == nil && m > 0 {
+				return minBits(m - 1), true
+			}
+		}
+		wx, okX := effWidth(x.X, env)
+		wy, okY := effWidth(x.Y, env)
+		if wx < wy {
+			wx, okX = wy, okY && okX
+		} else {
+			okX = okX && okY
+		}
+		return wx, okX
+	case *verilog.Ternary:
+		wx, okX := effWidth(x.X, env)
+		wy, okY := effWidth(x.Y, env)
+		if wx < wy {
+			wx = wy
+		}
+		return wx, okX && okY
+	case *verilog.Index:
+		return 1, true
+	case *verilog.Slice:
+		hi, errH := sim.Eval(x.Hi, env)
+		lo, errL := sim.Eval(x.Lo, env)
+		if errH == nil && errL == nil && hi >= lo {
+			return int(hi-lo) + 1, true
+		}
+		return 0, false
+	case *verilog.Concat:
+		total := 0
+		exact := true
+		for _, el := range x.Elems {
+			w, ok := effWidth(el, env)
+			if w <= 0 {
+				return 0, false
+			}
+			total += w
+			exact = exact && ok
+		}
+		return total, exact
+	case *verilog.Repl:
+		n, err := sim.Eval(x.Count, env)
+		if err != nil {
+			return 0, false
+		}
+		w, ok := effWidth(x.Elem, env)
+		if w <= 0 {
+			return 0, false
+		}
+		return int(n) * w, ok
+	}
+	return 0, false // calls and anything unmodelled: no claim
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/verilog"
+)
+
+// Branch polarity bits recorded by the reference interpreter's branch
+// instrumentation: which side of an if statement actually executed.
+const (
+	BranchThen uint8 = 1 << iota
+	BranchElse
+)
+
+// BranchCoverage maps the source position of each executed if statement to
+// the polarity bits taken over a run. An if whose condition never evaluated
+// (dead enclosing code, or the design never settled) has no entry. Positions
+// are the keys, so coverage is only meaningful for designs parsed from
+// source, where every statement carries a distinct position; in
+// programmatically built ASTs all positions are zero and distinct ifs would
+// alias one entry.
+type BranchCoverage map[verilog.Pos]uint8
+
+// branchBit converts an evaluated if condition into its polarity bit,
+// mirroring the interpreter's branch choice (an x condition takes else).
+func branchBit(c V4) uint8 {
+	if c.IsTrue() {
+		return BranchThen
+	}
+	return BranchElse
+}
+
+// RecordBranches enables branch-polarity recording on the simulator.
+// Combinational polarities are counted only from each settle call's final,
+// converged iteration: a polarity taken transiently while the comb fixpoint
+// was still propagating is an artifact of evaluation order, not of the
+// settled circuit, and would falsely contradict a statically-proved dead
+// branch. Call before driving any cycles; the constructor's initial settle
+// happens before recording can be enabled and is not covered.
+func (s *Simulator) RecordBranches() {
+	s.branches = BranchCoverage{}
+	s.branchScratch = map[verilog.Pos]uint8{}
+}
+
+// Branches returns the accumulated branch coverage (nil unless
+// RecordBranches was called).
+func (s *Simulator) Branches() BranchCoverage { return s.branches }
+
+// RunReferenceBranches simulates the design on the reference interpreter in
+// the given value domain with branch recording enabled, returning the
+// sampled trace and the if-statement polarity coverage of the whole run. It
+// is the dynamic half of the lint-vs-sim dead-branch contract: a branch the
+// analyzer proved dead must have its polarity bit clear in the returned
+// coverage.
+func RunReferenceBranches(d *compile.Design, stim Stimulus, mode Mode) (*Trace, BranchCoverage, error) {
+	s, err := NewMode(d, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.RecordBranches()
+	tr := &Trace{Design: d, rows: make([][]uint64, 0, len(stim))}
+	if mode == FourState {
+		tr.unks = make([][]uint64, 0, len(stim))
+	}
+	for i, cyc := range stim {
+		for name, v := range cyc {
+			if err := s.SetInput(name, v); err != nil {
+				return nil, nil, fmt.Errorf("cycle %d: %w", i, err)
+			}
+		}
+		if err := s.Settle(); err != nil {
+			return nil, nil, fmt.Errorf("cycle %d: %w", i, err)
+		}
+		tr.rows = append(tr.rows, s.snapshotRow())
+		if tr.unks != nil {
+			tr.unks = append(tr.unks, s.snapshotUnkRow())
+		}
+		if err := s.Edge(); err != nil {
+			return nil, nil, fmt.Errorf("cycle %d: %w", i, err)
+		}
+	}
+	return tr, s.Branches(), nil
+}

@@ -28,6 +28,13 @@ type Simulator struct {
 	unks   map[string]uint64 // nil in TwoState mode
 	clock  string
 	reset  compile.ResetInfo
+	// branches accumulates which polarity of each if statement executed
+	// (nil unless RecordBranches enabled it). Sequential blocks record
+	// directly; combinational blocks record through branchScratch, which
+	// settle merges only from its final, converged iteration so transient
+	// polarities taken while the fixpoint was still moving are not counted.
+	branches      BranchCoverage
+	branchScratch map[verilog.Pos]uint8
 }
 
 // New creates a two-state simulator with registers at their declared
@@ -161,6 +168,9 @@ func (e simEnv) Width(name string) int {
 func (s *Simulator) settle() error {
 	env := simEnv{s: s}
 	for iter := 0; iter < maxCombIterations; iter++ {
+		if s.branchScratch != nil {
+			clear(s.branchScratch)
+		}
 		changed := false
 		for _, as := range s.design.Assigns {
 			v, err := s.eval(as.RHS, env)
@@ -191,6 +201,9 @@ func (s *Simulator) settle() error {
 			}
 		}
 		if !changed {
+			for pos, bits := range s.branchScratch {
+				s.branches[pos] |= bits
+			}
 			return nil
 		}
 	}
@@ -321,6 +334,9 @@ func (s *Simulator) exec(stmt verilog.Stmt, updates map[string]V4) error {
 		c, err := s.eval(x.Cond, env)
 		if err != nil {
 			return err
+		}
+		if s.branchScratch != nil {
+			s.branchScratch[x.Pos] |= branchBit(c)
 		}
 		// An x condition is treated as false (IEEE 1364 §9.4).
 		if c.IsTrue() {
@@ -468,6 +484,11 @@ func (s *Simulator) execSeq(stmt verilog.Stmt, commit, blocking map[string]V4) e
 		c, err := s.eval(x.Cond, env)
 		if err != nil {
 			return err
+		}
+		if s.branches != nil {
+			// Pre-edge values are stable, so sequential polarities are
+			// recorded directly (no scratch/merge needed).
+			s.branches[x.Pos] |= branchBit(c)
 		}
 		if c.IsTrue() {
 			return s.execSeq(x.Then, commit, blocking)
