@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -414,65 +415,143 @@ func writeSimBenchJSON() {
 	_ = os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-// BenchmarkAugmentPipeline measures end-to-end corpus generation: the
-// procedural generator feeding the streaming Stage 1-3 pipeline, at
-// reduced scale. Each completed run rewrites BENCH_augment.json so the
-// repo carries a machine-readable generation-throughput trajectory
-// alongside the simulator one.
+// BenchmarkAugmentPipeline measures the data-pipeline figures of merit:
+// end-to-end corpus generation (the procedural generator feeding the
+// streaming Stage 1-3 pipeline, at reduced scale) and dataset
+// serialisation throughput in each sharded on-disk format (write plus
+// read-back of the fixture sample set). Each completed sub-benchmark
+// rewrites its block in BENCH_augment.json so the repo carries a
+// machine-readable trajectory alongside the simulator one; the pinned
+// baseline blocks are never touched.
 func BenchmarkAugmentPipeline(b *testing.B) {
-	const gen = 16
-	var designs, samples int
-	for i := 0; i < b.N; i++ {
-		out, err := augment.Run(augment.Config{
-			Seed:               211,
-			Generate:           gen,
-			MutationsPerDesign: 4,
-			RandomRuns:         6,
+	b.Run("generate", func(b *testing.B) {
+		const gen = 16
+		var designs, samples int
+		for i := 0; i < b.N; i++ {
+			out, err := augment.Run(augment.Config{
+				Seed:               211,
+				Generate:           gen,
+				MutationsPerDesign: 4,
+				RandomRuns:         6,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			designs = out.Stats.Compiled
+			samples = len(out.SVABug) + len(out.SVAEvalMachine)
+		}
+		elapsed := b.Elapsed().Seconds()
+		designsPerSec := float64(designs*b.N) / elapsed
+		samplesPerSec := float64(samples*b.N) / elapsed
+		b.ReportMetric(float64(designs), "designs")
+		b.ReportMetric(designsPerSec, "designs/s")
+		b.ReportMetric(samplesPerSec, "samples/s")
+		writeAugmentBenchJSON("generate", map[string]float64{
+			"designs":       float64(designs),
+			"sva_samples":   float64(samples),
+			"designs_per_s": math.Round(designsPerSec*100) / 100,
+			"samples_per_s": math.Round(samplesPerSec*100) / 100,
 		})
+	})
+	b.Run("serialize_jsonl", func(b *testing.B) { benchSerialize(b, "jsonl") })
+	b.Run("serialize_bin", func(b *testing.B) { benchSerialize(b, "bin") })
+}
+
+// benchSerialize measures one round of writing the fixture sample set
+// as 4 shards and streaming it back — the full serialisation cost a
+// training run pays — reporting samples/s, on-disk bytes per sample and
+// heap allocations per round.
+func benchSerialize(b *testing.B, format string) {
+	f := getFixture(b)
+	samples := append(append([]dataset.SVASample{}, f.out.SVABug...), f.out.SVAEvalMachine...)
+	if len(samples) == 0 {
+		b.Fatal("empty fixture")
+	}
+	dir := b.TempDir()
+	round := func() []string {
+		var w interface {
+			Write(v any) error
+			Paths() []string
+			Close() error
+		}
+		var err error
+		if format == "bin" {
+			w, err = dataset.NewBinWriter(dir, "bench", 4)
+		} else {
+			w, err = dataset.NewShardedWriter(dir, "bench", 4)
+		}
 		if err != nil {
 			b.Fatal(err)
 		}
-		designs = out.Stats.Compiled
-		samples = len(out.SVABug) + len(out.SVAEvalMachine)
+		for j := range samples {
+			if err := w.Write(&samples[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		got, err := dataset.ReadShards[dataset.SVASample](w.Paths())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(samples) {
+			b.Fatalf("read %d of %d samples back", len(got), len(samples))
+		}
+		return w.Paths()
 	}
-	elapsed := b.Elapsed().Seconds()
-	designsPerSec := float64(designs*b.N) / elapsed
-	samplesPerSec := float64(samples*b.N) / elapsed
-	b.ReportMetric(float64(designs), "designs")
-	b.ReportMetric(designsPerSec, "designs/s")
+	var paths []string
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths = round()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	var onDisk int64
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		onDisk += st.Size()
+	}
+	samplesPerSec := float64(len(samples)*b.N) / b.Elapsed().Seconds()
+	bytesPerSample := float64(onDisk) / float64(len(samples))
+	allocsPerOp := float64(m1.Mallocs-m0.Mallocs) / float64(b.N)
 	b.ReportMetric(samplesPerSec, "samples/s")
-	writeAugmentBenchJSON(map[string]float64{
-		"designs":       float64(designs),
-		"sva_samples":   float64(samples),
-		"designs_per_s": math.Round(designsPerSec*100) / 100,
-		"samples_per_s": math.Round(samplesPerSec*100) / 100,
+	b.ReportMetric(bytesPerSample, "B/sample")
+	b.ReportMetric(allocsPerOp, "allocs/op")
+	writeAugmentBenchJSON("serialize_"+format, map[string]float64{
+		"samples_per_s":    math.Round(samplesPerSec),
+		"bytes_per_sample": math.Round(bytesPerSample),
+		"allocs_per_op":    math.Round(allocsPerOp),
 	})
 }
 
-// writeAugmentBenchJSON merges the session's generation-throughput figures
-// into BENCH_augment.json, mirroring the BENCH_sim.json convention.
-func writeAugmentBenchJSON(cur map[string]float64) {
+// writeAugmentBenchJSON merges one sub-benchmark's figures into its
+// named block of BENCH_augment.json's "current" section, mirroring the
+// BENCH_sim.json convention: "baseline" blocks are pinned by hand and
+// never rewritten, so the current-vs-baseline trajectory stays visible
+// across PRs.
+func writeAugmentBenchJSON(name string, cur map[string]float64) {
 	const path = "BENCH_augment.json"
 	doc := struct {
-		Note    string             `json:"note"`
-		Current map[string]float64 `json:"current"`
+		Note     string                        `json:"note"`
+		Baseline map[string]map[string]float64 `json:"baseline"`
+		Current  map[string]map[string]float64 `json:"current"`
 	}{}
 	if raw, err := os.ReadFile(path); err == nil {
 		if json.Unmarshal(raw, &doc) != nil {
 			return // unrecognised file; leave it alone
 		}
 	}
-	if doc.Note == "" {
-		doc.Note = "end-to-end augmentation throughput of BenchmarkAugmentPipeline " +
-			"(catalog + 16 generated designs, 4 mutations/design, 6 random runs); " +
-			"regenerate with: go test -run NONE -bench BenchmarkAugmentPipeline -benchtime 1x ."
-	}
 	if doc.Current == nil {
-		doc.Current = map[string]float64{}
+		doc.Current = map[string]map[string]float64{}
 	}
-	for k, v := range cur {
-		doc.Current[k] = v
-	}
+	doc.Current[name] = cur
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return

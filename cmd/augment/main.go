@@ -8,15 +8,19 @@
 //	sva_eval_machine.json - held-out machine benchmark
 //	sva_eval_human.json   - the 38 hand-crafted human cases
 //
-// With -jsonl each dataset is written as -shards streaming JSONL shard
-// files (<name>-00000.jsonl, ...) instead of one monolithic JSON array;
-// the pipeline then streams straight to disk and memory stays flat no
-// matter how large -n gets. cmd/train reads either format.
+// With -format jsonl or -format bin each dataset is written as -shards
+// streaming shard files (<name>-00000.jsonl or .bin) instead of one
+// monolithic JSON array; the pipeline then streams straight to disk and
+// memory stays flat no matter how large -n gets. The bin format is the
+// compact binary container of internal/dataset/binfmt (interned strings,
+// packed traces, per-shard random-access index). cmd/train autodetects
+// whichever format was produced.
 //
 // It prints pipeline statistics and the Table II distribution.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +29,7 @@ import (
 
 	"repro/internal/augment"
 	"repro/internal/dataset"
+	"repro/internal/dataset/binfmt"
 )
 
 func main() {
@@ -37,11 +42,30 @@ func main() {
 		mutCap    = flag.Int("mutations", 0, "cap mutations per design (0 = per-bin defaults)")
 		genN      = flag.Int("n", 0, "procedurally generated designs added to the fixed catalog")
 		workers   = flag.Int("workers", 0, "concurrent stage-2/3 designs (0 = GOMAXPROCS; output is identical for any value)")
-		jsonl     = flag.Bool("jsonl", false, "write streaming JSONL shards instead of monolithic JSON")
-		shards    = flag.Int("shards", 4, "shard files per dataset with -jsonl")
+		format    = flag.String("format", "json", "output format: json (monolithic), jsonl (sharded text), bin (sharded binary)")
+		jsonl     = flag.Bool("jsonl", false, "deprecated alias for -format jsonl")
+		shards    = flag.Int("shards", 4, "shard files per dataset with -format jsonl|bin")
 		statsOnly = flag.Bool("stats", false, "print statistics only, write nothing")
 	)
 	flag.Parse()
+
+	formatSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "format" {
+			formatSet = true
+		}
+	})
+	if *jsonl {
+		if formatSet && *format != "jsonl" {
+			log.Fatalf("-jsonl contradicts -format %s (drop the deprecated -jsonl flag)", *format)
+		}
+		*format = "jsonl"
+	}
+	switch *format {
+	case "json", "jsonl", "bin":
+	default:
+		log.Fatalf("unknown -format %q (want json, jsonl or bin)", *format)
+	}
 
 	cfg := augment.Config{
 		Seed:               *seed,
@@ -59,8 +83,8 @@ func main() {
 		}
 		return
 	}
-	if *jsonl {
-		if err := runJSONL(cfg, *outDir, *shards); err != nil {
+	if *format != "json" {
+		if err := runSharded(cfg, *outDir, *shards, *format); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -121,12 +145,45 @@ func printStats(st augment.Stats, pt, vbug, svabug, evalMachine, evalHuman int) 
 
 // statsSink counts pipeline products and keeps only the lightweight
 // per-sample (module, bin, labels) meta needed to reproduce the split and
-// Table II — orders of magnitude smaller than the datasets themselves.
+// Table II — orders of magnitude smaller than the datasets themselves. It
+// also serialises every product through both on-disk encodings (JSONL
+// lines and the binary container, discarding the bytes) so the report can
+// compare their sizes without writing anything.
 type statsSink struct {
 	ptCount, bugCount int
 	namesByBin        map[int][]string
 	seenName          map[string]bool
 	meta              []sampleMeta
+
+	records   int
+	jsonBytes int64
+	binCount  countingWriter
+	binW      *binfmt.Writer
+}
+
+// countingWriter discards its input, keeping only the byte count.
+type countingWriter int64
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}
+
+// measure serialises one product through both encodings.
+func (s *statsSink) measure(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	s.jsonBytes += int64(len(b)) + 1 // the JSONL newline
+	if err := dataset.EncodeRecord(s.binW.Record(), v); err != nil {
+		return err
+	}
+	if err := s.binW.Commit(); err != nil {
+		return err
+	}
+	s.records++
+	return nil
 }
 
 type sampleMeta struct {
@@ -136,9 +193,9 @@ type sampleMeta struct {
 	trainOnly bool
 }
 
-func (s *statsSink) PT(dataset.PTEntry) error { s.ptCount++; return nil }
+func (s *statsSink) PT(e dataset.PTEntry) error { s.ptCount++; return s.measure(&e) }
 
-func (s *statsSink) Bug(dataset.BugEntry) error { s.bugCount++; return nil }
+func (s *statsSink) Bug(e dataset.BugEntry) error { s.bugCount++; return s.measure(&e) }
 
 func (s *statsSink) Sample(sm dataset.SVASample) error {
 	bin := sm.BinIndex()
@@ -147,15 +204,24 @@ func (s *statsSink) Sample(sm dataset.SVASample) error {
 		s.namesByBin[bin] = append(s.namesByBin[bin], sm.Module)
 	}
 	s.meta = append(s.meta, sampleMeta{module: sm.Module, bin: bin, labels: sm.TypeLabels(), trainOnly: sm.TrainOnly()})
-	return nil
+	return s.measure(&sm)
 }
 
 // runStatsOnly streams the pipeline through a counting sink and prints the
-// same report the writing modes do.
+// same report the writing modes do, plus the JSONL-vs-binary size
+// comparison.
 func runStatsOnly(cfg augment.Config) error {
 	sink := &statsSink{namesByBin: map[int][]string{}, seenName: map[string]bool{}}
+	binW, err := binfmt.NewWriter(&sink.binCount)
+	if err != nil {
+		return err
+	}
+	sink.binW = binW
 	st, err := augment.RunStream(cfg, sink)
 	if err != nil {
+		return err
+	}
+	if err := sink.binW.Close(); err != nil {
 		return err
 	}
 	eff := cfg.Defaults()
@@ -180,15 +246,30 @@ func runStatsOnly(cfg augment.Config) error {
 		de.Add(human[i].BinIndex(), human[i].TypeLabels())
 	}
 	printStats(st, sink.ptCount, sink.bugCount, trainCount, evalCount, len(human))
+	if sink.records > 0 {
+		jsonPer := float64(sink.jsonBytes) / float64(sink.records)
+		binPer := float64(int64(sink.binCount)) / float64(sink.records)
+		fmt.Printf("Serialisation: jsonl %.0f B/sample, bin %.0f B/sample (%.2fx smaller, %d records)\n\n",
+			jsonPer, binPer, jsonPer/binPer, sink.records)
+	}
 	fmt.Println("Table II distribution:")
 	fmt.Println(dataset.FormatTableIIDist(dt, de))
 	return nil
 }
 
+// shardWriter is the streaming sink surface shared by the JSONL and
+// binary sharded writers.
+type shardWriter interface {
+	Write(v any) error
+	Count() int
+	Paths() []string
+	Close() error
+}
+
 // shardSink streams pipeline products straight into shard writers while
 // collecting only the per-module name/bin pairs the split needs.
 type shardSink struct {
-	pt, bug, all *dataset.ShardedWriter
+	pt, bug, all shardWriter
 
 	namesByBin map[int][]string
 	seenName   map[string]bool
@@ -206,13 +287,13 @@ func (s *shardSink) Sample(sm dataset.SVASample) error {
 	return s.all.Write(&sm)
 }
 
-// runJSONL is the streaming path: Stage 1-3 products go straight to JSONL
-// shards; the train/test split then re-streams the combined sample shards
-// into sva_bug and sva_eval_machine, so no dataset is ever materialised in
-// memory. On any error every shard written so far is removed — a partial
-// shard set is indistinguishable from a complete one to dataset.Load, so
-// it must not survive.
-func runJSONL(cfg augment.Config, outDir string, shards int) (err error) {
+// runSharded is the streaming path: Stage 1-3 products go straight to
+// JSONL or binary shards; the train/test split then re-streams the
+// combined sample shards into sva_bug and sva_eval_machine, so no
+// dataset is ever materialised in memory. On any error every shard
+// written so far is removed — a partial shard set is indistinguishable
+// from a complete one to dataset.Load, so it must not survive.
+func runSharded(cfg augment.Config, outDir string, shards int, format string) (err error) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -225,10 +306,11 @@ func runJSONL(cfg augment.Config, outDir string, shards int) (err error) {
 			os.Remove(path)
 		}
 	}()
-	newWriter := func(base string) (*dataset.ShardedWriter, error) {
+	newWriter := func(base string) (shardWriter, error) {
 		// Remove shards left by a previous run with a different -shards
-		// count: dataset.Load globs <base>-*.jsonl, so survivors would
-		// silently merge a stale build into this one.
+		// count or format: dataset.Load globs <base>-*.jsonl and
+		// <base>-*.bin, so survivors would silently merge a stale build
+		// into this one (or trip its mixed-format check).
 		stale, gerr := dataset.ShardPaths(outDir, base)
 		if gerr != nil {
 			return nil, gerr
@@ -238,7 +320,13 @@ func runJSONL(cfg augment.Config, outDir string, shards int) (err error) {
 				return nil, rerr
 			}
 		}
-		w, werr := dataset.NewShardedWriter(outDir, base, shards)
+		var w shardWriter
+		var werr error
+		if format == "bin" {
+			w, werr = dataset.NewBinWriter(outDir, base, shards)
+		} else {
+			w, werr = dataset.NewShardedWriter(outDir, base, shards)
+		}
 		if werr != nil {
 			return nil, werr
 		}
@@ -263,7 +351,7 @@ func runJSONL(cfg augment.Config, outDir string, shards int) (err error) {
 		return err
 	}
 	ptCount, bugCount := sink.pt.Count(), sink.bug.Count()
-	for _, w := range []*dataset.ShardedWriter{sink.pt, sink.bug, sink.all} {
+	for _, w := range []shardWriter{sink.pt, sink.bug, sink.all} {
 		if cerr := w.Close(); cerr != nil {
 			return cerr
 		}
@@ -315,7 +403,7 @@ func runJSONL(cfg augment.Config, outDir string, shards int) (err error) {
 		}
 	}
 	trainCount, evalCount := trainW.Count(), evalW.Count()
-	for _, w := range []*dataset.ShardedWriter{trainW, evalW, humanW} {
+	for _, w := range []shardWriter{trainW, evalW, humanW} {
 		if cerr := w.Close(); cerr != nil {
 			return cerr
 		}
@@ -329,6 +417,6 @@ func runJSONL(cfg augment.Config, outDir string, shards int) (err error) {
 	printStats(st, ptCount, bugCount, trainCount, evalCount, len(human))
 	fmt.Println("Table II distribution:")
 	fmt.Println(dataset.FormatTableIIDist(dt, de))
-	fmt.Printf("JSONL datasets written to %s/ (%d shards each)\n", outDir, shards)
+	fmt.Printf("%s datasets written to %s/ (%d shards each)\n", format, outDir, shards)
 	return nil
 }

@@ -34,9 +34,10 @@ func main() {
 	)
 	flag.Parse()
 
-	pt := mustLoad[dataset.PTEntry](*dataDir, "verilog_pt")
-	vbug := mustLoad[dataset.BugEntry](*dataDir, "verilog_bug")
-	svabug := mustLoad[dataset.SVASample](*dataDir, "sva_bug")
+	pt, vbug, svabug, err := loadTrainingData(*dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("loaded: PT=%d Verilog-Bug=%d SVA-Bug=%d\n", len(pt), len(vbug), len(svabug))
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -66,14 +67,21 @@ func main() {
 	save(solver, filepath.Join(*outDir, "assertsolver.model"))
 }
 
-// mustLoad reads a dataset in whichever format cmd/augment produced:
-// <base>.json or <base>-*.jsonl shards.
-func mustLoad[T any](dir, base string) []T {
-	out, err := dataset.Load[T](dir, base)
-	if err != nil {
-		log.Fatalf("%v (run cmd/augment first)", err)
+// loadTrainingData reads the three training datasets in whichever
+// format cmd/augment produced: <base>.json, <base>-*.jsonl shards or
+// <base>-*.bin shards. A missing, mixed-format or corrupt dataset is a
+// hard error — training silently proceeding on zero samples would be
+// worse than failing.
+func loadTrainingData(dir string) (pt []dataset.PTEntry, vbug []dataset.BugEntry, svabug []dataset.SVASample, err error) {
+	if pt, err = dataset.Load[dataset.PTEntry](dir, "verilog_pt"); err == nil {
+		if vbug, err = dataset.Load[dataset.BugEntry](dir, "verilog_bug"); err == nil {
+			svabug, err = dataset.Load[dataset.SVASample](dir, "sva_bug")
+		}
 	}
-	return out
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w (run cmd/augment first)", err)
+	}
+	return pt, vbug, svabug, nil
 }
 
 func save(m *model.Model, path string) {

@@ -1,0 +1,231 @@
+package binfmt
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildShard writes n records of the form (Uvarint i, String payload,
+// IStr shared) and returns the file bytes.
+func buildShard(t *testing.T, n int) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	w, err := NewWriter(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		e := w.Record()
+		e.Uvarint(uint64(i))
+		e.String(strings.Repeat("p", i%7))
+		e.IStr("shared-spec-text")
+		e.IStr("shared-spec-text") // same ID both times
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestWriterReaderRoundTrip: records stream back in write order and
+// random-access to the same payloads, and the shared string is interned
+// once.
+func TestWriterReaderRoundTrip(t *testing.T) {
+	const n = 23
+	data := buildShard(t, n)
+	r, err := Open(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != n {
+		t.Fatalf("Count = %d, want %d", r.Count(), n)
+	}
+	if r.Strings() != 1 {
+		t.Errorf("interned strings = %d, want 1", r.Strings())
+	}
+	check := func(d *Decoder, i int) {
+		if got := d.Uvarint(); got != uint64(i) {
+			t.Fatalf("record %d: uvarint = %d", i, got)
+		}
+		if got := d.String(); got != strings.Repeat("p", i%7) {
+			t.Fatalf("record %d: string = %q", i, got)
+		}
+		for k := 0; k < 2; k++ {
+			if got := d.IStr(); got != "shared-spec-text" {
+				t.Fatalf("record %d: istr = %q", i, got)
+			}
+		}
+		if err := d.Err(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("record %d: %d bytes unread", i, d.Remaining())
+		}
+	}
+	i := 0
+	if err := r.ForEach(func(d *Decoder) error {
+		check(d, i)
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("streamed %d records", i)
+	}
+	// Random access, deliberately out of order and concurrently.
+	done := make(chan error, n)
+	for i := n - 1; i >= 0; i-- {
+		go func(i int) {
+			d, err := r.At(i)
+			if err != nil {
+				done <- err
+				return
+			}
+			check(d, i)
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.At(n); err == nil {
+		t.Error("At past the end did not fail")
+	}
+	if _, err := r.At(-1); err == nil {
+		t.Error("At(-1) did not fail")
+	}
+}
+
+// TestWriterDeterministic: the same record stream yields byte-identical
+// shards.
+func TestWriterDeterministic(t *testing.T) {
+	a := buildShard(t, 11)
+	b := buildShard(t, 11)
+	if !bytes.Equal(a, b) {
+		t.Error("identical streams produced different shard bytes")
+	}
+}
+
+// TestEmptyShard: zero records is a valid shard.
+func TestEmptyShard(t *testing.T) {
+	data := buildShard(t, 0)
+	r, err := Open(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 0 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if err := r.ForEach(func(*Decoder) error { t.Fatal("callback on empty shard"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenRejectsCorruption: truncations and byte flips error with
+// ErrCorrupt — never panic.
+func TestOpenRejectsCorruption(t *testing.T) {
+	data := buildShard(t, 9)
+	// Every truncation must fail (a shorter valid file is impossible:
+	// the trailer magic moves).
+	for cut := 1; cut < len(data); cut++ {
+		if _, err := Open(bytes.NewReader(data[:cut]), int64(cut)); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	// Header and trailer corruption.
+	for _, idx := range []int{0, 3, len(data) - 1, len(data) - 9} {
+		mut := bytes.Clone(data)
+		mut[idx] ^= 0xFF
+		if _, err := Open(bytes.NewReader(mut), int64(len(mut))); err == nil {
+			t.Errorf("flip at %d accepted", idx)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("flip at %d: error %v is not ErrCorrupt", idx, err)
+		}
+	}
+	if _, err := Open(bytes.NewReader(nil), 0); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+// TestDecoderSticksOnError: reads past the payload fail and stick.
+func TestDecoderSticksOnError(t *testing.T) {
+	d := &Decoder{buf: []byte{0x05}} // string of length 5 with no bytes
+	if s := d.String(); s != "" {
+		t.Fatalf("truncated string = %q", s)
+	}
+	if d.Err() == nil {
+		t.Fatal("no error after truncated string")
+	}
+	first := d.Err()
+	_ = d.Uvarint()
+	_ = d.Byte()
+	if d.Err() != first {
+		t.Error("sticky error was overwritten")
+	}
+}
+
+// TestDecoderRejectsBadIStr: an out-of-table reference errors.
+func TestDecoderRejectsBadIStr(t *testing.T) {
+	d := &Decoder{buf: []byte{0x07}, table: []string{"only"}}
+	if s := d.IStr(); s != "" || d.Err() == nil {
+		t.Fatalf("IStr(7) over 1-entry table: %q, %v", s, d.Err())
+	}
+}
+
+// TestVarintRoundTrip: signed and unsigned edge values survive.
+func TestVarintRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	w, err := NewWriter(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uvals := []uint64{0, 1, 127, 128, 1<<32 - 1, 1<<64 - 1}
+	ivals := []int64{0, -1, 1, -64, 63, -1 << 62, 1<<62 - 1}
+	e := w.Record()
+	for _, v := range uvals {
+		e.Uvarint(v)
+	}
+	for _, v := range ivals {
+		e.Varint(v)
+	}
+	e.Bool(true)
+	e.Bool(false)
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(bytes.NewReader(out.Bytes()), int64(out.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range uvals {
+		if got := d.Uvarint(); got != v {
+			t.Errorf("uvarint %d came back %d", v, got)
+		}
+	}
+	for _, v := range ivals {
+		if got := d.Varint(); got != v {
+			t.Errorf("varint %d came back %d", v, got)
+		}
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("bools mangled")
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

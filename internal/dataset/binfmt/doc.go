@@ -1,0 +1,49 @@
+// Package binfmt is the compact binary container format behind the
+// dataset package's .bin shards: a self-describing, length-prefixed
+// record stream with per-shard string interning and a random-access
+// footer index.
+//
+// # File layout
+//
+// Every shard file is
+//
+//	header  [8]byte magic (includes the container version)
+//	records repeated: uvarint(len(payload)) payload
+//	footer  string table + record-offset index (see below)
+//	trailer uint64le(footer offset) + the same 8-byte magic
+//
+// Record payloads are opaque to this package beyond their leading type
+// tag and record version — the dataset package defines the per-type
+// field layout on top of Encoder/Decoder. All integers are unsigned
+// LEB128 (encoding/binary uvarint) or zig-zag signed varints; strings
+// are length-prefixed bytes.
+//
+// The footer holds
+//
+//	uvarint(#strings)  then per string: uvarint(len) bytes
+//	uvarint(#records)  then per record: uvarint(offset delta)
+//
+// Interned strings are referenced from records as uvarint IDs assigned
+// in first-use order, so repeated module names, specs and golden code
+// are stored once per shard. Offset deltas reconstruct the absolute
+// offset of every record, giving O(1) random access (Reader.At) and
+// letting independent goroutines scan disjoint record ranges of the
+// same shard in parallel — Reader is safe for concurrent use.
+//
+// # Guarantees
+//
+// Writing is deterministic: the same record stream always produces
+// byte-identical shard files (intern IDs depend only on first-use
+// order). Reading is paranoid: every length, count and offset is
+// bounds-checked against the enclosing region before any allocation
+// sized from it, so truncated or corrupt files error out — they never
+// panic, over-read, or allocate unbounded memory. FuzzOpen fuzzes this
+// contract natively.
+//
+// The trace encoding (Encoder.Trace/Decoder.Trace) stores simulation
+// log text — assertion counterexamples with their sampled-value rows —
+// as packed slot rows of (value, unknown-mask) uint64 pairs plus
+// interned line templates instead of text. Packing self-verifies at
+// encode time: any line the packer cannot reproduce byte-identically
+// is stored raw, so Trace round-trips arbitrary text exactly.
+package binfmt

@@ -1,0 +1,177 @@
+package binfmt
+
+import (
+	"encoding/binary"
+)
+
+// Encoder builds one record payload. Field methods append to an
+// internal buffer; interned strings go through the owning writer's
+// table. Encoding cannot fail — all validation happens on the read
+// side — so the methods return nothing and Commit flushes the frame.
+type Encoder struct {
+	buf []byte
+	in  *Interner
+
+	// Trace-packing scratch, reused across records so the hot write
+	// path allocates nothing (see trace.go).
+	slots  []slotVal
+	tmpl   []byte
+	nums   []uint64
+	render []byte
+}
+
+// Reset clears the payload buffer, keeping capacity and the interner.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Len returns the current payload size in bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Byte appends a raw byte (type tags, small enums).
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Uvarint appends an unsigned LEB128 varint.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Varint appends a zig-zag signed varint.
+func (e *Encoder) Varint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Int appends an int as a signed varint.
+func (e *Encoder) Int(v int) { e.Varint(int64(v)) }
+
+// Bool appends a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// String appends a length-prefixed inline string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// IStr appends a reference to an interned string. Use it for values
+// that repeat across records (module names, specs, golden code); the
+// bytes are stored once in the shard footer.
+func (e *Encoder) IStr(s string) { e.Uvarint(e.in.ID(s)) }
+
+// IStrBytes is IStr for a byte-slice key: the lookup allocates nothing
+// when the string is already interned.
+func (e *Encoder) IStrBytes(b []byte) { e.Uvarint(e.in.IDBytes(b)) }
+
+// Decoder reads one record payload produced by Encoder. Every read is
+// bounds-checked; the first failure sticks and subsequent reads return
+// zero values, so codecs can decode a full record and check Err once.
+type Decoder struct {
+	buf   []byte
+	pos   int
+	table []string // shard string table, set by the reader
+	err   error
+
+	// Trace-decoding scratch, reused across records (see trace.go).
+	scratch []byte
+	nums    []uint64
+	slots   []slotVal
+}
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread payload bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = corrupt(format, args...)
+	}
+}
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.buf) {
+		d.fail("record truncated at byte field")
+		return 0
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b
+}
+
+// Uvarint reads an unsigned LEB128 varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("record truncated at uvarint field")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// Varint reads a zig-zag signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("record truncated at varint field")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// Int reads an int stored as a signed varint.
+func (d *Decoder) Int() int { return int(d.Varint()) }
+
+// Bool reads a one-byte bool; any value other than 0 or 1 is corruption.
+func (d *Decoder) Bool() bool {
+	b := d.Byte()
+	if b > 1 {
+		d.fail("bool field holds %d", b)
+	}
+	return b == 1
+}
+
+// String reads a length-prefixed inline string.
+func (d *Decoder) String() string { return string(d.stringBytes()) }
+
+// stringBytes reads a length-prefixed string field as a subslice of the
+// payload — no copy, valid only until the decoder's buffer is reused.
+func (d *Decoder) stringBytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail("string length %d exceeds remaining %d payload bytes", n, d.Remaining())
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b
+}
+
+// IStr reads an interned-string reference and resolves it against the
+// shard table.
+func (d *Decoder) IStr() string {
+	id := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if id >= uint64(len(d.table)) {
+		d.fail("interned string id %d outside table of %d", id, len(d.table))
+		return ""
+	}
+	return d.table[id]
+}

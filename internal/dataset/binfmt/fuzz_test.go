@@ -1,0 +1,82 @@
+package binfmt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzOpen fuzzes the container decoder end to end: whatever the
+// bytes, Open either errors or yields a reader whose every record and
+// interned string can be walked without panicking or over-reading.
+// Seeds include valid shards so the fuzzer mutates from real structure
+// into truncations and corruptions.
+func FuzzOpen(f *testing.F) {
+	seed := func(build func(w *Writer)) []byte {
+		var out bytes.Buffer
+		w, err := NewWriter(&out)
+		if err != nil {
+			f.Fatal(err)
+		}
+		build(w)
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add(Magic[:])
+	f.Add(seed(func(w *Writer) {}))
+	f.Add(seed(func(w *Writer) {
+		for i := 0; i < 5; i++ {
+			e := w.Record()
+			e.Uvarint(uint64(i))
+			e.String("inline text")
+			e.IStr("interned text")
+			e.Trace("failed assertion m.a at cycle 3\n  sampled values at cycle 3: a=1 b=x c=b1x0\n")
+			if err := w.Commit(); err != nil {
+				f.Fatal(err)
+			}
+		}
+	}))
+	full := seed(func(w *Writer) {
+		e := w.Record()
+		e.Varint(-77)
+		e.Bool(true)
+		e.Trace("no numbers here\n")
+		if err := w.Commit(); err != nil {
+			f.Fatal(err)
+		}
+	})
+	f.Add(full)
+	f.Add(full[:len(full)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Open(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		// Walk every record both ways with every field interpretation
+		// the Decoder offers; none may panic and errors must stick.
+		walk := func(d *Decoder) {
+			_ = d.Uvarint()
+			_ = d.String()
+			_ = d.IStr()
+			_ = d.Trace()
+			_ = d.Varint()
+			_ = d.Bool()
+			_ = d.Err()
+		}
+		if err := r.ForEach(func(d *Decoder) error { walk(d); return nil }); err != nil && !errors.Is(err, ErrCorrupt) {
+			// I/O errors are impossible over bytes.Reader; anything
+			// else must be the corruption error class.
+			t.Fatalf("ForEach: %v", err)
+		}
+		for i := 0; i < r.Count(); i++ {
+			d, err := r.At(i)
+			if err != nil {
+				continue
+			}
+			walk(d)
+		}
+	})
+}

@@ -1,0 +1,248 @@
+package binfmt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"os"
+	"strings"
+)
+
+// Reader opens a shard for reading. The footer (string table + record
+// offsets) is loaded once at Open; records stream or random-access
+// from the underlying io.ReaderAt. Reader methods are safe for
+// concurrent use except where noted — disjoint goroutines may call At
+// on the same Reader to scan a shard in parallel.
+type Reader struct {
+	r         io.ReaderAt
+	table     []string
+	offsets   []uint64 // absolute offset of each record's frame
+	footerOff uint64
+}
+
+const trailerLen = 8 + MagicLen // footer offset + closing magic
+
+// Open validates the header, trailer and footer of a shard held by an
+// io.ReaderAt of the given size.
+func Open(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < int64(MagicLen)+int64(trailerLen) {
+		return nil, corrupt("file of %d bytes is shorter than header plus trailer", size)
+	}
+	var head [MagicLen]byte
+	if _, err := r.ReadAt(head[:], 0); err != nil {
+		return nil, err
+	}
+	if head != Magic {
+		return nil, corrupt("bad header magic")
+	}
+	var trail [trailerLen]byte
+	if _, err := r.ReadAt(trail[:], size-int64(trailerLen)); err != nil {
+		return nil, err
+	}
+	if [MagicLen]byte(trail[8:]) != Magic {
+		return nil, corrupt("bad trailer magic (truncated file?)")
+	}
+	footerOff := binary.LittleEndian.Uint64(trail[:8])
+	footerEnd := uint64(size) - uint64(trailerLen)
+	if footerOff < uint64(MagicLen) || footerOff > footerEnd {
+		return nil, corrupt("footer offset %d outside file of %d bytes", footerOff, size)
+	}
+	// The footer is read into a single string: the table entries are
+	// substrings of it, so the whole table costs one allocation and
+	// one copy regardless of entry count.
+	var sb strings.Builder
+	footerLen := int64(footerEnd - footerOff)
+	sb.Grow(int(footerLen))
+	if _, err := io.Copy(&sb, io.NewSectionReader(r, int64(footerOff), footerLen)); err != nil {
+		return nil, err
+	}
+	rd := &Reader{r: r, footerOff: footerOff}
+	if err := rd.parseFooter(sb.String()); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+// OpenFile opens a shard file. Closing the returned file is the
+// caller's responsibility.
+func OpenFile(path string) (*Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	r, err := Open(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+// parseFooter decodes the string table and record index from the
+// footer string; table entries are substrings of it. Every count is
+// checked against the bytes that must back it before any allocation,
+// so a corrupt count cannot demand unbounded memory.
+func (rd *Reader) parseFooter(s string) error {
+	nStr, pos, err := uvarintStr(s)
+	if err != nil {
+		return err
+	}
+	if nStr > uint64(len(s)-pos) { // every entry costs >= 1 byte
+		return corrupt("string table claims %d entries in %d bytes", nStr, len(s)-pos)
+	}
+	rd.table = make([]string, 0, nStr)
+	for i := uint64(0); i < nStr; i++ {
+		l, n, err := uvarintStr(s[pos:])
+		if err != nil {
+			return err
+		}
+		pos += n
+		if l > uint64(len(s)-pos) {
+			return corrupt("string %d of length %d exceeds footer", i, l)
+		}
+		rd.table = append(rd.table, s[pos:pos+int(l)])
+		pos += int(l)
+	}
+	nRec, n, err := uvarintStr(s[pos:])
+	if err != nil {
+		return err
+	}
+	pos += n
+	if nRec > uint64(len(s)-pos) {
+		return corrupt("record index claims %d entries in %d bytes", nRec, len(s)-pos)
+	}
+	rd.offsets = make([]uint64, 0, nRec)
+	off := uint64(MagicLen)
+	for i := uint64(0); i < nRec; i++ {
+		size, n, err := uvarintStr(s[pos:])
+		if err != nil {
+			return err
+		}
+		pos += n
+		if size == 0 || size > maxFrame {
+			return corrupt("record %d has frame size %d", i, size)
+		}
+		rd.offsets = append(rd.offsets, off)
+		off += size
+	}
+	if off != rd.footerOff {
+		return corrupt("record frames end at %d, footer starts at %d", off, rd.footerOff)
+	}
+	if pos != len(s) {
+		return corrupt("%d trailing bytes after record index", len(s)-pos)
+	}
+	return nil
+}
+
+// Count returns the number of records in the shard.
+func (rd *Reader) Count() int { return len(rd.offsets) }
+
+// Strings returns the number of interned strings in the shard table.
+func (rd *Reader) Strings() int { return len(rd.table) }
+
+// frameEnd returns the exclusive end offset of record i's frame.
+func (rd *Reader) frameEnd(i int) uint64 {
+	if i+1 < len(rd.offsets) {
+		return rd.offsets[i+1]
+	}
+	return rd.footerOff
+}
+
+// At random-accesses record i, returning a Decoder over its payload.
+// The payload is freshly allocated, so concurrent At calls are safe.
+func (rd *Reader) At(i int) (*Decoder, error) {
+	if i < 0 || i >= len(rd.offsets) {
+		return nil, corrupt("record %d outside shard of %d records", i, len(rd.offsets))
+	}
+	frame := make([]byte, rd.frameEnd(i)-rd.offsets[i])
+	if _, err := rd.r.ReadAt(frame, int64(rd.offsets[i])); err != nil {
+		return nil, err
+	}
+	payload, err := rd.unframe(frame)
+	if err != nil {
+		return nil, err
+	}
+	return &Decoder{buf: payload, table: rd.table}, nil
+}
+
+// unframe strips the length prefix, checking it spans the frame exactly.
+func (rd *Reader) unframe(frame []byte) ([]byte, error) {
+	l, n, err := uvarint(frame)
+	if err != nil {
+		return nil, err
+	}
+	if l != uint64(len(frame)-n) {
+		return nil, corrupt("frame prefix %d does not match %d payload bytes", l, len(frame)-n)
+	}
+	return frame[n:], nil
+}
+
+// Cursor streams records in write order, reusing one buffer and one
+// Decoder — the allocation-flat sequential read path. A Cursor is for
+// a single goroutine; open one Cursor per goroutine (or use At) for
+// parallel scans.
+type Cursor struct {
+	rd  *Reader
+	br  *bufio.Reader
+	buf []byte
+	i   int
+	dec Decoder
+}
+
+// Cursor returns a fresh sequential cursor over the shard.
+func (rd *Reader) Cursor() *Cursor {
+	return &Cursor{
+		rd:  rd,
+		br:  bufio.NewReaderSize(io.NewSectionReader(rd.r, int64(MagicLen), int64(rd.footerOff)-int64(MagicLen)), 1<<16),
+		dec: Decoder{table: rd.table},
+	}
+}
+
+// Next returns a Decoder over the next record, or ok=false at the end.
+// The Decoder (and any byte slice it exposes) is only valid until the
+// following Next call.
+func (c *Cursor) Next() (*Decoder, bool, error) {
+	if c.i >= len(c.rd.offsets) {
+		return nil, false, nil
+	}
+	size := c.rd.frameEnd(c.i) - c.rd.offsets[c.i]
+	if uint64(cap(c.buf)) < size {
+		c.buf = make([]byte, size)
+	}
+	c.buf = c.buf[:size]
+	if _, err := io.ReadFull(c.br, c.buf); err != nil {
+		return nil, false, err
+	}
+	c.i++
+	payload, err := c.rd.unframe(c.buf)
+	if err != nil {
+		return nil, false, err
+	}
+	c.dec.buf = payload
+	c.dec.pos = 0
+	c.dec.err = nil
+	return &c.dec, true, nil
+}
+
+// ForEach streams every record in write order through fn via a Cursor.
+// fn's Decoder is invalid after fn returns.
+func (rd *Reader) ForEach(fn func(*Decoder) error) error {
+	cur := rd.Cursor()
+	for {
+		dec, ok, err := cur.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(dec); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package binfmt
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file packs simulation log text — assertion counterexamples
+// (sva.FormatLog) and behavioural diff reports (formal.Differ) — into
+// slot rows and numeric templates instead of storing the text. The
+// contract is byte-identity: every packed line is rendered back through
+// the same append helpers the decoder uses and compared against the
+// original, falling back to literal storage on any mismatch, so Trace
+// round-trips arbitrary strings exactly while the common log shapes
+// compress to packed uint64 rows plus interned templates. The packers
+// run on every record the writer emits, so they work entirely in
+// encoder-owned scratch buffers and allocate nothing on the hot path.
+
+// Trace line kinds.
+const (
+	traceRaw      = 0 // inline string, stored verbatim
+	traceTemplate = 1 // interned template + packed decimal values
+	traceSlotRow  = 2 // sampled-values row: cycle + (slot, value) pairs
+	traceInterned = 3 // short digit-free line, interned whole
+)
+
+// Four-state value forms within a slot row (mirrors sim.FormatV4).
+const (
+	v4Dec  = 0 // fully known: decimal value
+	v4AllX = 1 // fully unknown: "x"
+	v4Bits = 2 // mixed: per-bit chars, width + value/unknown planes
+)
+
+// slotRowPrefix is the sampled-values line shape sva.FormatLog emits.
+// The packer is coupled to it deliberately: if the log format ever
+// changes, packing self-verification fails and the line falls back to
+// literal storage — never to corruption.
+const slotRowPrefix = "  sampled values at cycle "
+
+// placeholder marks a packed number's position inside a template. Text
+// containing NUL is never templated.
+const placeholder = '\x00'
+
+// maxInternedLine bounds the length of a digit-free line worth
+// interning; longer ones stay inline so unique prose cannot bloat the
+// shard string table.
+const maxInternedLine = 512
+
+const digits = "0123456789"
+
+type slotVal struct {
+	name  string
+	form  byte
+	width uint64 // v4Bits only
+	val   uint64 // value plane
+	unk   uint64 // unknown plane (v4Bits only)
+}
+
+// Trace appends a log-text field, packing line by line. Text that can
+// hold nothing packable (no digits anywhere — slot rows and templates
+// both carry at least one number) is stored as one raw string, skipping
+// the per-line framing.
+func (e *Encoder) Trace(text string) {
+	if strings.IndexByte(text, placeholder) >= 0 || !strings.ContainsAny(text, digits) {
+		e.Byte(traceRaw)
+		e.String(text)
+		return
+	}
+	e.Byte(1)
+	e.Uvarint(uint64(strings.Count(text, "\n") + 1))
+	for start := 0; ; {
+		rest := text[start:]
+		i := strings.IndexByte(rest, '\n')
+		if i < 0 {
+			e.traceLine(rest)
+			return
+		}
+		e.traceLine(rest[:i])
+		start += i + 1
+	}
+}
+
+// traceLine packs and appends one line, returning the kind it chose.
+// Packed forms are verified by rendering back through the same append
+// helpers the decoder uses; a mismatch falls back to literal storage,
+// so byte-identity never depends on the packers being exhaustive.
+func (e *Encoder) traceLine(s string) byte {
+	if cycle, ok := e.packSlotRow(s); ok {
+		e.render = appendSlotRow(e.render[:0], cycle, e.slots)
+		if string(e.render) == s {
+			e.Byte(traceSlotRow)
+			e.Uvarint(cycle)
+			e.Uvarint(uint64(len(e.slots)))
+			for i := range e.slots {
+				v := &e.slots[i]
+				e.IStr(v.name)
+				e.Byte(v.form)
+				switch v.form {
+				case v4Dec:
+					e.Uvarint(v.val)
+				case v4Bits:
+					e.Uvarint(v.width)
+					e.Uvarint(v.val)
+					e.Uvarint(v.unk)
+				}
+			}
+			return traceSlotRow
+		}
+	}
+	if e.packTemplate(s) {
+		e.render = appendTemplate(e.render[:0], e.tmpl, e.nums)
+		if string(e.render) == s {
+			e.Byte(traceTemplate)
+			e.IStrBytes(e.tmpl)
+			e.Uvarint(uint64(len(e.nums)))
+			for _, n := range e.nums {
+				e.Uvarint(n)
+			}
+			return traceTemplate
+		}
+	}
+	if len(s) <= maxInternedLine {
+		e.Byte(traceInterned)
+		e.IStr(s)
+		return traceInterned
+	}
+	e.Byte(traceRaw)
+	e.String(s)
+	return traceRaw
+}
+
+// packSlotRow parses "  sampled values at cycle N: a=1 b=x c=b1x0"
+// into e.slots, returning the cycle.
+func (e *Encoder) packSlotRow(s string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(s, slotRowPrefix)
+	if !ok {
+		return 0, false
+	}
+	cycleStr, rest, ok := strings.Cut(rest, ":")
+	if !ok {
+		return 0, false
+	}
+	cycle, ok := parseCanonicalUint(cycleStr)
+	if !ok {
+		return 0, false
+	}
+	e.slots = e.slots[:0]
+	for rest != "" {
+		var pair string
+		pair, rest, ok = cutToken(rest)
+		if !ok {
+			return 0, false
+		}
+		name, valStr, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || strings.Contains(valStr, "=") {
+			return 0, false
+		}
+		v, ok := parseV4(valStr)
+		if !ok {
+			return 0, false
+		}
+		v.name = name
+		e.slots = append(e.slots, v)
+	}
+	return cycle, true
+}
+
+// cutToken strips one " token" from the head of rest.
+func cutToken(rest string) (tok, tail string, ok bool) {
+	if rest == "" || rest[0] != ' ' {
+		return "", "", false
+	}
+	rest = rest[1:]
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		return rest[:i], rest[i:], rest[:i] != ""
+	}
+	return rest, "", rest != ""
+}
+
+// parseV4 recognises the three sim.FormatV4 output shapes.
+func parseV4(s string) (slotVal, bool) {
+	if s == "x" {
+		return slotVal{form: v4AllX}, true
+	}
+	if rest, ok := strings.CutPrefix(s, "b"); ok {
+		if len(rest) == 0 || len(rest) > 64 {
+			return slotVal{}, false
+		}
+		var v slotVal
+		v.form = v4Bits
+		v.width = uint64(len(rest))
+		for _, c := range []byte(rest) {
+			v.val <<= 1
+			v.unk <<= 1
+			switch c {
+			case '1':
+				v.val |= 1
+			case 'x':
+				v.unk |= 1
+			case '0':
+			default:
+				return slotVal{}, false
+			}
+		}
+		return v, true
+	}
+	n, ok := parseCanonicalUint(s)
+	if !ok {
+		return slotVal{}, false
+	}
+	return slotVal{form: v4Dec, val: n}, true
+}
+
+// parseCanonicalUint parses a decimal uint64 whose canonical rendering
+// is s itself (no leading zeros, no sign, no overflow).
+func parseCanonicalUint(s string) (uint64, bool) {
+	if s == "" || len(s) > 20 || (len(s) > 1 && s[0] == '0') {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// packTemplate replaces every canonical decimal run in the line with a
+// placeholder, packing the numbers into e.nums and the digit-free
+// template into e.tmpl; the template repeats across records (same
+// assertion, different cycle) and interns well. Runs that would not
+// render back exactly (leading zeros, overflow) stay literal text.
+func (e *Encoder) packTemplate(s string) bool {
+	tmpl, nums := e.tmpl[:0], e.nums[:0]
+	for i := 0; i < len(s); {
+		if s[i] < '0' || s[i] > '9' {
+			tmpl = append(tmpl, s[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		if n, ok := parseCanonicalUint(s[i:j]); ok {
+			tmpl = append(tmpl, placeholder)
+			nums = append(nums, n)
+		} else {
+			tmpl = append(tmpl, s[i:j]...)
+		}
+		i = j
+	}
+	e.tmpl, e.nums = tmpl, nums
+	return len(nums) > 0
+}
+
+// appendTemplate renders a template and its packed numbers. It is the
+// single reconstruction path for template lines: the encoder verifies
+// against it at pack time and the decoder renders through it, so what
+// was verified at write time is exactly what readers compute. nums must
+// hold one entry per placeholder (the decoder checks before calling).
+func appendTemplate[S ~string | ~[]byte](dst []byte, tmpl S, nums []uint64) []byte {
+	k := 0
+	for i := 0; i < len(tmpl); i++ {
+		if tmpl[i] == placeholder {
+			dst = strconv.AppendUint(dst, nums[k], 10)
+			k++
+		} else {
+			dst = append(dst, tmpl[i])
+		}
+	}
+	return dst
+}
+
+// appendSlotRow renders a sampled-values row — the slot-row counterpart
+// of appendTemplate, likewise shared by encoder verification and the
+// decoder.
+func appendSlotRow(dst []byte, cycle uint64, slots []slotVal) []byte {
+	dst = append(dst, slotRowPrefix...)
+	dst = strconv.AppendUint(dst, cycle, 10)
+	dst = append(dst, ':')
+	for i := range slots {
+		v := &slots[i]
+		dst = append(dst, ' ')
+		dst = append(dst, v.name...)
+		dst = append(dst, '=')
+		switch v.form {
+		case v4Dec:
+			dst = strconv.AppendUint(dst, v.val, 10)
+		case v4AllX:
+			dst = append(dst, 'x')
+		case v4Bits:
+			dst = append(dst, 'b')
+			for b := int(v.width) - 1; b >= 0; b-- {
+				bit := uint64(1) << uint(b)
+				switch {
+				case v.unk&bit != 0:
+					dst = append(dst, 'x')
+				case v.val&bit != 0:
+					dst = append(dst, '1')
+				default:
+					dst = append(dst, '0')
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Trace reads a field written by Encoder.Trace, rebuilding the text in
+// the decoder's scratch buffer.
+func (d *Decoder) Trace() string {
+	kind := d.Byte()
+	switch kind {
+	case traceRaw:
+		return d.String()
+	case 1:
+	default:
+		d.fail("trace field kind %d", kind)
+		return ""
+	}
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(d.Remaining())+1 { // every line costs >= 1 byte (+1: final empty line)
+		d.fail("packed trace claims %d lines in %d bytes", n, d.Remaining())
+		return ""
+	}
+	sb := d.scratch[:0]
+	defer func() { d.scratch = sb }() // keep grown capacity across records
+	for i := uint64(0); i < n; i++ {
+		if i > 0 {
+			sb = append(sb, '\n')
+		}
+		switch lk := d.Byte(); lk {
+		case traceRaw:
+			sb = append(sb, d.stringBytes()...)
+		case traceInterned:
+			sb = append(sb, d.IStr()...)
+		case traceTemplate:
+			tmpl := d.IStr()
+			k := d.Uvarint()
+			if d.err != nil {
+				return ""
+			}
+			if k > uint64(d.Remaining())+1 || k != uint64(strings.Count(tmpl, string(rune(placeholder)))) {
+				d.fail("template value count %d does not match template", k)
+				return ""
+			}
+			nums := d.nums[:0]
+			for j := uint64(0); j < k; j++ {
+				nums = append(nums, d.Uvarint())
+			}
+			d.nums = nums
+			if d.err != nil {
+				return ""
+			}
+			sb = appendTemplate(sb, tmpl, nums)
+		case traceSlotRow:
+			cycle := d.Uvarint()
+			k := d.Uvarint()
+			if d.err != nil {
+				return ""
+			}
+			if k > uint64(d.Remaining())+1 { // every slot costs >= 1 byte
+				d.fail("slot row claims %d slots in %d bytes", k, d.Remaining())
+				return ""
+			}
+			slots := d.slots[:0]
+			for j := uint64(0); j < k; j++ {
+				var v slotVal
+				v.name = d.IStr()
+				v.form = d.Byte()
+				switch v.form {
+				case v4Dec:
+					v.val = d.Uvarint()
+				case v4AllX:
+				case v4Bits:
+					v.width = d.Uvarint()
+					v.val = d.Uvarint()
+					v.unk = d.Uvarint()
+					if d.err == nil && (v.width == 0 || v.width > 64) {
+						d.fail("slot value width %d", v.width)
+					}
+				default:
+					d.fail("slot value form %d", v.form)
+				}
+				if d.err != nil {
+					d.slots = slots
+					return ""
+				}
+				slots = append(slots, v)
+			}
+			d.slots = slots
+			sb = appendSlotRow(sb, cycle, slots)
+		default:
+			d.fail("trace line kind %d", lk)
+			return ""
+		}
+		if d.err != nil {
+			return ""
+		}
+	}
+	return string(sb)
+}

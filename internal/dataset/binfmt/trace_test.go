@@ -1,0 +1,161 @@
+package binfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// traceRoundTrip encodes text as a trace field and decodes it back.
+func traceRoundTrip(t *testing.T, text string) string {
+	t.Helper()
+	var out bytes.Buffer
+	w, err := NewWriter(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record().Trace(text)
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(bytes.NewReader(out.Bytes()), int64(out.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Trace()
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode %q: %v", text, err)
+	}
+	return got
+}
+
+// TestTraceRoundTripExact: every text shape — packable or not — comes
+// back byte-identical.
+func TestTraceRoundTripExact(t *testing.T) {
+	cases := []string{
+		"",
+		"\n",
+		"plain prose with no numbers\n",
+		"counter: all assertions passed (bound 12, 40 runs, exhaustive-sequences)\n",
+		"failed assertion counter.count_holds at cycle 3\n" +
+			"  message: count must track increments\n" +
+			"  failing term: count == prev + 1 (attempt started at cycle 2, 4 failing attempts in trace)\n" +
+			"  sampled values at cycle 3: clk=1 count=12 prev=11 rst_n=1\n",
+		"  sampled values at cycle 7: a=x b=b1x0 c=0 wide=b0110100101101001\n",
+		"output q differs at cycle 5: golden=7 mutant=0\n",
+		"mutant simulation error: combinational loop involving q\n",
+		// Leading zeros must not be canonicalised away.
+		"padded 007 stays 007\n",
+		// Values out of uint64 range stay literal.
+		"huge 99999999999999999999999999 number\n",
+		// NUL bytes force the raw path.
+		"nul \x00 byte\n",
+		// No trailing newline.
+		"no trailing newline",
+		"unicode: assertion näme ≤ 3 ✓\n",
+		strings.Repeat("a long unique prose line that exceeds nothing in particular\n", 40),
+	}
+	for _, text := range cases {
+		if got := traceRoundTrip(t, text); got != text {
+			t.Errorf("round trip mangled %q -> %q", text, got)
+		}
+	}
+}
+
+// TestTracePacksLogShapes: the canonical log lines actually take the
+// packed path (the compression claim, not just the correctness one) —
+// a shard with many same-shaped logs stores the templates once.
+func TestTracePacksLogShapes(t *testing.T) {
+	log := "failed assertion counter.count_holds at cycle 3\n" +
+		"  sampled values at cycle 3: clk=1 count=12 prev=b1x0 rst=x\n"
+	var packed bytes.Buffer
+	w, err := NewWriter(&packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		w.Record().Trace(log)
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if packed.Len() >= n*len(log) {
+		t.Errorf("packed %d records of %d-byte logs into %d bytes; packing is not engaging",
+			n, len(log), packed.Len())
+	}
+	r, err := Open(bytes.NewReader(packed.Bytes()), int64(packed.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ForEach(func(d *Decoder) error {
+		if got := d.Trace(); got != log {
+			t.Fatalf("packed log mangled: %q", got)
+		}
+		return d.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackLineShapes pins which encoding each line shape picks.
+func TestPackLineShapes(t *testing.T) {
+	cases := []struct {
+		line string
+		kind byte
+	}{
+		{"  sampled values at cycle 3: a=1 b=x", traceSlotRow},
+		{"  sampled values at cycle 3:", traceSlotRow},
+		{"failed assertion m.a at cycle 12", traceTemplate},
+		{"output q differs at cycle 5: golden=7 mutant=0", traceTemplate},
+		{"  message: must hold", traceInterned},
+		{"", traceInterned},
+		{strings.Repeat("x", maxInternedLine+1), traceRaw},
+		// A sampled-values line with a malformed value falls back to
+		// template (digits present) rather than slot row.
+		{"  sampled values at cycle 3: a=07", traceTemplate},
+		{"  sampled values at cycle 3: a==1", traceTemplate},
+	}
+	var out bytes.Buffer
+	w, err := NewWriter(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		if got := w.Record().traceLine(tc.line); got != tc.kind {
+			t.Errorf("traceLine(%q) = kind %d, want %d", tc.line, got, tc.kind)
+		}
+	}
+}
+
+// TestParseV4Shapes pins the value parser against sim.FormatV4 output.
+func TestParseV4Shapes(t *testing.T) {
+	good := map[string]slotVal{
+		"0":    {form: v4Dec, val: 0},
+		"12":   {form: v4Dec, val: 12},
+		"x":    {form: v4AllX},
+		"b1x0": {form: v4Bits, width: 3, val: 0b100, unk: 0b010},
+		"b0":   {form: v4Bits, width: 1, val: 0, unk: 0},
+	}
+	for s, want := range good {
+		got, ok := parseV4(s)
+		if !ok || got != want {
+			t.Errorf("parseV4(%q) = %+v, %v; want %+v", s, got, ok, want)
+		}
+	}
+	for _, s := range []string{"", "007", "-1", "b", "b2", "bb", "x1", strings.Repeat("b1", 40), "18446744073709551616"} {
+		if _, ok := parseV4(s); ok {
+			t.Errorf("parseV4(%q) accepted", s)
+		}
+	}
+}

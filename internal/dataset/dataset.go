@@ -1,7 +1,6 @@
-// Package dataset defines the three training datasets of Fig. 2 (Verilog-PT,
-// Verilog-Bug, SVA-Bug) and the SVA-Eval benchmark, together with the
-// paper's length-binned 90/10 module-name split and the Table II
-// distribution statistics.
+// This file defines the entry types (PTEntry, BugEntry, SVASample),
+// the module-name split and the Table II statistics; see doc.go for
+// the package overview and the on-disk format contracts.
 package dataset
 
 import (

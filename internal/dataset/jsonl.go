@@ -2,21 +2,54 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset/binfmt"
 )
 
-// This file is the streaming serialisation layer: datasets written as
-// sharded JSONL (one JSON object per line, entries distributed round-robin
-// over numbered shard files) instead of one monolithic indented JSON
-// array. Shard files append-stream with O(1) memory, shard assignment is a
+// This file is the JSONL streaming serialisation layer plus the
+// format-agnostic shard readers: datasets written as sharded JSONL
+// (one JSON object per line, entries distributed round-robin over
+// numbered shard files) instead of one monolithic indented JSON array.
+// Shard files append-stream with O(1) memory, shard assignment is a
 // pure function of the entry index — so a fixed entry stream always
-// produces byte-identical shards — and readers can reassemble the original
-// stream order by interleaving.
+// produces byte-identical shards — and readers can reassemble the
+// original stream order by interleaving. The readers below
+// (ForEachShard, ReadShards, Load) also accept the binary shards of
+// bin.go, telling the formats apart by each file's magic bytes.
+
+// shardBufSize is the buffered-writer size for shard files. Shards run
+// to hundreds of KB, so a large buffer keeps the write path down to a
+// handful of write syscalls per shard instead of one per 64KB.
+const shardBufSize = 1 << 18
+
+// shardBufPool recycles the large shard write buffers. A pipeline run
+// writes several datasets back-to-back with the same shard count, so
+// the buffers of a closed writer are immediately reusable by the next.
+var shardBufPool = sync.Pool{New: func() any {
+	return bufio.NewWriterSize(io.Discard, shardBufSize)
+}}
+
+// getShardBuf returns a pooled buffered writer bound to f.
+func getShardBuf(f *os.File) *bufio.Writer {
+	b := shardBufPool.Get().(*bufio.Writer)
+	b.Reset(f)
+	return b
+}
+
+// putShardBuf recycles a flushed shard buffer.
+func putShardBuf(b *bufio.Writer) {
+	b.Reset(io.Discard)
+	shardBufPool.Put(b)
+}
 
 // shardFile formats the path of shard i for a dataset base name.
 func shardFile(dir, base string, i int) string {
@@ -24,11 +57,17 @@ func shardFile(dir, base string, i int) string {
 }
 
 // ShardPaths lists the existing shard files for a dataset base name in
-// dir, in shard order.
+// dir — both the <base>-NNNNN.jsonl and <base>-NNNNN.bin kinds — in
+// shard order. Callers that must not mix formats (Load) classify the
+// result by extension.
 func ShardPaths(dir, base string) ([]string, error) {
-	paths, err := filepath.Glob(filepath.Join(dir, base+"-*.jsonl"))
-	if err != nil {
-		return nil, err
+	var paths []string
+	for _, pat := range []string{base + "-*.jsonl", base + "-*.bin"} {
+		got, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, got...)
 	}
 	sort.Strings(paths)
 	return paths, nil
@@ -63,22 +102,38 @@ func NewShardedWriter(dir, base string, shards int) (*ShardedWriter, error) {
 		}
 		w.paths = append(w.paths, path)
 		w.files = append(w.files, f)
-		w.bufs = append(w.bufs, bufio.NewWriterSize(f, 1<<16))
+		w.bufs = append(w.bufs, getShardBuf(f))
 	}
 	return w, nil
 }
 
-// Write appends one entry as a JSON line to the next shard.
+// jsonLineEncoder pairs a reusable buffer with a JSON encoder bound to
+// it, so Write never allocates a fresh marshal result per entry.
+type jsonLineEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonLinePool = sync.Pool{New: func() any {
+	e := &jsonLineEncoder{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// Write appends one entry as a JSON line to the next shard. The entry
+// is encoded into a pooled buffer first (json.Encoder emits exactly
+// json.Marshal's bytes plus the terminating newline), keeping the
+// encode allocation out of the per-record hot path.
 func (w *ShardedWriter) Write(v any) error {
-	line, err := json.Marshal(v)
-	if err != nil {
+	e := jsonLinePool.Get().(*jsonLineEncoder)
+	defer func() {
+		e.buf.Reset()
+		jsonLinePool.Put(e)
+	}()
+	if err := e.enc.Encode(v); err != nil {
 		return err
 	}
-	buf := w.bufs[w.next]
-	if _, err := buf.Write(line); err != nil {
-		return err
-	}
-	if err := buf.WriteByte('\n'); err != nil {
+	if _, err := w.bufs[w.next].Write(e.buf.Bytes()); err != nil {
 		return err
 	}
 	w.next = (w.next + 1) % len(w.bufs)
@@ -101,6 +156,7 @@ func (w *ShardedWriter) Close() error {
 			if err := w.bufs[i].Flush(); err != nil && first == nil {
 				first = err
 			}
+			putShardBuf(w.bufs[i])
 		}
 		if err := f.Close(); err != nil && first == nil {
 			first = err
@@ -111,39 +167,108 @@ func (w *ShardedWriter) Close() error {
 	return first
 }
 
+// shardStream pulls entries of one shard file in either on-disk
+// format; the format is decided per file by sniffing the magic bytes,
+// never by extension.
+type shardStream[T any] struct {
+	path string
+	f    *os.File
+	dec  *json.Decoder  // JSONL shards
+	cur  *binfmt.Cursor // binary shards
+}
+
+func openShardStream[T any](path string) (*shardStream[T], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &shardStream[T]{path: path, f: f}
+	isBin, err := sniffBin(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !isBin {
+		s.dec = json.NewDecoder(bufio.NewReaderSize(f, 1<<16))
+		return s, nil
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := binfmt.Open(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	s.cur = r.Cursor()
+	return s, nil
+}
+
+// next returns the shard's next entry, or done=true at the end.
+func (s *shardStream[T]) next() (v T, done bool, err error) {
+	if s.dec != nil {
+		if err = s.dec.Decode(&v); err == io.EOF {
+			return v, true, nil
+		} else if err != nil {
+			return v, false, fmt.Errorf("%s: %w", s.path, err)
+		}
+		return v, false, nil
+	}
+	d, ok, err := s.cur.Next()
+	if err != nil {
+		return v, false, fmt.Errorf("%s: %w", s.path, err)
+	}
+	if !ok {
+		return v, true, nil
+	}
+	rec, err := DecodeRecord(d)
+	if err != nil {
+		return v, false, fmt.Errorf("%s: %w", s.path, err)
+	}
+	v, ok = rec.(T)
+	if !ok {
+		return v, false, fmt.Errorf("%s: shard holds %T records, want %T", s.path, rec, v)
+	}
+	return v, false, nil
+}
+
 // ForEachShard streams a sharded dataset entry by entry in the round-robin
 // order the entries were written in (shard 0 first, then one from each
-// shard in turn), holding only one decoded entry per shard in memory. It
-// stops at the first callback error.
+// shard in turn), holding only one decoded entry per shard in memory.
+// Each shard's format — JSONL or binary — is autodetected from its
+// magic bytes, so mixed shard sets still reassemble. It stops at the
+// first callback error.
 func ForEachShard[T any](paths []string, fn func(T) error) error {
-	files := make([]*os.File, 0, len(paths))
+	streams := make([]*shardStream[T], 0, len(paths))
 	defer func() {
-		for _, f := range files {
-			f.Close()
+		for _, s := range streams {
+			s.f.Close()
 		}
 	}()
-	decs := make([]*json.Decoder, 0, len(paths))
 	for _, path := range paths {
-		f, err := os.Open(path)
+		s, err := openShardStream[T](path)
 		if err != nil {
 			return err
 		}
-		files = append(files, f)
-		decs = append(decs, json.NewDecoder(bufio.NewReaderSize(f, 1<<16)))
+		streams = append(streams, s)
 	}
-	live := len(decs)
+	live := len(streams)
+	done := make([]bool, len(streams))
 	for live > 0 {
-		for i, dec := range decs {
-			if dec == nil {
+		for i, s := range streams {
+			if done[i] {
 				continue
 			}
-			var v T
-			if err := dec.Decode(&v); err == io.EOF {
-				decs[i] = nil
+			v, end, err := s.next()
+			if err != nil {
+				return err
+			}
+			if end {
+				done[i] = true
 				live--
 				continue
-			} else if err != nil {
-				return fmt.Errorf("%s: %w", paths[i], err)
 			}
 			if err := fn(v); err != nil {
 				return err
@@ -167,11 +292,14 @@ func ReadShards[T any](paths []string) ([]T, error) {
 	return out, nil
 }
 
-// Load reads the dataset <base> from dir in whichever format is present:
-// the monolithic <base>.json array written by the default cmd/augment
-// mode, or the <base>-*.jsonl shards written by its -jsonl mode. When
-// both formats exist the call fails — silently picking one risks training
-// on a stale build from the other mode.
+// Load reads the dataset <base> from dir in whichever format is
+// present: the monolithic <base>.json array written by the default
+// cmd/augment mode, the <base>-*.jsonl shards of its jsonl mode, or
+// the <base>-*.bin shards of its binary mode (autodetected from each
+// file's magic). When more than one format exists the call fails —
+// silently picking one risks training on a stale build from another
+// mode — and a shard whose contents do not match its format errors
+// instead of yielding a silent zero-sample run.
 func Load[T any](dir, base string) ([]T, error) {
 	mono := filepath.Join(dir, base+".json")
 	f, monoErr := os.Open(mono)
@@ -185,9 +313,23 @@ func Load[T any](dir, base string) ([]T, error) {
 		}
 		return nil, err
 	}
+	var jsonl, bin int
+	for _, p := range paths {
+		if strings.HasSuffix(p, ".bin") {
+			bin++
+		} else {
+			jsonl++
+		}
+	}
 	if f != nil && len(paths) > 0 {
 		f.Close()
-		return nil, fmt.Errorf("dataset %s is ambiguous in %s: both %s.json and %d %s-*.jsonl shards exist; remove the stale format", base, dir, base, len(paths), base)
+		return nil, fmt.Errorf("dataset %s is ambiguous in %s: both %s.json and %d %s-* shard files exist; remove the stale format", base, dir, base, len(paths), base)
+	}
+	if jsonl > 0 && bin > 0 {
+		if f != nil {
+			f.Close()
+		}
+		return nil, fmt.Errorf("dataset %s in %s mixes formats: %d %s-*.jsonl and %d %s-*.bin shards; remove the stale format", base, dir, jsonl, base, bin, base)
 	}
 	if f != nil {
 		defer f.Close()
@@ -198,7 +340,7 @@ func Load[T any](dir, base string) ([]T, error) {
 		return out, nil
 	}
 	if len(paths) == 0 {
-		return nil, fmt.Errorf("dataset %s not found in %s (neither %s.json nor %s-*.jsonl)", base, dir, base, base)
+		return nil, fmt.Errorf("dataset %s not found in %s (no %s.json, %s-*.jsonl or %s-*.bin)", base, dir, base, base, base)
 	}
 	return ReadShards[T](paths)
 }
