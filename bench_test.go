@@ -559,6 +559,24 @@ func writeAugmentBenchJSON(name string, cur map[string]float64) {
 	_ = os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
+// BenchmarkElaborateFlatten measures hierarchical elaboration cost — parse,
+// instance expansion with parameter overrides, name uniquification and
+// flattening into the slot-indexed plan — on a multi-module corpus design,
+// so elaboration enters the BENCH_sim.json trajectory alongside raw
+// simulation throughput.
+func BenchmarkElaborateFlatten(b *testing.B) {
+	src := corpus.HierFIFO(3).Source()
+	recordSimBench(b, "elaborate_flatten")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, diags, err := compile.Compile(src)
+		if err != nil || compile.HasErrors(diags) || d == nil {
+			b.Fatal("compile failed")
+		}
+	}
+	b.SetBytes(int64(len(src)))
+}
+
 // BenchmarkCompile measures front-end throughput on the largest design.
 func BenchmarkCompile(b *testing.B) {
 	src := corpus.Mux(32, 2).Source()

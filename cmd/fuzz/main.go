@@ -1,6 +1,8 @@
 // Command fuzz drives the cross-engine differential fuzzer: it generates
-// -n random programs from -seed — including x/z-bearing literals and
-// deliberately unreset registers — and holds each one to the four
+// -n random programs from -seed — including x/z-bearing literals,
+// deliberately unreset registers and (every -hier-th program) multi-module
+// hierarchies with parameter overrides and second clock domains — and
+// holds each one to the four
 // oracles (print/parse round-trip, compiled-plan vs reference-interpreter
 // equivalence in both the two-state and the four-state value domain with
 // both planes compared on every trace row, formal counterexample/strategy
@@ -32,12 +34,14 @@ func main() {
 		n        = flag.Int("n", 500, "number of programs to generate and check")
 		seed     = flag.Int64("seed", 1, "base seed; program i uses seed+i")
 		minimize = flag.Bool("minimize", true, "shrink failing programs before reporting")
+		hier     = flag.Int("hier", 4, "every k-th program is a multi-module hierarchy (0 disables)")
 		verbose  = flag.Bool("v", false, "log every checked program")
 	)
 	flag.Parse()
 
 	type result struct {
 		seed int64
+		hier bool
 		err  error
 	}
 	results := make([]result, *n)
@@ -50,6 +54,11 @@ func main() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			s := *seed + int64(i)
+			if *hier > 0 && i%*hier == *hier-1 {
+				set := fuzz.GenerateHierSet(rand.New(rand.NewSource(s)))
+				results[i] = result{seed: s, hier: true, err: fuzz.CheckSet(set, s)}
+				return
+			}
 			m := fuzz.GenerateModule(rand.New(rand.NewSource(s)))
 			results[i] = result{seed: s, err: fuzz.Check(m, s)}
 		}(i)
@@ -67,7 +76,9 @@ func main() {
 		violations++
 		var v *fuzz.Violation
 		fmt.Printf("=== violation %d (seed %d) ===\n%v\n", violations, r.seed, r.err)
-		if *minimize && errors.As(r.err, &v) {
+		// Hierarchical findings are reported unminimized: the shrinker
+		// operates on a single module and cannot co-shrink a source set.
+		if *minimize && !r.hier && errors.As(r.err, &v) {
 			m := fuzz.GenerateModule(rand.New(rand.NewSource(r.seed)))
 			small := fuzz.Minimize(m, func(cand *verilog.Module) bool {
 				err := fuzz.Check(cand, r.seed)

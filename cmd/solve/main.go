@@ -50,7 +50,7 @@ func main() {
 	} else {
 		d, diags, err := compile.Compile(code)
 		if err != nil {
-			log.Fatalf("the design does not parse: %v", err)
+			log.Fatalf("the design does not compile: %v", err)
 		}
 		if compile.HasErrors(diags) {
 			log.Fatalf("the design does not elaborate:\n%s", compile.FormatDiags(diags))

@@ -9,8 +9,29 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/sim"
 	"repro/internal/sva"
-	"repro/internal/verilog"
 )
+
+// vecFromStim converts a map stimulus into the dense column form the lane
+// engine packs, over the design's inputs (reset included).
+func vecFromStim(d *compile.Design, stim sim.Stimulus) sim.VecStimulus {
+	inputs := d.Inputs(true)
+	reset := d.Reset()
+	cols := append([]*compile.Signal(nil), inputs...)
+	if reset.Present {
+		if sig := d.Signals[reset.Name]; sig != nil {
+			cols = append(cols, sig)
+		}
+	}
+	rows := make([][]uint64, len(stim))
+	for c, cyc := range stim {
+		row := make([]uint64, len(cols))
+		for i, in := range cols {
+			row[i] = cyc[in.Name] & in.Mask()
+		}
+		rows[c] = row
+	}
+	return sim.VecStimulus{Inputs: cols, Rows: rows}
+}
 
 // diffStim builds a deterministic reset-then-random stimulus for a design.
 func diffStim(d *compile.Design, seed int64, depth int) sim.Stimulus {
@@ -107,23 +128,7 @@ func assertDifferential(t *testing.T, name, src string, seed int64) {
 // SVA verdicts.
 func assertLaneLeg(t *testing.T, name string, d *compile.Design, stim sim.Stimulus, tr *sim.Trace, resPlan *sva.Result) {
 	t.Helper()
-	inputs := d.Inputs(true)
-	reset := d.Reset()
-	cols := append([]*compile.Signal(nil), inputs...)
-	if reset.Present {
-		if sig := d.Signals[reset.Name]; sig != nil {
-			cols = append(cols, sig)
-		}
-	}
-	rows := make([][]uint64, len(stim))
-	for c, cyc := range stim {
-		row := make([]uint64, len(cols))
-		for i, in := range cols {
-			row[i] = cyc[in.Name] & in.Mask()
-		}
-		rows[c] = row
-	}
-	vec := sim.VecStimulus{Inputs: cols, Rows: rows}
+	vec := vecFromStim(d, stim)
 	ls, err := sim.PackStimuli([]sim.VecStimulus{vec, vec})
 	if err != nil {
 		t.Fatalf("%s: pack: %v", name, err)
@@ -175,13 +180,94 @@ func assertLaneLeg(t *testing.T, name string, d *compile.Design, stim sim.Stimul
 // TestDifferentialPlanVsReference drives every corpus golden design — and a
 // sample of single-site mutants of each — through both simulator backends
 // with a fixed seed and requires identical traces and SVA verdicts.
+// Hierarchical blueprints reassemble each mutant with their child modules
+// (SourceWith) and add a sample of the hierarchical mutation classes.
 func TestDifferentialPlanVsReference(t *testing.T) {
 	const mutantsPerDesign = 6
 	for i, bp := range corpus.Catalog() {
 		src := bp.Source()
 		assertDifferential(t, bp.Name(), src, int64(1000+i))
 		for j, mu := range bugs.Enumerate(bp.Module, mutantsPerDesign) {
-			assertDifferential(t, bp.Name()+"/"+mu.Label(), verilog.Print(mu.Mutant), int64(5000+100*i+j))
+			assertDifferential(t, bp.Name()+"/"+mu.Label(), bp.SourceWith(mu.Mutant), int64(5000+100*i+j))
 		}
+		if len(bp.Children) > 0 {
+			for j, mu := range bugs.EnumerateHier(bp.Set(bp.Module), mutantsPerDesign) {
+				assertDifferential(t, bp.Name()+"/"+mu.Label(), bp.SourceWith(mu.Mutant), int64(9000+100*i+j))
+			}
+		}
+	}
+}
+
+// TestHierarchicalDifferentialBothDomains holds every hierarchical corpus
+// design — flattened through elaboration — byte-identical across the
+// compiled plan, the lane engine, and the reference interpreter in both
+// value domains, with both planes (Val and Unk) compared on every row.
+func TestHierarchicalDifferentialBothDomains(t *testing.T) {
+	hier := 0
+	for i, bp := range corpus.Catalog() {
+		if len(bp.Children) == 0 {
+			continue
+		}
+		hier++
+		src := bp.Source()
+		d, diags, err := compile.Compile(src)
+		if err != nil || compile.HasErrors(diags) || d == nil {
+			t.Fatalf("%s: golden does not compile: %v %s", bp.Name(), err, compile.FormatDiags(diags))
+		}
+		stim := diffStim(d, int64(3000+i), 32)
+		for _, mode := range []sim.Mode{sim.TwoState, sim.FourState} {
+			dRef, _, _ := compile.Compile(src)
+			tr, err := sim.RunMode(d, stim, mode)
+			if err != nil {
+				t.Fatalf("%s %v: plan: %v", bp.Name(), mode, err)
+			}
+			ref, err := sim.RunReferenceMode(dRef, stim, mode)
+			if err != nil {
+				t.Fatalf("%s %v: reference: %v", bp.Name(), mode, err)
+			}
+			if tr.Len() != ref.Len() {
+				t.Fatalf("%s %v: trace length %d vs %d", bp.Name(), mode, tr.Len(), ref.Len())
+			}
+			for c := 0; c < tr.Len(); c++ {
+				for _, sigName := range d.Order {
+					got, _ := tr.Value4(c, sigName)
+					want, _ := ref.Value4(c, sigName)
+					if got != want {
+						t.Fatalf("%s %v: cycle %d signal %s: plan=%#x/unk %#x reference=%#x/unk %#x",
+							bp.Name(), mode, c, sigName, got.Val, got.Unk, want.Val, want.Unk)
+					}
+				}
+			}
+			ls, err := sim.PackStimuli([]sim.VecStimulus{vecFromStim(d, stim), vecFromStim(d, stim)})
+			if err != nil {
+				t.Fatalf("%s %v: pack: %v", bp.Name(), mode, err)
+			}
+			lt, err := sim.RunLanes(d, ls, mode)
+			if err != nil {
+				if !sim.LanesOK(d, mode) {
+					continue
+				}
+				t.Fatalf("%s %v: lane run failed where plan passed: %v", bp.Name(), mode, err)
+			}
+			for l := 0; l < 2; l++ {
+				dm := lt.Demux(l)
+				if dm.Len() != tr.Len() {
+					t.Fatalf("%s %v: lane %d trace len %d vs plan %d", bp.Name(), mode, l, dm.Len(), tr.Len())
+				}
+				for c := 0; c < tr.Len(); c++ {
+					for _, sigName := range d.Order {
+						got, _ := dm.Value4(c, sigName)
+						want, _ := tr.Value4(c, sigName)
+						if got != want {
+							t.Fatalf("%s %v: lane %d cycle %d signal %s: lane=%#x/unk %#x plan=%#x/unk %#x",
+								bp.Name(), mode, l, c, sigName, got.Val, got.Unk, want.Val, want.Unk)
+						}
+					}
+				}
+			}
+		}
+	}
+	if hier < 3 {
+		t.Fatalf("only %d hierarchical corpus designs; want at least 3", hier)
 	}
 }

@@ -611,6 +611,14 @@ func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *co
 		}
 	}
 
+	// Hierarchical classes (port miswire, parameter perturbation, CDC
+	// re-clocking): only blueprints with children have instances to
+	// mutate. Appended after the capped classic classes for the same
+	// ID-stability reason as the reset class.
+	if len(b.Children) > 0 {
+		muts = append(muts, bugs.EnumerateHier(b.Set(b.Module), limit)...)
+	}
+
 	// Parallel phase: verify (and diff) every mutant.
 	outcomes := make([]mutOutcome, len(muts))
 	workers := runtime.GOMAXPROCS(0)
@@ -625,7 +633,7 @@ func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *co
 			defer wg.Done()
 			for i := range idxCh {
 				o := &outcomes[i]
-				o.src = verilog.Print(muts[i].Mutant)
+				o.src = b.SourceWith(muts[i].Mutant)
 				checkOpts := opts
 				if muts[i].Syn == bugs.SynReset {
 					checkOpts = opts4

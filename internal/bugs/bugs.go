@@ -29,14 +29,23 @@ type SynClass int
 // initial-block initialisation) by making the register keep its own value,
 // a bug that is invisible to two-state checking (registers silently
 // initialise to zero) and only a four-state checker can validate.
+// The hierarchical classes (SynPort, SynParam, SynCdc) mutate the top
+// module of a multi-module set — see EnumerateHier: a port miswire feeds
+// an instance input from the wrong signal, a parameter perturbation
+// elaborates the child at the wrong width or bound, and a CDC mutation
+// re-clocks a register bank or child instance into another clock domain
+// (only expressible once a design has two domains).
 const (
 	SynVar SynClass = iota
 	SynValue
 	SynOp
 	SynReset
+	SynPort
+	SynParam
+	SynCdc
 )
 
-var synNames = [...]string{"Var", "Value", "Op", "Reset"}
+var synNames = [...]string{"Var", "Value", "Op", "Reset", "Port", "Param", "Cdc"}
 
 // String names the class as in Table I.
 func (c SynClass) String() string { return synNames[c] }
@@ -69,6 +78,13 @@ var staticallyDetectable = [...]bool{
 	SynValue: false,
 	SynOp:    false,
 	SynReset: true,
+	// The hierarchical classes perturb elaboration inputs, not statement
+	// structure: the flattened mutant is well-formed RTL that simply
+	// computes the wrong thing (wrong operand, wrong width, wrong clock),
+	// so lint has no unconditional fingerprint and detection is dynamic.
+	SynPort:  false,
+	SynParam: false,
+	SynCdc:   false,
 }
 
 // StaticallyDetectable reports whether lint alone suffices to catch every

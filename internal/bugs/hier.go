@@ -1,0 +1,410 @@
+package bugs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/verilog"
+)
+
+// This file adds the hierarchical bug classes opened by elaboration:
+// instance port miswiring, wrong parameter overrides, and clock-domain
+// crossing bugs. All three mutate the TOP module of a source set — the
+// children stay golden — so a mutant design ships as the unchanged
+// children plus the mutated top (corpus.Blueprint.SourceWith).
+
+// childPorts indexes the resolvable ports of every non-top module by
+// module name, in declaration order, for direction/width checks and for
+// resolving positional connections.
+type childPorts map[string][]*verilog.Port
+
+// EnumerateHier returns every single-site hierarchical mutation of the
+// set's top module: SynPort connection miswires, SynParam override
+// perturbations, and — when the top drives at least two distinct clocks —
+// SynCdc re-clocking bugs. Enumeration is deterministic; mutations whose
+// printed set differs from the golden set by anything other than exactly
+// one line are dropped, like the flat classes.
+func EnumerateHier(set *verilog.SourceSet, limit int) []Mutation {
+	top, err := set.Top()
+	if err != nil || top == nil {
+		return nil
+	}
+	children := childPorts{}
+	var childMods []*verilog.Module
+	for _, m := range set.Modules {
+		if m != top {
+			children[m.Name] = m.Ports
+			childMods = append(childMods, m)
+		}
+	}
+	goldenSrc := verilog.PrintSet(set)
+
+	probe := collectHier(verilog.CloneModule(top), children)
+	n := len(probe)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+
+	var out []Mutation
+	for i := 0; i < n; i++ {
+		clone := verilog.CloneModule(top)
+		muts := collectHier(clone, children)
+		if i >= len(muts) {
+			break
+		}
+		mu := muts[i]
+		mu.apply()
+		mutSet := &verilog.SourceSet{Modules: append(append([]*verilog.Module{}, childMods...), clone)}
+		lineNo, goldenLine, buggyLine, nDiff := diffLines(goldenSrc, verilog.PrintSet(mutSet))
+		if nDiff != 1 {
+			continue // no-op or multi-line edit
+		}
+		out = append(out, Mutation{
+			Mutant:      clone,
+			Syn:         mu.syn,
+			IsCond:      mu.cond,
+			Description: mu.desc,
+			LineNo:      lineNo,
+			BuggyLine:   buggyLine,
+			GoldenLine:  goldenLine,
+			Affected:    mu.aff,
+		})
+	}
+	return out
+}
+
+// collectHier gathers the hierarchical mutators of one (cloned) top
+// module. Deterministic: sites are visited in item order.
+func collectHier(m *verilog.Module, children childPorts) []mutator {
+	var muts []mutator
+	clocks := topClocks(m, children)
+	widths := signalWidths(m)
+	cands := rewireCandidates(m, children, clocks)
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *verilog.Instance:
+			inst := x
+			ports := children[inst.Module]
+			muts = append(muts, portSwaps(inst, ports)...)
+			muts = append(muts, portRewires(inst, ports, widths, cands)...)
+			muts = append(muts, paramPerturbs(inst, ports)...)
+			if len(clocks) >= 2 {
+				muts = append(muts, connReclocks(inst, ports, clocks)...)
+			}
+		case *verilog.Always:
+			if len(clocks) >= 2 {
+				muts = append(muts, alwaysReclocks(x, m, clocks)...)
+			}
+		}
+	}
+	return muts
+}
+
+// rewireCandidates collects the identifiers an input connection can be
+// miswired to: the top module's data input ports plus every identifier
+// already wired into some instance input. Clocks and resets are excluded —
+// those miswires are the SynCdc class's territory.
+func rewireCandidates(m *verilog.Module, children childPorts, clocks []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		lower := strings.ToLower(name)
+		if name == "" || seen[name] || isClockReset(name) || containsStr(clocks, name) ||
+			strings.Contains(lower, "rst") || strings.Contains(lower, "reset") {
+			return
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	for _, p := range m.Ports {
+		if p.Dir == verilog.DirInput {
+			add(p.Name)
+		}
+	}
+	for _, it := range m.Items {
+		x, ok := it.(*verilog.Instance)
+		if !ok {
+			continue
+		}
+		ports := children[x.Module]
+		for i, pc := range x.Conns {
+			p := connPort(x, ports, i)
+			if p == nil || p.Dir != verilog.DirInput {
+				continue
+			}
+			if ident, ok := pc.Expr.(*verilog.Ident); ok {
+				add(ident.Name)
+			}
+		}
+	}
+	return out
+}
+
+// portRewires yields SynPort mutators for instances too small to have a
+// swappable pair: one input connection refed from a different same-width
+// signal (a gating term dropped, a sibling's strobe pasted in, a
+// synchronizer stage bypassed).
+func portRewires(inst *verilog.Instance, ports []*verilog.Port, widths map[string]int, cands []string) []mutator {
+	var muts []mutator
+	aff := instOutputs(inst, ports)
+	for i := range inst.Conns {
+		p := connPort(inst, ports, i)
+		if p == nil || p.Dir != verilog.DirInput || isClockReset(p.Name) || isClockName(p.Name) {
+			continue
+		}
+		from, ok := inst.Conns[i].Expr.(*verilog.Ident)
+		if !ok {
+			continue
+		}
+		for _, c := range cands {
+			if c == from.Name || widths[c] != widths[from.Name] {
+				continue
+			}
+			i, c := i, c
+			muts = append(muts, mutator{
+				syn: SynPort,
+				desc: fmt.Sprintf("instance %s: input .%s rewired from %s to %s",
+					inst.Name, p.Name, from.Name, c),
+				aff: aff,
+				apply: func() {
+					inst.Conns[i].Expr = &verilog.Ident{Name: c}
+				},
+			})
+		}
+	}
+	return muts
+}
+
+// connPort resolves the child port a connection binds: by name for named
+// connections, by position otherwise.
+func connPort(inst *verilog.Instance, ports []*verilog.Port, i int) *verilog.Port {
+	if inst.Positional {
+		if i < len(ports) {
+			return ports[i]
+		}
+		return nil
+	}
+	for _, p := range ports {
+		if p.Name == inst.Conns[i].Port {
+			return p
+		}
+	}
+	return nil
+}
+
+// rangeKey renders a port range for width comparison. Two ports of the
+// same instance share a parameter environment, so equal printed ranges
+// mean equal elaborated widths.
+func rangeKey(r *verilog.Range) string {
+	if r == nil {
+		return ""
+	}
+	return verilog.ExprString(r.Hi) + ":" + verilog.ExprString(r.Lo)
+}
+
+// instOutputs lists the top-level signals an instance drives, the affected
+// set of every hierarchical mutation on that instance.
+func instOutputs(inst *verilog.Instance, ports []*verilog.Port) []string {
+	var out []string
+	for i, pc := range inst.Conns {
+		p := connPort(inst, ports, i)
+		if p == nil || p.Dir != verilog.DirOutput || pc.Expr == nil {
+			continue
+		}
+		out = append(out, lhsSignals(pc.Expr)...)
+	}
+	return dedup(out)
+}
+
+// portSwaps yields SynPort mutators: swap the expressions of two input
+// connections of equal width (clock/reset ports excluded). Because the
+// children are golden and the swap stays within one instance's inputs, the
+// mutant always elaborates — the data just flows into the wrong port.
+func portSwaps(inst *verilog.Instance, ports []*verilog.Port) []mutator {
+	var muts []mutator
+	aff := instOutputs(inst, ports)
+	for i := 0; i < len(inst.Conns); i++ {
+		pi := connPort(inst, ports, i)
+		if pi == nil || pi.Dir != verilog.DirInput || isClockReset(pi.Name) || inst.Conns[i].Expr == nil {
+			continue
+		}
+		for j := i + 1; j < len(inst.Conns); j++ {
+			pj := connPort(inst, ports, j)
+			if pj == nil || pj.Dir != verilog.DirInput || isClockReset(pj.Name) || inst.Conns[j].Expr == nil {
+				continue
+			}
+			if rangeKey(pi.Range) != rangeKey(pj.Range) {
+				continue
+			}
+			if verilog.ExprString(inst.Conns[i].Expr) == verilog.ExprString(inst.Conns[j].Expr) {
+				continue
+			}
+			i, j := i, j
+			muts = append(muts, mutator{
+				syn: SynPort,
+				desc: fmt.Sprintf("instance %s: swapped the .%s and .%s connections",
+					inst.Name, pi.Name, pj.Name),
+				aff: aff,
+				apply: func() {
+					inst.Conns[i].Expr, inst.Conns[j].Expr = inst.Conns[j].Expr, inst.Conns[i].Expr
+				},
+			})
+		}
+	}
+	return muts
+}
+
+// paramPerturbs yields SynParam mutators: a numeric parameter override
+// nudged by one in each direction (never below one, so widths stay
+// legal). An off-by-one WIDTH override truncates or pads every port of
+// the instance — the parameter-width-mismatch bug.
+func paramPerturbs(inst *verilog.Instance, ports []*verilog.Port) []mutator {
+	var muts []mutator
+	aff := instOutputs(inst, ports)
+	for pi := range inst.Params {
+		pc := &inst.Params[pi]
+		n, ok := pc.Expr.(*verilog.Number)
+		if !ok {
+			continue
+		}
+		v := n.Value
+		deltas := []uint64{v + 1}
+		if v > 1 {
+			deltas = append(deltas, v-1)
+		}
+		for _, nv := range deltas {
+			pc, nv := pc, nv
+			muts = append(muts, mutator{
+				syn: SynParam,
+				desc: fmt.Sprintf("instance %s: parameter override %s changed from %d to %d",
+					inst.Name, pc.Port, v, nv),
+				aff: aff,
+				apply: func() {
+					pc.Expr = &verilog.Number{Value: nv, Width: n.Width}
+				},
+			})
+		}
+	}
+	return muts
+}
+
+// topClocks collects the distinct clock names the top module drives: the
+// posedge event signals of its always blocks plus any clock identifier
+// wired into a child clock port. Two or more distinct clocks mean the
+// design has multiple domains to miswire.
+func topClocks(m *verilog.Module, children childPorts) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if name == "" || seen[name] || strings.Contains(strings.ToLower(name), "rst") ||
+			strings.Contains(strings.ToLower(name), "reset") {
+			return
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *verilog.Always:
+			for _, ev := range x.Events {
+				if ev.Edge == verilog.EdgePos {
+					add(ev.Signal)
+				}
+			}
+		case *verilog.Instance:
+			ports := children[x.Module]
+			for i, pc := range x.Conns {
+				p := connPort(x, ports, i)
+				if p == nil || p.Dir != verilog.DirInput || !isClockName(p.Name) {
+					continue
+				}
+				if ident, ok := pc.Expr.(*verilog.Ident); ok {
+					add(ident.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isClockName reports whether a child port name is a clock by convention.
+func isClockName(name string) bool {
+	switch strings.ToLower(name) {
+	case "clk", "clock", "clk_i", "i_clk":
+		return true
+	}
+	return false
+}
+
+// alwaysReclocks yields SynCdc mutators: a sequential block's clock event
+// redirected to another clock in the design. The register then samples in
+// the wrong domain — a bug that only exists once there are two domains,
+// and that single-domain corpora can never express.
+func alwaysReclocks(a *verilog.Always, m *verilog.Module, clocks []string) []mutator {
+	var muts []mutator
+	aff := assignedBelow(a.Body)
+	for ei := range a.Events {
+		ev := &a.Events[ei]
+		if ev.Edge != verilog.EdgePos || !containsStr(clocks, ev.Signal) {
+			continue
+		}
+		for _, other := range clocks {
+			if other == ev.Signal {
+				continue
+			}
+			ev, other, from := ev, other, ev.Signal
+			muts = append(muts, mutator{
+				syn:  SynCdc,
+				desc: fmt.Sprintf("register bank re-clocked from %s to %s", from, other),
+				aff:  aff,
+				apply: func() {
+					ev.Signal = other
+				},
+			})
+		}
+	}
+	return muts
+}
+
+// connReclocks yields SynCdc mutators on instance clock connections: the
+// child's clock port rewired to another top-level clock, silently moving
+// the whole instance into a different domain.
+func connReclocks(inst *verilog.Instance, ports []*verilog.Port, clocks []string) []mutator {
+	var muts []mutator
+	aff := instOutputs(inst, ports)
+	for i := range inst.Conns {
+		p := connPort(inst, ports, i)
+		if p == nil || p.Dir != verilog.DirInput || !isClockName(p.Name) {
+			continue
+		}
+		ident, ok := inst.Conns[i].Expr.(*verilog.Ident)
+		if !ok || !containsStr(clocks, ident.Name) {
+			continue
+		}
+		for _, other := range clocks {
+			if other == ident.Name {
+				continue
+			}
+			i, other, from := i, other, ident.Name
+			muts = append(muts, mutator{
+				syn: SynCdc,
+				desc: fmt.Sprintf("instance %s: clock port .%s rewired from %s to %s",
+					inst.Name, p.Name, from, other),
+				aff: aff,
+				apply: func() {
+					inst.Conns[i].Expr = &verilog.Ident{Name: other}
+				},
+			})
+		}
+	}
+	return muts
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

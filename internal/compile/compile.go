@@ -6,6 +6,19 @@
 // Compile is the gate used by the data-augmentation pipeline (Stage 1 syntax
 // checking and Stage 2 bug-sanitisation): a design "compiles" when parsing
 // succeeds and elaboration produces no error-severity diagnostics.
+//
+// Multi-module sources elaborate hierarchically: Flatten resolves every
+// module instantiation under the set's top module — evaluating parameter
+// overrides per instantiation and uniquifying child names with a dotted
+// instance prefix ("u0.count") — into a single flat module, which then
+// elaborates exactly like hand-written flat source. The flat slot-indexed
+// Design stays the single execution representation; hierarchy exists only
+// in the names.
+//
+// Elaboration also groups the design's sequential blocks into clock
+// domains (Design.Domains/DomainOf). Single-domain designs keep the
+// implicit one-edge-per-stimulus-row execution model unchanged; designs
+// with several domains advance each domain only on its own clock edges.
 package compile
 
 import (
@@ -125,7 +138,13 @@ type Design struct {
 	SeqAlways  []*verilog.Always
 	Initials   []*verilog.Initial
 	Asserts    []ResolvedAssert
-	RegInit    map[string]uint64 // constant initials from initial blocks / decls
+	// Domains lists the design's clock domains in first-appearance order
+	// (sequential blocks first, then assertion clocks). DomainOf[i] is the
+	// domain index of SeqAlways[i]. Single-domain designs execute with the
+	// classic implicit edge-per-row model; see MultiClock.
+	Domains  []ClockDomain
+	DomainOf []int
+	RegInit  map[string]uint64 // constant initials from initial blocks / decls
 	// RegInitX holds the unknown-bit plane of RegInit entries whose
 	// initialiser was an x/z-bearing literal (the bits read as 0 in RegInit,
 	// preserving two-state behaviour; the four-state simulator starts them
@@ -140,6 +159,28 @@ type Design struct {
 	planMu sync.Mutex
 	plan   any
 }
+
+// ClockDomain identifies one clock event group: all sequential blocks
+// sensitive to the same edge of the same signal advance together.
+type ClockDomain struct {
+	Signal string
+	Edge   verilog.EdgeKind
+}
+
+// String renders the domain as an event, e.g. "posedge clk_a".
+func (c ClockDomain) String() string {
+	kw := "posedge"
+	if c.Edge == verilog.EdgeNeg {
+		kw = "negedge"
+	}
+	return kw + " " + c.Signal
+}
+
+// MultiClock reports whether the design has more than one clock domain.
+// Single-domain (and purely combinational) designs run the classic
+// one-edge-per-stimulus-row model, where the clock column's value is
+// ignored; multi-clock designs fire each domain only on its own edges.
+func (d *Design) MultiClock() bool { return len(d.Domains) > 1 }
 
 // SlotCount returns the number of dense signal slots; slots are the indices
 // 0..SlotCount()-1 in Order.
@@ -184,10 +225,23 @@ func (d *Design) Outputs() []*Signal {
 	return out
 }
 
-// IsClockOrReset reports whether a port name follows the clock/reset naming
-// conventions used throughout the corpus (clk, clock, rst, rst_n, reset...).
+// LeafName returns the last '.'-separated segment of a possibly
+// hierarchical signal name: LeafName("u0.count") == "count". Flattened
+// child signals keep their role under their instance prefix, so every
+// naming heuristic in this package matches on the leaf segment.
+func LeafName(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// IsClockOrReset reports whether a signal name follows the clock/reset
+// naming conventions used throughout the corpus (clk, clock, rst, rst_n,
+// reset...). Hierarchical names match on their leaf segment, so a
+// flattened child's "u0.rst_n" is still recognised as a reset.
 func IsClockOrReset(name string) bool {
-	n := strings.ToLower(name)
+	n := strings.ToLower(LeafName(name))
 	switch n {
 	case "clk", "clock", "clk_i", "i_clk":
 		return true
@@ -220,8 +274,9 @@ type ResetInfo struct {
 // active low (any rst/reset name ending in n). Design.Reset and the
 // bug-injection engine's reset-branch detection both resolve through it,
 // so the two can never disagree about which branch a reset guards.
+// Hierarchical names resolve through their leaf segment.
 func ResetNameInfo(name string) (isReset, activeLow bool) {
-	ln := strings.ToLower(name)
+	ln := strings.ToLower(LeafName(name))
 	isReset = strings.HasPrefix(ln, "rst") || strings.HasPrefix(ln, "reset") || ln == "arst_n"
 	activeLow = strings.HasSuffix(ln, "_n") || strings.HasSuffix(ln, "_ni") || strings.HasSuffix(ln, "rstn")
 	return isReset, activeLow
@@ -240,15 +295,40 @@ func (d *Design) Reset() ResetInfo {
 	return ResetInfo{}
 }
 
-// Compile parses and elaborates source text. A parse failure is returned as
-// err; semantic problems are reported in diags. design is nil whenever
-// compilation failed (err != nil or error diagnostics present).
+// Compile parses and elaborates source text, which may contain several
+// modules: the unique uninstantiated module becomes the top and every
+// instantiation under it is flattened. A parse failure or top-module
+// ambiguity is returned as err; semantic problems are reported in diags.
+// design is nil whenever compilation failed (err != nil or error
+// diagnostics present).
 func Compile(src string) (*Design, []Diagnostic, error) {
-	m, err := verilog.Parse(src)
+	set, err := verilog.ParseSet(src)
 	if err != nil {
 		return nil, nil, err
 	}
-	d, diags := Elaborate(m)
+	return CompileSet(set)
+}
+
+// CompileSet elaborates a parsed source set. A single module without
+// instantiations takes the exact single-module elaboration path; anything
+// else is flattened first (see Flatten).
+func CompileSet(set *verilog.SourceSet) (*Design, []Diagnostic, error) {
+	if len(set.Modules) == 1 && len(set.Modules[0].Instances()) == 0 {
+		d, diags := Elaborate(set.Modules[0])
+		if HasErrors(diags) {
+			return nil, diags, nil
+		}
+		return d, diags, nil
+	}
+	if _, err := set.Top(); err != nil {
+		return nil, nil, err
+	}
+	flat, fdiags := Flatten(set)
+	if flat == nil || HasErrors(fdiags) {
+		return nil, fdiags, nil
+	}
+	d, diags := Elaborate(flat)
+	diags = append(fdiags, diags...)
 	if HasErrors(diags) {
 		return nil, diags, nil
 	}
@@ -412,6 +492,10 @@ func (e *elaborator) run() {
 				d.Asserts = append(d.Asserts, ra)
 			}
 			assertIdx++
+		case *verilog.Instance:
+			// Single-module elaboration cannot resolve instances; Compile
+			// flattens the whole set first so this only fires on misuse.
+			e.errorf(x.Pos, "unresolved instantiation of module %q (flatten the source set first)", x.Module)
 		}
 	}
 
@@ -429,6 +513,73 @@ func (e *elaborator) run() {
 		e.checkSeq(p.Seq, p.Pos)
 		if p.Clock.Signal != "" {
 			e.checkName(p.Clock.Signal, p.Pos)
+		}
+	}
+
+	// Pass 5: clock domains.
+	e.computeDomains()
+}
+
+// clockEventOf picks the clock event of a sequential block: the first edge
+// event whose signal is not reset-named (so "posedge clk or negedge rst_n"
+// is clocked by clk), falling back to the first edge event.
+func clockEventOf(al *verilog.Always) verilog.Event {
+	for _, ev := range al.Events {
+		if ev.Edge == verilog.EdgeAny {
+			continue
+		}
+		if isReset, _ := ResetNameInfo(ev.Signal); !isReset {
+			return ev
+		}
+	}
+	for _, ev := range al.Events {
+		if ev.Edge != verilog.EdgeAny {
+			return ev
+		}
+	}
+	return verilog.Event{}
+}
+
+// computeDomains groups sequential blocks by clock event and validates the
+// multi-clock subset: every domain clock must be a 1-bit input port, and at
+// most 64 domains fit the engines' fired-mask words. Assertion clocks join
+// the domain list so their sampling schedule is defined even when no
+// register uses that clock. Async reset edges do not open domains: a block
+// fires with its clock, and the reset branch is evaluated at those edges.
+func (e *elaborator) computeDomains() {
+	d := e.design
+	d.DomainOf = make([]int, len(d.SeqAlways))
+	index := map[ClockDomain]int{}
+	add := func(cd ClockDomain) int {
+		if i, ok := index[cd]; ok {
+			return i
+		}
+		i := len(d.Domains)
+		index[cd] = i
+		d.Domains = append(d.Domains, cd)
+		return i
+	}
+	for i, al := range d.SeqAlways {
+		ev := clockEventOf(al)
+		d.DomainOf[i] = add(ClockDomain{Signal: ev.Signal, Edge: ev.Edge})
+	}
+	for i := range d.Asserts {
+		a := &d.Asserts[i]
+		if a.Clock.Signal != "" && a.Clock.Edge != verilog.EdgeAny {
+			add(ClockDomain{Signal: a.Clock.Signal, Edge: a.Clock.Edge})
+		}
+	}
+	if len(d.Domains) <= 1 {
+		return
+	}
+	if len(d.Domains) > 64 {
+		e.errorf(d.Module.Pos, "design has %d clock domains; the simulator supports at most 64", len(d.Domains))
+		return
+	}
+	for _, cd := range d.Domains {
+		sig := d.Signals[cd.Signal]
+		if sig == nil || sig.Kind != SigInput || sig.Width != 1 {
+			e.errorf(d.Module.Pos, "multi-clock design: clock %q must be a 1-bit input port", cd.Signal)
 		}
 	}
 }
@@ -469,14 +620,22 @@ func literalUnknown(e verilog.Expr) uint64 {
 
 // constEval evaluates a constant expression using resolved parameters.
 func (e *elaborator) constEval(expr verilog.Expr) (uint64, bool) {
+	return evalConst(expr, e.design.Params)
+}
+
+// evalConst evaluates a constant expression over an explicit parameter
+// environment. It is the single constant-folding definition shared by the
+// elaborator and the flattener (which evaluates child parameter overrides
+// in the parent's environment).
+func evalConst(expr verilog.Expr, params map[string]uint64) (uint64, bool) {
 	switch x := expr.(type) {
 	case *verilog.Number:
 		return x.Value, true
 	case *verilog.Ident:
-		v, ok := e.design.Params[x.Name]
+		v, ok := params[x.Name]
 		return v, ok
 	case *verilog.Unary:
-		v, ok := e.constEval(x.X)
+		v, ok := evalConst(x.X, params)
 		if !ok {
 			return 0, false
 		}
@@ -495,8 +654,8 @@ func (e *elaborator) constEval(expr verilog.Expr) (uint64, bool) {
 		}
 		return 0, false
 	case *verilog.Binary:
-		a, ok1 := e.constEval(x.X)
-		b, ok2 := e.constEval(x.Y)
+		a, ok1 := evalConst(x.X, params)
+		b, ok2 := evalConst(x.Y, params)
 		if !ok1 || !ok2 {
 			return 0, false
 		}
@@ -524,14 +683,14 @@ func (e *elaborator) constEval(expr verilog.Expr) (uint64, bool) {
 		}
 		return 0, false
 	case *verilog.Ternary:
-		c, ok := e.constEval(x.Cond)
+		c, ok := evalConst(x.Cond, params)
 		if !ok {
 			return 0, false
 		}
 		if c != 0 {
-			return e.constEval(x.X)
+			return evalConst(x.X, params)
 		}
-		return e.constEval(x.Y)
+		return evalConst(x.Y, params)
 	}
 	return 0, false
 }

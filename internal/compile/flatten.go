@@ -1,0 +1,439 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/verilog"
+)
+
+// maxFlattenDepth bounds instantiation nesting so a recursive hierarchy
+// (a module instantiating itself, directly or through a cycle the top-module
+// search could not see) fails with a diagnostic instead of diverging.
+const maxFlattenDepth = 64
+
+// Flatten resolves every module instantiation under the set's top module
+// into a single flat module. Each instance is expanded in place:
+//
+//   - child parameters become localparams named "<inst>.<param>", with
+//     overrides evaluated as constants in the parent's parameter scope;
+//   - child ports become nets named "<inst>.<port>" (reg for reg-typed
+//     outputs) plus connection assigns — except scalar inputs connected to
+//     a bare scalar identifier, which are substituted directly so clock and
+//     reset wiring like .clk(clk) keeps the parent's signal name;
+//   - every other child item is cloned with all declared names prefixed by
+//     "<inst>.", including property names, assertion labels, and event
+//     signals, so hierarchical names survive into traces, lint findings,
+//     and assertion logs.
+//
+// Identifier resolution is strict: a child expression referencing a name
+// not declared in the child (and a connection referencing a name not
+// declared in the parent) is a flatten error, never a silent capture of a
+// same-named signal from another scope.
+//
+// The returned module is nil when flattening produced error diagnostics.
+func Flatten(set *verilog.SourceSet) (*verilog.Module, []Diagnostic) {
+	f := &flattener{set: set}
+	top, err := set.Top()
+	if err != nil {
+		f.errorf(verilog.Pos{Line: 1, Col: 1}, "%s", err)
+		return nil, f.diags
+	}
+	clone := verilog.CloneModule(top)
+	out := &verilog.Module{Name: clone.Name, Ports: clone.Ports, Pos: clone.Pos}
+	scope := moduleScope(top)
+	env := moduleParams(top)
+	for _, it := range clone.Items {
+		if inst, ok := it.(*verilog.Instance); ok {
+			f.expand(out, inst, "", scope, env, top, 1)
+			continue
+		}
+		out.Items = append(out.Items, it)
+	}
+	if HasErrors(f.diags) {
+		return nil, f.diags
+	}
+	return out, f.diags
+}
+
+type flattener struct {
+	set   *verilog.SourceSet
+	diags []Diagnostic
+}
+
+func (f *flattener) errorf(pos verilog.Pos, format string, args ...any) {
+	f.diags = append(f.diags, Diagnostic{Pos: pos, Severity: SevError, Msg: fmt.Sprintf(format, args...)})
+}
+
+// moduleScope returns the identity rename map over a module's declared
+// names: ports, nets, parameters, and properties. Connection expressions
+// resolve against this scope.
+func moduleScope(m *verilog.Module) map[string]string {
+	scope := map[string]string{}
+	for _, p := range m.Ports {
+		scope[p.Name] = p.Name
+	}
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *verilog.NetDecl:
+			for _, n := range x.Names {
+				scope[n] = n
+			}
+		case *verilog.ParamDecl:
+			scope[x.Name] = x.Name
+		case *verilog.PropertyDecl:
+			scope[x.Name] = x.Name
+		}
+	}
+	return scope
+}
+
+// moduleParams resolves a module's own parameters in declaration order,
+// skipping any that fail to fold (the elaborator reports those).
+func moduleParams(m *verilog.Module) map[string]uint64 {
+	env := map[string]uint64{}
+	for _, it := range m.Items {
+		if pd, ok := it.(*verilog.ParamDecl); ok {
+			if v, ok2 := evalConst(pd.Value, env); ok2 {
+				env[pd.Name] = v
+			}
+		}
+	}
+	return env
+}
+
+// scalarDecl reports whether name is declared as a syntactically scalar
+// net or port (no range) in m — the precondition for substituting a child
+// port directly with the parent signal instead of an alias net, which is
+// width-safe only when both sides are provably one bit wide.
+func scalarDecl(m *verilog.Module, name string) bool {
+	if p := m.FindPort(name); p != nil {
+		return p.Range == nil
+	}
+	for _, it := range m.Items {
+		nd, ok := it.(*verilog.NetDecl)
+		if !ok {
+			continue
+		}
+		for _, n := range nd.Names {
+			if n == name {
+				return nd.Range == nil && nd.Kind != verilog.NetInteger
+			}
+		}
+	}
+	return false
+}
+
+// findParam returns the child's parameter declaration with the given name.
+func findParam(m *verilog.Module, name string) *verilog.ParamDecl {
+	for _, it := range m.Items {
+		if pd, ok := it.(*verilog.ParamDecl); ok && pd.Name == name {
+			return pd
+		}
+	}
+	return nil
+}
+
+// expand emits the flattened form of one instance into out. prefix is the
+// parent's own hierarchical prefix ("" at top level), parentScope the
+// parent's rename map (connection expressions resolve through it), and
+// parentEnv the parent's resolved parameter environment (override
+// expressions fold in it).
+func (f *flattener) expand(out *verilog.Module, inst *verilog.Instance,
+	prefix string, parentScope map[string]string, parentEnv map[string]uint64,
+	parentMod *verilog.Module, depth int) {
+
+	if depth > maxFlattenDepth {
+		f.errorf(inst.Pos, "instantiation of %s exceeds depth %d (recursive hierarchy?)", inst.Module, maxFlattenDepth)
+		return
+	}
+	child := f.set.Find(inst.Module)
+	if child == nil {
+		f.errorf(inst.Pos, "instantiation of undeclared module %q", inst.Module)
+		return
+	}
+	childPrefix := prefix + inst.Name + "."
+
+	// Child parameter environment: defaults in declaration order, named
+	// overrides folded in the parent's scope.
+	overrides := map[string]uint64{}
+	for _, pc := range inst.Params {
+		pd := findParam(child, pc.Port)
+		switch {
+		case pd == nil:
+			f.errorf(pc.Pos, "module %s has no parameter %q", child.Name, pc.Port)
+			continue
+		case pd.IsLocal:
+			f.errorf(pc.Pos, "cannot override localparam %s of module %s", pc.Port, child.Name)
+			continue
+		case pc.Expr == nil:
+			continue // parser rejects .P(); tolerate hand-built ASTs
+		}
+		if _, dup := overrides[pc.Port]; dup {
+			f.errorf(pc.Pos, "parameter %s overridden twice", pc.Port)
+			continue
+		}
+		v, ok := evalConst(pc.Expr, parentEnv)
+		if !ok {
+			f.errorf(pc.Pos, "parameter override .%s(...) is not a constant expression", pc.Port)
+			continue
+		}
+		overrides[pc.Port] = v
+	}
+	childEnv := map[string]uint64{}
+	for _, it := range child.Items {
+		pd, ok := it.(*verilog.ParamDecl)
+		if !ok {
+			continue
+		}
+		if v, ovr := overrides[pd.Name]; ovr {
+			childEnv[pd.Name] = v
+			continue
+		}
+		if v, ok2 := evalConst(pd.Value, childEnv); ok2 {
+			childEnv[pd.Name] = v
+		} else {
+			f.errorf(pd.Pos, "parameter %s of module %s is not a constant expression", pd.Name, child.Name)
+		}
+	}
+
+	// Rename map: every child-declared name gains the instance prefix.
+	rename := map[string]string{}
+	for name := range moduleScope(child) {
+		rename[name] = childPrefix + name
+	}
+
+	// Port connections, keyed by child port name. Values are expressions in
+	// the parent's scope, not yet renamed.
+	conns := map[string]verilog.Expr{}
+	connPos := map[string]verilog.Pos{}
+	if inst.Positional {
+		if len(inst.Conns) != len(child.Ports) {
+			f.errorf(inst.Pos, "module %s has %d ports but instance %s connects %d",
+				child.Name, len(child.Ports), inst.Name, len(inst.Conns))
+			return
+		}
+		for i, pc := range inst.Conns {
+			conns[child.Ports[i].Name] = pc.Expr
+			connPos[child.Ports[i].Name] = pc.Pos
+		}
+	} else {
+		for _, pc := range inst.Conns {
+			if child.FindPort(pc.Port) == nil {
+				f.errorf(pc.Pos, "module %s has no port %q", child.Name, pc.Port)
+				continue
+			}
+			if _, dup := conns[pc.Port]; dup {
+				f.errorf(pc.Pos, "port %s connected twice", pc.Port)
+				continue
+			}
+			conns[pc.Port] = pc.Expr
+			connPos[pc.Port] = pc.Pos
+		}
+	}
+
+	// Scalar bare-identifier input connections substitute the parent signal
+	// directly (no alias net, no assign): .clk(clk) keeps the child's
+	// registers clocked by the parent's clk, preserving clock/reset naming
+	// classification and clock-domain identity across the hierarchy.
+	substituted := map[string]bool{}
+	for _, p := range child.Ports {
+		ce := conns[p.Name]
+		if p.Dir != verilog.DirInput || p.Range != nil || ce == nil {
+			continue
+		}
+		id, ok := ce.(*verilog.Ident)
+		if !ok {
+			continue
+		}
+		target, declared := parentScope[id.Name]
+		if declared && scalarDecl(parentMod, id.Name) {
+			rename[p.Name] = target
+			substituted[p.Name] = true
+		}
+	}
+
+	// Child parameters become localparams holding their resolved values.
+	for _, it := range child.Items {
+		if pd, ok := it.(*verilog.ParamDecl); ok {
+			v := childEnv[pd.Name]
+			out.Items = append(out.Items, &verilog.ParamDecl{
+				IsLocal: true,
+				Name:    childPrefix + pd.Name,
+				Value:   &verilog.Number{Value: v, Pos: pd.Pos},
+				Pos:     pd.Pos,
+			})
+		}
+	}
+
+	// Port alias nets and connection assigns.
+	for _, p := range child.Ports {
+		if p.Dir == verilog.DirInout {
+			f.errorf(p.Pos, "inout port %s of module %s is not supported", p.Name, child.Name)
+			continue
+		}
+		if substituted[p.Name] {
+			continue
+		}
+		kind := verilog.NetWire
+		if p.Dir == verilog.DirOutput && p.IsReg {
+			kind = verilog.NetReg
+		}
+		out.Items = append(out.Items, &verilog.NetDecl{
+			Kind:  kind,
+			Range: f.renameRange(p.Range, rename, child.Name),
+			Names: []string{childPrefix + p.Name},
+			Pos:   inst.Pos,
+		})
+	}
+	for _, p := range child.Ports {
+		ce := conns[p.Name]
+		if ce == nil || substituted[p.Name] || p.Dir == verilog.DirInout {
+			continue
+		}
+		renamed := f.renameExpr(ce, parentScope, parentMod.Name)
+		alias := &verilog.Ident{Name: childPrefix + p.Name, Pos: connPos[p.Name]}
+		as := &verilog.AssignItem{LHS: alias, RHS: renamed, Pos: connPos[p.Name]}
+		if p.Dir == verilog.DirOutput {
+			as.LHS, as.RHS = renamed, alias
+		}
+		out.Items = append(out.Items, as)
+	}
+
+	// Child body, renamed; nested instances recurse with this instance's
+	// prefix and scope.
+	for _, it := range child.Items {
+		switch x := it.(type) {
+		case *verilog.ParamDecl, *verilog.Port, *verilog.CommentItem:
+			// Parameters handled above; port decl items mirror child.Ports;
+			// comments carry no semantics into the flat module.
+		case *verilog.NetDecl:
+			cp := verilog.CloneItem(x).(*verilog.NetDecl)
+			for i, n := range cp.Names {
+				cp.Names[i] = childPrefix + n
+			}
+			cp.Range = f.renameRange(x.Range, rename, child.Name)
+			if cp.Init != nil {
+				f.renameExprInPlace(cp.Init, rename, child.Name)
+			}
+			out.Items = append(out.Items, cp)
+		case *verilog.AssignItem:
+			cp := verilog.CloneItem(x).(*verilog.AssignItem)
+			f.renameExprInPlace(cp.LHS, rename, child.Name)
+			f.renameExprInPlace(cp.RHS, rename, child.Name)
+			out.Items = append(out.Items, cp)
+		case *verilog.Always:
+			cp := verilog.CloneItem(x).(*verilog.Always)
+			for i := range cp.Events {
+				cp.Events[i] = f.renameEvent(cp.Events[i], rename, child.Name, cp.Pos)
+			}
+			f.renameStmtInPlace(cp.Body, rename, child.Name)
+			out.Items = append(out.Items, cp)
+		case *verilog.Initial:
+			cp := verilog.CloneItem(x).(*verilog.Initial)
+			f.renameStmtInPlace(cp.Body, rename, child.Name)
+			out.Items = append(out.Items, cp)
+		case *verilog.PropertyDecl:
+			cp := verilog.CloneItem(x).(*verilog.PropertyDecl)
+			cp.Name = childPrefix + cp.Name
+			cp.Clock = f.renameEvent(cp.Clock, rename, child.Name, cp.Pos)
+			if cp.DisableIff != nil {
+				f.renameExprInPlace(cp.DisableIff, rename, child.Name)
+			}
+			f.renameSeqInPlace(cp.Seq, rename, child.Name)
+			out.Items = append(out.Items, cp)
+		case *verilog.AssertItem:
+			cp := verilog.CloneItem(x).(*verilog.AssertItem)
+			if cp.Label != "" {
+				cp.Label = childPrefix + cp.Label
+			}
+			if cp.Ref != "" {
+				nn, ok := rename[cp.Ref]
+				if !ok {
+					f.errorf(cp.Pos, "assertion references undeclared property %q in module %s", cp.Ref, child.Name)
+					continue
+				}
+				cp.Ref = nn
+			}
+			if cp.Clock != nil {
+				ev := f.renameEvent(*cp.Clock, rename, child.Name, cp.Pos)
+				cp.Clock = &ev
+			}
+			if cp.DisableIff != nil {
+				f.renameExprInPlace(cp.DisableIff, rename, child.Name)
+			}
+			f.renameSeqInPlace(cp.Seq, rename, child.Name)
+			out.Items = append(out.Items, cp)
+		case *verilog.Instance:
+			f.expand(out, x, childPrefix, rename, childEnv, child, depth+1)
+		}
+	}
+}
+
+// renameExpr clones e and rewrites every identifier through the rename
+// map; unmapped identifiers are flatten errors (strict scoping).
+func (f *flattener) renameExpr(e verilog.Expr, rename map[string]string, mod string) verilog.Expr {
+	if e == nil {
+		return nil
+	}
+	cp := verilog.CloneExpr(e)
+	f.renameExprInPlace(cp, rename, mod)
+	return cp
+}
+
+func (f *flattener) renameExprInPlace(e verilog.Expr, rename map[string]string, mod string) {
+	verilog.WalkExpr(e, func(sub verilog.Expr) {
+		id, ok := sub.(*verilog.Ident)
+		if !ok {
+			return
+		}
+		nn, declared := rename[id.Name]
+		if !declared {
+			f.errorf(id.Pos, "undeclared identifier %q in module %s", id.Name, mod)
+			return
+		}
+		id.Name = nn
+	})
+}
+
+func (f *flattener) renameStmtInPlace(s verilog.Stmt, rename map[string]string, mod string) {
+	verilog.WalkStmt(s, func(sub verilog.Stmt) {
+		verilog.StmtExprs(sub, func(e verilog.Expr) {
+			f.renameExprInPlace(e, rename, mod)
+		})
+	})
+}
+
+func (f *flattener) renameSeqInPlace(s *verilog.SeqExpr, rename map[string]string, mod string) {
+	if s == nil {
+		return
+	}
+	for i := range s.Antecedent {
+		f.renameExprInPlace(s.Antecedent[i].Expr, rename, mod)
+	}
+	for i := range s.Consequent {
+		f.renameExprInPlace(s.Consequent[i].Expr, rename, mod)
+	}
+}
+
+func (f *flattener) renameRange(r *verilog.Range, rename map[string]string, mod string) *verilog.Range {
+	if r == nil {
+		return nil
+	}
+	return &verilog.Range{
+		Hi: f.renameExpr(r.Hi, rename, mod),
+		Lo: f.renameExpr(r.Lo, rename, mod),
+	}
+}
+
+func (f *flattener) renameEvent(ev verilog.Event, rename map[string]string, mod string, pos verilog.Pos) verilog.Event {
+	if ev.Signal == "" {
+		return ev
+	}
+	nn, ok := rename[ev.Signal]
+	if !ok {
+		f.errorf(pos, "undeclared identifier %q in module %s", ev.Signal, mod)
+		return ev
+	}
+	ev.Signal = nn
+	return ev
+}

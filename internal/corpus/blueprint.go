@@ -25,6 +25,11 @@ type Blueprint struct {
 	// exercise every assertion non-vacuously; 0 means the default bound
 	// suffices. Deep pipelines and long-period counters need more cycles.
 	MinDepth int
+	// Children holds the child modules of a hierarchical blueprint, in
+	// declaration order; Module stays the top. Source() prints the whole
+	// set (children first), and the bug injector mutates only the top —
+	// mutant sources are reassembled with SourceWith.
+	Children []*verilog.Module
 }
 
 // CheckDepth returns the bounded-check depth for this blueprint: MinDepth
@@ -39,8 +44,27 @@ func (b *Blueprint) CheckDepth(def int) int {
 // Name returns the module name.
 func (b *Blueprint) Name() string { return b.Module.Name }
 
-// Source returns the canonical printed source.
-func (b *Blueprint) Source() string { return verilog.Print(b.Module) }
+// Source returns the canonical printed source: the top module alone for
+// flat blueprints, the full set (children first, top last) otherwise.
+func (b *Blueprint) Source() string { return b.SourceWith(b.Module) }
+
+// SourceWith prints the blueprint with the given module in place of its
+// top — the reassembly path for injected mutants, whose mutated top must
+// ship together with the unchanged children to compile.
+func (b *Blueprint) SourceWith(top *verilog.Module) string {
+	if len(b.Children) == 0 {
+		return verilog.Print(top)
+	}
+	return verilog.PrintSet(b.Set(top))
+}
+
+// Set returns the blueprint as a source set with the given top module
+// (children in declaration order, top last).
+func (b *Blueprint) Set(top *verilog.Module) *verilog.SourceSet {
+	mods := make([]*verilog.Module, 0, len(b.Children)+1)
+	mods = append(mods, b.Children...)
+	return &verilog.SourceSet{Modules: append(mods, top)}
+}
 
 // ContentHash returns the SHA-256 of the printed source, the identity
 // under which the corpus is deduplicated.

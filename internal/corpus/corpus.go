@@ -102,6 +102,13 @@ func Catalog() []*Blueprint {
 	add(Mux(32, 2))
 	add(padToBin(Pipeline(36, 16), 205))
 
+	// --- hierarchical (multi-module; bins by whole-set line count) ---
+	add(HierFIFO(2))
+	add(HierFIFO(3))
+	add(BankedRegFile(4))
+	add(BankedRegFile(8))
+	add(CDCCross())
+
 	return out
 }
 

@@ -1,0 +1,268 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/verilog"
+)
+
+// ---------------------------------------------------------------------------
+// Hierarchical families: golden designs built from module instantiation.
+// Each blueprint carries its child modules in Blueprint.Children; the top
+// module instantiates them with parameter overrides, and the embedded SVAs
+// state end-to-end properties across the instance boundary — including, in
+// the CDC family, properties clocked in a second clock domain.
+// ---------------------------------------------------------------------------
+
+func pconn(port string, e verilog.Expr) verilog.PortConn {
+	return verilog.PortConn{Port: port, Expr: e}
+}
+
+func override(name string, v uint64) verilog.PortConn {
+	return verilog.PortConn{Port: name, Expr: num(v)}
+}
+
+func inst(module, name string, params []verilog.PortConn, conns ...verilog.PortConn) *verilog.Instance {
+	return &verilog.Instance{Module: module, Name: name, Params: params, Conns: conns}
+}
+
+// hierCnt builds the shared child of the hierarchical FIFO: a parameterised
+// wrapping up-counter with enable. Fresh AST per call, so sibling
+// blueprints never alias each other's children.
+func hierCnt() *verilog.Module {
+	w := &verilog.Range{Hi: sub(id("WIDTH"), num(1)), Lo: num(0)}
+	ports := []*verilog.Port{
+		inPort("clk", 1),
+		inPort("rst_n", 1),
+		inPort("en", 1),
+		{Dir: verilog.DirOutput, IsReg: true, Range: w, Name: "value"},
+	}
+	items := []verilog.Item{
+		param("WIDTH", 4),
+		alwaysSeq("clk", "rst_n",
+			nb(id("value"), num(0)),
+			ifs(id("en"), nb(id("value"), add(id("value"), num(1))), nil)),
+	}
+	return moduleOf("hier_cnt", ports, items...)
+}
+
+// HierFIFO builds a FIFO occupancy tracker from two instantiated counters:
+// the classic free-running read/write pointer pair, one extra bit wide so
+// level = wr - rd distinguishes full from empty. Both instances override
+// the child's WIDTH parameter.
+func HierFIFO(ptrBits int) *Blueprint {
+	depth := uint64(1) << uint(ptrBits)
+	pw := ptrBits + 1
+	name := fmtName("hier_fifo", fmt.Sprintf("p%d", ptrBits))
+	ports := append(stdPorts(),
+		inPort("push", 1),
+		inPort("pop", 1),
+		outPort("full", 1),
+		outPort("empty", 1),
+		outPort("level", pw),
+	)
+	items := []verilog.Item{
+		param("DEPTH", depth),
+		wire("wr", pw),
+		wire("rd", pw),
+		wire("do_push", 1),
+		wire("do_pop", 1),
+		assign(id("do_push"), land(id("push"), lnot(id("full")))),
+		assign(id("do_pop"), land(id("pop"), lnot(id("empty")))),
+		inst("hier_cnt", "u_wr", []verilog.PortConn{override("WIDTH", uint64(pw))},
+			pconn("clk", id("clk")), pconn("rst_n", id("rst_n")),
+			pconn("en", id("do_push")), pconn("value", id("wr"))),
+		inst("hier_cnt", "u_rd", []verilog.PortConn{override("WIDTH", uint64(pw))},
+			pconn("clk", id("clk")), pconn("rst_n", id("rst_n")),
+			pconn("en", id("do_pop")), pconn("value", id("rd"))),
+		assign(id("level"), sub(id("wr"), id("rd"))),
+		assign(id("empty"), eq(id("level"), num(0))),
+		assign(id("full"), eq(id("level"), id("DEPTH"))),
+	}
+	items = append(items, invariant("p_bound", "clk", notRst(),
+		le(id("level"), id("DEPTH")),
+		"occupancy must never exceed DEPTH")...)
+	items = append(items, property("p_push_incr", "clk", notRst(),
+		[]term{t0(land(id("do_push"), lnot(id("do_pop"))))}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("level"), add(past(id("level"), 1), num(1))))},
+		"a push without a pop must raise the level by one")...)
+	items = append(items, property("p_pop_decr", "clk", notRst(),
+		[]term{t0(land(id("do_pop"), lnot(id("do_push"))))}, verilog.ImplNonOverlap,
+		[]term{t0(eq(id("level"), sub(past(id("level"), 1), num(1))))},
+		"a pop without a push must lower the level by one")...)
+	items = append(items, property("p_empty_hold", "clk", notRst(),
+		[]term{t0(land(id("empty"), lnot(id("push"))))}, verilog.ImplNonOverlap,
+		[]term{t0(id("empty"))},
+		"an idle empty FIFO must stay empty")...)
+	return &Blueprint{
+		Family:   "hier_fifo",
+		MinDepth: int(depth)*2 + 8,
+		Module:   moduleOf(name, ports, items...),
+		Children: []*verilog.Module{hierCnt()},
+		Description: fmt.Sprintf("A FIFO occupancy tracker built from two instantiated hier_cnt "+
+			"counters (write and read pointers, %d bits each via a WIDTH parameter override). "+
+			"level = wr - rd tracks occupancy of a depth-%d FIFO; push is ignored when full, "+
+			"pop when empty. An active-low asynchronous reset clears both pointers.", pw, depth),
+		PortDocs: stdDocs(
+			doc("push", "enqueue strobe, ignored when full"),
+			doc("pop", "dequeue strobe, ignored when empty"),
+			doc("full", "high when level equals DEPTH"),
+			doc("empty", "high when level is zero"),
+			doc("level", "current occupancy, wr - rd"),
+		),
+	}
+}
+
+// rbank builds the banked register file child: a two-entry bank with a
+// write-select and an independent read mux.
+func rbank() *verilog.Module {
+	w := &verilog.Range{Hi: sub(id("WIDTH"), num(1)), Lo: num(0)}
+	ports := []*verilog.Port{
+		inPort("clk", 1),
+		inPort("rst_n", 1),
+		inPort("we", 1),
+		inPort("sel", 1),
+		{Dir: verilog.DirInput, Range: w, Name: "wdata"},
+		inPort("rsel", 1),
+		{Dir: verilog.DirOutput, Range: w, Name: "rdata"},
+	}
+	items := []verilog.Item{
+		param("WIDTH", 8),
+		&verilog.NetDecl{Kind: verilog.NetReg, Range: w, Names: []string{"r0"}},
+		&verilog.NetDecl{Kind: verilog.NetReg, Range: w, Names: []string{"r1"}},
+		alwaysSeq("clk", "rst_n",
+			nb(id("r0"), num(0)),
+			ifs(land(id("we"), lnot(id("sel"))), nb(id("r0"), id("wdata")), nil)),
+		alwaysSeq("clk", "rst_n",
+			nb(id("r1"), num(0)),
+			ifs(land(id("we"), id("sel")), nb(id("r1"), id("wdata")), nil)),
+		assign(id("rdata"), tern(id("rsel"), id("r1"), id("r0"))),
+	}
+	return moduleOf("rbank", ports, items...)
+}
+
+// BankedRegFile builds a four-entry register file from two instantiated
+// two-entry banks: waddr[1]/raddr[1] select the bank, bit 0 the entry
+// within it. The banks take the data width through a parameter override.
+func BankedRegFile(width int) *Blueprint {
+	name := fmtName("banked_rf", fmt.Sprintf("w%d", width))
+	ports := append(stdPorts(),
+		inPort("we", 1),
+		inPort("waddr", 2),
+		inPort("wdata", width),
+		inPort("raddr", 2),
+		outPort("rdata", width),
+	)
+	items := []verilog.Item{
+		wire("rd0", width),
+		wire("rd1", width),
+		inst("rbank", "u_b0", []verilog.PortConn{override("WIDTH", uint64(width))},
+			pconn("clk", id("clk")), pconn("rst_n", id("rst_n")),
+			pconn("we", land(id("we"), lnot(bit("waddr", 1)))),
+			pconn("sel", bit("waddr", 0)), pconn("wdata", id("wdata")),
+			pconn("rsel", bit("raddr", 0)), pconn("rdata", id("rd0"))),
+		inst("rbank", "u_b1", []verilog.PortConn{override("WIDTH", uint64(width))},
+			pconn("clk", id("clk")), pconn("rst_n", id("rst_n")),
+			pconn("we", land(id("we"), bit("waddr", 1))),
+			pconn("sel", bit("waddr", 0)), pconn("wdata", id("wdata")),
+			pconn("rsel", bit("raddr", 0)), pconn("rdata", id("rd1"))),
+		assign(id("rdata"), tern(bit("raddr", 1), id("rd1"), id("rd0"))),
+	}
+	items = append(items, property("p_readback", "clk", notRst(),
+		[]term{t0(id("we"))}, verilog.ImplNonOverlap,
+		[]term{t0(tern(eq(id("raddr"), past(id("waddr"), 1)),
+			eq(id("rdata"), past(id("wdata"), 1)), num(1)))},
+		"reading the just-written address must return the written data")...)
+	items = append(items, property("p_hold", "clk", notRst(),
+		[]term{t0(lnot(id("we")))}, verilog.ImplNonOverlap,
+		[]term{t0(tern(call("$stable", id("raddr")), call("$stable", id("rdata")), num(1)))},
+		"without a write, a steady read address must return steady data")...)
+	return &Blueprint{
+		Family:   "banked_rf",
+		MinDepth: 12,
+		Module:   moduleOf(name, ports, items...),
+		Children: []*verilog.Module{rbank()},
+		Description: fmt.Sprintf("A four-entry %d-bit register file assembled from two instantiated "+
+			"rbank modules (two entries each, width set by a parameter override). waddr[1] and "+
+			"raddr[1] select the bank, bit 0 the entry; reads are combinational. An active-low "+
+			"asynchronous reset clears every entry.", width),
+		PortDocs: stdDocs(
+			doc("we", "write enable"),
+			doc("waddr", "write address, bank in bit 1, entry in bit 0"),
+			doc("wdata", fmt.Sprintf("%d-bit write data", width)),
+			doc("raddr", "read address, same encoding as waddr"),
+			doc("rdata", "combinational read data"),
+		),
+	}
+}
+
+// sync2 builds the CDC child: the canonical two-flop synchronizer.
+func sync2() *verilog.Module {
+	ports := []*verilog.Port{
+		inPort("clk", 1),
+		inPort("rst_n", 1),
+		inPort("d", 1),
+		outReg("q", 1),
+	}
+	items := []verilog.Item{
+		reg("meta", 1),
+		alwaysSeq("clk", "rst_n",
+			block(nb(id("meta"), num(0)), nb(id("q"), num(0))),
+			block(nb(id("meta"), id("d")), nb(id("q"), id("meta")))),
+	}
+	return moduleOf("sync2", ports, items...)
+}
+
+// CDCCross builds the two-clock-domain family: a clk_a-domain source
+// register crossing into clk_b through an instantiated two-flop
+// synchronizer. Its properties are clocked @(posedge clk_b) — they advance
+// on the destination domain's ticks, not on stimulus rows — and one of
+// them reaches through the hierarchy to the synchronizer's internal stage
+// (u_sync.meta).
+func CDCCross() *Blueprint {
+	ports := []*verilog.Port{
+		inPort("clk_a", 1),
+		inPort("clk_b", 1),
+		inPort("rst_n", 1),
+		inPort("d", 1),
+		outPort("q", 1),
+	}
+	items := []verilog.Item{
+		reg("src", 1),
+		alwaysSeq("clk_a", "rst_n",
+			nb(id("src"), num(0)),
+			nb(id("src"), id("d"))),
+		inst("sync2", "u_sync", nil,
+			pconn("clk", id("clk_b")), pconn("rst_n", id("rst_n")),
+			pconn("d", id("src")), pconn("q", id("q"))),
+	}
+	items = append(items, property("p_meta", "clk_b", notRst(),
+		[]term{t0(id("src"))}, verilog.ImplNonOverlap,
+		[]term{t0(id("u_sync.meta"))},
+		"the first synchronizer stage must capture the source bit one clk_b tick later")...)
+	items = append(items, property("p_sync", "clk_b", notRst(),
+		[]term{t0(id("u_sync.meta"))}, verilog.ImplNonOverlap,
+		[]term{t0(id("q"))},
+		"the second stage must follow the first one clk_b tick later")...)
+	items = append(items, property("p_follow", "clk_b", notRst(),
+		[]term{t0(id("src")), tN(1, id("src"))}, verilog.ImplNonOverlap,
+		[]term{t0(id("q"))},
+		"a source bit stable across two clk_b ticks must reach q")...)
+	return &Blueprint{
+		Family:   "cdc_cross",
+		MinDepth: 20,
+		Module:   moduleOf("cdc_cross", ports, items...),
+		Children: []*verilog.Module{sync2()},
+		Description: "A single-bit clock-domain crossing: a clk_a-domain source register feeds " +
+			"an instantiated two-flop synchronizer (sync2) clocked on clk_b. The properties are " +
+			"stated in the destination domain — each @(posedge clk_b) tick the bit advances one " +
+			"synchronizer stage. An active-low asynchronous reset clears every flop in both domains.",
+		PortDocs: []PortDoc{
+			doc("clk_a", "source-domain clock, rising-edge active"),
+			doc("clk_b", "destination-domain clock, rising-edge active"),
+			doc("rst_n", "asynchronous reset, active low, shared by both domains"),
+			doc("d", "source-domain data bit"),
+			doc("q", "synchronized bit in the clk_b domain"),
+		},
+	}
+}

@@ -22,6 +22,12 @@ func applyResetVariant(b *Blueprint, activeHigh, sync bool) bool {
 	if !activeHigh && !sync {
 		return false
 	}
+	// Hierarchical blueprints keep the canonical encoding: the rewrite
+	// walks only the top module, and a renamed top-level reset would leave
+	// the children's rst_n ports dangling.
+	if len(b.Children) > 0 {
+		return false
+	}
 	if b.Module.FindPort("rst_n") == nil {
 		return false
 	}

@@ -318,15 +318,55 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 // generators fill dense per-cycle vectors parallel to this list, and
 // sim.RunVec writes them straight into state slots — no per-cycle maps, no
 // name hashing.
+//
+// On a multi-clock design the domain clocks are removed from the enumerated
+// inputs and driven on fixed interleaved schedules instead (clock j toggles
+// with period 2^(j+1)), so every pairwise phase alignment appears within the
+// bound while the enumerated stimulus space stays the data inputs only.
+// Single-clock designs never gain clock columns: their clock stays implicit,
+// one edge per row, exactly as before.
 type driveSet struct {
 	inputs []*compile.Signal // non-clk/rst inputs, declaration order
 	reset  compile.ResetInfo
-	all    []*compile.Signal // inputs plus the reset signal (when present)
+	all    []*compile.Signal // inputs plus reset and domain clocks (when present)
 	ri     int               // reset column index in all; -1 when absent
+	clocks []int             // domain-clock column indices in all (multi-clock only)
 }
 
 func newDriveSet(d *compile.Design) driveSet {
 	ds := driveSet{inputs: d.Inputs(true), reset: d.Reset(), ri: -1}
+	if d.MultiClock() {
+		isClk := map[string]bool{}
+		for _, cd := range d.Domains {
+			isClk[cd.Signal] = true
+		}
+		kept := ds.inputs[:0]
+		for _, in := range ds.inputs {
+			if !isClk[in.Name] {
+				kept = append(kept, in)
+			}
+		}
+		ds.inputs = kept
+		ds.all = append(ds.all, ds.inputs...)
+		if ds.reset.Present {
+			if sig := d.Signals[ds.reset.Name]; sig != nil {
+				ds.ri = len(ds.all)
+				ds.all = append(ds.all, sig)
+			} else {
+				ds.reset = compile.ResetInfo{}
+			}
+		}
+		seen := map[string]bool{}
+		for _, cd := range d.Domains {
+			if seen[cd.Signal] {
+				continue // posedge+negedge of one signal share a column
+			}
+			seen[cd.Signal] = true
+			ds.clocks = append(ds.clocks, len(ds.all))
+			ds.all = append(ds.all, d.Signals[cd.Signal])
+		}
+		return ds
+	}
 	ds.all = append(ds.all, ds.inputs...)
 	if ds.reset.Present {
 		if sig := d.Signals[ds.reset.Name]; sig != nil {
@@ -339,8 +379,9 @@ func newDriveSet(d *compile.Design) driveSet {
 	return ds
 }
 
-// newRow returns one stimulus row with the reset column filled: active for
-// the first two cycles, inactive afterwards.
+// newRow returns one stimulus row with the reset column filled (active for
+// the first two cycles, inactive afterwards) and, on multi-clock designs,
+// the domain-clock columns on their interleaved schedules.
 func (ds *driveSet) newRow(cycle int) []uint64 {
 	row := make([]uint64, len(ds.all))
 	if ds.ri >= 0 {
@@ -351,6 +392,9 @@ func (ds *driveSet) newRow(cycle int) []uint64 {
 			v = 1
 		}
 		row[ds.ri] = v
+	}
+	for j, col := range ds.clocks {
+		row[col] = uint64(cycle) >> uint(j) & 1
 	}
 	return row
 }

@@ -102,6 +102,16 @@ func stripItem(it verilog.Item) {
 		x.Pos = verilog.Pos{}
 		stripExpr(x.DisableIff)
 		stripSeq(x.Seq)
+	case *verilog.Instance:
+		x.Pos = verilog.Pos{}
+		for i := range x.Params {
+			x.Params[i].Pos = verilog.Pos{}
+			stripExpr(x.Params[i].Expr)
+		}
+		for i := range x.Conns {
+			x.Conns[i].Pos = verilog.Pos{}
+			stripExpr(x.Conns[i].Expr)
+		}
 	case *verilog.CommentItem:
 		x.Pos = verilog.Pos{}
 	}

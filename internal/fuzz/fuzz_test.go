@@ -40,6 +40,26 @@ func TestGeneratedSmokeXZ(t *testing.T) {
 	}
 }
 
+// TestGeneratedHierSmoke drives the hierarchical generator through all
+// four oracles: every multi-module set must round-trip as a set and its
+// flattened form must agree across the engines, the bounded checker and
+// the static analyzer.
+func TestGeneratedHierSmoke(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 20
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		set := GenerateHierSet(rand.New(rand.NewSource(seed)))
+		if len(set.Modules) < 2 {
+			t.Fatalf("seed %d: hierarchical generator emitted %d module(s)", seed, len(set.Modules))
+		}
+		if err := CheckSet(set, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
 // TestGeneratorDeterminism: the same seed must yield the same source.
 func TestGeneratorDeterminism(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
@@ -48,6 +68,9 @@ func TestGeneratorDeterminism(t *testing.T) {
 		}
 		if GenerateSourceXZ(seed) != GenerateSourceXZ(seed) {
 			t.Fatalf("seed %d: x-saturated generator is not deterministic", seed)
+		}
+		if GenerateHierSource(seed) != GenerateHierSource(seed) {
+			t.Fatalf("seed %d: hierarchical generator is not deterministic", seed)
 		}
 	}
 }
@@ -215,6 +238,19 @@ func FuzzLintConsistency(f *testing.F) {
 			t.Fatal(err)
 		}
 		if err := LintConsistency(GenerateSourceXZ(seed), seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzHierarchy: the full oracle battery over the hierarchical generator
+// stream — multi-module sources with instances, parameter overrides and
+// occasional second clock domains, so flattening sits inside every
+// differential loop (and the set round-trip covers the instance printer).
+func FuzzHierarchy(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckSource(GenerateHierSource(seed), seed); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,0 +1,270 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/verilog"
+)
+
+// This file extends the unconstrained generator to module hierarchies. A
+// hierarchical program is one or two leaf modules drawn from the flat
+// generator plus a synthesised top that instantiates them — named or
+// positional connections, optional parameter overrides, input sharing
+// between instances, and sometimes a second clock domain — then layers its
+// own sequential state, outputs and SVA properties over the instance
+// outputs. Leaf assertions ride along: flattening prefixes their labels
+// with the instance path, so every oracle sees them under whatever clock
+// binding the top chose. Like the flat generator, the same seed always
+// yields the same source set.
+
+// GenerateHierSet synthesises one random multi-module design from the rng
+// stream.
+func GenerateHierSet(rng *rand.Rand) *verilog.SourceSet {
+	leaves := []*verilog.Module{GenerateModule(rng)}
+	leaves[0].Name = "fz_leaf0"
+	if rng.Intn(3) == 0 {
+		second := GenerateModule(rng)
+		second.Name = "fz_leaf1"
+		leaves = append(leaves, second)
+	}
+
+	g := &genCtx{rng: rng, paramVal: map[string]uint64{}}
+	top := &verilog.Module{Name: "fz"}
+	top.Ports = append(top.Ports, &verilog.Port{Dir: verilog.DirInput, Name: "clk"})
+	twoClock := rng.Intn(3) == 0
+	if twoClock {
+		top.Ports = append(top.Ports, &verilog.Port{Dir: verilog.DirInput, Name: "clk2"})
+	}
+	for _, leaf := range leaves {
+		if leaf.FindPort("rst_n") != nil {
+			g.hasReset = true
+		}
+	}
+	if g.hasReset {
+		top.Ports = append(top.Ports, &verilog.Port{Dir: verilog.DirInput, Name: "rst_n"})
+	}
+
+	nInst := len(leaves)
+	if nInst == 1 && rng.Intn(2) == 0 {
+		nInst = 2
+	}
+	inputIdx := 0
+	firstWire := map[string]string{} // leaf.port -> top input minted for it
+	for k := 0; k < nInst; k++ {
+		leaf := leaves[k%len(leaves)]
+		inst := &verilog.Instance{Module: leaf.Name, Name: fmt.Sprintf("u%d", k)}
+		clkName := "clk"
+		if twoClock && (k == nInst-1 || rng.Intn(2) == 0) {
+			clkName = "clk2"
+		}
+		if pd := overridableParam(leaf); pd != nil && !paramInSliceBounds(leaf, pd.Name) && rng.Intn(3) != 0 {
+			inst.Params = append(inst.Params, verilog.PortConn{
+				Port: pd.Name, Expr: &verilog.Number{Value: uint64(1 + rng.Intn(7))},
+			})
+		}
+		inst.Positional = rng.Intn(4) == 0
+		for _, p := range leaf.Ports {
+			var expr verilog.Expr
+			switch {
+			case p.Name == "clk":
+				expr = ident(clkName)
+			case p.Name == "rst_n":
+				expr = ident("rst_n")
+			case p.Dir == verilog.DirInput:
+				w := widthOfRange(p.Range)
+				// Later instances reuse the first instance's input for the
+				// same leaf port half the time; otherwise mint a dedicated
+				// top input.
+				name, seen := firstWire[leaf.Name+"."+p.Name]
+				if !seen || rng.Intn(2) == 0 {
+					name = fmt.Sprintf("hin%d", inputIdx)
+					inputIdx++
+					top.Ports = append(top.Ports, &verilog.Port{Dir: verilog.DirInput, Range: rangeFor(w), Name: name})
+					g.readable = append(g.readable, sigRef{name: name, width: w})
+					if !seen {
+						firstWire[leaf.Name+"."+p.Name] = name
+					}
+				}
+				expr = ident(name)
+			default:
+				// Leaf output: land it on a fresh top wire.
+				w := widthOfRange(p.Range)
+				name := fmt.Sprintf("%s_%s", inst.Name, p.Name)
+				top.Items = append(top.Items, &verilog.NetDecl{Kind: verilog.NetWire, Range: rangeFor(w), Names: []string{name}})
+				g.readable = append(g.readable, sigRef{name: name, width: w})
+				expr = ident(name)
+			}
+			pc := verilog.PortConn{Expr: expr}
+			if !inst.Positional {
+				pc.Port = p.Name
+			}
+			inst.Conns = append(inst.Conns, pc)
+		}
+		top.Items = append(top.Items, inst)
+	}
+
+	// The top's own sequential state over the instance outputs.
+	accW := g.sigWidth()
+	top.Items = append(top.Items, &verilog.NetDecl{Kind: verilog.NetReg, Range: rangeFor(accW), Names: []string{"acc"}})
+	body := verilog.Stmt(&verilog.NonBlocking{LHS: ident("acc"), RHS: g.expr(3)})
+	events := []verilog.Event{{Edge: verilog.EdgePos, Signal: "clk"}}
+	if twoClock && rng.Intn(2) == 0 {
+		events[0].Signal = "clk2"
+	}
+	if g.hasReset {
+		body = &verilog.If{
+			Cond: &verilog.Unary{Op: verilog.UnaryLogicalNot, X: ident("rst_n")},
+			Then: &verilog.NonBlocking{LHS: ident("acc"), RHS: g.number(accW)},
+			Else: body,
+		}
+		events = append(events, verilog.Event{Edge: verilog.EdgeNeg, Signal: "rst_n"})
+	}
+	top.Items = append(top.Items, &verilog.Always{Events: events, Body: body})
+	g.readable = append(g.readable, sigRef{name: "acc", width: accW})
+
+	// Outputs over the full readable set (instance outputs included).
+	nOut := 1 + rng.Intn(2)
+	for i := 0; i < nOut; i++ {
+		w := g.sigWidth()
+		name := fmt.Sprintf("hout%d", i)
+		top.Ports = append(top.Ports, &verilog.Port{Dir: verilog.DirOutput, Range: rangeFor(w), Name: name})
+		top.Items = append(top.Items, &verilog.AssignItem{LHS: ident(name), RHS: g.expr(3)})
+	}
+
+	// SVA at the top. Occasionally a dotted hierarchical reference into the
+	// first instance's state register joins the readable set — references
+	// only the assertions may make, mirroring the corpus families.
+	if r0 := leafReg(leaves[0], "r0"); r0 != nil && rng.Intn(3) == 0 {
+		g.readable = append(g.readable, sigRef{name: "u0.r0", width: widthOfRange(r0.Range)})
+	}
+	nAssert := rng.Intn(3)
+	for i := 0; i < nAssert; i++ {
+		g.addAssert(top, i)
+	}
+
+	return &verilog.SourceSet{Modules: append(leaves, top)}
+}
+
+// GenerateHierSource prints the source set generated from seed. The same
+// seed always yields the same text.
+func GenerateHierSource(seed int64) string {
+	return verilog.PrintSet(GenerateHierSet(rand.New(rand.NewSource(seed))))
+}
+
+// widthOfRange reads the width of a generator-emitted declaration range,
+// whose bounds are always literal numbers.
+func widthOfRange(r *verilog.Range) int {
+	if r == nil {
+		return 1
+	}
+	if n, ok := r.Hi.(*verilog.Number); ok {
+		return int(n.Value) + 1
+	}
+	return 1
+}
+
+// paramInSliceBounds reports whether the named parameter appears as a
+// slice bound anywhere in the module. The flat generator only emits a
+// parameter bound it has proved in range for the parameter's declared
+// value, so overriding such a parameter can elaborate a reversed or
+// out-of-range slice — a program the engines reject only on the cycles
+// that evaluate it, which no oracle can hold consistent. Such parameters
+// stay at their defaults.
+func paramInSliceBounds(m *verilog.Module, name string) bool {
+	found := false
+	check := func(e verilog.Expr) {
+		if e == nil {
+			return
+		}
+		verilog.WalkExpr(e, func(sub verilog.Expr) {
+			sl, ok := sub.(*verilog.Slice)
+			if !ok {
+				return
+			}
+			for _, b := range []verilog.Expr{sl.Hi, sl.Lo} {
+				if id, ok := b.(*verilog.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+		})
+	}
+	stmt := func(s verilog.Stmt) {
+		verilog.WalkStmt(s, func(sub verilog.Stmt) {
+			switch x := sub.(type) {
+			case *verilog.Blocking:
+				check(x.LHS)
+				check(x.RHS)
+			case *verilog.NonBlocking:
+				check(x.LHS)
+				check(x.RHS)
+			case *verilog.If:
+				check(x.Cond)
+			case *verilog.Case:
+				check(x.Subject)
+				for i := range x.Items {
+					for _, e := range x.Items[i].Exprs {
+						check(e)
+					}
+				}
+			}
+		})
+	}
+	seq := func(s *verilog.SeqExpr) {
+		if s == nil {
+			return
+		}
+		for _, t := range s.Antecedent {
+			check(t.Expr)
+		}
+		for _, t := range s.Consequent {
+			check(t.Expr)
+		}
+	}
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *verilog.NetDecl:
+			check(x.Init)
+		case *verilog.AssignItem:
+			check(x.LHS)
+			check(x.RHS)
+		case *verilog.Always:
+			stmt(x.Body)
+		case *verilog.Initial:
+			stmt(x.Body)
+		case *verilog.PropertyDecl:
+			check(x.DisableIff)
+			seq(x.Seq)
+		case *verilog.AssertItem:
+			check(x.DisableIff)
+			seq(x.Seq)
+		}
+	}
+	return found
+}
+
+// overridableParam returns the leaf's first non-local parameter, if any.
+func overridableParam(m *verilog.Module) *verilog.ParamDecl {
+	for _, it := range m.Items {
+		if pd, ok := it.(*verilog.ParamDecl); ok && !pd.IsLocal {
+			return pd
+		}
+	}
+	return nil
+}
+
+// leafReg returns the leaf's declaration of the named register, if any.
+func leafReg(m *verilog.Module, name string) *verilog.NetDecl {
+	for _, it := range m.Items {
+		nd, ok := it.(*verilog.NetDecl)
+		if !ok {
+			continue
+		}
+		for _, n := range nd.Names {
+			if n == name {
+				return nd
+			}
+		}
+	}
+	return nil
+}

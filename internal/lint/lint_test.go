@@ -160,3 +160,55 @@ func TestVerdictShape(t *testing.T) {
 		t.Errorf("verdict leaks positions:\n%s", v)
 	}
 }
+
+// TestHierarchicalNames pins lint on elaborated hierarchies: analysis runs
+// on the flattened design, so findings inside a child instance carry the
+// dotted hierarchical name, and a clean instantiated design stays clean.
+func TestHierarchicalNames(t *testing.T) {
+	clean := `
+module counter (input clk, input rst_n, output reg [3:0] count);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) count <= 0;
+        else count <= count + 1;
+    end
+endmodule
+
+module pair (input clk, input rst_n, output [3:0] a, output [3:0] b);
+    counter u0 (.clk(clk), .rst_n(rst_n), .count(a));
+    counter u1 (.clk(clk), .rst_n(rst_n), .count(b));
+endmodule
+`
+	res, err := lint.AnalyzeSource(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lint.Clean(res.Findings) {
+		t.Fatalf("clean hierarchy has findings:\n%s", lint.Verdict(res.Findings))
+	}
+
+	buggy := `
+module leaf (input clk, input d, output x);
+    wire mid;
+    assign mid = d;
+    assign mid = !d;
+    assign x = mid;
+endmodule
+
+module wrap (input clk, input d, output x);
+    leaf u0 (.clk(clk), .d(d), .x(x));
+endmodule
+`
+	res, err = lint.AnalyzeSource(buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range res.Findings {
+		if f.Rule == lint.RuleMultiDriver && f.Signal == "u0.mid" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("multi-driver inside instance not reported as u0.mid:\n%s", lint.Verdict(res.Findings))
+	}
+}

@@ -55,6 +55,38 @@
 // boundary. Results are therefore identical with lanes on or off; only
 // throughput changes.
 //
+// # Clock domains
+//
+// Elaboration groups a design's sequential blocks by clock event into
+// Design.Domains (at most 64), and every engine shares one multi-clock
+// seam (domains.go). Clocks are ordinary 1-bit input ports driven by the
+// stimulus; there is no separate clock generator. A single-domain design
+// never allocates any domain tracking and takes exactly the pre-existing
+// code path: each stimulus row is one implicit tick of the one clock.
+//
+// For a multi-domain design, each cycle captures the committed clock
+// values before the row's inputs are applied, applies the inputs, and
+// derives a per-domain "fired" mask from each clock's transition — a
+// posedge domain fires on 0->1, a negedge domain on 1->0 — and the edge
+// runs only the sequential blocks whose domain fired. In four-state mode
+// a transition involving an unknown sample on either side never fires, so
+// an x-driven clock holds its registers rather than inventing an edge;
+// the "previous" value at cycle 0 is the machine's initial state (0
+// two-state, x four-state). Combinational settling, trace recording and
+// the preponed SVA sampling point are unchanged: every row is still
+// recorded, whether or not any domain ticked on it.
+//
+// The SVA checker samples each assertion only at its own clock domain's
+// tick cycles (Trace.DomainCycles); rows where the domain did not tick
+// are invisible to the property, exactly as in event-driven simulation.
+// The lane engine handles multi-clock designs natively — fired masks
+// become per-domain lane masks, so different lanes can tick different
+// subsets of domains on the same row — but sva.CheckLanes declines them
+// with an error: per-lane clock stimuli make the tick subsequences
+// diverge across lanes, which the packed truth words cannot represent,
+// so callers fall back to demuxed per-lane scalar checking (the
+// documented lane-fallback contract).
+//
 // # Value domains
 //
 // Mode selects the semantics; TwoState is the zero value and the default

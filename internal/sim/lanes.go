@@ -97,8 +97,14 @@ func (p *Plan) lanes() *LanePlan {
 
 // LanesOK reports whether the design can run lane-parallel in the given
 // value domain with every assertion expression batched per lane-word — the
-// precondition internal/formal checks before filling lanes.
+// precondition internal/formal checks before filling lanes. Multi-clock
+// designs are excluded: the lane engine itself handles them (per-lane fired
+// masks), but the lane-batched assertion evaluation has no per-domain tick
+// schedule, so formal falls back to the scalar engine there.
 func LanesOK(d *compile.Design, mode Mode) bool {
+	if d.MultiClock() {
+		return false
+	}
 	p := PlanOf(d)
 	if p == nil {
 		return false
@@ -424,11 +430,24 @@ func (m *lmach) settleLanes() error {
 	return fmt.Errorf("sim: combinational logic did not settle (cycle?)")
 }
 
-// edgeLanes mirrors mach.edge over lane state.
-func (m *lmach) edgeLanes() error {
+// edgeLanes mirrors mach.edge over lane state. fired holds one lane mask
+// per clock domain (lane l of fired[k] set when domain k ticked in lane l);
+// nil for single-domain batches, where every block runs in every lane. A
+// block whose domain fired in only some lanes runs under the write-mask
+// predication already used for branches, so non-fired lanes keep their
+// committed state bit-for-bit.
+func (m *lmach) edgeLanes(fired []uint64) error {
 	m.ngen++
 	m.nbaList = m.nbaList[:0]
-	for _, body := range m.lp.seqs {
+	dom := m.lp.p.seqDomain
+	for i, body := range m.lp.seqs {
+		if fired != nil {
+			w := fired[dom[i]]
+			if w == 0 {
+				continue
+			}
+			m.wm = w
+		}
 		m.gen++ // fresh blocking overlay per block
 		m.touched = m.touched[:0]
 		body(m)
@@ -436,6 +455,7 @@ func (m *lmach) edgeLanes() error {
 			return m.err
 		}
 	}
+	m.wm = ^uint64(0)
 	for _, slot := range m.nbaList {
 		if m.lp.isBit[slot] {
 			m.bits[slot] = m.nbaBits[slot]

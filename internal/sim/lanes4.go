@@ -351,11 +351,20 @@ func (m *lmach) settleLanes4() error {
 	return fmt.Errorf("sim: combinational logic did not settle (cycle?)")
 }
 
-// edgeLanes4 mirrors mach.edge4 over lane state.
-func (m *lmach) edgeLanes4() error {
+// edgeLanes4 mirrors mach.edge4 over lane state, with edgeLanes' per-domain
+// fired lane masks (nil for single-domain batches).
+func (m *lmach) edgeLanes4(fired []uint64) error {
 	m.ngen++
 	m.nbaList = m.nbaList[:0]
-	for _, body := range m.lp4.seqs {
+	dom := m.lp4.p.seqDomain
+	for i, body := range m.lp4.seqs {
+		if fired != nil {
+			w := fired[dom[i]]
+			if w == 0 {
+				continue
+			}
+			m.wm = w
+		}
 		m.gen++
 		m.touched = m.touched[:0]
 		body(m)
@@ -363,6 +372,7 @@ func (m *lmach) edgeLanes4() error {
 			return m.err
 		}
 	}
+	m.wm = ^uint64(0)
 	for _, slot := range m.nbaList {
 		if m.lp4.isBit[slot] {
 			m.bits[slot] = m.nbaBits[slot]
@@ -417,11 +427,15 @@ func runLanes4(d *compile.Design, ls *LaneStimulus) (*LaneTrace, error) {
 	if err := m.settleLanes4(); err != nil {
 		return nil, err
 	}
+	lc := laneClocksOf(d)
 	lt := &LaneTrace{Design: d, plan: p, lp4: lp, n: ls.N,
 		rows:  make([]laneRow, 0, ls.Depth),
 		urows: make([]laneRow, 0, ls.Depth)}
 	zero := make([]uint64, 64)
 	for c := 0; c < ls.Depth; c++ {
+		if lc != nil {
+			lc.capture(m.bits, m.ubits)
+		}
 		for i, slot := range slots {
 			if lp.isBit[slot] {
 				m.bits[slot] = replicateLanes(ls.Bits[c][i], ls.N)
@@ -440,7 +454,12 @@ func runLanes4(d *compile.Design, ls *LaneStimulus) (*LaneTrace, error) {
 		}
 		lt.rows = append(lt.rows, snapshotLaneRow(m.bits, m.wide))
 		lt.urows = append(lt.urows, snapshotLaneRow(m.ubits, m.uwide))
-		if err := m.edgeLanes4(); err != nil {
+		var fired []uint64
+		if lc != nil {
+			fired = lc.fired(m.bits, m.ubits)
+			lt.fired = append(lt.fired, append([]uint64(nil), fired...))
+		}
+		if err := m.edgeLanes4(fired); err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", c, err)
 		}
 	}

@@ -112,6 +112,11 @@ type LaneTrace struct {
 	rows   []laneRow
 	urows  []laneRow // unknown-bit plane, nil for two-state batches
 	em     *lmach    // lazy shared machine for compiled lane evaluation
+
+	// fired[c][k] is the lane mask of domain k's ticks at the edge following
+	// row c; nil for single-domain batches (every row ticks the one clock in
+	// every lane).
+	fired [][]uint64
 }
 
 // Len returns the number of sampled cycles.
@@ -160,6 +165,18 @@ func (t *LaneTrace) Demux(l int) *Trace {
 		tr.unks = make([][]uint64, len(t.urows))
 		for c, lr := range t.urows {
 			tr.unks[c] = demuxRow(lr)
+		}
+	}
+	if t.fired != nil {
+		tr.fired = make([]uint64, len(t.fired))
+		for c, fm := range t.fired {
+			var f uint64
+			for k, w := range fm {
+				if w>>uint(l)&1 != 0 {
+					f |= 1 << uint(k)
+				}
+			}
+			tr.fired[c] = f
 		}
 	}
 	return tr
@@ -236,8 +253,12 @@ func RunLanes(d *compile.Design, ls *LaneStimulus, mode Mode) (*LaneTrace, error
 	if err := m.settleLanes(); err != nil {
 		return nil, err
 	}
+	lc := laneClocksOf(d)
 	lt := &LaneTrace{Design: d, plan: p, lp: lp, n: ls.N, rows: make([]laneRow, 0, ls.Depth)}
 	for c := 0; c < ls.Depth; c++ {
+		if lc != nil {
+			lc.capture(m.bits, nil)
+		}
 		for i, slot := range slots {
 			if lp.isBit[slot] {
 				m.bits[slot] = replicateLanes(ls.Bits[c][i], ls.N)
@@ -253,7 +274,12 @@ func RunLanes(d *compile.Design, ls *LaneStimulus, mode Mode) (*LaneTrace, error
 			return nil, fmt.Errorf("cycle %d: %w", c, err)
 		}
 		lt.rows = append(lt.rows, snapshotLaneRow(m.bits, m.wide))
-		if err := m.edgeLanes(); err != nil {
+		var fired []uint64
+		if lc != nil {
+			fired = lc.fired(m.bits, nil)
+			lt.fired = append(lt.fired, append([]uint64(nil), fired...))
+		}
+		if err := m.edgeLanes(fired); err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", c, err)
 		}
 	}

@@ -28,6 +28,11 @@ type Plan struct {
 	combs   []stmtFn
 	seqs    []stmtFn
 
+	// seqDomain[i] is the clock-domain index of seqs[i] (aligned with
+	// design.SeqAlways and design.DomainOf); nil for single-domain designs,
+	// whose edges run every block unconditionally.
+	seqDomain []int
+
 	// svaExpr maps every expression reachable from the design's assertions
 	// (terms, disable-iff) to its compiled form, keyed by AST node identity.
 	// Trace.CompileExpr resolves through this map at the API boundary.
@@ -216,10 +221,19 @@ func (m *mach) settle() error {
 // edge mirrors Simulator.edge: sequential blocks run against pre-edge
 // values with a per-block blocking overlay, writes commit in program order,
 // then combinational logic settles.
-func (m *mach) edge() error {
+func (m *mach) edge() error { return m.edgeFired(firedAll) }
+
+// edgeFired runs the clock edge for the domains selected by fired (bit k =
+// design.Domains[k] ticked). Single-domain plans have no seqDomain and run
+// every block regardless of the mask.
+func (m *mach) edgeFired(fired uint64) error {
 	m.ngen++
 	m.nbaList = m.nbaList[:0]
-	for _, body := range m.p.seqs {
+	dom := m.p.seqDomain
+	for i, body := range m.p.seqs {
+		if dom != nil && fired>>uint(dom[i])&1 == 0 {
+			continue
+		}
 		m.gen++ // fresh blocking overlay per block
 		m.touched = m.touched[:0]
 		body(m)
@@ -265,6 +279,9 @@ func buildPlan(d *compile.Design) *Plan {
 		if sig := d.Signals[name]; sig != nil {
 			p.initRow[sig.Slot] = init & sig.Mask()
 		}
+	}
+	if d.MultiClock() {
+		p.seqDomain = d.DomainOf
 	}
 	ok := func() bool {
 		for _, as := range d.Assigns {

@@ -195,10 +195,18 @@ func (m *mach) settle4(p4 *plan4) error {
 }
 
 // edge4 mirrors mach.edge over both value planes.
-func (m *mach) edge4(p4 *plan4) error {
+func (m *mach) edge4(p4 *plan4) error { return m.edge4Fired(p4, firedAll) }
+
+// edge4Fired mirrors mach.edgeFired: the edge runs only the blocks whose
+// domain bit is set in fired (seqs4 is index-aligned with seqDomain).
+func (m *mach) edge4Fired(p4 *plan4, fired uint64) error {
 	m.ngen++
 	m.nbaList = m.nbaList[:0]
-	for _, body := range p4.seqs4 {
+	dom := m.p.seqDomain
+	for i, body := range p4.seqs4 {
+		if dom != nil && fired>>uint(dom[i])&1 == 0 {
+			continue
+		}
 		m.gen++ // fresh blocking overlay per block
 		m.touched = m.touched[:0]
 		body(m)

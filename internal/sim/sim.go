@@ -397,7 +397,7 @@ func (s *Simulator) Step() error {
 	if err := s.settle(); err != nil {
 		return err
 	}
-	return s.edge()
+	return s.edge(firedAll)
 }
 
 // Settle re-evaluates combinational logic against the current inputs without
@@ -407,17 +407,26 @@ func (s *Simulator) Settle() error { return s.settle() }
 
 // Edge executes the clock edge only: sequential blocks run against the
 // current (pre-edge) values, nonblocking updates commit, and combinational
-// logic settles.
-func (s *Simulator) Edge() error { return s.edge() }
+// logic settles. On a multi-clock design Edge ticks every domain at once;
+// callers that advance domains independently use EdgeFired.
+func (s *Simulator) Edge() error { return s.edge(firedAll) }
 
-// edge runs every sequential block against pre-edge values and commits the
-// resulting writes. Within one block, writes to the same signal commit in
-// program order: the last assignment wins at the edge whether it was
-// blocking or nonblocking (blocking writes are additionally visible to
+// EdgeFired executes the clock edge for the domains selected by fired (bit
+// k = design.Domains()[k] ticked). Single-domain designs ignore the mask.
+func (s *Simulator) EdgeFired(fired uint64) error { return s.edge(fired) }
+
+// edge runs the selected sequential blocks against pre-edge values and
+// commits the resulting writes. Within one block, writes to the same signal
+// commit in program order: the last assignment wins at the edge whether it
+// was blocking or nonblocking (blocking writes are additionally visible to
 // later reads in their own block).
-func (s *Simulator) edge() error {
+func (s *Simulator) edge(fired uint64) error {
 	commit := map[string]V4{}
-	for _, al := range s.design.SeqAlways {
+	multi := s.design.MultiClock()
+	for i, al := range s.design.SeqAlways {
+		if multi && fired>>uint(s.design.DomainOf[i])&1 == 0 {
+			continue
+		}
 		blocking := map[string]V4{}
 		if err := s.execSeq(al.Body, commit, blocking); err != nil {
 			return err

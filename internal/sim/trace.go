@@ -26,6 +26,11 @@ type Trace struct {
 	plan *Plan // nil when produced by the reference interpreter
 	em   *mach // lazy shared machine for compiled evaluation
 	em4  *mach // lazy shared machine for compiled four-state evaluation
+
+	// fired[c] is the per-domain fired mask of the edge that followed row c
+	// (bit k set = Design.Domains[k] ticked); nil for single-domain traces,
+	// where every row is one tick of the only clock.
+	fired []uint64
 }
 
 // Len returns the number of sampled cycles.
@@ -62,6 +67,29 @@ func (t *Trace) Value4(cycle int, name string) (V4, bool) {
 		return known(pv), true
 	}
 	return V4{}, false
+}
+
+// Fired returns the per-domain fired mask for the edge that followed
+// cycle's sample (bit k set = Design.Domains[k] ticked there). Single-domain
+// traces report every domain fired at every cycle.
+func (t *Trace) Fired(cycle int) uint64 {
+	if t.fired == nil {
+		return firedAll
+	}
+	return t.fired[cycle]
+}
+
+// DomainCycles returns the cycles sampled at domain's clock ticks — the
+// sub-sequence a domain-clocked assertion advances over. For single-domain
+// traces that is every cycle.
+func (t *Trace) DomainCycles(domain int) []int {
+	out := make([]int, 0, len(t.rows))
+	for c := range t.rows {
+		if t.Fired(c)>>uint(domain)&1 != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Row returns the slot vector sampled at cycle (shared, read-only).
@@ -290,10 +318,14 @@ func RunMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
 		if err := m.settle4(p4); err != nil {
 			return nil, err
 		}
+		dc := domainClocksOf(d)
 		tr := &Trace{Design: d, plan: p,
 			rows: make([][]uint64, 0, len(stim)),
 			unks: make([][]uint64, 0, len(stim))}
 		for i, cyc := range stim {
+			if dc != nil {
+				dc.capture(m.vals, m.unks)
+			}
 			for name, v := range cyc {
 				if err := m.setInput4(name, v); err != nil {
 					return nil, fmt.Errorf("cycle %d: %w", i, err)
@@ -308,7 +340,12 @@ func RunMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
 			copy(unk, m.unks)
 			tr.rows = append(tr.rows, row)
 			tr.unks = append(tr.unks, unk)
-			if err := m.edge4(p4); err != nil {
+			f := firedAll
+			if dc != nil {
+				f = dc.fired(m.vals, m.unks)
+				tr.fired = append(tr.fired, f)
+			}
+			if err := m.edge4Fired(p4, f); err != nil {
 				return nil, fmt.Errorf("cycle %d: %w", i, err)
 			}
 		}
@@ -318,8 +355,12 @@ func RunMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
 	if err := m.settle(); err != nil {
 		return nil, err
 	}
+	dc := domainClocksOf(d)
 	tr := &Trace{Design: d, plan: p, rows: make([][]uint64, 0, len(stim))}
 	for i, cyc := range stim {
+		if dc != nil {
+			dc.capture(m.vals, nil)
+		}
 		for name, v := range cyc {
 			if err := m.setInput(name, v); err != nil {
 				return nil, fmt.Errorf("cycle %d: %w", i, err)
@@ -331,7 +372,12 @@ func RunMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
 		row := make([]uint64, p.nslots)
 		copy(row, m.vals)
 		tr.rows = append(tr.rows, row)
-		if err := m.edge(); err != nil {
+		f := firedAll
+		if dc != nil {
+			f = dc.fired(m.vals, nil)
+			tr.fired = append(tr.fired, f)
+		}
+		if err := m.edgeFired(f); err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", i, err)
 		}
 	}
@@ -359,8 +405,12 @@ func RunVec(d *compile.Design, stim VecStimulus) (*Trace, error) {
 	if err := m.settle(); err != nil {
 		return nil, err
 	}
+	dc := domainClocksOf(d)
 	tr := &Trace{Design: d, plan: p, rows: make([][]uint64, 0, len(stim.Rows))}
 	for c, in := range stim.Rows {
+		if dc != nil {
+			dc.capture(m.vals, nil)
+		}
 		for i, slot := range slots {
 			m.vals[slot] = in[i] & p.masks[slot]
 		}
@@ -370,7 +420,12 @@ func RunVec(d *compile.Design, stim VecStimulus) (*Trace, error) {
 		row := make([]uint64, p.nslots)
 		copy(row, m.vals)
 		tr.rows = append(tr.rows, row)
-		if err := m.edge(); err != nil {
+		f := firedAll
+		if dc != nil {
+			f = dc.fired(m.vals, nil)
+			tr.fired = append(tr.fired, f)
+		}
+		if err := m.edgeFired(f); err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", c, err)
 		}
 	}
@@ -418,10 +473,14 @@ func RunVecMode(d *compile.Design, stim VecStimulus, mode Mode) (*Trace, error) 
 	if err := m.settle4(p4); err != nil {
 		return nil, err
 	}
+	dc := domainClocksOf(d)
 	tr := &Trace{Design: d, plan: p,
 		rows: make([][]uint64, 0, len(stim.Rows)),
 		unks: make([][]uint64, 0, len(stim.Rows))}
 	for c, in := range stim.Rows {
+		if dc != nil {
+			dc.capture(m.vals, m.unks)
+		}
 		for i, slot := range slots {
 			m.vals[slot] = in[i] & p.masks[slot]
 			m.unks[slot] = 0
@@ -435,7 +494,12 @@ func RunVecMode(d *compile.Design, stim VecStimulus, mode Mode) (*Trace, error) 
 		copy(unk, m.unks)
 		tr.rows = append(tr.rows, row)
 		tr.unks = append(tr.unks, unk)
-		if err := m.edge4(p4); err != nil {
+		f := firedAll
+		if dc != nil {
+			f = dc.fired(m.vals, m.unks)
+			tr.fired = append(tr.fired, f)
+		}
+		if err := m.edge4Fired(p4, f); err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", c, err)
 		}
 	}
@@ -456,11 +520,15 @@ func RunReferenceMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, erro
 	if err != nil {
 		return nil, err
 	}
+	rc := refClocksOf(d)
 	tr := &Trace{Design: d, rows: make([][]uint64, 0, len(stim))}
 	if mode == FourState {
 		tr.unks = make([][]uint64, 0, len(stim))
 	}
 	for i, cyc := range stim {
+		if rc != nil {
+			rc.capture(s)
+		}
 		for name, v := range cyc {
 			if err := s.SetInput(name, v); err != nil {
 				return nil, fmt.Errorf("cycle %d: %w", i, err)
@@ -473,7 +541,12 @@ func RunReferenceMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, erro
 		if tr.unks != nil {
 			tr.unks = append(tr.unks, s.snapshotUnkRow())
 		}
-		if err := s.Edge(); err != nil {
+		f := firedAll
+		if rc != nil {
+			f = rc.fired(s)
+			tr.fired = append(tr.fired, f)
+		}
+		if err := s.EdgeFired(f); err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", i, err)
 		}
 	}

@@ -28,6 +28,15 @@ type LaneResult struct {
 // evaluate); callers fall back to demuxing and checking per lane, which
 // reproduces scalar semantics exactly.
 func CheckLanes(lt *sim.LaneTrace) (*LaneResult, error) {
+	// Multi-clock designs are out of the packed model's reach: assertions
+	// sample only on their own clock's ticks, and each lane carries its own
+	// clock stimulus, so the tick subsequences diverge across lanes and no
+	// single truth word describes "the same attempt position" in all of
+	// them. Report it as a lane-compilation gap so callers fall back to
+	// demuxed scalar checking, which applies per-lane domain ticks exactly.
+	if lt.Design.MultiClock() {
+		return nil, fmt.Errorf("sva: lane checking does not support multi-clock designs (%d domains)", len(lt.Design.Domains))
+	}
 	n := lt.Len()
 	active := lt.ActiveMask()
 	res := &LaneResult{Attempted: map[string]uint64{}}

@@ -79,6 +79,12 @@ func (r *Result) FirstFailure() *Failure {
 // compiled execution plan (slot-addressed closures; see internal/sim's
 // Plan), so the per-start attempt loop evaluates terms without walking the
 // AST or hashing signal names.
+//
+// On a multi-clock trace an assertion advances over the ticks of its own
+// clock domain (the rows whose following edge fired that domain): ##N
+// delays count ticks of the assertion's clock, not stimulus rows. The
+// sampled-value functions ($past and friends) still look back in stimulus
+// rows — their history plane is the raw trace.
 func Check(tr *sim.Trace) (*Result, error) {
 	res := &Result{Attempts: map[string]int{}}
 	for _, a := range tr.Design.Asserts {
@@ -124,10 +130,14 @@ func compileAssert(tr *sim.Trace, a compile.ResolvedAssert) compiledAssert {
 }
 
 func checkAssert(tr *sim.Trace, a compile.ResolvedAssert, res *Result) error {
-	n := tr.Len()
 	ca := compileAssert(tr, a)
+	ticks := assertTicks(tr, a)
+	n := tr.Len()
+	if ticks != nil {
+		n = len(ticks)
+	}
 	for start := 0; start < n; start++ {
-		outcome, err := evalAttempt(tr, ca, start)
+		outcome, err := evalAttempt(tr, ca, ticks, start)
 		if err != nil {
 			return err
 		}
@@ -136,7 +146,7 @@ func checkAssert(tr *sim.Trace, a compile.ResolvedAssert, res *Result) error {
 			res.Attempts[a.Name]++
 			res.Failures = append(res.Failures, Failure{
 				Assert:     a,
-				StartCycle: start,
+				StartCycle: tickCycle(ticks, start),
 				FailCycle:  outcome.failCycle,
 				Term:       outcome.failTerm,
 				Unknown:    outcome.failUnknown,
@@ -146,6 +156,31 @@ func checkAssert(tr *sim.Trace, a compile.ResolvedAssert, res *Result) error {
 		}
 	}
 	return nil
+}
+
+// assertTicks returns the trace cycles the assertion samples at: nil on
+// single-domain traces (every row is a tick of the only clock), the
+// assertion's clock-domain tick cycles on multi-clock traces. An assertion
+// without a resolvable clock event samples every row.
+func assertTicks(tr *sim.Trace, a compile.ResolvedAssert) []int {
+	d := tr.Design
+	if !d.MultiClock() || a.Clock.Signal == "" || a.Clock.Edge == verilog.EdgeAny {
+		return nil
+	}
+	for k, cd := range d.Domains {
+		if cd.Signal == a.Clock.Signal && cd.Edge == a.Clock.Edge {
+			return tr.DomainCycles(k)
+		}
+	}
+	return nil
+}
+
+// tickCycle maps an attempt position to its trace cycle.
+func tickCycle(ticks []int, pos int) int {
+	if ticks == nil {
+		return pos
+	}
+	return ticks[pos]
 }
 
 type attemptKind int
@@ -164,8 +199,15 @@ type attemptOutcome struct {
 	failUnknown bool
 }
 
-// evalAttempt evaluates one property attempt starting at cycle start.
-func evalAttempt(tr *sim.Trace, ca compiledAssert, start int) (attemptOutcome, error) {
+// evalAttempt evaluates one property attempt starting at tick position
+// start. Positions count ticks of the assertion's clock: with ticks nil
+// (single-domain traces) a position is a trace cycle; otherwise ticks maps
+// positions to the trace cycles sampled at that clock's edges.
+func evalAttempt(tr *sim.Trace, ca compiledAssert, ticks []int, start int) (attemptOutcome, error) {
+	limit := tr.Len()
+	if ticks != nil {
+		limit = len(ticks)
+	}
 	disabled := func(cycle int) (bool, error) {
 		if ca.disable == nil {
 			return false, nil
@@ -183,15 +225,16 @@ func evalAttempt(tr *sim.Trace, ca compiledAssert, start int) (attemptOutcome, e
 	if ca.impl != verilog.ImplNone {
 		for _, term := range ca.ante {
 			cursor += term.delay
-			if cursor >= tr.Len() {
+			if cursor >= limit {
 				return attemptOutcome{kind: attemptPending}, nil
 			}
-			if dis, err := disabled(cursor); err != nil {
+			cyc := tickCycle(ticks, cursor)
+			if dis, err := disabled(cyc); err != nil {
 				return attemptOutcome{}, err
 			} else if dis {
 				return attemptOutcome{kind: attemptVacuous}, nil
 			}
-			v, err := term.fn(cursor)
+			v, err := term.fn(cyc)
 			if err != nil {
 				return attemptOutcome{}, err
 			}
@@ -209,22 +252,23 @@ func evalAttempt(tr *sim.Trace, ca compiledAssert, start int) (attemptOutcome, e
 	// Consequent phase.
 	for _, term := range ca.cons {
 		cursor += term.delay
-		if cursor >= tr.Len() {
+		if cursor >= limit {
 			return attemptOutcome{kind: attemptPending}, nil
 		}
-		if dis, err := disabled(cursor); err != nil {
+		cyc := tickCycle(ticks, cursor)
+		if dis, err := disabled(cyc); err != nil {
 			return attemptOutcome{}, err
 		} else if dis {
 			return attemptOutcome{kind: attemptVacuous}, nil
 		}
-		v, err := term.fn(cursor)
+		v, err := term.fn(cyc)
 		if err != nil {
 			return attemptOutcome{}, err
 		}
 		// A consequent term that is not true fails the attempt; sampling x
 		// is recorded as an unknown failure (the not-true rule).
 		if !v.IsTrue() {
-			return attemptOutcome{kind: attemptFail, failCycle: cursor, failTerm: term.expr, failUnknown: v.IsXBool()}, nil
+			return attemptOutcome{kind: attemptFail, failCycle: cyc, failTerm: term.expr, failUnknown: v.IsXBool()}, nil
 		}
 	}
 	return attemptOutcome{kind: attemptPass}, nil

@@ -54,25 +54,14 @@ func Write(w io.Writer, tr *sim.Trace, opts Options) error {
 	}
 	sb.WriteString("$version repro AssertSolver reproduction $end\n")
 	fmt.Fprintf(&sb, "$timescale %s $end\n", ts)
-	fmt.Fprintf(&sb, "$scope module %s $end\n", tr.Design.Module.Name)
-
 	ids := identifiers(len(names) + 1)
 	clkID := ids[len(names)]
 	widths := make([]int, len(names))
 	for i, n := range names {
 		widths[i] = tr.Design.Signals[n].Width
-		kind := "wire"
-		if tr.Design.Signals[n].IsReg {
-			kind = "reg"
-		}
-		if widths[i] == 1 {
-			fmt.Fprintf(&sb, "$var %s 1 %s %s $end\n", kind, ids[i], n)
-		} else {
-			fmt.Fprintf(&sb, "$var %s %d %s %s [%d:0] $end\n", kind, widths[i], ids[i], n, widths[i]-1)
-		}
 	}
-	fmt.Fprintf(&sb, "$var wire 1 %s clk $end\n", clkID)
-	sb.WriteString("$upscope $end\n$enddefinitions $end\n")
+	writeScopes(&sb, tr, names, ids, widths, clkID)
+	sb.WriteString("$enddefinitions $end\n")
 
 	// Initial dump plus per-cycle changes. Each cycle spans two timesteps
 	// so the synthetic clock shows a rising edge at the sample point.
@@ -100,6 +89,70 @@ func Write(w io.Writer, tr *sim.Trace, opts Options) error {
 	fmt.Fprintf(&sb, "#%d\n", 2*tr.Len())
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// scopeNode is one level of the VCD scope tree. Flattened hierarchical
+// names ("u0.count") split on dots: each instance path segment becomes a
+// nested $scope module, and only the leaf segment is declared as a $var —
+// dotted identifiers are not legal VCD variable names, and nesting lets
+// waveform viewers show the instance tree the elaborator flattened.
+type scopeNode struct {
+	vars  []int // indices into the flat names slice, declaration order
+	order []string
+	kids  map[string]*scopeNode
+}
+
+func (n *scopeNode) child(name string) *scopeNode {
+	if n.kids == nil {
+		n.kids = map[string]*scopeNode{}
+	}
+	k, ok := n.kids[name]
+	if !ok {
+		k = &scopeNode{}
+		n.kids[name] = k
+		n.order = append(n.order, name)
+	}
+	return k
+}
+
+// writeScopes renders the $scope/$var header. The synthetic clock lives in
+// the top scope; signals keep their flat identifier codes so the value
+// change section below is untouched by the hierarchy.
+func writeScopes(sb *strings.Builder, tr *sim.Trace, names, ids []string, widths []int, clkID string) {
+	root := &scopeNode{}
+	for i, n := range names {
+		node := root
+		segs := strings.Split(n, ".")
+		for _, s := range segs[:len(segs)-1] {
+			node = node.child(s)
+		}
+		node.vars = append(node.vars, i)
+	}
+	var emit func(node *scopeNode, name string, top bool)
+	emit = func(node *scopeNode, name string, top bool) {
+		fmt.Fprintf(sb, "$scope module %s $end\n", name)
+		for _, i := range node.vars {
+			n := names[i]
+			leaf := n[strings.LastIndexByte(n, '.')+1:]
+			kind := "wire"
+			if tr.Design.Signals[n].IsReg {
+				kind = "reg"
+			}
+			if widths[i] == 1 {
+				fmt.Fprintf(sb, "$var %s 1 %s %s $end\n", kind, ids[i], leaf)
+			} else {
+				fmt.Fprintf(sb, "$var %s %d %s %s [%d:0] $end\n", kind, widths[i], ids[i], leaf, widths[i]-1)
+			}
+		}
+		if top {
+			fmt.Fprintf(sb, "$var wire 1 %s clk $end\n", clkID)
+		}
+		for _, kid := range node.order {
+			emit(node.kids[kid], kid, false)
+		}
+		sb.WriteString("$upscope $end\n")
+	}
+	emit(root, tr.Design.Module.Name, true)
 }
 
 func writeValue(sb *strings.Builder, v sim.V4, width int, id string) {

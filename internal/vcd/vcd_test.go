@@ -189,3 +189,53 @@ func TestWriteUnknownSignal(t *testing.T) {
 		t.Errorf("partial VCD written despite error: %q", sb.String())
 	}
 }
+
+// TestWriteHierarchicalScopes checks that flattened dotted names become
+// nested $scope blocks: the instance path turns into module scopes and
+// only leaf segments are declared as $var identifiers.
+func TestWriteHierarchicalScopes(t *testing.T) {
+	src := `
+module counter (input clk, input rst_n, output reg [3:0] count);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) count <= 0;
+        else count <= count + 1;
+    end
+endmodule
+
+module pair (input clk, input rst_n, output [3:0] a, output [3:0] b);
+    counter u0 (.clk(clk), .rst_n(rst_n), .count(a));
+    counter u1 (.clk(clk), .rst_n(rst_n), .count(b));
+endmodule
+`
+	d, diags, err := compile.Compile(src)
+	if err != nil || compile.HasErrors(diags) {
+		t.Fatalf("fixture broken: %v %v", err, diags)
+	}
+	tr, err := sim.Run(d, sim.Stimulus{{"rst_n": 1}, {"rst_n": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Strings(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"$scope module pair $end",
+		"$scope module u0 $end",
+		"$scope module u1 $end",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "u0.count") {
+		t.Errorf("dotted identifier leaked into $var declarations:\n%s", out)
+	}
+	// Both instance counters declare a leaf "count" var in their own scope.
+	if got := strings.Count(out, " count [3:0] $end"); got != 2 {
+		t.Errorf("count $var declared %d times, want 2:\n%s", got, out)
+	}
+	if got, want := strings.Count(out, "$scope"), strings.Count(out, "$upscope"); got != want {
+		t.Errorf("%d $scope vs %d $upscope", got, want)
+	}
+}

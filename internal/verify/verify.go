@@ -272,26 +272,32 @@ func (s *Service) Check(src string, assertions []verilog.Item, opts Options) (Ve
 }
 
 // withAssertions substitutes a candidate assertion set into the source:
-// the module is parsed, stripped of its own property/assert items, and the
-// candidates are appended. A parse failure is a compile-error verdict.
+// the source set is parsed, its top module is stripped of its own
+// property/assert items, and the candidates are appended there. Child
+// modules keep their items untouched. A parse failure or an ambiguous top
+// is a compile-error verdict.
 func withAssertions(src string, assertions []verilog.Item) (string, Verdict, bool) {
-	m, err := verilog.Parse(src)
+	set, err := verilog.ParseSet(src)
+	if err != nil {
+		return "", Verdict{Status: StatusCompileError, CompileErr: err, Log: err.Error()}, false
+	}
+	top, err := set.Top()
 	if err != nil {
 		return "", Verdict{Status: StatusCompileError, CompileErr: err, Log: err.Error()}, false
 	}
 	var kept []verilog.Item
-	for _, it := range m.Items {
+	for _, it := range top.Items {
 		switch it.(type) {
 		case *verilog.PropertyDecl, *verilog.AssertItem:
 			continue
 		}
 		kept = append(kept, it)
 	}
-	m.Items = kept
+	top.Items = kept
 	for _, it := range assertions {
-		m.Items = append(m.Items, verilog.CloneItem(it))
+		top.Items = append(top.Items, verilog.CloneItem(it))
 	}
-	return verilog.Print(m), Verdict{}, true
+	return verilog.PrintSet(set), Verdict{}, true
 }
 
 // run is the uncached (optional substitution ->) compile -> formal-check

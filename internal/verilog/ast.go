@@ -456,6 +456,31 @@ type AssertItem struct {
 	Pos        Pos
 }
 
+// PortConn is one connection in an instance's port or parameter list.
+// Port is empty for positional connections; Expr is nil for an explicitly
+// unconnected named port ".p()".
+type PortConn struct {
+	Port string
+	Expr Expr
+	Pos  Pos
+}
+
+// Instance is a module instantiation:
+//
+//	sub #(.P(4)) u0 (.clk(clk), .q(q));
+//
+// Parameter overrides always use the named ".P(expr)" form. Conns are
+// either all named or all positional (Positional reports which); the two
+// styles cannot be mixed.
+type Instance struct {
+	Module     string
+	Name       string
+	Params     []PortConn
+	Conns      []PortConn
+	Positional bool
+	Pos        Pos
+}
+
 // CommentItem is a standalone comment line preserved by the corpus
 // generator so that code length (a first-class experimental variable in the
 // paper) can be controlled. The parser does not produce these; generators do.
@@ -472,6 +497,7 @@ func (*Always) itemNode()       {}
 func (*Initial) itemNode()      {}
 func (*PropertyDecl) itemNode() {}
 func (*AssertItem) itemNode()   {}
+func (*Instance) itemNode()     {}
 func (*CommentItem) itemNode()  {}
 
 // Span implements Item.
@@ -497,6 +523,9 @@ func (i *PropertyDecl) Span() Pos { return i.Pos }
 
 // Span implements Item.
 func (i *AssertItem) Span() Pos { return i.Pos }
+
+// Span implements Item.
+func (i *Instance) Span() Pos { return i.Pos }
 
 // Span implements Item.
 func (i *CommentItem) Span() Pos { return i.Pos }
@@ -536,6 +565,17 @@ func (m *Module) Asserts() []*AssertItem {
 	for _, it := range m.Items {
 		if a, ok := it.(*AssertItem); ok {
 			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Instances returns all module instantiations in order.
+func (m *Module) Instances() []*Instance {
+	var out []*Instance
+	for _, it := range m.Items {
+		if inst, ok := it.(*Instance); ok {
+			out = append(out, inst)
 		}
 	}
 	return out

@@ -69,11 +69,36 @@ func CloneItem(it Item) Item {
 		cp.DisableIff = CloneExpr(x.DisableIff)
 		cp.Seq = CloneSeqExpr(x.Seq)
 		return &cp
+	case *Instance:
+		cp := *x
+		cp.Params = clonePortConns(x.Params)
+		cp.Conns = clonePortConns(x.Conns)
+		return &cp
 	case *CommentItem:
 		cp := *x
 		return &cp
 	}
 	return it
+}
+
+func clonePortConns(conns []PortConn) []PortConn {
+	if conns == nil {
+		return nil
+	}
+	out := make([]PortConn, len(conns))
+	for i, c := range conns {
+		out[i] = PortConn{Port: c.Port, Expr: CloneExpr(c.Expr), Pos: c.Pos}
+	}
+	return out
+}
+
+// CloneSet deep-copies a source set.
+func CloneSet(s *SourceSet) *SourceSet {
+	out := &SourceSet{Modules: make([]*Module, len(s.Modules))}
+	for i, m := range s.Modules {
+		out.Modules[i] = CloneModule(m)
+	}
+	return out
 }
 
 // CloneSeqExpr deep-copies a property body.

@@ -175,8 +175,20 @@ func (lx *Lexer) Next() (Token, error) {
 
 func (lx *Lexer) lexIdent(start Pos) Token {
 	begin := lx.off
-	for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
-		lx.advance()
+	for {
+		for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+			lx.advance()
+		}
+		// Hierarchical names produced by elaboration ("u0.count") must
+		// survive a print/parse round trip as single identifiers: a '.'
+		// directly between identifier characters extends the token. A
+		// leading '.' (named port connection ".clk(clk)") never reaches
+		// here and still lexes as TokDot.
+		if lx.peek() == '.' && lx.off+1 < len(lx.src) && isIdentStart(lx.src[lx.off+1]) {
+			lx.advance()
+			continue
+		}
+		break
 	}
 	text := lx.src[begin:lx.off]
 	if kw, ok := keywords[text]; ok {

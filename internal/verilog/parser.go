@@ -39,6 +39,31 @@ func Parse(src string) (*Module, error) {
 	return m, nil
 }
 
+// ParseSet parses a source file containing one or more modules. Single-
+// module files yield a one-element set, so ParseSet subsumes Parse for
+// callers that accept hierarchies.
+func ParseSet(src string) (*SourceSet, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	set := &SourceSet{}
+	for {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		set.Modules = append(set.Modules, m)
+		if p.cur().Kind == TokEOF {
+			return set, nil
+		}
+		if p.cur().Kind != TokModule {
+			return nil, p.errf("unexpected %s after endmodule", p.cur())
+		}
+	}
+}
+
 // ParseExpr parses a standalone expression, used by tooling that needs to
 // parse fix snippets or assertion conditions in isolation.
 func ParseExpr(src string) (Expr, error) {
@@ -70,6 +95,14 @@ func (p *Parser) peekKind(ahead int) TokenKind {
 		return TokEOF
 	}
 	return p.toks[i].Kind
+}
+
+func (p *Parser) peekTok(ahead int) Token {
+	i := p.pos + ahead
+	if i >= len(p.toks) {
+		return Token{Kind: TokEOF}
+	}
+	return p.toks[i]
 }
 
 func (p *Parser) next() Token {
@@ -325,8 +358,9 @@ func (p *Parser) parseItem(m *Module) ([]Item, error) {
 		}
 		return []Item{it}, nil
 	case TokIdent:
-		// Either a labelled assertion "label: assert property ..." or an
-		// unsupported construct (e.g. module instantiation).
+		// A leading identifier begins either a labelled assertion
+		// ("label: assert property ...") or a module instantiation
+		// ("sub u0 (...);", "sub #(.P(4)) u0 (...);").
 		if p.peekKind(1) == TokColon && p.peekKind(2) == TokAssert {
 			label := p.next().Text
 			p.next() // colon
@@ -336,10 +370,117 @@ func (p *Parser) parseItem(m *Module) ([]Item, error) {
 			}
 			return []Item{it}, nil
 		}
-		return nil, p.errf("unsupported module item starting with %s", tok)
+		if p.peekKind(1) == TokHash || (p.peekKind(1) == TokIdent && p.peekKind(2) == TokLParen) {
+			it, err := p.parseInstance()
+			if err != nil {
+				return nil, err
+			}
+			return []Item{it}, nil
+		}
+		return nil, p.errf("unexpected %s after identifier %q in module body (expected an instance name for a module instantiation, or ':' for a labelled assertion)", p.peekTok(1), tok.Text)
 	default:
 		return nil, p.errf("unexpected %s in module body", tok)
 	}
+}
+
+// parseInstance parses a module instantiation item, with optional named
+// parameter overrides and either all-named or all-positional connections:
+//
+//	sub u0 (a, b);
+//	sub #(.P(4)) u0 (.clk(clk), .q(q));
+func (p *Parser) parseInstance() (Item, error) {
+	mod := p.next() // module name
+	inst := &Instance{Module: mod.Text, Pos: mod.Pos}
+	if p.accept(TokHash) {
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		for {
+			pc, err := p.parseNamedConn()
+			if err != nil {
+				return nil, err
+			}
+			if pc.Expr == nil {
+				return nil, &ParseError{Pos: pc.Pos, Msg: fmt.Sprintf("parameter override .%s() needs a value", pc.Port)}
+			}
+			inst.Params = append(inst.Params, pc)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	inst.Name = name.Text
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		if p.cur().Kind == TokDot {
+			for {
+				pc, err := p.parseNamedConn()
+				if err != nil {
+					return nil, err
+				}
+				inst.Conns = append(inst.Conns, pc)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+		} else {
+			inst.Positional = true
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				inst.Conns = append(inst.Conns, PortConn{Expr: e, Pos: e.Span()})
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// parseNamedConn parses one ".name(expr)" connection; the expression may
+// be absent (".name()" leaves the port unconnected).
+func (p *Parser) parseNamedConn() (PortConn, error) {
+	dot, err := p.expect(TokDot)
+	if err != nil {
+		return PortConn{}, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return PortConn{}, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return PortConn{}, err
+	}
+	pc := PortConn{Port: name.Text, Pos: dot.Pos}
+	if p.cur().Kind != TokRParen {
+		e, err := p.parseExpr()
+		if err != nil {
+			return PortConn{}, err
+		}
+		pc.Expr = e
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return PortConn{}, err
+	}
+	return pc, nil
 }
 
 func (p *Parser) parseNonANSIPortDecl(m *Module) ([]Item, error) {

@@ -193,12 +193,186 @@ func TestParseErrors(t *testing.T) {
 		{"stray token after module", "module m (input a);\nendmodule\nwire x;"},
 		{"missing end", "module m (input a);\nalways @(posedge a) begin\nendmodule"},
 		{"missing endcase", "module m (input a, output reg o);\nalways @(*) begin\ncase (a)\n1'b1: o = 1;\nend\nendmodule"},
-		{"instantiation unsupported", "module m (input a);\nsub u0 (.a(a));\nendmodule"},
+		{"bare identifier item", "module m (input a);\nfoo;\nendmodule"},
+		{"assignment at module scope", "module m (input a);\nx = a;\nendmodule"},
+		{"mixed named then positional conns", "module m (input a);\nsub u0 (.x(a), a);\nendmodule"},
+		{"mixed positional then named conns", "module m (input a);\nsub u0 (a, .x(a));\nendmodule"},
+		{"positional parameter override", "module m (input a);\nsub #(4) u0 (a);\nendmodule"},
+		{"empty parameter override", "module m (input a);\nsub #(.P()) u0 (a);\nendmodule"},
 	}
 	for _, tt := range tests {
 		if _, err := Parse(tt.src); err == nil {
 			t.Errorf("%s: Parse succeeded, want error", tt.name)
 		}
+	}
+}
+
+// TestPreciseItemDiagnostic pins the replacement for the old generic
+// "unsupported construct (e.g. module instantiation)" error: instantiation
+// parses, and the remaining unsupported leading-identifier items name the
+// offending token in the diagnostic.
+func TestPreciseItemDiagnostic(t *testing.T) {
+	_, err := Parse("module m (input a);\nfoo = a;\nendmodule")
+	if err == nil {
+		t.Fatal("Parse succeeded, want error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"=", `"foo"`, "instantiation"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic %q does not mention %q", msg, want)
+		}
+	}
+}
+
+func TestParseInstance(t *testing.T) {
+	src := `
+module top (
+    input clk,
+    output [3:0] q
+);
+    counter #(.WIDTH(4), .MAX(9)) u0 (.clk(clk), .q(q));
+    counter u1 (clk, q);
+    blackbox u2 ();
+    stub u3 (.clk(clk), .q());
+endmodule
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	insts := m.Instances()
+	if len(insts) != 4 {
+		t.Fatalf("got %d instances, want 4", len(insts))
+	}
+	u0 := insts[0]
+	if u0.Module != "counter" || u0.Name != "u0" || u0.Positional {
+		t.Errorf("u0 = %+v", u0)
+	}
+	if len(u0.Params) != 2 || u0.Params[0].Port != "WIDTH" || u0.Params[1].Port != "MAX" {
+		t.Errorf("u0 params = %+v", u0.Params)
+	}
+	if len(u0.Conns) != 2 || u0.Conns[0].Port != "clk" || u0.Conns[1].Port != "q" {
+		t.Errorf("u0 conns = %+v", u0.Conns)
+	}
+	u1 := insts[1]
+	if !u1.Positional || len(u1.Conns) != 2 || u1.Conns[0].Port != "" {
+		t.Errorf("u1 = %+v", u1)
+	}
+	if len(insts[2].Conns) != 0 {
+		t.Errorf("u2 conns = %+v", insts[2].Conns)
+	}
+	u3 := insts[3]
+	if len(u3.Conns) != 2 || u3.Conns[1].Port != "q" || u3.Conns[1].Expr != nil {
+		t.Errorf("u3 conns = %+v", u3.Conns)
+	}
+}
+
+const hierSrc = `
+module counter #(parameter WIDTH = 4, parameter MAX = 9) (
+    input clk,
+    input rst_n,
+    output reg [WIDTH-1:0] q
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) q <= 0;
+        else if (q == MAX) q <= 0;
+        else q <= q + 1;
+    end
+endmodule
+
+module pair (
+    input clk,
+    input rst_n,
+    output [3:0] a,
+    output [2:0] b
+);
+    counter u0 (.clk(clk), .rst_n(rst_n), .q(a));
+    counter #(.WIDTH(3), .MAX(5)) u1 (.clk(clk), .rst_n(rst_n), .q(b));
+endmodule
+`
+
+func TestParseSet(t *testing.T) {
+	set, err := ParseSet(hierSrc)
+	if err != nil {
+		t.Fatalf("ParseSet: %v", err)
+	}
+	if len(set.Modules) != 2 {
+		t.Fatalf("got %d modules, want 2", len(set.Modules))
+	}
+	top, err := set.Top()
+	if err != nil {
+		t.Fatalf("Top: %v", err)
+	}
+	if top.Name != "pair" {
+		t.Errorf("top = %q, want pair", top.Name)
+	}
+	if set.Find("counter") == nil || set.Find("nope") != nil {
+		t.Error("Find misbehaved")
+	}
+}
+
+func TestTopAmbiguous(t *testing.T) {
+	set, err := ParseSet("module a (input x);\nendmodule\nmodule b (input x);\nendmodule")
+	if err != nil {
+		t.Fatalf("ParseSet: %v", err)
+	}
+	_, err = set.Top()
+	if err == nil {
+		t.Fatal("Top succeeded, want ambiguity error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "a") || !strings.Contains(msg, "b") || !strings.Contains(msg, "ambiguous") {
+		t.Errorf("ambiguity error %q does not list candidates", msg)
+	}
+}
+
+// TestSetRoundTrip checks the multi-module printer fixpoint and that
+// hierarchical (dotted) identifiers survive lexing as single tokens.
+func TestSetRoundTrip(t *testing.T) {
+	set, err := ParseSet(hierSrc)
+	if err != nil {
+		t.Fatalf("ParseSet: %v", err)
+	}
+	text1 := PrintSet(set)
+	set2, err := ParseSet(text1)
+	if err != nil {
+		t.Fatalf("reparse of printed set: %v\n%s", err, text1)
+	}
+	text2 := PrintSet(set2)
+	if text1 != text2 {
+		t.Errorf("PrintSet not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestLexHierarchicalName(t *testing.T) {
+	toks, err := Lex("assign u0.q = u0.u1.count + 1; .clk(clk)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idents []string
+	for _, tok := range toks {
+		if tok.Kind == TokIdent {
+			idents = append(idents, tok.Text)
+		}
+	}
+	want := []string{"u0.q", "u0.u1.count", "clk", "clk"}
+	if len(idents) != len(want) {
+		t.Fatalf("idents = %v, want %v", idents, want)
+	}
+	for i, w := range want {
+		if idents[i] != w {
+			t.Errorf("ident %d = %q, want %q", i, idents[i], w)
+		}
+	}
+	// The leading dot of a named connection must stay a separate token.
+	sawDot := false
+	for _, tok := range toks {
+		if tok.Kind == TokDot {
+			sawDot = true
+		}
+	}
+	if !sawDot {
+		t.Error("named-connection dot was swallowed into an identifier")
 	}
 }
 

@@ -15,6 +15,16 @@ func Print(m *Module) string {
 	return pr.sb.String()
 }
 
+// PrintSet renders a source set as canonical Verilog text, one blank line
+// between modules. ParseSet(PrintSet(s)) round-trips byte-identically.
+func PrintSet(s *SourceSet) string {
+	parts := make([]string, len(s.Modules))
+	for i, m := range s.Modules {
+		parts[i] = Print(m)
+	}
+	return strings.Join(parts, "\n")
+}
+
 // ExprString renders an expression with minimal parentheses.
 func ExprString(e Expr) string {
 	var pr printer
@@ -95,6 +105,32 @@ func (pr *printer) item(it Item) {
 	case *AssignItem:
 		pr.indent(1)
 		pr.writef("assign %s = %s;\n", pr.expr(x.LHS, 0), pr.expr(x.RHS, 0))
+	case *Instance:
+		pr.indent(1)
+		pr.sb.WriteString(x.Module)
+		if len(x.Params) > 0 {
+			parts := make([]string, len(x.Params))
+			for i, pc := range x.Params {
+				parts[i] = fmt.Sprintf(".%s(%s)", pc.Port, pr.expr(pc.Expr, 0))
+			}
+			pr.writef(" #(%s)", strings.Join(parts, ", "))
+		}
+		pr.writef(" %s (", x.Name)
+		for i, pc := range x.Conns {
+			if i > 0 {
+				pr.sb.WriteString(", ")
+			}
+			if x.Positional {
+				pr.sb.WriteString(pr.expr(pc.Expr, 0))
+			} else {
+				pr.writef(".%s(", pc.Port)
+				if pc.Expr != nil {
+					pr.sb.WriteString(pr.expr(pc.Expr, 0))
+				}
+				pr.sb.WriteString(")")
+			}
+		}
+		pr.sb.WriteString(");\n")
 	case *Always:
 		pr.always(x)
 	case *Initial:

@@ -1,0 +1,69 @@
+package verilog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SourceSet is the parse result of a source file containing one or more
+// modules, in source order. A set with a single module behaves exactly
+// like the historical single-module front end; multi-module sets are
+// flattened by elaboration starting from the top module.
+type SourceSet struct {
+	Modules []*Module
+}
+
+// Find returns the module with the given name, or nil.
+func (s *SourceSet) Find(name string) *Module {
+	for _, m := range s.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Top returns the top module of the set: the unique module that no other
+// module in the set instantiates. Instantiations of modules outside the
+// set do not count (they fail later, during elaboration). The error for
+// an ambiguous set lists every candidate so callers can surface a precise
+// diagnostic.
+func (s *SourceSet) Top() (*Module, error) {
+	if len(s.Modules) == 0 {
+		return nil, fmt.Errorf("source set has no modules")
+	}
+	if len(s.Modules) == 1 {
+		return s.Modules[0], nil
+	}
+	byName := map[string]*Module{}
+	for _, m := range s.Modules {
+		if byName[m.Name] != nil {
+			return nil, fmt.Errorf("duplicate module %s", m.Name)
+		}
+		byName[m.Name] = m
+	}
+	instantiated := map[string]bool{}
+	for _, m := range s.Modules {
+		for _, inst := range m.Instances() {
+			if byName[inst.Module] != nil && inst.Module != m.Name {
+				instantiated[inst.Module] = true
+			}
+		}
+	}
+	var tops []string
+	for _, m := range s.Modules {
+		if !instantiated[m.Name] {
+			tops = append(tops, m.Name)
+		}
+	}
+	switch len(tops) {
+	case 1:
+		return byName[tops[0]], nil
+	case 0:
+		return nil, fmt.Errorf("no top module: every module in the set is instantiated (instantiation cycle)")
+	default:
+		sort.Strings(tops)
+		return nil, fmt.Errorf("ambiguous top module: candidates %s are never instantiated", strings.Join(tops, ", "))
+	}
+}
