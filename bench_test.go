@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"math/rand"
@@ -306,7 +307,7 @@ func BenchmarkFormalStrategies(b *testing.B) {
 			var res *formal.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				res, err = formal.Check(d, formal.Options{Seed: 1, Depth: tc.bp.CheckDepth(12), RandomRuns: 12, Lanes: tc.lanes})
+				res, err = formal.Check(context.Background(), d, formal.Options{Seed: 1, Depth: tc.bp.CheckDepth(12), RandomRuns: 12, Lanes: tc.lanes})
 				if err != nil || !res.Pass {
 					b.Fatal("golden failed")
 				}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/augment"
 	"repro/internal/dataset"
 	"repro/internal/dataset/binfmt"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -141,6 +142,9 @@ func printStats(st augment.Stats, pt, vbug, svabug, evalMachine, evalHuman int) 
 		st.CoTGenerated, st.CoTValid, 100*st.CoTValidity())
 	fmt.Printf("Datasets: Verilog-PT=%d Verilog-Bug=%d SVA-Bug=%d SVA-Eval-Machine=%d SVA-Eval-Human=%d\n\n",
 		pt, vbug, svabug, evalMachine, evalHuman)
+	m := verify.Default().Metrics()
+	fmt.Printf("Verify:  %d hits, %d misses, %d coalesced, %d evictions, %d disk hits (%d resident)\n",
+		m.Hits, m.Misses, m.Coalesced, m.Evictions, m.DiskHits, m.Entries)
 }
 
 // statsSink counts pipeline products and keeps only the lightweight

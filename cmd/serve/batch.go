@@ -1,0 +1,256 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/sim"
+	"repro/internal/sva"
+)
+
+// batcher packs compatible queued stimulus checks into single lane runs.
+// Requests arriving within one batching window that drive the same design,
+// input list, depth and value domain become lanes of one packed simulation
+// (up to the lane cap); a group flushes when full or when its window timer
+// fires. Lanes whose packed check fails — and whole batches the lane
+// engine cannot handle — are replayed on the scalar engine, which carries
+// the full failure detail and is the semantic reference.
+type batcher struct {
+	lanes  int
+	window time.Duration
+
+	mu     sync.Mutex
+	groups map[groupKey]*group
+
+	runs    atomic.Uint64 // lane-packed simulations executed
+	batched atomic.Uint64 // stimuli answered from lane runs
+	scalar  atomic.Uint64 // stimuli answered by the scalar engine
+}
+
+// groupKey identifies a set of stimuli the lane packer accepts together.
+// The design pointer stands in for source identity: identical sources
+// share one cached *compile.Design through the verification service.
+type groupKey struct {
+	d     *compile.Design
+	mode  sim.Mode
+	depth int
+	names string
+}
+
+type group struct {
+	key   groupKey
+	subs  []*submission
+	timer *time.Timer
+}
+
+type submission struct {
+	stim sim.VecStimulus
+	ch   chan submitResult
+}
+
+type submitResult struct {
+	resp stimulusResponse
+	err  error
+}
+
+func newBatcher(lanes int, window time.Duration) *batcher {
+	if lanes > 64 {
+		lanes = 64
+	}
+	return &batcher{lanes: lanes, window: window, groups: map[groupKey]*group{}}
+}
+
+// submit queues one stimulus for the design and blocks until its batch has
+// run (or ctx is cancelled, in which case the batch still runs for the
+// other lanes and this caller's slot is discarded).
+func (b *batcher) submit(ctx context.Context, d *compile.Design, req stimulusRequest) (stimulusResponse, error) {
+	stim, err := buildStimulus(d, req)
+	if err != nil {
+		return stimulusResponse{}, err
+	}
+	mode := sim.TwoState
+	if req.FourState {
+		mode = sim.FourState
+	}
+
+	sub := &submission{stim: stim, ch: make(chan submitResult, 1)}
+	key := groupKey{d: d, mode: mode, depth: len(stim.Rows), names: inputNames(stim.Inputs)}
+
+	b.mu.Lock()
+	g := b.groups[key]
+	if g == nil {
+		g = &group{key: key}
+		b.groups[key] = g
+		g.timer = time.AfterFunc(b.window, func() { b.flush(g) })
+	}
+	g.subs = append(g.subs, sub)
+	if len(g.subs) >= b.lanes {
+		// Full: detach under the lock so late arrivals start a new group,
+		// then run without it.
+		delete(b.groups, key)
+		g.timer.Stop()
+		b.mu.Unlock()
+		b.run(g)
+	} else {
+		b.mu.Unlock()
+	}
+
+	select {
+	case r := <-sub.ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return stimulusResponse{}, ctx.Err()
+	}
+}
+
+// flush is the window-timer path: detach the group if it is still queued
+// and run it.
+func (b *batcher) flush(g *group) {
+	b.mu.Lock()
+	if b.groups[g.key] != g {
+		b.mu.Unlock()
+		return // already flushed by the full-batch path
+	}
+	delete(b.groups, g.key)
+	b.mu.Unlock()
+	b.run(g)
+}
+
+// run executes one detached group. The batch simulates under a background
+// context: one client disconnecting must not cancel the other lanes.
+func (b *batcher) run(g *group) {
+	if len(g.subs) == 1 || b.lanes <= 1 {
+		for _, sub := range g.subs {
+			sub.deliver(b.runScalar(g.key, sub.stim))
+		}
+		return
+	}
+	stims := make([]sim.VecStimulus, len(g.subs))
+	for i, sub := range g.subs {
+		stims[i] = sub.stim
+	}
+	ls, err := sim.PackStimuli(stims)
+	if err == nil {
+		var lt *sim.LaneTrace
+		lt, err = sim.RunLanesCtx(context.Background(), g.key.d, ls, g.key.mode)
+		if err == nil {
+			var lr *sva.LaneResult
+			lr, err = sva.CheckLanes(lt)
+			if err == nil {
+				b.runs.Add(1)
+				b.batched.Add(uint64(len(g.subs)))
+				for l, sub := range g.subs {
+					sub.deliver(b.laneOutcome(g.key, lt, lr, l))
+				}
+				return
+			}
+		}
+	}
+	// Lane engine unavailable for this batch (multi-clock design,
+	// un-lowered expression, execution error in any lane): replay every
+	// lane on the scalar engine, which reproduces scalar semantics exactly.
+	for _, sub := range g.subs {
+		sub.deliver(b.runScalar(g.key, sub.stim))
+	}
+}
+
+// laneOutcome reads lane l's verdict out of a packed run. Failing lanes
+// are demuxed and re-checked scalar so the response carries the same
+// failure log a scalar run would have produced.
+func (b *batcher) laneOutcome(key groupKey, lt *sim.LaneTrace, lr *sva.LaneResult, l int) submitResult {
+	if lr.Failed>>uint(l)&1 == 0 {
+		return submitResult{resp: stimulusResponse{
+			Pass:    true,
+			Log:     fmt.Sprintf("%s: all assertions passed (%d cycles)\n", key.d.Module.Name, lt.Len()),
+			Batched: true,
+		}}
+	}
+	res, err := sva.Check(lt.Demux(l))
+	if err != nil {
+		return submitResult{err: err}
+	}
+	resp := stimulusResponse{
+		Pass:    !res.Failed(),
+		Log:     sva.FormatLog(key.d.Module.Name, lt.Demux(l), res.Failures),
+		Batched: true,
+	}
+	for _, f := range res.Failures {
+		resp.FailedAsserts = appendUnique(resp.FailedAsserts, f.Assert.Name)
+	}
+	return submitResult{resp: resp}
+}
+
+// runScalar answers one stimulus on the scalar engine.
+func (b *batcher) runScalar(key groupKey, stim sim.VecStimulus) submitResult {
+	b.scalar.Add(1)
+	tr, err := sim.RunVecCtx(context.Background(), key.d, stim, key.mode)
+	if err != nil {
+		return submitResult{err: err}
+	}
+	res, err := sva.Check(tr)
+	if err != nil {
+		return submitResult{err: err}
+	}
+	resp := stimulusResponse{
+		Pass: !res.Failed(),
+		Log:  sva.FormatLog(key.d.Module.Name, tr, res.Failures),
+	}
+	for _, f := range res.Failures {
+		resp.FailedAsserts = appendUnique(resp.FailedAsserts, f.Assert.Name)
+	}
+	return submitResult{resp: resp}
+}
+
+func (s *submission) deliver(r submitResult) {
+	s.ch <- r // buffered; a departed waiter never blocks the batch
+}
+
+func appendUnique(names []string, n string) []string {
+	for _, have := range names {
+		if have == n {
+			return names
+		}
+	}
+	return append(names, n)
+}
+
+// buildStimulus resolves the request's input names against the design and
+// shapes the rows into a sim.VecStimulus.
+func buildStimulus(d *compile.Design, req stimulusRequest) (sim.VecStimulus, error) {
+	var inputs []*compile.Signal
+	if len(req.Inputs) == 0 {
+		// The run loop ticks the (single) clock once per row, so by default
+		// only data inputs are stimulus columns; clients driving resets or
+		// extra clocks name their columns explicitly.
+		inputs = d.Inputs(true)
+	} else {
+		for _, name := range req.Inputs {
+			sig := d.Signals[name]
+			if sig == nil || sig.Kind != compile.SigInput {
+				return sim.VecStimulus{}, fmt.Errorf("%q is not an input of %s", name, d.Module.Name)
+			}
+			inputs = append(inputs, sig)
+		}
+	}
+	rows := make([][]uint64, len(req.Rows))
+	for c, row := range req.Rows {
+		if len(row) != len(inputs) {
+			return sim.VecStimulus{}, fmt.Errorf("row %d has %d values for %d inputs", c, len(row), len(inputs))
+		}
+		rows[c] = append([]uint64(nil), row...)
+	}
+	return sim.VecStimulus{Inputs: inputs, Rows: rows}, nil
+}
+
+// inputNames renders the driven column list as a group-key component.
+func inputNames(inputs []*compile.Signal) string {
+	var s string
+	for _, in := range inputs {
+		s += in.Name + "\x00"
+	}
+	return s
+}

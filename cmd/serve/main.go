@@ -1,0 +1,430 @@
+// Command serve exposes the verification service (internal/verify) as a
+// long-running HTTP/JSON server — the service boundary ROADMAP item 1
+// asks for. It answers three endpoints:
+//
+//	POST /check    - compile + bounded-model-check a design. The request
+//	                 carries the source, optional candidate assertions and
+//	                 check options; "record_only" answers from the
+//	                 persistent record tier when possible (no
+//	                 re-elaboration). The client disconnecting cancels the
+//	                 check mid-enumeration.
+//	POST /stimulus - run one concrete stimulus against a design's
+//	                 assertions. Compatible queued requests (same design,
+//	                 value domain and shape) are packed into a single
+//	                 lane-parallel simulation, up to 64 per run.
+//	GET  /metrics  - verification-service counters (hits, misses,
+//	                 coalesced waiters, evictions, in-flight, disk hits)
+//	                 plus the server's admission/batching counters.
+//
+// With -store DIR verdict records persist across restarts: a second serve
+// over the same directory answers repeated checks from disk without
+// recomputing. Admission control is a bounded concurrency queue (overflow
+// is rejected with 429) plus a per-client token bucket (X-Client header,
+// falling back to the remote address).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/verify"
+	"repro/internal/verilog"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	var (
+		addr     = flag.String("addr", "localhost:8947", "listen address")
+		workers  = flag.Int("workers", 0, "verification worker pool size (0 = GOMAXPROCS)")
+		storeDir = flag.String("store", "", "directory for the persistent verdict store (empty = in-memory only)")
+		queue    = flag.Int("queue", 64, "admission queue: concurrent requests beyond this are rejected with 429")
+		rate     = flag.Float64("rate", 50, "per-client request rate limit per second (0 = unlimited)")
+		burst    = flag.Float64("burst", 100, "per-client token-bucket burst size")
+		window   = flag.Duration("batch-window", 5*time.Millisecond, "stimulus batching window")
+		lanes    = flag.Int("lanes", 64, "max stimuli packed into one lane run (1 = scalar)")
+	)
+	flag.Parse()
+
+	svc := verify.New(*workers)
+	var store verify.Store
+	if *storeDir != "" {
+		ds, err := verify.OpenDiskStore(*storeDir)
+		if err != nil {
+			log.Fatalf("open store: %v", err)
+		}
+		store = verify.NewTiered(verify.NewMemStore(0), ds)
+		svc.SetStore(store)
+	}
+
+	srv := newServer(svc, serverConfig{
+		Queue:       *queue,
+		Rate:        *rate,
+		Burst:       *burst,
+		BatchWindow: *window,
+		BatchLanes:  *lanes,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("listening on %s (store=%q)", *addr, *storeDir)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	if store != nil {
+		// Flush write-behind work so the next run reads a complete store.
+		if err := store.Close(); err != nil {
+			log.Printf("close store: %v", err)
+		}
+	}
+}
+
+// serverConfig bundles the admission, rate-limit and batching knobs.
+type serverConfig struct {
+	Queue       int
+	Rate, Burst float64
+	BatchWindow time.Duration
+	BatchLanes  int
+}
+
+// server is the HTTP front end over one verification service.
+type server struct {
+	svc   *verify.Service
+	admit chan struct{}
+	rl    *rateLimiter
+	batch *batcher
+
+	accepted      atomic.Uint64
+	rejectedQueue atomic.Uint64
+	rejectedRate  atomic.Uint64
+}
+
+func newServer(svc *verify.Service, cfg serverConfig) *server {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	if cfg.BatchLanes <= 0 {
+		cfg.BatchLanes = 64
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = 5 * time.Millisecond
+	}
+	return &server{
+		svc:   svc,
+		admit: make(chan struct{}, cfg.Queue),
+		rl:    newRateLimiter(cfg.Rate, cfg.Burst),
+		batch: newBatcher(cfg.BatchLanes, cfg.BatchWindow),
+	}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /check", s.limited(s.handleCheck))
+	mux.HandleFunc("POST /stimulus", s.limited(s.handleStimulus))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// limited wraps a handler with the admission layers: the per-client token
+// bucket first (cheap, per sender), then the bounded concurrency queue
+// (global). Both reject with 429 rather than queueing unboundedly.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.rl.allow(clientID(r)) {
+			s.rejectedRate.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "per-client rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		select {
+		case s.admit <- struct{}{}:
+			defer func() { <-s.admit }()
+		default:
+			s.rejectedQueue.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server at capacity", http.StatusTooManyRequests)
+			return
+		}
+		s.accepted.Add(1)
+		h(w, r)
+	}
+}
+
+// clientID identifies the sender for rate limiting: an explicit X-Client
+// header when present, the remote host otherwise.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// checkRequest is the POST /check payload.
+type checkRequest struct {
+	// Source is the design under check.
+	Source string `json:"source"`
+	// Assertions optionally replaces the module's own property/assert
+	// items: Verilog item text (property declarations and assert items),
+	// as they would appear inside the module body.
+	Assertions string `json:"assertions,omitempty"`
+	// RecordOnly answers from the record layer when possible: the verdict
+	// cache, then the persistent store, then a fresh computation.
+	RecordOnly bool         `json:"record_only,omitempty"`
+	Options    checkOptions `json:"options"`
+}
+
+// checkOptions mirrors verify.Options field for field.
+type checkOptions struct {
+	Seed              int64 `json:"seed,omitempty"`
+	Depth             int   `json:"depth,omitempty"`
+	RandomRuns        int   `json:"random_runs,omitempty"`
+	MaxExhaustiveBits int   `json:"max_exhaustive_bits,omitempty"`
+	MaxConstBits      int   `json:"max_const_bits,omitempty"`
+	FourState         bool  `json:"four_state,omitempty"`
+	Lanes             int   `json:"lanes,omitempty"`
+	CompileOnly       bool  `json:"compile_only,omitempty"`
+}
+
+func (o checkOptions) verify() verify.Options {
+	return verify.Options{
+		Seed:              o.Seed,
+		Depth:             o.Depth,
+		RandomRuns:        o.RandomRuns,
+		MaxExhaustiveBits: o.MaxExhaustiveBits,
+		MaxConstBits:      o.MaxConstBits,
+		FourState:         o.FourState,
+		Lanes:             o.Lanes,
+		CompileOnly:       o.CompileOnly,
+	}
+}
+
+// checkResponse is the record plus transport-level fields.
+type checkResponse struct {
+	verify.Record
+	Cached bool `json:"cached,omitempty"`
+}
+
+// parseAssertions parses candidate assertion item text by wrapping it in a
+// throwaway module.
+func parseAssertions(text string) ([]verilog.Item, error) {
+	if strings.TrimSpace(text) == "" {
+		return nil, nil
+	}
+	m, err := verilog.Parse("module __assertions__(input clk);\n" + text + "\nendmodule\n")
+	if err != nil {
+		return nil, fmt.Errorf("assertions: %w", err)
+	}
+	return m.Items, nil
+}
+
+func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req checkRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Source == "" {
+		http.Error(w, "empty source", http.StatusBadRequest)
+		return
+	}
+	items, err := parseAssertions(req.Assertions)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The request context cancels the check when the client disconnects;
+	// the execution layer propagates it into the simulation loops.
+	ctx := r.Context()
+	var resp checkResponse
+	if req.RecordOnly {
+		rec, err := s.svc.CheckRecord(ctx, req.Source, items, req.Options.verify())
+		if err != nil && rec.Status != verify.StatusError {
+			replyError(w, ctx, err)
+			return
+		}
+		resp.Record = rec
+	} else {
+		v, err := s.svc.Check(ctx, req.Source, items, req.Options.verify())
+		if err != nil && v.Status != verify.StatusError {
+			replyError(w, ctx, err)
+			return
+		}
+		resp.Record = v.Record
+		resp.Cached = v.Cached
+	}
+	writeJSON(w, resp)
+}
+
+// replyError maps a failed check to a transport status: client-caused
+// cancellation gets 499-style treatment (the client is gone anyway),
+// anything else is a 500.
+func replyError(w http.ResponseWriter, ctx context.Context, err error) {
+	if ctx.Err() != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+// stimulusRequest is the POST /stimulus payload: run one concrete input
+// sequence against the design's assertions.
+type stimulusRequest struct {
+	Source string `json:"source"`
+	// Inputs names the driven columns; empty means the design's data
+	// inputs (clock and reset excluded) in declaration order.
+	Inputs []string `json:"inputs,omitempty"`
+	// Rows holds one value per input per cycle.
+	Rows [][]uint64 `json:"rows"`
+	// FourState selects the four-state value domain.
+	FourState bool `json:"four_state,omitempty"`
+}
+
+// stimulusResponse reports one stimulus check.
+type stimulusResponse struct {
+	Pass          bool     `json:"pass"`
+	FailedAsserts []string `json:"failed_asserts,omitempty"`
+	Log           string   `json:"log,omitempty"`
+	// Batched reports whether this stimulus ran inside a lane batch.
+	Batched bool `json:"batched"`
+}
+
+func (s *server) handleStimulus(w http.ResponseWriter, r *http.Request) {
+	var req stimulusRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Source == "" || len(req.Rows) == 0 {
+		http.Error(w, "source and rows are required", http.StatusBadRequest)
+		return
+	}
+	// Elaborate through the service: identical designs share one cached,
+	// plan-warmed *compile.Design, which is also the batcher's group key.
+	v, err := s.svc.Check(r.Context(), req.Source, nil, verify.Options{CompileOnly: true})
+	if err != nil {
+		replyError(w, r.Context(), err)
+		return
+	}
+	if v.Status != verify.StatusPass {
+		http.Error(w, "design does not compile:\n"+v.Log, http.StatusUnprocessableEntity)
+		return
+	}
+	resp, err := s.batch.submit(r.Context(), v.Design, req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// metricsResponse is the GET /metrics payload.
+type metricsResponse struct {
+	Verify verify.Metrics `json:"verify"`
+	Server serverMetrics  `json:"server"`
+}
+
+type serverMetrics struct {
+	Accepted       uint64 `json:"accepted"`
+	RejectedQueue  uint64 `json:"rejected_queue"`
+	RejectedRate   uint64 `json:"rejected_rate"`
+	BatchedRuns    uint64 `json:"batched_runs"`
+	BatchedStimuli uint64 `json:"batched_stimuli"`
+	ScalarRuns     uint64 `json:"scalar_runs"`
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, metricsResponse{
+		Verify: s.svc.Metrics(),
+		Server: serverMetrics{
+			Accepted:       s.accepted.Load(),
+			RejectedQueue:  s.rejectedQueue.Load(),
+			RejectedRate:   s.rejectedRate.Load(),
+			BatchedRuns:    s.batch.runs.Load(),
+			BatchedStimuli: s.batch.batched.Load(),
+			ScalarRuns:     s.batch.scalar.Load(),
+		},
+	})
+}
+
+// rateLimiter is a per-client token bucket: each client accrues rate
+// tokens per second up to burst; a request spends one.
+type rateLimiter struct {
+	rate, burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: burst, buckets: map[string]*bucket{}}
+}
+
+func (rl *rateLimiter) allow(client string) bool {
+	if rl.rate <= 0 {
+		return true
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := time.Now()
+	b := rl.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rl.rate
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

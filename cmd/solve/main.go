@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -55,7 +56,7 @@ func main() {
 		if compile.HasErrors(diags) {
 			log.Fatalf("the design does not elaborate:\n%s", compile.FormatDiags(diags))
 		}
-		res, err := formal.Check(d, formal.Options{Seed: 7, Depth: *depth})
+		res, err := formal.Check(context.Background(), d, formal.Options{Seed: 7, Depth: *depth})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -24,7 +25,7 @@ func main() {
 	golden := mustCompile(goldenSrc)
 
 	fmt.Println("=== bounded model check of the golden saturating adder ===")
-	res, err := formal.Check(golden, formal.Options{Seed: 1, Depth: 12})
+	res, err := formal.Check(context.Background(), golden, formal.Options{Seed: 1, Depth: 12})
 	must(err)
 	fmt.Printf("pass=%v runs=%d strategy=%s\n\n", res.Pass, res.Runs, res.Strategy)
 
@@ -50,7 +51,7 @@ func main() {
 		mutant := mustCompile(mutSrc)
 		fmt.Printf("=== %s ===\n", v.name)
 
-		res, err := formal.Check(mutant, formal.Options{Seed: 1, Depth: 12})
+		res, err := formal.Check(context.Background(), mutant, formal.Options{Seed: 1, Depth: 12})
 		must(err)
 		if res.Pass {
 			fmt.Println("assertions: pass within the bound")
@@ -58,7 +59,7 @@ func main() {
 			fmt.Printf("assertions: FAIL\n%s", res.Log)
 		}
 
-		diff, detail, err := formal.Differ(golden, mutant, formal.Options{Seed: 1, Depth: 12})
+		diff, detail, err := formal.Differ(context.Background(), golden, mutant, formal.Options{Seed: 1, Depth: 12})
 		must(err)
 		if diff {
 			fmt.Printf("behaviour:  differs from golden (%s)\n\n", detail)

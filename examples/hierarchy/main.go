@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -112,7 +113,7 @@ func main() {
 	for _, name := range params {
 		fmt.Printf("  localparam %s = %d\n", name, fd.Params[name])
 	}
-	fres, err := formal.Check(fd, formal.Options{Seed: 1, Depth: fifo.CheckDepth(24)})
+	fres, err := formal.Check(context.Background(), fd, formal.Options{Seed: 1, Depth: fifo.CheckDepth(24)})
 	must(err)
 	fmt.Printf("bounded check across the instance boundary: pass=%v (%d runs, %s)\n",
 		fres.Pass, fres.Runs, fres.Strategy)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -29,7 +30,7 @@ func main() {
 	if compile.HasErrors(diags) {
 		log.Fatalf("golden design broken:\n%s", compile.FormatDiags(diags))
 	}
-	res, err := formal.Check(d, formal.Options{Seed: 1, Depth: golden.CheckDepth(16)})
+	res, err := formal.Check(context.Background(), d, formal.Options{Seed: 1, Depth: golden.CheckDepth(16)})
 	must(err)
 	fmt.Printf("golden verification: pass=%v (%d runs, %s)\n\n", res.Pass, res.Runs, res.Strategy)
 
@@ -47,7 +48,7 @@ func main() {
 	if compile.HasErrors(diags) {
 		log.Fatal("buggy design no longer compiles")
 	}
-	bres, err := formal.Check(bd, formal.Options{Seed: 1, Depth: golden.CheckDepth(16)})
+	bres, err := formal.Check(context.Background(), bd, formal.Options{Seed: 1, Depth: golden.CheckDepth(16)})
 	must(err)
 	if bres.Pass {
 		log.Fatal("bug not detected")
@@ -63,7 +64,7 @@ func main() {
 		"if (end_cnt) valid_out <= 1;", 1)
 	fd, _, err := compile.Compile(fixedSrc)
 	must(err)
-	fres, err := formal.Check(fd, formal.Options{Seed: 1, Depth: golden.CheckDepth(16)})
+	fres, err := formal.Check(context.Background(), fd, formal.Options{Seed: 1, Depth: golden.CheckDepth(16)})
 	must(err)
 	fmt.Printf("after repair: pass=%v — the fix solves the assertion failure\n", fres.Pass)
 }

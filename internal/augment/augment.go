@@ -33,6 +33,7 @@
 package augment
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -139,7 +140,7 @@ func (c Config) source(svc *verify.Service) corpus.Source {
 				RandomRuns: c.RandomRuns,
 				Lanes:      c.Lanes,
 			}
-			v, err := svc.Check(b.Source(), nil, opts)
+			v, err := svc.Check(context.Background(), b.Source(), nil, opts)
 			if err != nil || !v.Passed() || len(v.Vacuous()) != 0 {
 				return false
 			}
@@ -155,7 +156,7 @@ func (c Config) source(svc *verify.Service) corpus.Source {
 			// assertion depends on it), so they are valid targets for the
 			// reset-removal bug class.
 			opts.FourState = true
-			v4, err := svc.Check(b.Source(), nil, opts)
+			v4, err := svc.Check(context.Background(), b.Source(), nil, opts)
 			return err == nil && v4.Passed()
 		},
 	})
@@ -459,7 +460,7 @@ func produce(cfg Config, svc *verify.Service, jobs chan<- designJob, ptCh chan<-
 			continue
 		}
 		seen[bSrc] = true
-		v, err := svc.Check(bSrc, nil, verify.Options{CompileOnly: true})
+		v, err := svc.Check(context.Background(), bSrc, nil, verify.Options{CompileOnly: true})
 		if err != nil || !v.Passed() {
 			// Sources promise valid designs; a non-compiling golden is a
 			// corpus bug, not a filterable input.
@@ -505,7 +506,7 @@ func produce(cfg Config, svc *verify.Service, jobs chan<- designJob, ptCh chan<-
 			st.FilteredTrivial++
 			continue
 		}
-		v, cerr := svc.Check(e.Source, nil, verify.Options{CompileOnly: true})
+		v, cerr := svc.Check(context.Background(), e.Source, nil, verify.Options{CompileOnly: true})
 		if cerr != nil || !v.Passed() {
 			st.CompileFailed++
 			specText := "Function: unavailable (code failed to compile).\n"
@@ -579,7 +580,7 @@ func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *co
 	cfg = cfg.withDefaults()
 	svc := verify.Default()
 	goldenSrc := b.Source()
-	gv, gerr := svc.Check(goldenSrc, nil, verify.Options{CompileOnly: true})
+	gv, gerr := svc.Check(context.Background(), goldenSrc, nil, verify.Options{CompileOnly: true})
 	if gerr != nil || !gv.Passed() {
 		return nil, nil, fmt.Errorf("golden does not compile: %v %s", gv.CompileErr, compile.FormatDiags(gv.Diags))
 	}
@@ -606,7 +607,7 @@ func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *co
 	opts4 := opts
 	opts4.FourState = true
 	if resetMuts := bugs.EnumerateResets(b.Module); len(resetMuts) > 0 {
-		if gv4, err := svc.Check(goldenSrc, nil, opts4); err == nil && gv4.Passed() {
+		if gv4, err := svc.Check(context.Background(), goldenSrc, nil, opts4); err == nil && gv4.Passed() {
 			muts = append(muts, resetMuts...)
 		}
 	}
@@ -638,12 +639,12 @@ func InjectAndValidate(b *corpus.Blueprint, cfg Config, stats *Stats, cotGen *co
 				if muts[i].Syn == bugs.SynReset {
 					checkOpts = opts4
 				}
-				o.verdict, o.err = svc.Check(o.src, nil, checkOpts)
+				o.verdict, o.err = svc.Check(context.Background(), o.src, nil, checkOpts)
 				if o.verdict.Design != nil {
 					o.lintFlagged = !lint.Clean(lint.Analyze(o.verdict.Design).Findings)
 				}
 				if o.err == nil && o.verdict.Passed() {
-					o.diff, o.diffLog, o.diffErr = formal.Differ(goldenDesign, o.verdict.Design, diffOpts)
+					o.diff, o.diffLog, o.diffErr = formal.Differ(context.Background(), goldenDesign, o.verdict.Design, diffOpts)
 				}
 			}
 		}()

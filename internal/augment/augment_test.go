@@ -1,6 +1,7 @@
 package augment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestGoldenFixSolves(t *testing.T) {
 		if err != nil || compile.HasErrors(diags) {
 			t.Fatalf("%s: fixed code does not compile: %v %s", s.ID, err, compile.FormatDiags(diags))
 		}
-		res, err := formal.Check(d, formal.Options{Seed: 9, Depth: s.CheckDepth, RandomRuns: 8})
+		res, err := formal.Check(context.Background(), d, formal.Options{Seed: 9, Depth: s.CheckDepth, RandomRuns: 8})
 		if err != nil {
 			t.Fatal(err)
 		}

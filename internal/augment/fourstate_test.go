@@ -1,6 +1,7 @@
 package augment
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bugs"
@@ -26,7 +27,7 @@ func TestResetRemovalCaughtFourStateOnly(t *testing.T) {
 
 	// The golden itself is clean in both domains.
 	for _, o := range []verify.Options{opts, opts4} {
-		v, err := svc.Check(goldenSrc, nil, o)
+		v, err := svc.Check(context.Background(), goldenSrc, nil, o)
 		if err != nil || !v.Passed() {
 			t.Fatalf("golden does not pass (FourState=%v): %v %s", o.FourState, err, v.Log)
 		}
@@ -42,11 +43,11 @@ func TestResetRemovalCaughtFourStateOnly(t *testing.T) {
 			t.Fatalf("mutation %q has class %s, want Reset", mu.Description, mu.Syn)
 		}
 		src := verilog.Print(mu.Mutant)
-		v2, err := svc.Check(src, nil, opts)
+		v2, err := svc.Check(context.Background(), src, nil, opts)
 		if err != nil {
 			t.Fatalf("two-state check: %v", err)
 		}
-		v4, err := svc.Check(src, nil, opts4)
+		v4, err := svc.Check(context.Background(), src, nil, opts4)
 		if err != nil {
 			t.Fatalf("four-state check: %v", err)
 		}

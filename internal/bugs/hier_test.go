@@ -1,6 +1,7 @@
 package bugs_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bugs"
@@ -60,14 +61,14 @@ func TestHierClassesDetected(t *testing.T) {
 		}
 		depth := b.CheckDepth(16)
 		opts := verify.Options{Seed: 99, Depth: depth, FourState: true}
-		gv, err := svc.Check(b.Source(), nil, verify.Options{CompileOnly: true})
+		gv, err := svc.Check(context.Background(), b.Source(), nil, verify.Options{CompileOnly: true})
 		if err != nil || !gv.Passed() {
 			t.Fatalf("%s: golden does not compile: %v", b.Name(), err)
 		}
 		detected, compiled := 0, 0
 		for _, mu := range bugs.EnumerateHier(b.Set(b.Module), 0) {
 			src := b.SourceWith(mu.Mutant)
-			v, err := svc.Check(src, nil, opts)
+			v, err := svc.Check(context.Background(), src, nil, opts)
 			if err != nil {
 				t.Fatalf("%s %s: %v", b.Name(), mu.Description, err)
 			}
@@ -80,7 +81,7 @@ func TestHierClassesDetected(t *testing.T) {
 				continue
 			}
 			// Assertions survived: the mutant must still behave differently.
-			diff, _, err := formal.Differ(gv.Design, v.Design, formal.Options{Seed: 99, Depth: depth})
+			diff, _, err := formal.Differ(context.Background(), gv.Design, v.Design, formal.Options{Seed: 99, Depth: depth})
 			if err != nil {
 				t.Fatalf("%s %s: differ: %v", b.Name(), mu.Description, err)
 			}

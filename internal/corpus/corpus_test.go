@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestBlueprintsGolden(t *testing.T) {
 			if len(d.Asserts) == 0 {
 				t.Fatal("blueprint has no assertions")
 			}
-			res, err := formal.Check(d, formal.Options{Seed: 42, Depth: b.CheckDepth(20), RandomRuns: 24})
+			res, err := formal.Check(context.Background(), d, formal.Options{Seed: 42, Depth: b.CheckDepth(20), RandomRuns: 24})
 			if err != nil {
 				t.Fatalf("formal: %v", err)
 			}
@@ -174,7 +175,7 @@ func TestPadToBin(t *testing.T) {
 	if err != nil || compile.HasErrors(diags) {
 		t.Fatalf("padded source broken: %v %s", err, compile.FormatDiags(diags))
 	}
-	res, err := formal.Check(d, formal.Options{Seed: 1})
+	res, err := formal.Check(context.Background(), d, formal.Options{Seed: 1})
 	if err != nil || !res.Pass {
 		t.Fatalf("padded design fails: %v", err)
 	}

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestGeneratorEmitsDistinctValidDesigns(t *testing.T) {
 		if err != nil || compile.HasErrors(diags) {
 			t.Fatalf("%s: does not compile: %v %s\n%s", b.Name(), err, compile.FormatDiags(diags), src)
 		}
-		res, err := formal.Check(d, formal.Options{Seed: 1, Depth: b.CheckDepth(16), RandomRuns: 12})
+		res, err := formal.Check(context.Background(), d, formal.Options{Seed: 1, Depth: b.CheckDepth(16), RandomRuns: 12})
 		if err != nil {
 			t.Fatalf("%s: formal: %v", b.Name(), err)
 		}
@@ -148,7 +149,7 @@ func TestResetVariants(t *testing.T) {
 		if !rst.Present || rst.Name != tc.wantPort || rst.ActiveLow != tc.wantLow {
 			t.Errorf("%s: reset detected as %+v", tc.tag, rst)
 		}
-		res, err := formal.Check(d, formal.Options{Seed: 3, Depth: b.CheckDepth(16), RandomRuns: 12})
+		res, err := formal.Check(context.Background(), d, formal.Options{Seed: 3, Depth: b.CheckDepth(16), RandomRuns: 12})
 		if err != nil || !res.Pass {
 			t.Errorf("%s: variant fails its assertions: %v\n%s", tc.tag, err, res.Log)
 		}

@@ -20,6 +20,15 @@ type Encoder struct {
 	render []byte
 }
 
+// NewEncoder returns a standalone encoder for callers that frame their
+// own payloads (e.g. internal/verify's disk store). It has no interner,
+// so IStr must not be used — every string is stored inline.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded payload. The slice aliases the encoder's
+// buffer and is invalidated by Reset or further appends.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
 // Reset clears the payload buffer, keeping capacity and the interner.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
@@ -76,6 +85,11 @@ type Decoder struct {
 	nums    []uint64
 	slots   []slotVal
 }
+
+// NewDecoder returns a decoder over one payload produced by a standalone
+// Encoder. It has no shard string table, so IStr fields must not appear
+// in the payload.
+func NewDecoder(payload []byte) *Decoder { return &Decoder{buf: payload} }
 
 // Err returns the first decoding error, if any.
 func (d *Decoder) Err() error { return d.err }

@@ -8,6 +8,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -62,12 +63,14 @@ func (j *Judge) Solves(s *dataset.SVASample, r model.Response) bool {
 	if !ok {
 		return false
 	}
-	v, err := j.svc.Check(fixed, nil, verify.Options{
+	// Record-only check: the judge needs pass/fail, so a persisted record
+	// (or the verdict cache) answers without re-elaborating the design.
+	rec, err := j.svc.CheckRecord(context.Background(), fixed, nil, verify.Options{
 		Seed:       7,
 		Depth:      s.CheckDepth,
 		RandomRuns: j.RandomRuns,
 	})
-	return err == nil && v.Passed()
+	return err == nil && rec.Passed()
 }
 
 // ApplyFix applies a response's fix to buggy source text; it delegates to

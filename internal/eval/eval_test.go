@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -226,7 +227,7 @@ func seedVerify(s *dataset.SVASample, fixedSrc string, randomRuns int) bool {
 	if err != nil || compile.HasErrors(diags) || d == nil {
 		return false
 	}
-	res, err := formal.Check(d, formal.Options{
+	res, err := formal.Check(context.Background(), d, formal.Options{
 		Seed:       7,
 		Depth:      s.CheckDepth,
 		RandomRuns: randomRuns,
@@ -273,12 +274,12 @@ func TestJudgeUsesSharedCache(t *testing.T) {
 	s := &bench[0]
 	r := model.Response{BugLine: s.LineNo, BugLineText: s.BuggyLine, Fix: s.FixedLine, FormatOK: true}
 	judge.Solves(s, r)
-	if hits, misses := svc.Stats(); hits != 0 || misses != 1 {
-		t.Fatalf("first judgement: %d hits, %d misses; want 0, 1", hits, misses)
+	if m := svc.Metrics(); m.Hits != 0 || m.Misses != 1 {
+		t.Fatalf("first judgement: %d hits, %d misses; want 0, 1", m.Hits, m.Misses)
 	}
 	judge.Solves(s, r)
-	if hits, misses := svc.Stats(); hits != 1 || misses != 1 {
-		t.Errorf("repeat judgement: %d hits, %d misses; want 1, 1", hits, misses)
+	if m := svc.Metrics(); m.Hits != 1 || m.Misses != 1 {
+		t.Errorf("repeat judgement: %d hits, %d misses; want 1, 1", m.Hits, m.Misses)
 	}
 }
 

@@ -12,6 +12,7 @@
 package formal
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -117,8 +118,11 @@ type Result struct {
 	VacuousAsserts []string
 }
 
-// Check bounded-model-checks all assertions in the design.
-func Check(d *compile.Design, opts Options) (*Result, error) {
+// Check bounded-model-checks all assertions in the design under ctx.
+// Cancellation is polled between stimulus submissions and, through the sim
+// run loops, between simulated cycles, so a cancelled check returns within
+// roughly one run of the caller giving up; it then reports ctx.Err().
+func Check(ctx context.Context, d *compile.Design, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	ds := newDriveSet(d)
 	inputs := ds.inputs
@@ -126,6 +130,7 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 
 	res := &Result{Pass: true}
 	attempted := map[string]bool{}
+	done := ctx.Done()
 
 	mode := sim.TwoState
 	if opts.FourState {
@@ -133,7 +138,7 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 	}
 	runOne := func(stim sim.VecStimulus) (bool, error) {
 		res.Runs++
-		tr, err := sim.RunVecMode(d, stim, mode)
+		tr, err := sim.RunVecCtx(ctx, d, stim, mode)
 		if err != nil {
 			return false, err
 		}
@@ -186,8 +191,13 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 		if err != nil {
 			return runScalarBatch(stims)
 		}
-		lt, err := sim.RunLanes(d, ls, mode)
+		lt, err := sim.RunLanesCtx(ctx, d, ls, mode)
 		if err != nil {
+			if ctx.Err() != nil {
+				// A cancelled batch is not a lane-engine shortfall; don't
+				// demote to scalar replays that would each re-fail the same way.
+				return false, ctx.Err()
+			}
 			return runScalarBatch(stims)
 		}
 		lres, err := sva.CheckLanes(lt)
@@ -214,6 +224,14 @@ func Check(d *compile.Design, opts Options) (*Result, error) {
 	}
 
 	submit := func(stim sim.VecStimulus) (bool, error) {
+		// Poll between submissions too: batching mode can queue dozens of
+		// stimuli without entering a run loop, and the per-cycle polls inside
+		// sim only cover time spent simulating.
+		select {
+		case <-done:
+			return false, ctx.Err()
+		default:
+		}
 		if !useLanes {
 			return runOne(stim)
 		}
@@ -542,18 +560,23 @@ func (ds *driveSet) randomStimulus(rng *rand.Rand, depth int) sim.VecStimulus {
 // any output within the bound, using the same exploration strategies. It is
 // used to separate genuine functional bugs from behaviour-preserving
 // mutations. The first differing trace is summarised in diffLog.
-func Differ(golden, mutant *compile.Design, opts Options) (bool, string, error) {
+// Cancellation propagates from ctx exactly as in Check.
+func Differ(ctx context.Context, golden, mutant *compile.Design, opts Options) (bool, string, error) {
 	opts = opts.withDefaults()
 	ds := newDriveSet(golden)
 	outputs := golden.Outputs()
 
 	compareOn := func(stim sim.VecStimulus) (bool, string, error) {
-		trG, err := sim.RunVec(golden, stim)
+		trG, err := sim.RunVecCtx(ctx, golden, stim, sim.TwoState)
 		if err != nil {
 			return false, "", err
 		}
-		trM, err := sim.RunVec(mutant, stim)
+		trM, err := sim.RunVecCtx(ctx, mutant, stim, sim.TwoState)
 		if err != nil {
+			if ctx.Err() != nil {
+				// Cancellation mid-run, not a broken mutant.
+				return false, "", ctx.Err()
+			}
 			// A mutant that cannot simulate (e.g. combinational loop) is
 			// behaviourally different by definition.
 			return true, fmt.Sprintf("mutant simulation error: %v", err), nil

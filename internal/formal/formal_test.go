@@ -1,6 +1,7 @@
 package formal
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -43,7 +44,7 @@ endmodule
 
 func TestCheckGoodDesignPasses(t *testing.T) {
 	d := mustCompile(t, counterGood)
-	res, err := Check(d, Options{Seed: 1})
+	res, err := Check(context.Background(), d, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestCheckFindsWrapBug(t *testing.T) {
 	// MAX, violating p_bound.
 	bad := strings.Replace(counterGood, "assign wrap = count == MAX;", "assign wrap = count == MAX + 1;", 1)
 	d := mustCompile(t, bad)
-	res, err := Check(d, Options{Seed: 1})
+	res, err := Check(context.Background(), d, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestCheckFindsWrapBug(t *testing.T) {
 func TestCheckFindsConditionInversion(t *testing.T) {
 	bad := strings.Replace(counterGood, "else if (en) begin", "else if (!en) begin", 1)
 	d := mustCompile(t, bad)
-	res, err := Check(d, Options{Seed: 1})
+	res, err := Check(context.Background(), d, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ module toggle (
 endmodule
 `
 	d := mustCompile(t, src)
-	res, err := Check(d, Options{Depth: 8, Seed: 1})
+	res, err := Check(context.Background(), d, Options{Depth: 8, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ module seqbug (
 endmodule
 `
 	d := mustCompile(t, src)
-	res, err := Check(d, Options{Depth: 8, Seed: 1})
+	res, err := Check(context.Background(), d, Options{Depth: 8, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ endmodule
 	// a is 4 bits (max 15): a == 16 can never match, so the property is
 	// vacuous.
 	d := mustCompile(t, src)
-	res, err := Check(d, Options{Seed: 1})
+	res, err := Check(context.Background(), d, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestDifferDetectsFunctionalBug(t *testing.T) {
 	golden := mustCompile(t, counterGood)
 	bad := strings.Replace(counterGood, "count <= count + 1;", "count <= count + 2;", 1)
 	mutant := mustCompile(t, bad)
-	diff, log, err := Differ(golden, mutant, Options{Seed: 1})
+	diff, log, err := Differ(context.Background(), golden, mutant, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestDifferIgnoresEquivalentMutation(t *testing.T) {
 	// as count <= 1 + count.
 	same := strings.Replace(counterGood, "count <= count + 1;", "count <= 1 + count;", 1)
 	mutant := mustCompile(t, same)
-	diff, _, err := Differ(golden, mutant, Options{Seed: 1})
+	diff, _, err := Differ(context.Background(), golden, mutant, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,11 +210,11 @@ func TestDifferIgnoresEquivalentMutation(t *testing.T) {
 func TestCheckDeterministic(t *testing.T) {
 	bad := strings.Replace(counterGood, "count <= count + 1;", "count <= count + 2;", 1)
 	d := mustCompile(t, bad)
-	r1, err := Check(d, Options{Seed: 7})
+	r1, err := Check(context.Background(), d, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Check(d, Options{Seed: 7})
+	r2, err := Check(context.Background(), d, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,13 +249,13 @@ func TestNoRandomDisablesRandomPhase(t *testing.T) {
 
 	withRandom := base
 	withRandom.RandomRuns = 5
-	r1, err := Check(d, withRandom)
+	r1, err := Check(context.Background(), d, withRandom)
 	if err != nil {
 		t.Fatal(err)
 	}
 	noRandom := base
 	noRandom.RandomRuns = NoRandom
-	r2, err := Check(d, noRandom)
+	r2, err := Check(context.Background(), d, noRandom)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestMultiClockFormalPasses(t *testing.T) {
 	if !d.MultiClock() {
 		t.Fatalf("cross not multi-clock: %v", d.Domains)
 	}
-	res, err := Check(d, Options{Seed: 1, Depth: 12})
+	res, err := Check(context.Background(), d, Options{Seed: 1, Depth: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestMultiClockFormalPasses(t *testing.T) {
 func TestMultiClockFormalFindsBug(t *testing.T) {
 	bad := strings.Replace(crossClocked, "qa |=> qb", "qa |=> !qb", 1)
 	d := mustCompile(t, bad)
-	res, err := Check(d, Options{Seed: 1, Depth: 12})
+	res, err := Check(context.Background(), d, Options{Seed: 1, Depth: 12})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package formal
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -45,9 +46,9 @@ func TestLanesByteIdenticalAcrossCorpus(t *testing.T) {
 		}
 		dl, _, _ := compile.Compile(src)
 		opts := Options{Depth: 10, RandomRuns: 6, Seed: 11, FourState: fourState}
-		scalar, errS := Check(d, opts)
+		scalar, errS := Check(context.Background(), d, opts)
 		opts.Lanes = 64
-		lane, errL := Check(dl, opts)
+		lane, errL := Check(context.Background(), dl, opts)
 		if (errS == nil) != (errL == nil) {
 			t.Fatalf("%s (fourState=%v): scalar err=%v lane err=%v", name, fourState, errS, errL)
 		}
@@ -90,7 +91,7 @@ func TestLanesZeroSentinel(t *testing.T) {
 		if err != nil || compile.HasErrors(diags) {
 			t.Fatal("fixture broken")
 		}
-		res, err := Check(d, Options{Depth: 8, RandomRuns: 4, Lanes: lanes})
+		res, err := Check(context.Background(), d, Options{Depth: 8, RandomRuns: 4, Lanes: lanes})
 		if err != nil {
 			t.Fatalf("Lanes %d: %v", lanes, err)
 		}

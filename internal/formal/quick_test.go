@@ -1,6 +1,7 @@
 package formal
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/compile"
@@ -17,7 +18,7 @@ func TestSelfEquivalence(t *testing.T) {
 			t.Fatalf("%s: fixture broken", b.Name())
 		}
 		d2, _, _ := compile.Compile(b.Source())
-		diff, detail, err := Differ(d1, d2, Options{Seed: 3, Depth: 10, RandomRuns: 6})
+		diff, detail, err := Differ(context.Background(), d1, d2, Options{Seed: 3, Depth: 10, RandomRuns: 6})
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name(), err)
 		}
@@ -57,7 +58,7 @@ endmodule
 	if err != nil || compile.HasErrors(diags) {
 		t.Fatal("fixture broken")
 	}
-	res, err := Check(d, Options{Seed: 1, Depth: 24, RandomRuns: 1, MaxConstBits: 1, MaxExhaustiveBits: 1})
+	res, err := Check(context.Background(), d, Options{Seed: 1, Depth: 24, RandomRuns: 1, MaxConstBits: 1, MaxExhaustiveBits: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -341,7 +342,7 @@ func FormalConsistency(src string, seed int64) error {
 		return nil
 	}
 	opts := formalOpts(seed)
-	res, err := formal.Check(d, opts)
+	res, err := formal.Check(context.Background(), d, opts)
 	if err != nil {
 		// Some programs compile but cannot run: a parameter override can
 		// elaborate an expression into an invalid form (e.g. a reversed
@@ -363,7 +364,7 @@ func FormalConsistency(src string, seed int64) error {
 	// strategy at the same depth may find a counterexample.
 	alt := opts
 	alt.MaxExhaustiveBits = 1
-	res2, err := formal.Check(d, alt)
+	res2, err := formal.Check(context.Background(), d, alt)
 	if err != nil {
 		return violation("formal-consistency", "check-error", src, "alternate-strategy check error: %v", err)
 	}

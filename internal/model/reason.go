@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -46,14 +47,14 @@ func (m *Model) internalCheck(p Problem, c Candidate) bool {
 	if depth <= 0 {
 		depth = 16
 	}
-	v, err := verify.Default().Check(fixed, nil, verify.Options{
+	rec, err := verify.Default().CheckRecord(context.Background(), fixed, nil, verify.Options{
 		Seed:              31,
 		Depth:             depth,
 		RandomRuns:        m.ReasonRuns,
 		MaxConstBits:      6,
 		MaxExhaustiveBits: 10,
 	})
-	return err == nil && v.Passed()
+	return err == nil && rec.Passed()
 }
 
 // rerank mentally verifies the strongest ReasonDepth candidates and moves

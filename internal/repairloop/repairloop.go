@@ -7,6 +7,7 @@
 package repairloop
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -155,18 +156,18 @@ const (
 // service; a fix already checked this round (or by any earlier stage —
 // the judge and the loop share one cache) costs nothing.
 func checkFix(src string, opts Options) (verdict, string) {
-	v, err := verify.Default().Check(src, nil, verify.Options{Seed: 7, Depth: opts.Depth, RandomRuns: opts.RandomRuns})
+	rec, err := verify.Default().CheckRecord(context.Background(), src, nil, verify.Options{Seed: 7, Depth: opts.Depth, RandomRuns: opts.RandomRuns})
 	if err != nil {
 		return verdictNoCompile, err.Error()
 	}
-	switch v.Status {
+	switch rec.Status {
 	case verify.StatusCompileError:
-		if v.CompileErr != nil {
-			return verdictNoCompile, "compile error: " + v.CompileErr.Error()
+		if rec.DiagText != "" {
+			return verdictNoCompile, strings.TrimSpace(rec.DiagText)
 		}
-		return verdictNoCompile, strings.TrimSpace(v.Log)
+		return verdictNoCompile, "compile error: " + rec.Log
 	case verify.StatusPass:
-		return verdictPass, v.Log
+		return verdictPass, rec.Log
 	}
-	return verdictFails, v.Log
+	return verdictFails, rec.Log
 }

@@ -1,6 +1,7 @@
 package repairloop
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -70,7 +71,7 @@ func TestLoopSolvesWithPerfectSolver(t *testing.T) {
 	if err != nil || compile.HasErrors(diags) {
 		t.Fatal("fixed source broken")
 	}
-	check, err := formal.Check(d, formal.Options{Seed: 9, Depth: s.CheckDepth})
+	check, err := formal.Check(context.Background(), d, formal.Options{Seed: 9, Depth: s.CheckDepth})
 	if err != nil || !check.Pass {
 		t.Fatal("fixed source does not verify")
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -410,7 +411,8 @@ func (m *lmach) evalAtVec4(fn laneVec4Fn, idx int) ([]uint64, []uint64) {
 // ---------------------------------------------------------------------------
 
 // runLanes4 is RunLanes' four-state branch.
-func runLanes4(d *compile.Design, ls *LaneStimulus) (*LaneTrace, error) {
+func runLanes4(ctx context.Context, d *compile.Design, ls *LaneStimulus) (*LaneTrace, error) {
+	done := ctx.Done()
 	p := PlanOf(d)
 	if p == nil {
 		return nil, fmt.Errorf("sim: design has no execution plan (lane mode unavailable)")
@@ -433,6 +435,9 @@ func runLanes4(d *compile.Design, ls *LaneStimulus) (*LaneTrace, error) {
 		urows: make([]laneRow, 0, ls.Depth)}
 	zero := make([]uint64, 64)
 	for c := 0; c < ls.Depth; c++ {
+		if stopped(done) {
+			return nil, ctx.Err()
+		}
 		if lc != nil {
 			lc.capture(m.bits, m.ubits)
 		}

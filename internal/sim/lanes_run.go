@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compile"
@@ -231,12 +232,20 @@ func (t *LaneTrace) CompileLaneBool(e verilog.Expr) CompiledLaneBool {
 // predication) aborts the whole batch; callers re-run the lanes one by one
 // on the scalar engine, which reproduces scalar behaviour exactly.
 func RunLanes(d *compile.Design, ls *LaneStimulus, mode Mode) (*LaneTrace, error) {
+	return RunLanesCtx(context.Background(), d, ls, mode)
+}
+
+// RunLanesCtx is RunLanes under a context, polled between cycles like the
+// scalar run loops. A cancelled batch returns ctx.Err(); formal's lane
+// batching propagates that instead of demoting the batch to scalar runs.
+func RunLanesCtx(ctx context.Context, d *compile.Design, ls *LaneStimulus, mode Mode) (*LaneTrace, error) {
 	if ls.N < 1 || ls.N > 64 {
 		return nil, fmt.Errorf("sim: lane batch must hold 1..64 lanes, got %d", ls.N)
 	}
 	if mode == FourState {
-		return runLanes4(d, ls)
+		return runLanes4(ctx, d, ls)
 	}
+	done := ctx.Done()
 	p := PlanOf(d)
 	if p == nil {
 		return nil, fmt.Errorf("sim: design has no execution plan (lane mode unavailable)")
@@ -256,6 +265,9 @@ func RunLanes(d *compile.Design, ls *LaneStimulus, mode Mode) (*LaneTrace, error
 	lc := laneClocksOf(d)
 	lt := &LaneTrace{Design: d, plan: p, lp: lp, n: ls.N, rows: make([]laneRow, 0, ls.Depth)}
 	for c := 0; c < ls.Depth; c++ {
+		if stopped(done) {
+			return nil, ctx.Err()
+		}
 		if lc != nil {
 			lc.capture(m.bits, nil)
 		}

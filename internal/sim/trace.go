@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -305,14 +306,38 @@ func Run(d *compile.Design, stim Stimulus) (*Trace, error) {
 // the compiled four-state lowering executes; designs it cannot lower fall
 // back to the four-state reference interpreter.
 func RunMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
+	return RunModeCtx(context.Background(), d, stim, mode)
+}
+
+// stopped polls a context's done channel between simulated cycles. The
+// channel is hoisted out of the run loops so an uncancellable context
+// (Background's Done is nil) costs one nil check per cycle — the formal
+// checker's hot loops must not pay for cancellation they never use.
+func stopped(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// RunModeCtx is RunMode under a context: the run loop polls ctx between
+// cycles and returns ctx.Err() once it is cancelled, so a caller-side
+// deadline or disconnect stops a long simulation within one cycle.
+func RunModeCtx(ctx context.Context, d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
+	done := ctx.Done()
 	p := PlanOf(d)
 	if p == nil {
-		return RunReferenceMode(d, stim, mode)
+		return RunReferenceCtx(ctx, d, stim, mode)
 	}
 	if mode == FourState {
 		p4 := p.fourState()
 		if p4 == nil {
-			return RunReferenceMode(d, stim, mode)
+			return RunReferenceCtx(ctx, d, stim, mode)
 		}
 		m := newMach4(p, p4)
 		if err := m.settle4(p4); err != nil {
@@ -323,6 +348,9 @@ func RunMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
 			rows: make([][]uint64, 0, len(stim)),
 			unks: make([][]uint64, 0, len(stim))}
 		for i, cyc := range stim {
+			if stopped(done) {
+				return nil, ctx.Err()
+			}
 			if dc != nil {
 				dc.capture(m.vals, m.unks)
 			}
@@ -358,6 +386,9 @@ func RunMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
 	dc := domainClocksOf(d)
 	tr := &Trace{Design: d, plan: p, rows: make([][]uint64, 0, len(stim))}
 	for i, cyc := range stim {
+		if stopped(done) {
+			return nil, ctx.Err()
+		}
 		if dc != nil {
 			dc.capture(m.vals, nil)
 		}
@@ -389,9 +420,14 @@ func RunMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
 // two-state — it is the bounded model checker's hot path; RunVecMode
 // selects the value domain.
 func RunVec(d *compile.Design, stim VecStimulus) (*Trace, error) {
+	return runVec(context.Background(), d, stim)
+}
+
+func runVec(ctx context.Context, d *compile.Design, stim VecStimulus) (*Trace, error) {
+	done := ctx.Done()
 	p := PlanOf(d)
 	if p == nil {
-		return RunReference(d, stim.maps())
+		return RunReferenceCtx(ctx, d, stim.maps(), TwoState)
 	}
 	slots := make([]int32, len(stim.Inputs))
 	for i, in := range stim.Inputs {
@@ -408,6 +444,9 @@ func RunVec(d *compile.Design, stim VecStimulus) (*Trace, error) {
 	dc := domainClocksOf(d)
 	tr := &Trace{Design: d, plan: p, rows: make([][]uint64, 0, len(stim.Rows))}
 	for c, in := range stim.Rows {
+		if stopped(done) {
+			return nil, ctx.Err()
+		}
 		if dc != nil {
 			dc.capture(m.vals, nil)
 		}
@@ -450,16 +489,25 @@ func (st VecStimulus) maps() Stimulus {
 // interpreter when it is unavailable), so the formal checker can drive the
 // same known-value stimulus enumeration over x-initialised state.
 func RunVecMode(d *compile.Design, stim VecStimulus, mode Mode) (*Trace, error) {
+	return RunVecCtx(context.Background(), d, stim, mode)
+}
+
+// RunVecCtx is RunVecMode under a context: the run loop polls ctx between
+// cycles and returns ctx.Err() once it is cancelled. This is the seam the
+// formal checker threads its context through, so a cancelled bounded check
+// stops mid-run rather than finishing the stimulus.
+func RunVecCtx(ctx context.Context, d *compile.Design, stim VecStimulus, mode Mode) (*Trace, error) {
 	if mode != FourState {
-		return RunVec(d, stim)
+		return runVec(ctx, d, stim)
 	}
+	done := ctx.Done()
 	p := PlanOf(d)
 	var p4 *plan4
 	if p != nil {
 		p4 = p.fourState()
 	}
 	if p == nil || p4 == nil {
-		return RunReferenceMode(d, stim.maps(), FourState)
+		return RunReferenceCtx(ctx, d, stim.maps(), FourState)
 	}
 	slots := make([]int32, len(stim.Inputs))
 	for i, in := range stim.Inputs {
@@ -478,6 +526,9 @@ func RunVecMode(d *compile.Design, stim VecStimulus, mode Mode) (*Trace, error) 
 		rows: make([][]uint64, 0, len(stim.Rows)),
 		unks: make([][]uint64, 0, len(stim.Rows))}
 	for c, in := range stim.Rows {
+		if stopped(done) {
+			return nil, ctx.Err()
+		}
 		if dc != nil {
 			dc.capture(m.vals, m.unks)
 		}
@@ -516,6 +567,15 @@ func RunReference(d *compile.Design, stim Stimulus) (*Trace, error) {
 // RunReferenceMode simulates the design on the reference interpreter in the
 // given value domain.
 func RunReferenceMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
+	return RunReferenceCtx(context.Background(), d, stim, mode)
+}
+
+// RunReferenceCtx is RunReferenceMode under a context, polled between
+// cycles like the compiled run loops — the reference interpreter is the
+// fallback for designs the planner cannot lower, and those are exactly the
+// runs slow enough to be worth cancelling.
+func RunReferenceCtx(ctx context.Context, d *compile.Design, stim Stimulus, mode Mode) (*Trace, error) {
+	done := ctx.Done()
 	s, err := NewMode(d, mode)
 	if err != nil {
 		return nil, err
@@ -526,6 +586,9 @@ func RunReferenceMode(d *compile.Design, stim Stimulus, mode Mode) (*Trace, erro
 		tr.unks = make([][]uint64, 0, len(stim))
 	}
 	for i, cyc := range stim {
+		if stopped(done) {
+			return nil, ctx.Err()
+		}
 		if rc != nil {
 			rc.capture(s)
 		}

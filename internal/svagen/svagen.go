@@ -11,6 +11,7 @@
 package svagen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -53,20 +54,17 @@ type Result struct {
 // routed through the shared verification service, so re-validating a
 // blueprint the pipeline has already touched is a cache hit.
 func ValidateBlueprint(b *corpus.Blueprint, seed int64) error {
-	v, err := verify.Default().Check(b.Source(), nil, verify.Options{Seed: seed, Depth: b.CheckDepth(16)})
+	rec, err := verify.Default().CheckRecord(context.Background(), b.Source(), nil, verify.Options{Seed: seed, Depth: b.CheckDepth(16)})
 	if err != nil {
 		return err
 	}
-	switch v.Status {
+	switch rec.Status {
 	case verify.StatusCompileError:
-		if v.CompileErr != nil {
-			return fmt.Errorf("svagen: %s: %w", b.Name(), v.CompileErr)
-		}
-		return fmt.Errorf("svagen: %s: %s", b.Name(), v.Log)
+		return fmt.Errorf("svagen: %s: %s", b.Name(), rec.Log)
 	case verify.StatusAssertFail:
-		return fmt.Errorf("svagen: %s: golden design fails its assertions:\n%s", b.Name(), v.Log)
+		return fmt.Errorf("svagen: %s: golden design fails its assertions:\n%s", b.Name(), rec.Log)
 	}
-	if vac := v.Vacuous(); len(vac) > 0 {
+	if vac := rec.Vacuous(); len(vac) > 0 {
 		return fmt.Errorf("svagen: %s: vacuous assertions %v", b.Name(), vac)
 	}
 	return nil
@@ -152,17 +150,17 @@ func CorruptCandidates(b *corpus.Blueprint, rng *rand.Rand) []Candidate {
 // verification service substitutes the candidate for the golden module's
 // own assertions (strip + insert), recompiles and bounded-model-checks.
 func ValidateCandidate(b *corpus.Blueprint, c Candidate, seed int64) Result {
-	v, err := verify.Default().Check(b.Source(), c.Items, verify.Options{Seed: seed, Depth: b.CheckDepth(16)})
+	rec, err := verify.Default().CheckRecord(context.Background(), b.Source(), c.Items, verify.Options{Seed: seed, Depth: b.CheckDepth(16)})
 	if err != nil {
 		return Result{Candidate: c, Verdict: RejectedCompile, Detail: err.Error()}
 	}
-	switch v.Status {
+	switch rec.Status {
 	case verify.StatusCompileError:
-		return Result{Candidate: c, Verdict: RejectedCompile, Detail: v.Log}
+		return Result{Candidate: c, Verdict: RejectedCompile, Detail: rec.Log}
 	case verify.StatusAssertFail:
-		return Result{Candidate: c, Verdict: RejectedFails, Detail: v.Log}
+		return Result{Candidate: c, Verdict: RejectedFails, Detail: rec.Log}
 	}
-	if vac := v.Vacuous(); len(vac) > 0 {
+	if vac := rec.Vacuous(); len(vac) > 0 {
 		return Result{Candidate: c, Verdict: RejectedVacuous, Detail: fmt.Sprint(vac)}
 	}
 	return Result{Candidate: c, Verdict: Accepted}

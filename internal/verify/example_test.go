@@ -1,6 +1,7 @@
 package verify_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/corpus"
@@ -14,20 +15,20 @@ func ExampleService_Check() {
 	svc := verify.New(4)
 	src := corpus.Counter(4, 9).Source()
 
-	fresh, err := svc.Check(src, nil, verify.Options{Seed: 1, Depth: 12})
+	fresh, err := svc.Check(context.Background(), src, nil, verify.Options{Seed: 1, Depth: 12})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("fresh:  status=%s cached=%v\n", fresh.Status, fresh.Cached)
 
-	cached, err := svc.Check(src, nil, verify.Options{Seed: 1, Depth: 12})
+	cached, err := svc.Check(context.Background(), src, nil, verify.Options{Seed: 1, Depth: 12})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("cached: status=%s cached=%v\n", cached.Status, cached.Cached)
 
-	hits, misses := svc.Stats()
-	fmt.Printf("stats:  %d hit, %d miss\n", hits, misses)
+	m := svc.Metrics()
+	fmt.Printf("stats:  %d hit, %d miss\n", m.Hits, m.Misses)
 	// Output:
 	// fresh:  status=pass cached=false
 	// cached: status=pass cached=true
@@ -41,13 +42,13 @@ func ExampleService_Check_verdicts() {
 	svc := verify.New(4)
 
 	golden := corpus.Counter(4, 9)
-	v, _ := svc.Check(golden.Source(), nil, verify.Options{Seed: 1, Depth: 12})
+	v, _ := svc.Check(context.Background(), golden.Source(), nil, verify.Options{Seed: 1, Depth: 12})
 	fmt.Println("golden design:", v.Status)
 
 	broken := "module broken(input clk, output reg q);\n" +
 		"  always @(posedge clk) q <= undeclared_signal;\n" +
 		"endmodule\n"
-	v, _ = svc.Check(broken, nil, verify.Options{Seed: 1, Depth: 12})
+	v, _ = svc.Check(context.Background(), broken, nil, verify.Options{Seed: 1, Depth: 12})
 	fmt.Println("broken design:", v.Status)
 	// Output:
 	// golden design: pass

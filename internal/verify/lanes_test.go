@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestConcurrentLaneChecks(t *testing.T) {
 	}
 	scalar := make([]Status, len(sources))
 	for i, src := range sources {
-		v, err := svc.Check(src, nil, Options{Depth: 8, RandomRuns: 4})
+		v, err := svc.Check(context.Background(), src, nil, Options{Depth: 8, RandomRuns: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func TestConcurrentLaneChecks(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				v, err := svc.Check(sources[si], nil, Options{Depth: 8, RandomRuns: 4, Lanes: 64})
+				v, err := svc.Check(context.Background(), sources[si], nil, Options{Depth: 8, RandomRuns: 4, Lanes: 64})
 				if err != nil {
 					t.Errorf("lane check: %v", err)
 					return

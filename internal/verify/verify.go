@@ -1,42 +1,49 @@
-// Package verify is the unified verification service behind every
+// Package verify is the layered verification service behind every
 // insert-fix/recompile/bounded-model-check sequence in the reproduction.
 // The paper's whole protocol — Stage-2 bug validation, SVA candidate
 // filtering, judging the n=20 evaluation responses, and the iterative
 // repair loop — reduces to one expensive primitive: take source text (and
 // optionally a candidate assertion set), compile it, and bounded-model-
 // check its assertions. This package owns that primitive behind a single
-// API, Service.Check, with two properties the individual call sites used
-// to approximate independently or not at all:
+// service API, structured as four layers:
 //
-//   - a content-addressed result cache: the key is a hash of the source,
-//     the candidate assertion set, and the normalised check options, so
-//     repeated identical checks (the common case — many of the 20 samples
-//     per evaluation case propose the same fix) are answered without
-//     recompiling or re-simulating, and concurrent duplicate requests are
-//     coalesced into one computation (singleflight). The cache is
-//     generational: the recent working set stays resident while one-shot
-//     checks (unique mutants of a full dataset build) age out, bounding
-//     memory for arbitrarily long runs;
-//   - a bounded worker pool: any number of goroutines may call Check, but
-//     at most Workers checks compute at once, so callers can fan out
-//     freely (parallel response judging, parallel mutant validation)
-//     without oversubscribing the machine.
+//   - Record layer: the outcome of a check splits into a serializable
+//     Record (status, logs, diagnostic text, failed/vacuous assertion
+//     names, the counterexample stimulus) and the in-memory warm part of
+//     a Verdict (the elaborated *compile.Design with its simulator plan,
+//     the *formal.Result). Callers that only need pass/fail use
+//     CheckRecord and never pay for re-elaboration; callers that diff or
+//     re-simulate use Check and get the warm design.
+//   - Store layer: a Store holds Records by content hash. MemStore is the
+//     two-generation in-memory cache; DiskStore is an append-only,
+//     crash-safe persistent log (built on internal/dataset/binfmt
+//     framing); Tiered layers one over the other read-through/
+//     write-behind. A Service with a store answers repeated record
+//     checks across process restarts without recomputing.
+//   - Execution layer: Check and CheckRecord take a context. The context
+//     threads through formal.Check into the simulator run loops, so a
+//     disconnected client or an expired deadline stops a 2^16 exhaustive
+//     enumeration mid-flight. Concurrent duplicate requests are coalesced
+//     into one computation (singleflight) that keeps running while any
+//     waiter remains; when the last waiter cancels, the computation is
+//     cancelled and the next requester recomputes from scratch.
+//   - Front end: cmd/serve exposes the Service over HTTP/JSON with
+//     admission control, per-client rate limits and lane-batched
+//     stimulus checks.
 //
-// Verdicts carry the elaborated design and the formal result so callers
-// that need more than pass/fail (counterexample logs, vacuity sets, the
-// design for behavioural diffing) pay nothing extra. Designs in verdicts
-// also carry internal/sim's compiled slot-indexed execution plan, warmed
-// here under the worker slot: a cache hit hands back a design that is
-// ready to simulate without re-walking the AST. Cached verdicts are
+// The Service also keeps the two properties the original in-process cache
+// had: a content-addressed key (hash of source, candidate assertion set
+// and normalised options) and a bounded worker pool, so callers can fan
+// out freely without oversubscribing the machine. Cached verdicts are
 // shared between callers and must be treated as read-only.
 package verify
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"encoding/json"
+	"fmt"
 
 	"repro/internal/compile"
 	"repro/internal/formal"
@@ -113,11 +120,84 @@ var statusNames = [...]string{"pass", "compile-error", "assert-fail", "error"}
 // String names the status.
 func (s Status) String() string { return statusNames[s] }
 
-// Verdict is the outcome of one check. Verdicts returned from the cache
-// are shared; callers must not mutate the design or formal result.
+// MarshalJSON encodes the status by name, so persisted records and the
+// cmd/serve wire format stay readable and stable if the enum is ever
+// reordered.
+func (s Status) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a status name.
+func (s *Status) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range statusNames {
+		if n == name {
+			*s = Status(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("verify: unknown status %q", name)
+}
+
+// StimulusInput names one driven input column of a counterexample.
+type StimulusInput struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+}
+
+// Stimulus is a replayable input sequence: row c holds the value driven
+// on each input during cycle c, in column order. It is the serializable
+// form of the counterexample trace's input columns.
+type Stimulus struct {
+	Inputs []StimulusInput `json:"inputs"`
+	Rows   [][]uint64      `json:"rows"`
+}
+
+// Record is the serializable outcome of one check: everything a caller
+// that only needs pass/fail (plus logs and counterexample data) can use
+// without an elaborated design in memory. Records round-trip through
+// JSON and the binfmt codec byte-identically and are what the store
+// layer persists.
+type Record struct {
+	Status Status `json:"status"`
+	// Log is the caller-facing record: compiler diagnostics or parse error
+	// on compile failure, the verifier log otherwise.
+	Log string `json:"log,omitempty"`
+	// DiagText is the formatted compiler diagnostics (empty when the
+	// compiler emitted none).
+	DiagText string `json:"diag_text,omitempty"`
+	// Strategy and Runs record how the formal checker explored the state
+	// space (empty/zero for compile errors and compile-only checks).
+	Strategy string `json:"strategy,omitempty"`
+	Runs     int    `json:"runs,omitempty"`
+	// FailedAsserts names the assertions that failed (the bounded check
+	// stops at the first failure, so at most one today).
+	FailedAsserts []string `json:"failed_asserts,omitempty"`
+	// VacuousAsserts lists assertions whose antecedent never matched on
+	// any explored trace.
+	VacuousAsserts []string `json:"vacuous_asserts,omitempty"`
+	// Counterexample is the failing input sequence (nil when no assertion
+	// failed).
+	Counterexample *Stimulus `json:"counterexample,omitempty"`
+}
+
+// Passed reports whether the check succeeded end to end.
+func (r Record) Passed() bool { return r.Status == StatusPass }
+
+// Vacuous lists assertions whose antecedent never matched (empty when the
+// check did not run).
+func (r Record) Vacuous() []string { return r.VacuousAsserts }
+
+// Verdict is the outcome of one check: the serializable Record plus the
+// warm in-memory parts. Verdicts returned from the cache are shared;
+// callers must not mutate the design or formal result.
 type Verdict struct {
-	Status Status
-	// Design is the elaborated design; nil when compilation failed.
+	Record
+	// Design is the elaborated design; nil when compilation failed. It
+	// carries internal/sim's compiled execution plan, warmed under the
+	// worker slot, so a cache hit hands back a design that is ready to
+	// simulate without re-walking the AST.
 	Design *compile.Design
 	// CompileErr is the parse error when parsing failed (nil for
 	// elaboration failures, which are reported through Diags).
@@ -128,147 +208,8 @@ type Verdict struct {
 	// Formal is the bounded-check result; nil on compile errors, check
 	// errors and compile-only verdicts.
 	Formal *formal.Result
-	// Log is the caller-facing record: compiler diagnostics or parse error
-	// on compile failure, the verifier log otherwise.
-	Log string
 	// Cached reports whether this verdict was answered from the cache.
 	Cached bool
-}
-
-// Passed reports whether the check succeeded end to end.
-func (v Verdict) Passed() bool { return v.Status == StatusPass }
-
-// Vacuous lists assertions whose antecedent never matched (empty when the
-// check did not run).
-func (v Verdict) Vacuous() []string {
-	if v.Formal == nil {
-		return nil
-	}
-	return v.Formal.VacuousAsserts
-}
-
-// maxGenEntries bounds one cache generation. The cache keeps the current
-// and the previous generation, so memory is capped at roughly twice this
-// many verdicts while the recent working set (the fixes an evaluation or
-// repair loop keeps re-checking) stays resident. One-shot checks — e.g.
-// the tens of thousands of unique mutants of a full dataset build — age
-// out instead of accumulating for the life of the process.
-const maxGenEntries = 4096
-
-// Service runs checks behind the shared cache and worker pool. It is safe
-// for concurrent use by any number of goroutines.
-type Service struct {
-	sem        chan struct{}
-	mu         sync.Mutex
-	cur, prev  map[[sha256.Size]byte]*entry
-	maxEntries int
-
-	hits   atomic.Uint64
-	misses atomic.Uint64
-}
-
-// entry is one cache slot. The first requester computes the verdict and
-// closes done; later requesters for the same key block on done and share
-// the result.
-type entry struct {
-	done    chan struct{}
-	verdict Verdict
-	err     error
-}
-
-// New returns a service whose pool runs at most workers checks at once;
-// workers <= 0 means GOMAXPROCS.
-func New(workers int) *Service {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return &Service{
-		sem:        make(chan struct{}, workers),
-		cur:        map[[sha256.Size]byte]*entry{},
-		maxEntries: maxGenEntries,
-	}
-}
-
-var (
-	defaultOnce sync.Once
-	defaultSvc  *Service
-)
-
-// Default returns the process-wide shared service. All pipeline stages use
-// it unless handed a dedicated instance, so a fix verified while judging
-// responses is already cached when the repair loop re-verifies it.
-func Default() *Service {
-	defaultOnce.Do(func() { defaultSvc = New(0) })
-	return defaultSvc
-}
-
-// Stats reports cache hits (including coalesced concurrent duplicates) and
-// misses (computations) so far.
-func (s *Service) Stats() (hits, misses uint64) {
-	return s.hits.Load(), s.misses.Load()
-}
-
-// Len returns the number of cached verdicts (both generations).
-func (s *Service) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := len(s.cur)
-	for k := range s.prev {
-		if _, dup := s.cur[k]; !dup {
-			n++
-		}
-	}
-	return n
-}
-
-// lookup finds or installs the cache entry for a key. The second return is
-// true when the entry already existed (the caller must wait on done rather
-// than compute). Inserting into a full current generation rotates it to
-// previous, aging the oldest generation out.
-func (s *Service) lookup(key [sha256.Size]byte) (*entry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, hit := s.cur[key]; hit {
-		return e, true
-	}
-	if e, hit := s.prev[key]; hit {
-		s.cur[key] = e // promote: keep the working set in the young generation
-		return e, true
-	}
-	if len(s.cur) >= s.maxEntries {
-		s.prev = s.cur
-		s.cur = make(map[[sha256.Size]byte]*entry, s.maxEntries)
-	}
-	e := &entry{done: make(chan struct{})}
-	s.cur[key] = e
-	return e, false
-}
-
-// Check compiles src and bounded-model-checks its assertions. When
-// assertions is non-empty the module's own property/assert items are
-// replaced by the given ones first (the SVA-candidate validation flow);
-// otherwise the embedded assertions are checked. The returned error is
-// non-nil only for StatusError verdicts; compile failures and assertion
-// failures are ordinary verdicts. Results are cached by content — source,
-// assertion set and normalised options. A cache hit never parses or
-// prints the design itself; hashing a candidate assertion set does print
-// those items (small next to the design), and substitution into the
-// design happens only on a miss.
-func (s *Service) Check(src string, assertions []verilog.Item, opts Options) (Verdict, error) {
-	e, hit := s.lookup(cacheKey(src, assertions, opts))
-	if hit {
-		<-e.done
-		s.hits.Add(1)
-		v := e.verdict
-		v.Cached = true
-		return v, e.err
-	}
-	s.misses.Add(1)
-	s.sem <- struct{}{}
-	e.verdict, e.err = run(src, assertions, opts)
-	<-s.sem
-	close(e.done)
-	return e.verdict, e.err
 }
 
 // withAssertions substitutes a candidate assertion set into the source:
@@ -279,11 +220,11 @@ func (s *Service) Check(src string, assertions []verilog.Item, opts Options) (Ve
 func withAssertions(src string, assertions []verilog.Item) (string, Verdict, bool) {
 	set, err := verilog.ParseSet(src)
 	if err != nil {
-		return "", Verdict{Status: StatusCompileError, CompileErr: err, Log: err.Error()}, false
+		return "", compileErrVerdict(err), false
 	}
 	top, err := set.Top()
 	if err != nil {
-		return "", Verdict{Status: StatusCompileError, CompileErr: err, Log: err.Error()}, false
+		return "", compileErrVerdict(err), false
 	}
 	var kept []verilog.Item
 	for _, it := range top.Items {
@@ -300,9 +241,41 @@ func withAssertions(src string, assertions []verilog.Item) (string, Verdict, boo
 	return verilog.PrintSet(set), Verdict{}, true
 }
 
+func compileErrVerdict(err error) Verdict {
+	return Verdict{
+		Record:     Record{Status: StatusCompileError, Log: err.Error()},
+		CompileErr: err,
+	}
+}
+
+// extractStimulus lifts the input columns of a counterexample trace into
+// the serializable stimulus form, in input declaration order (clock and
+// reset columns included, so the sequence is replayable as driven).
+func extractStimulus(d *compile.Design, tr *sim.Trace) *Stimulus {
+	if tr == nil {
+		return nil
+	}
+	ins := d.Inputs(false)
+	if len(ins) == 0 || tr.Len() == 0 {
+		return nil
+	}
+	st := &Stimulus{Inputs: make([]StimulusInput, len(ins)), Rows: make([][]uint64, tr.Len())}
+	for i, in := range ins {
+		st.Inputs[i] = StimulusInput{Name: in.Name, Width: in.Width}
+	}
+	for c := 0; c < tr.Len(); c++ {
+		row := make([]uint64, len(ins))
+		for i, in := range ins {
+			row[i], _ = tr.Value(c, in.Name)
+		}
+		st.Rows[c] = row
+	}
+	return st
+}
+
 // run is the uncached (optional substitution ->) compile -> formal-check
-// sequence; it executes inside a worker slot.
-func run(src string, assertions []verilog.Item, opts Options) (Verdict, error) {
+// sequence; it executes inside a worker slot under the compute context.
+func run(ctx context.Context, src string, assertions []verilog.Item, opts Options) (Verdict, error) {
 	if len(assertions) > 0 {
 		var verdict Verdict
 		var ok bool
@@ -313,10 +286,18 @@ func run(src string, assertions []verilog.Item, opts Options) (Verdict, error) {
 	}
 	d, diags, err := compile.Compile(src)
 	if err != nil {
-		return Verdict{Status: StatusCompileError, CompileErr: err, Log: err.Error()}, nil
+		return compileErrVerdict(err), nil
 	}
 	if compile.HasErrors(diags) || d == nil {
-		return Verdict{Status: StatusCompileError, Diags: diags, Log: compile.FormatDiags(diags)}, nil
+		log := compile.FormatDiags(diags)
+		return Verdict{
+			Record: Record{Status: StatusCompileError, Log: log, DiagText: log},
+			Diags:  diags,
+		}, nil
+	}
+	diagText := ""
+	if len(diags) > 0 {
+		diagText = compile.FormatDiags(diags)
 	}
 	// Warm the simulator's compiled execution plan while we hold a worker
 	// slot. The plan lives on the design, so cached verdicts (including
@@ -324,26 +305,42 @@ func run(src string, assertions []verilog.Item, opts Options) (Verdict, error) {
 	// plan with them instead of rebuilding it on first simulation.
 	sim.PlanOf(d)
 	if opts.CompileOnly {
-		return Verdict{Status: StatusPass, Design: d, Diags: diags}, nil
+		return Verdict{
+			Record: Record{Status: StatusPass, DiagText: diagText},
+			Design: d, Diags: diags,
+		}, nil
 	}
-	res, err := formal.Check(d, opts.formal())
+	res, err := formal.Check(ctx, d, opts.formal())
 	if err != nil {
-		return Verdict{Status: StatusError, Design: d, Diags: diags, Log: err.Error()}, err
+		return Verdict{
+			Record: Record{Status: StatusError, Log: err.Error(), DiagText: diagText},
+			Design: d, Diags: diags,
+		}, err
 	}
-	v := Verdict{Design: d, Diags: diags, Formal: res, Log: res.Log}
+	rec := Record{
+		Log:            res.Log,
+		DiagText:       diagText,
+		Strategy:       res.Strategy,
+		Runs:           res.Runs,
+		VacuousAsserts: append([]string(nil), res.VacuousAsserts...),
+	}
 	if res.Pass {
-		v.Status = StatusPass
+		rec.Status = StatusPass
 	} else {
-		v.Status = StatusAssertFail
+		rec.Status = StatusAssertFail
+		if res.Failure != nil {
+			rec.FailedAsserts = []string{res.Failure.Assert.Name}
+		}
+		rec.Counterexample = extractStimulus(d, res.Trace)
 	}
-	return v, nil
+	return Verdict{Record: rec, Design: d, Diags: diags, Formal: res}, nil
 }
 
 // cacheKey hashes the source, the candidate assertion set and the
 // normalised options. The assertion items are hashed through their printed
 // form (printing a throwaway module is cheap relative to re-printing and
 // re-parsing the full design, which happens only on a miss).
-func cacheKey(src string, assertions []verilog.Item, opts Options) [sha256.Size]byte {
+func cacheKey(src string, assertions []verilog.Item, opts Options) Key {
 	f := opts.formal().Normalized()
 	var meta [8 * 7]byte
 	binary.LittleEndian.PutUint64(meta[0:], uint64(f.Seed))
@@ -365,7 +362,7 @@ func cacheKey(src string, assertions []verilog.Item, opts Options) [sha256.Size]
 		h.Write([]byte{0})
 		h.Write([]byte(verilog.Print(&verilog.Module{Name: "__assertions__", Items: assertions})))
 	}
-	var key [sha256.Size]byte
+	var key Key
 	h.Sum(key[:0])
 	return key
 }

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -76,7 +77,7 @@ endmodule
 
 func TestCheckPassAndCacheHit(t *testing.T) {
 	svc := New(2)
-	v1, err := svc.Check(passSrc, nil, Options{Depth: 8})
+	v1, err := svc.Check(context.Background(), passSrc, nil, Options{Depth: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestCheckPassAndCacheHit(t *testing.T) {
 	if v1.Cached {
 		t.Error("first check reported as cached")
 	}
-	v2, err := svc.Check(passSrc, nil, Options{Depth: 8})
+	v2, err := svc.Check(context.Background(), passSrc, nil, Options{Depth: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,8 +97,8 @@ func TestCheckPassAndCacheHit(t *testing.T) {
 	if v2.Status != v1.Status || v2.Log != v1.Log {
 		t.Error("cached verdict differs from fresh verdict")
 	}
-	if hits, misses := svc.Stats(); hits != 1 || misses != 1 {
-		t.Errorf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	if m := svc.Metrics(); m.Hits != 1 || m.Misses != 1 {
+		t.Errorf("metrics = %d hits, %d misses; want 1, 1", m.Hits, m.Misses)
 	}
 	if svc.Len() != 1 {
 		t.Errorf("cache holds %d entries, want 1", svc.Len())
@@ -120,16 +121,16 @@ func TestCacheKeySensitivity(t *testing.T) {
 		{"compile-only", passSrc, Options{Seed: 1, Depth: 8, RandomRuns: 4, CompileOnly: true}},
 	}
 	for _, v := range variants {
-		if _, err := svc.Check(v.src, nil, v.opts); err != nil {
+		if _, err := svc.Check(context.Background(), v.src, nil, v.opts); err != nil {
 			t.Fatalf("%s: %v", v.name, err)
 		}
 	}
-	if _, misses := svc.Stats(); misses != uint64(len(variants)) {
-		t.Errorf("misses = %d, want %d (every variant must address its own entry)", misses, len(variants))
+	if m := svc.Metrics(); m.Misses != uint64(len(variants)) {
+		t.Errorf("misses = %d, want %d (every variant must address its own entry)", m.Misses, len(variants))
 	}
 	// Replaying every variant must be pure hits.
 	for _, v := range variants {
-		got, err := svc.Check(v.src, nil, v.opts)
+		got, err := svc.Check(context.Background(), v.src, nil, v.opts)
 		if err != nil {
 			t.Fatalf("%s: %v", v.name, err)
 		}
@@ -137,18 +138,18 @@ func TestCacheKeySensitivity(t *testing.T) {
 			t.Errorf("%s: replay missed the cache", v.name)
 		}
 	}
-	if hits, _ := svc.Stats(); hits != uint64(len(variants)) {
-		t.Errorf("hits = %d, want %d", hits, len(variants))
+	if m := svc.Metrics(); m.Hits != uint64(len(variants)) {
+		t.Errorf("hits = %d, want %d", m.Hits, len(variants))
 	}
 }
 
 func TestOptionsNormalisedForKey(t *testing.T) {
 	svc := New(2)
-	if _, err := svc.Check(passSrc, nil, Options{}); err != nil {
+	if _, err := svc.Check(context.Background(), passSrc, nil, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	// Depth 16 and RandomRuns 48 are the formal defaults: same entry.
-	v, err := svc.Check(passSrc, nil, Options{Depth: 16, RandomRuns: 48})
+	v, err := svc.Check(context.Background(), passSrc, nil, Options{Depth: 16, RandomRuns: 48})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestOptionsNormalisedForKey(t *testing.T) {
 func TestStatusClassification(t *testing.T) {
 	svc := New(2)
 
-	v, err := svc.Check(elabErrSrc, nil, Options{Depth: 8})
+	v, err := svc.Check(context.Background(), elabErrSrc, nil, Options{Depth: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestStatusClassification(t *testing.T) {
 		t.Errorf("elaboration error misclassified: %+v", v.Status)
 	}
 
-	v, err = svc.Check(parseErrSrc, nil, Options{Depth: 8})
+	v, err = svc.Check(context.Background(), parseErrSrc, nil, Options{Depth: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestStatusClassification(t *testing.T) {
 		t.Errorf("parse error misclassified: %+v", v.Status)
 	}
 
-	v, err = svc.Check(failSrc, nil, Options{Depth: 8})
+	v, err = svc.Check(context.Background(), failSrc, nil, Options{Depth: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestStatusClassification(t *testing.T) {
 		t.Error("failing verdict carries no log")
 	}
 
-	v, err = svc.Check(vacuousSrc, nil, Options{Depth: 8})
+	v, err = svc.Check(context.Background(), vacuousSrc, nil, Options{Depth: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestStatusClassification(t *testing.T) {
 
 func TestCompileOnly(t *testing.T) {
 	svc := New(2)
-	v, err := svc.Check(failSrc, nil, Options{CompileOnly: true})
+	v, err := svc.Check(context.Background(), failSrc, nil, Options{CompileOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestAssertionSubstitution(t *testing.T) {
 	svc := New(2)
 	// failSrc has logic q<=0 whose embedded assertion fails; substituting
 	// does not change the logic, so the candidate must still fail...
-	v, err := svc.Check(failSrc, items, Options{Depth: 8})
+	v, err := svc.Check(context.Background(), failSrc, items, Options{Depth: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestAssertionSubstitution(t *testing.T) {
 		t.Errorf("substituted candidate on broken logic: %v, want assert-fail", v.Status)
 	}
 	// ...while on the correct logic the same candidate passes.
-	v, err = svc.Check(passSrc, items, Options{Depth: 8})
+	v, err = svc.Check(context.Background(), passSrc, items, Options{Depth: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,11 +246,11 @@ func TestAssertionSubstitution(t *testing.T) {
 	}
 	// The assertion set is part of the cache key: nil-assertion checks of
 	// the same source are separate entries.
-	before, _ := svc.Stats()
-	if _, err := svc.Check(passSrc, nil, Options{Depth: 8}); err != nil {
+	before := svc.Metrics().Hits
+	if _, err := svc.Check(context.Background(), passSrc, nil, Options{Depth: 8}); err != nil {
 		t.Fatal(err)
 	}
-	if after, _ := svc.Stats(); after != before {
+	if after := svc.Metrics().Hits; after != before {
 		t.Error("embedded-assertion check unexpectedly hit the candidate entry")
 	}
 }
@@ -272,7 +273,7 @@ func TestConcurrentSingleflight(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				v, err := svc.Check(sources[si], nil, Options{Depth: 8})
+				v, err := svc.Check(context.Background(), sources[si], nil, Options{Depth: 8})
 				if err != nil {
 					t.Errorf("check: %v", err)
 					return
@@ -282,8 +283,8 @@ func TestConcurrentSingleflight(t *testing.T) {
 		}
 	}
 	wg.Wait()
-	if _, misses := svc.Stats(); misses != uint64(len(sources)) {
-		t.Errorf("misses = %d, want %d (singleflight must coalesce duplicates)", misses, len(sources))
+	if m := svc.Metrics(); m.Misses != uint64(len(sources)) {
+		t.Errorf("misses = %d, want %d (singleflight must coalesce duplicates)", m.Misses, len(sources))
 	}
 	for si := range sources {
 		for g := 1; g < loops; g++ {
@@ -305,7 +306,7 @@ func TestPoolOfOneDoesNotDeadlock(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			src := fmt.Sprintf("%s// variant %d\n", passSrc, g%4)
-			if _, err := svc.Check(src, nil, Options{Depth: 6}); err != nil {
+			if _, err := svc.Check(context.Background(), src, nil, Options{Depth: 6}); err != nil {
 				t.Errorf("check: %v", err)
 			}
 		}()
@@ -318,30 +319,30 @@ func TestPoolOfOneDoesNotDeadlock(t *testing.T) {
 // survives a rotation.
 func TestGenerationalEviction(t *testing.T) {
 	svc := New(2)
-	svc.maxEntries = 4
+	svc.entries.max = 4
 	srcAt := func(i int) string { return fmt.Sprintf("%s// fill %d\n", passSrc, i) }
 
-	if _, err := svc.Check(passSrc, nil, Options{Depth: 6}); err != nil {
+	if _, err := svc.Check(context.Background(), passSrc, nil, Options{Depth: 6}); err != nil {
 		t.Fatal(err)
 	}
 	// Keep passSrc hot (promoted on hit) while filling two generations.
 	for i := 0; i < 10; i++ {
-		if _, err := svc.Check(srcAt(i), nil, Options{Depth: 6}); err != nil {
+		if _, err := svc.Check(context.Background(), srcAt(i), nil, Options{Depth: 6}); err != nil {
 			t.Fatal(err)
 		}
-		if v, err := svc.Check(passSrc, nil, Options{Depth: 6}); err != nil || !v.Cached {
+		if v, err := svc.Check(context.Background(), passSrc, nil, Options{Depth: 6}); err != nil || !v.Cached {
 			t.Fatalf("hot entry evicted after %d inserts (err=%v)", i+1, err)
 		}
 	}
-	if n := svc.Len(); n > 2*svc.maxEntries {
-		t.Errorf("cache holds %d entries, want <= %d (bounded)", n, 2*svc.maxEntries)
+	if n := svc.Len(); n > 2*svc.entries.max {
+		t.Errorf("cache holds %d entries, want <= %d (bounded)", n, 2*svc.entries.max)
 	}
 	// The earliest filler must have aged out: re-checking it is a miss.
-	_, missesBefore := svc.Stats()
-	if _, err := svc.Check(srcAt(0), nil, Options{Depth: 6}); err != nil {
+	missesBefore := svc.Metrics().Misses
+	if _, err := svc.Check(context.Background(), srcAt(0), nil, Options{Depth: 6}); err != nil {
 		t.Fatal(err)
 	}
-	if _, missesAfter := svc.Stats(); missesAfter != missesBefore+1 {
+	if missesAfter := svc.Metrics().Misses; missesAfter != missesBefore+1 {
 		t.Error("oldest one-shot entry was still resident after two rotations")
 	}
 }
